@@ -1,0 +1,67 @@
+// Ablation A3 — triggered-update damping. The paper identifies fast
+// propagation of failure information as a key packet-delivery factor
+// (§4.3); the RFC 2453 damping timer (U[1,5] s) slows exactly that. Sweep
+// the damping window for RIP/DBF, and additionally run BGP with
+// withdrawals *subjected* to the MRAI (the paper notes withdrawals are
+// normally exempt so unreachability propagates quickly).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Ablation A3: update damping");
+  const std::vector<int> degrees{3, 4, 5, 6};
+
+  struct DampRange {
+    double lo;
+    double hi;
+  };
+  const std::vector<DampRange> ranges{{0.0, 0.0}, {1.0, 5.0}, {5.0, 10.0}};
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> drops;
+  std::vector<std::vector<double>> conv;
+  for (const ProtocolKind kind : {ProtocolKind::Rip, ProtocolKind::Dbf}) {
+    for (const auto& range : ranges) {
+      char label[32];
+      std::snprintf(label, sizeof label, "%s/%g-%g", toString(kind), range.lo, range.hi);
+      labels.emplace_back(label);
+      std::vector<double> dRow, cRow;
+      for (const int d : degrees) {
+        ScenarioConfig cfg = baseConfig();
+        cfg.protocol = kind;
+        cfg.mesh.degree = d;
+        cfg.protoCfg.dv.triggerDampMinSec = range.lo;
+        cfg.protoCfg.dv.triggerDampMaxSec = range.hi;
+        const auto a = Aggregate::over(runMany(cfg, runs));
+        dRow.push_back(a.dropsNoRoute);
+        cRow.push_back(a.routingConvergenceSec);
+      }
+      drops.push_back(std::move(dRow));
+      conv.push_back(std::move(cRow));
+    }
+  }
+  // BGP with and without the withdrawal exemption.
+  for (const bool exempt : {true, false}) {
+    labels.emplace_back(exempt ? "BGP3/wd-fast" : "BGP3/wd-mrai");
+    std::vector<double> dRow, cRow;
+    for (const int d : degrees) {
+      ScenarioConfig cfg = baseConfig();
+      cfg.protocol = ProtocolKind::Bgp3;
+      cfg.mesh.degree = d;
+      cfg.protoCfg.bgp.withdrawalsExemptFromMrai = exempt;
+      const auto a = Aggregate::over(runMany(cfg, runs));
+      dRow.push_back(a.dropsNoRoute);
+      cRow.push_back(a.routingConvergenceSec);
+    }
+    drops.push_back(std::move(dRow));
+    conv.push_back(std::move(cRow));
+  }
+
+  report::header("Ablation A3", "packet drops due to no route");
+  report::degreeSweep("packets", degrees, labels, drops);
+  report::header("Ablation A3", "network routing convergence time");
+  report::degreeSweep("seconds", degrees, labels, conv);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A4 — route flap damping during convergence. The paper's §1
+// warns (citing Bush/Griffin/Mao and Mao et al.) that richer connectivity
+// means more alternate paths explored after one failure, which RFD can
+// misread as flapping: routes get suppressed and convergence *worsens* as
+// the network gets better connected. This bench reproduces that effect.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Ablation A4: route flap damping");
+  const std::vector<int> degrees{3, 4, 5, 6, 8};
+
+  struct Variant {
+    const char* name;
+    bool rfd;
+    double penalty;
+  };
+  // "aggressive" halves the suppress threshold: one re-advertisement after
+  // a withdrawal is already enough to suppress.
+  const std::vector<Variant> variants{
+      {"BGP3", false, 1000.0},
+      {"BGP3+rfd", true, 1000.0},
+      {"BGP3+rfd!", true, 1999.0},
+  };
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> drops(variants.size());
+  std::vector<std::vector<double>> conv(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    labels.emplace_back(variants[v].name);
+    for (const int d : degrees) {
+      ScenarioConfig cfg = baseConfig();
+      cfg.protocol = ProtocolKind::Bgp3;
+      cfg.mesh.degree = d;
+      cfg.protoCfg.bgp.flapDampingEnabled = variants[v].rfd;
+      cfg.protoCfg.bgp.rfdPenaltyPerFlap = variants[v].penalty;
+      const auto a = Aggregate::over(runMany(cfg, runs));
+      drops[v].push_back(a.dropsNoRoute + a.dropsTtl);
+      conv[v].push_back(a.routingConvergenceSec);
+    }
+  }
+
+  report::header("Ablation A4", "packet drops (no-route + TTL) during convergence");
+  report::degreeSweep("packets", degrees, labels, drops);
+  report::header("Ablation A4", "network routing convergence time");
+  report::degreeSweep("seconds", degrees, labels, conv);
+  return 0;
+}

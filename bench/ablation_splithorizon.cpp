@@ -1,0 +1,50 @@
+// Ablation A6 — split-horizon flavors. The paper's protocols use split
+// horizon *with poison reverse*; this ablation compares no protection,
+// simple split horizon (omit) and poison reverse for RIP and DBF, the
+// classic textbook trade (poison reverse costs message size but kills
+// two-hop loops proactively).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Ablation A6: split-horizon flavor");
+  const std::vector<int> degrees{3, 4, 5, 6};
+  struct Variant {
+    const char* name;
+    SplitHorizonMode mode;
+  };
+  const std::vector<Variant> modes{{"none", SplitHorizonMode::None},
+                                   {"simple", SplitHorizonMode::SplitHorizon},
+                                   {"poison", SplitHorizonMode::PoisonReverse}};
+
+  for (const ProtocolKind kind : {ProtocolKind::Rip, ProtocolKind::Dbf}) {
+    std::vector<std::string> labels;
+    std::vector<std::vector<double>> drops;
+    std::vector<std::vector<double>> ttl;
+    std::vector<std::vector<double>> conv;
+    for (const auto& variant : modes) {
+      labels.push_back(std::string{toString(kind)} + "/" + variant.name);
+      std::vector<double> dRow, tRow, cRow;
+      for (const int d : degrees) {
+        ScenarioConfig cfg = baseConfig();
+        cfg.protocol = kind;
+        cfg.mesh.degree = d;
+        cfg.protoCfg.dv.splitHorizon = variant.mode;
+        const auto a = Aggregate::over(runMany(cfg, runs));
+        dRow.push_back(a.dropsNoRoute);
+        tRow.push_back(a.dropsTtl);
+        cRow.push_back(a.routingConvergenceSec);
+      }
+      drops.push_back(std::move(dRow));
+      ttl.push_back(std::move(tRow));
+      conv.push_back(std::move(cRow));
+    }
+    report::header(std::string{"Ablation A6, "} + toString(kind), "");
+    report::degreeSweep("no-route drops", degrees, labels, drops);
+    report::degreeSweep("TTL expirations", degrees, labels, ttl);
+    report::degreeSweep("routing convergence (s)", degrees, labels, conv);
+  }
+  return 0;
+}

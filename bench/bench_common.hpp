@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: the canonical
+// protocol set, degree sweep, and run-count handling (env RCSIM_RUNS; the
+// paper used 100 runs per data point, benches default lower to stay fast).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+
+namespace rcsim::bench {
+
+inline const std::vector<ProtocolKind> kPaperProtocols{ProtocolKind::Rip, ProtocolKind::Dbf,
+                                                       ProtocolKind::Bgp, ProtocolKind::Bgp3};
+
+inline std::vector<std::string> names(const std::vector<ProtocolKind>& kinds) {
+  std::vector<std::string> out;
+  out.reserve(kinds.size());
+  for (const auto k : kinds) out.emplace_back(toString(k));
+  return out;
+}
+
+inline std::vector<int> paperDegrees() {
+  std::vector<int> d;
+  for (int i = 3; i <= 16; ++i) d.push_back(i);
+  return d;
+}
+
+inline ScenarioConfig baseConfig() { return ScenarioConfig{}; }
+
+/// Degree-swept aggregate for one protocol: one Aggregate per degree.
+inline std::vector<Aggregate> sweepDegrees(ProtocolKind kind, const std::vector<int>& degrees,
+                                           int runs) {
+  std::vector<Aggregate> out;
+  out.reserve(degrees.size());
+  for (const int d : degrees) {
+    ScenarioConfig cfg = baseConfig();
+    cfg.protocol = kind;
+    cfg.mesh.degree = d;
+    out.push_back(Aggregate::over(runMany(cfg, runs)));
+  }
+  return out;
+}
+
+inline int announceRuns(const char* figure, int fallback = 10) {
+  const int runs = defaultRunCount(fallback);
+  std::printf("%s — %d run(s) per data point (set RCSIM_RUNS to change; paper used 100)\n",
+              figure, runs);
+  return runs;
+}
+
+}  // namespace rcsim::bench

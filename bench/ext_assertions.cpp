@@ -1,0 +1,92 @@
+// Extension E4 — consistency assertions (the paper's ref [21], Pei et al.,
+// "Improving BGP Convergence Through Consistency Assertions"). The paper's
+// §4.2 notes BGP's path information lets a node check an alternate path's
+// validity "in some restricted cases" and that [21] used this to cut
+// convergence time substantially. This bench measures that cut on the
+// paper's own scenario family.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Extension E4: BGP consistency assertions");
+  const std::vector<int> degrees{3, 4, 5, 6};
+
+  struct Variant {
+    const char* name;
+    ProtocolKind kind;
+    bool assertions;
+  };
+  const std::vector<Variant> variants{
+      {"BGP", ProtocolKind::Bgp, false},
+      {"BGP+asrt", ProtocolKind::Bgp, true},
+      {"BGP3", ProtocolKind::Bgp3, false},
+      {"BGP3+asrt", ProtocolKind::Bgp3, true},
+  };
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> drops(variants.size());
+  std::vector<std::vector<double>> ttl(variants.size());
+  std::vector<std::vector<double>> conv(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    labels.emplace_back(variants[v].name);
+    for (const int d : degrees) {
+      ScenarioConfig cfg = baseConfig();
+      cfg.protocol = variants[v].kind;
+      cfg.mesh.degree = d;
+      cfg.protoCfg.bgp.consistencyAssertions = variants[v].assertions;
+      const auto a = Aggregate::over(runMany(cfg, runs));
+      drops[v].push_back(a.dropsNoRoute);
+      ttl[v].push_back(a.dropsTtl);
+      conv[v].push_back(a.routingConvergenceSec);
+    }
+  }
+
+  report::header("Extension E4", "packet drops due to no route");
+  report::degreeSweep("packets", degrees, labels, drops);
+  report::header("Extension E4", "TTL expirations (transient loops)");
+  report::degreeSweep("packets", degrees, labels, ttl);
+  report::header("Extension E4", "network routing convergence time");
+  report::degreeSweep("seconds", degrees, labels, conv);
+
+  // Part 2 — Tdown: disconnect the destination entirely (fail every link of
+  // the receiver's router at t=400 s). This is the slow-convergence case
+  // (Labovitz et al.) where path exploration runs one MRAI per step and
+  // where [21] reports the big win: assertions prune stale alternates, so
+  // the withdrawal sweeps through instead of being re-explored.
+  report::header("Extension E4, Tdown", "receiver disconnected; time until all routes gone");
+  std::printf("%-10s", "variant");
+  for (const int d : degrees) std::printf("   degree-%-5d", d);
+  std::printf("(seconds)\n");
+  for (const auto& variant : variants) {
+    std::printf("%-10s", variant.name);
+    for (const int d : degrees) {
+      double convSum = 0;
+      for (int run = 0; run < runs; ++run) {
+        ScenarioConfig cfg = baseConfig();
+        cfg.protocol = variant.kind;
+        cfg.mesh.degree = d;
+        cfg.seed = static_cast<std::uint64_t>(run) + 1;
+        cfg.protoCfg.bgp.consistencyAssertions = variant.assertions;
+        cfg.injectFailure = false;  // we inject the node-isolating cut ourselves
+        cfg.trafficStop = cfg.failAt;  // measuring routing, not delivery
+        cfg.endAt = Time::seconds(1600.0);  // plain BGP explores for many MRAIs
+        Scenario sc{cfg};
+        sc.stats().routeLog().setWatermark(cfg.failAt);
+        Network& net = sc.network();
+        const NodeId victim = sc.receiver();
+        sc.scheduler().scheduleAt(cfg.failAt, [&net, victim] {
+          for (const NodeId nb : net.node(victim).neighbors()) {
+            net.findLink(victim, nb)->fail();
+          }
+        });
+        sc.run();
+        convSum += sc.stats().routeLog().convergenceSeconds();
+      }
+      std::printf("   %12.2f", convSum / runs);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension E6 — availability under continuous churn. Instead of the
+// paper's single surgical failure, every link flaps with exponential
+// up/down times (MTBF 120 s, MTTR 10 s) for 400 s of traffic. The metric
+// is the long-run delivery ratio — Baran's original question ("reliable
+// packet delivery in the face of severe component failures") answered per
+// protocol and per connectivity level.
+#include "bench_common.hpp"
+#include "core/churn.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Extension E6: delivery ratio under link churn", 10);
+  const std::vector<int> degrees{3, 4, 6, 8};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Rip, ProtocolKind::Dbf,
+                                        ProtocolKind::Bgp3, ProtocolKind::LinkState,
+                                        ProtocolKind::Dual};
+
+  std::vector<std::string> labels = names(kinds);
+  std::vector<std::vector<double>> ratio(kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    for (const int d : degrees) {
+      double delivered = 0;
+      double sent = 0;
+      for (int run = 0; run < runs; ++run) {
+        ScenarioConfig cfg = baseConfig();
+        cfg.protocol = kinds[k];
+        cfg.mesh.degree = d;
+        cfg.seed = static_cast<std::uint64_t>(run) + 1;
+        cfg.injectFailure = false;  // churn replaces the single failure
+        cfg.trafficStop = Time::seconds(790.0);
+        Scenario sc{cfg};
+        ChurnInjector::Config churnCfg;
+        churnCfg.start = cfg.trafficStart;
+        churnCfg.stop = cfg.trafficStop;
+        ChurnInjector churn{sc.network(), Rng{cfg.seed * 7919 + 13}, churnCfg};
+        churn.install();
+        sc.run();
+        delivered += static_cast<double>(sc.stats().data().delivered);
+        sent += static_cast<double>(sc.packetsSent());
+      }
+      ratio[k].push_back(100.0 * delivered / sent);
+    }
+  }
+
+  report::header("Extension E6", "delivery ratio (%) with every link flapping "
+                                 "(MTBF 120 s, MTTR 10 s)");
+  report::degreeSweep("percent", degrees, labels, ratio);
+
+  std::printf("\nReading: Baran's redundancy thesis in one table — every protocol climbs\n"
+              "toward ~100%% as degree grows, but the event-driven protocols (LS's\n"
+              "flood+SPF and DUAL's feasible-successor switch) get there at much lower\n"
+              "connectivity than RIP, which re-pays its 30 s black-hole tax on every\n"
+              "flap. The timer-paced protocols (DBF's 1-5 s damping, BGP3's 3 s MRAI)\n"
+              "sit in between: each flap costs them a damping interval.\n");
+  return 0;
+}

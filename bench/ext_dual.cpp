@@ -1,0 +1,48 @@
+// Extension E5 — DUAL (diffusing computations) vs the paper's protocols.
+// The paper's §2/§6 argument: loop-prevention schemes like DUAL "eliminate
+// routing loops by paying a high cost of delaying routing updates and
+// stopping packet delivery during convergence". This bench quantifies that
+// trade on the paper's scenario family: DUAL never loops (zero TTL
+// expirations by construction) but freezes routes whenever the alternate is
+// not provably loop-free, converting would-be loop losses into black-hole
+// losses.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Extension E5: DUAL vs DV/PV family", 20);
+  const auto degrees = std::vector<int>{3, 4, 5, 6, 8};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Dbf, ProtocolKind::Bgp3,
+                                        ProtocolKind::Dual};
+
+  std::vector<std::string> labels = names(kinds);
+  std::vector<std::vector<double>> drops(kinds.size());
+  std::vector<std::vector<double>> ttl(kinds.size());
+  std::vector<std::vector<double>> conv(kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const auto aggs = sweepDegrees(kinds[k], degrees, runs);
+    for (const auto& a : aggs) {
+      drops[k].push_back(a.dropsNoRoute);
+      ttl[k].push_back(a.dropsTtl);
+      conv[k].push_back(a.routingConvergenceSec);
+    }
+  }
+
+  report::header("Extension E5", "packet drops due to no route (black-holes)");
+  report::degreeSweep("packets", degrees, labels, drops);
+  report::header("Extension E5", "TTL expirations (loops — must be 0 for DUAL)");
+  report::degreeSweep("packets", degrees, labels, ttl);
+  report::header("Extension E5", "network routing convergence time");
+  report::degreeSweep("seconds", degrees, labels, conv);
+
+  std::printf("\nReading: DUAL's freeze window is only as long as its diffusion, and a\n"
+              "diffusion over millisecond links completes in milliseconds — so the\n"
+              "delivery cost the paper attributes to loop-free algorithms (§2) barely\n"
+              "materializes here; DUAL pairs DBF-grade switch-over with hard\n"
+              "loop-freedom. The paper's critique presumes slow diffusions (realistic\n"
+              "for WAN latencies and large diameters); scale the topology or delays up\n"
+              "and the freeze tax returns.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Extension E2 (paper §6 future work) — multiple flows and multiple
+// overlapping failures. Failure k hits flow (k mod flows)'s then-current
+// forwarding path 5 s after failure k-1, so convergence episodes overlap.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Extension E2: multiple flows, overlapping failures");
+  const auto protocols = kPaperProtocols;
+  const std::vector<int> failureCounts{1, 2, 4};
+
+  for (const int degree : {4, 6}) {
+    report::header("Extension E2, degree " + std::to_string(degree),
+                   "4 flows; drops summed over all flows during convergence");
+    std::printf("%-6s", "proto");
+    for (const int fc : failureCounts) std::printf("   %2d-failure(s)", fc);
+    std::printf("   %12s\n", "rt-conv@4");
+    for (const auto kind : protocols) {
+      std::printf("%-6s", toString(kind));
+      double lastConv = 0;
+      for (const int fc : failureCounts) {
+        ScenarioConfig cfg = baseConfig();
+        cfg.protocol = kind;
+        cfg.mesh.degree = degree;
+        cfg.flows = 4;
+        cfg.failureCount = fc;
+        cfg.failureSpacing = Time::seconds(5.0);
+        const auto a = Aggregate::over(runMany(cfg, runs));
+        std::printf("   %12.2f", a.dropsNoRoute + a.dropsTtl);
+        lastConv = a.routingConvergenceSec;
+      }
+      std::printf("   %12.2f\n", lastConv);
+    }
+  }
+
+  std::printf("\nReading: losses grow roughly with the number of failures; the alternate-\n"
+              "path protocols degrade gracefully while RIP multiplies its black-hole\n"
+              "windows. Convergence time stretches as episodes overlap.\n");
+  return 0;
+}

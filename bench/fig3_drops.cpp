@@ -1,0 +1,26 @@
+// Figure 3 — "Number of Packet Drops due to no route vs. node-degree".
+//
+// Reproduces the paper's headline result: drops fall as connectivity rises;
+// with degree >= 6 the cache-keeping protocols (DBF, BGP, BGP3) drop
+// virtually nothing, while RIP improves only slightly because it must wait
+// for another neighbor's periodic announcement.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Figure 3: packet drops due to no route");
+  const auto degrees = paperDegrees();
+  const auto protocols = kPaperProtocols;
+
+  std::vector<std::vector<double>> noRoute(protocols.size());
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    const auto aggs = sweepDegrees(protocols[p], degrees, runs);
+    for (const auto& a : aggs) noRoute[p].push_back(a.dropsNoRoute);
+  }
+
+  report::header("Figure 3", "mean data packets dropped for lack of a route during convergence");
+  report::degreeSweep("packets", degrees, names(protocols), noRoute);
+  return 0;
+}

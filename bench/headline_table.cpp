@@ -1,0 +1,34 @@
+// Headline comparison (paper §1): "with the same topology and same packet
+// generation rate, BGP dropped ~5x the packets BGP3 did", plus §5.2's
+// "the number of TTL expirations in BGP is about 10x that of BGP3".
+//
+// Prints one summary row per protocol for a fixed sparse topology where the
+// differences are visible (the looping regime — degree 3 in our mesh
+// family, see EXPERIMENTS.md), and a second table at degree 6 where the
+// drop differences all but vanish.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rcsim;
+  using namespace rcsim::bench;
+
+  const int runs = announceRuns("Headline table: protocol comparison at fixed degree", 20);
+  const auto protocols = kPaperProtocols;
+
+  for (const int degree : {3, 6}) {
+    report::header("Protocol comparison, degree " + std::to_string(degree),
+                   "means over " + std::to_string(runs) + " runs");
+    std::printf("%-6s %10s %10s %10s %10s %12s %12s %12s\n", "proto", "sent", "delivered",
+                "no-route", "ttl-exp", "fwd-conv(s)", "rt-conv(s)", "loop-frac");
+    for (const auto kind : protocols) {
+      ScenarioConfig cfg = baseConfig();
+      cfg.protocol = kind;
+      cfg.mesh.degree = degree;
+      const auto a = Aggregate::over(runMany(cfg, runs));
+      std::printf("%-6s %10.1f %10.1f %10.2f %10.2f %12.2f %12.2f %12.2f\n", toString(kind),
+                  a.sent, a.delivered, a.dropsNoRoute, a.dropsTtl, a.forwardingConvergenceSec,
+                  a.routingConvergenceSec, a.loopFraction);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event
+// scheduling throughput, link pipeline cost, full-scenario run times. These
+// are performance regressions guards for the engine, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace rcsim;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.scheduleAt(Time::microseconds(i % 997), [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerSelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    int remaining = static_cast<int>(state.range(0));
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sched.scheduleAfter(Time::microseconds(1), tick);
+    };
+    sched.scheduleAfter(Time::microseconds(1), tick);
+    sched.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerSelfRescheduling)->Arg(65536);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng{123};
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform01();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_MeshGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto topo = makeRegularMesh(MeshSpec{7, 7, static_cast<int>(state.range(0))});
+    benchmark::DoNotOptimize(topo.edges.size());
+  }
+}
+BENCHMARK(BM_MeshGeneration)->Arg(4)->Arg(16);
+
+void BM_FullScenario(benchmark::State& state) {
+  const auto kind = static_cast<ProtocolKind>(state.range(0));
+  for (auto _ : state) {
+    ScenarioConfig cfg;
+    cfg.protocol = kind;
+    cfg.mesh.degree = static_cast<int>(state.range(1));
+    cfg.seed = 11;
+    const RunResult r = runScenario(cfg);
+    benchmark::DoNotOptimize(r.data.delivered);
+  }
+}
+BENCHMARK(BM_FullScenario)
+    ->Args({static_cast<long>(ProtocolKind::Rip), 4})
+    ->Args({static_cast<long>(ProtocolKind::Dbf), 4})
+    ->Args({static_cast<long>(ProtocolKind::Bgp), 4})
+    ->Args({static_cast<long>(ProtocolKind::Bgp3), 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Quickstart: build the paper's degree-4 mesh, run DBF, fail a link on the
+// forwarding path and print what happened to the packets.
+//
+// This is the smallest end-to-end use of the public API:
+//   ScenarioConfig -> runScenario() -> RunResult.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace rcsim;
+
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Dbf;
+  cfg.mesh.degree = 4;
+  cfg.seed = 42;
+
+  std::printf("Running %s on a %dx%d mesh (degree %d), one link failure...\n",
+              toString(cfg.protocol), cfg.mesh.rows, cfg.mesh.cols, cfg.mesh.degree);
+
+  const RunResult r = runScenario(cfg);
+
+  std::printf("\npackets sent                : %llu\n",
+              static_cast<unsigned long long>(r.sent));
+  std::printf("packets delivered           : %llu\n",
+              static_cast<unsigned long long>(r.data.delivered));
+  std::printf("drops (no route)            : %llu\n",
+              static_cast<unsigned long long>(r.data.dropNoRoute));
+  std::printf("drops (TTL expired / loops) : %llu\n",
+              static_cast<unsigned long long>(r.data.dropTtl));
+  std::printf("drops (in-flight at cut)    : %llu\n",
+              static_cast<unsigned long long>(r.data.dropInFlightCut + r.data.dropLinkDown));
+  std::printf("drops (queue overflow)      : %llu\n",
+              static_cast<unsigned long long>(r.data.dropQueue));
+  std::printf("loop-escaped deliveries     : %llu\n",
+              static_cast<unsigned long long>(r.loopEscapedDeliveries));
+  std::printf("\nforwarding-path convergence : %.3f s after failure\n",
+              r.forwardingConvergenceSec);
+  std::printf("routing convergence         : %.3f s after failure\n", r.routingConvergenceSec);
+  std::printf("transient forwarding paths  : %d\n", r.transientPaths);
+  std::printf("final path is shortest      : %s\n", r.finalPathShortest ? "yes" : "no");
+  return 0;
+}

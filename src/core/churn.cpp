@@ -1,0 +1,34 @@
+#include "core/churn.hpp"
+
+#include "net/network.hpp"
+
+namespace rcsim {
+
+ChurnInjector::ChurnInjector(Network& net, Rng rng, Config cfg)
+    : net_{net}, rng_{rng}, cfg_{cfg} {}
+
+void ChurnInjector::install() {
+  for (std::size_t i = 0; i < net_.links().size(); ++i) scheduleFailure(i, cfg_.start);
+}
+
+void ChurnInjector::scheduleFailure(std::size_t linkIndex, Time notBefore) {
+  const Time at = notBefore + Time::seconds(rng_.exponential(cfg_.meanUpSec));
+  if (at >= cfg_.stop) return;
+  net_.scheduler().scheduleAt(at, [this, linkIndex] {
+    Link& link = *net_.links()[linkIndex];
+    if (!link.isUp()) return;  // already down through some other mechanism
+    link.fail();
+    ++failures_;
+    const Time repairAt =
+        net_.scheduler().now() + Time::seconds(rng_.exponential(cfg_.meanDownSec));
+    net_.scheduler().scheduleAt(repairAt, [this, linkIndex] {
+      Link& l = *net_.links()[linkIndex];
+      if (l.isUp()) return;
+      l.recover();
+      ++repairs_;
+      scheduleFailure(linkIndex, net_.scheduler().now());
+    });
+  });
+}
+
+}  // namespace rcsim

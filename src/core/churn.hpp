@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+
+/// Continuous link churn: every link independently alternates between up
+/// and down with exponentially distributed times — the steady-failure
+/// regime the paper's introduction motivates ("faults of various scale and
+/// severity occur frequently", Labovitz et al.). Used by the availability
+/// bench to measure long-run delivery ratio per protocol.
+class ChurnInjector {
+ public:
+  struct Config {
+    double meanUpSec = 120.0;   ///< MTBF per link
+    double meanDownSec = 10.0;  ///< MTTR per link
+    Time start;                 ///< churn begins here (after warm-up)
+    Time stop;                  ///< no new failures after this (repairs still run)
+  };
+
+  ChurnInjector(Network& net, Rng rng, Config cfg);
+
+  /// Schedule the first failure of every link.
+  void install();
+
+  [[nodiscard]] std::uint64_t failuresInjected() const { return failures_; }
+  [[nodiscard]] std::uint64_t repairsInjected() const { return repairs_; }
+
+ private:
+  void scheduleFailure(std::size_t linkIndex, Time notBefore);
+
+  Network& net_;
+  Rng rng_;
+  Config cfg_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,65 @@
+#include "core/experiment.hpp"
+
+namespace rcsim {
+
+RunResult runScenario(const ScenarioConfig& cfg) {
+  Scenario scenario{cfg};
+  scenario.run();
+
+  auto& net = scenario.network();
+  auto& stats = scenario.stats();
+
+  RunResult r;
+  r.protocol = cfg.protocol;
+  r.degree = cfg.mesh.degree;
+  r.seed = cfg.seed;
+  r.sent = scenario.packetsSent();
+  r.data = stats.data();
+  r.dataAfterFailure = stats.dataAfterWatermark();
+  r.control = stats.control();
+  r.loopEscapedDeliveries = stats.loopEscapedDeliveries();
+  r.controlMessages = stats.controlMessages();
+  r.controlBytes = stats.controlBytes();
+  r.controlMessagesAfterFailure = stats.controlMessagesAfterWatermark();
+  for (const auto& flow : scenario.flows()) {
+    if (flow.tcp) {
+      r.tcpGoodputPackets += flow.tcp->goodputPackets();
+      r.tcpRetransmissions += flow.tcp->retransmissions();
+    }
+  }
+
+  r.routingConvergenceSec = stats.routeLog().convergenceSeconds();
+  r.routeChangesAfterFailure = stats.routeLog().changesAfterWatermark();
+  if (const auto* tracer = stats.tracer()) {
+    const Time watermark = cfg.injectFailure ? cfg.failAt : Time::infinity();
+    r.forwardingConvergenceSec = tracer->convergenceSecondsAfter(watermark);
+    r.transientPaths = tracer->transientPathsAfter(watermark);
+    r.sawLoop = tracer->sawLoopAfter(watermark);
+    r.sawBlackhole = tracer->sawBlackholeAfter(watermark);
+  }
+
+  r.preFailurePathShortest = scenario.preFailurePathShortest();
+  r.preFailurePathHops = scenario.preFailurePathHops();
+  {
+    bool loop = false;
+    bool blackhole = false;
+    const auto path = net.fibWalk(scenario.sender(), scenario.receiver(), &loop, &blackhole);
+    const int finalHops = static_cast<int>(path.size()) - 1;
+    r.finalPathShortest = !loop && !blackhole &&
+                          finalHops == net.shortestDistLive(scenario.sender(),
+                                                            scenario.receiver());
+  }
+
+  const int endSec = static_cast<int>(cfg.endAt.toSeconds());
+  r.throughput.resize(static_cast<std::size_t>(endSec), 0.0);
+  r.meanDelay.resize(static_cast<std::size_t>(endSec), 0.0);
+  for (int s = 0; s < endSec; ++s) {
+    r.throughput[static_cast<std::size_t>(s)] = stats.series().throughputAt(s);
+    r.meanDelay[static_cast<std::size_t>(s)] = stats.series().meanDelayAt(s);
+  }
+  r.failSec = static_cast<int>(cfg.failAt.toSeconds());
+  r.eventsExecuted = scenario.scheduler().executedEvents();
+  return r;
+}
+
+}  // namespace rcsim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace rcsim {
+
+/// Everything a single run produces, in plain data form (safe to move
+/// across threads, aggregate, and print).
+struct RunResult {
+  ProtocolKind protocol{};
+  int degree = 0;
+  std::uint64_t seed = 0;
+
+  std::uint64_t sent = 0;
+  PacketCounters data;             ///< whole-run data-plane counters
+  PacketCounters dataAfterFailure; ///< convergence-period drops (Figures 3/4)
+  PacketCounters control;
+  std::uint64_t loopEscapedDeliveries = 0;
+  std::uint64_t controlMessages = 0;       ///< routing-load accounting
+  std::uint64_t controlBytes = 0;
+  std::uint64_t controlMessagesAfterFailure = 0;
+  std::uint64_t tcpGoodputPackets = 0;     ///< TrafficKind::Tcp only
+  std::uint64_t tcpRetransmissions = 0;
+
+  double routingConvergenceSec = 0.0;    ///< Figure 6b
+  double forwardingConvergenceSec = 0.0; ///< Figure 6a
+  int transientPaths = 0;
+  bool sawLoop = false;
+  bool sawBlackhole = false;
+
+  bool preFailurePathShortest = false;
+  int preFailurePathHops = 0;
+  bool finalPathShortest = false;
+  std::uint64_t routeChangesAfterFailure = 0;
+
+  /// Per-second series in absolute simulation seconds (index = second).
+  std::vector<double> throughput;
+  std::vector<double> meanDelay;
+  int failSec = 0;  ///< failure injection second, for time normalization
+
+  std::uint64_t eventsExecuted = 0;
+
+  [[nodiscard]] std::uint64_t deliveredTotal() const { return data.delivered; }
+  /// Conservation residual: packets unaccounted for at simulation end.
+  [[nodiscard]] std::int64_t residual() const {
+    return static_cast<std::int64_t>(sent) - static_cast<std::int64_t>(data.delivered) -
+           static_cast<std::int64_t>(data.totalDropped());
+  }
+};
+
+/// Build, run and squeeze one scenario into a RunResult.
+[[nodiscard]] RunResult runScenario(const ScenarioConfig& cfg);
+
+}  // namespace rcsim

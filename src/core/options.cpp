@@ -1,0 +1,211 @@
+#include "core/options.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rcsim {
+namespace {
+
+double parseDouble(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + key + ": not a number: '" + value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("option " + key + ": trailing junk in '" + value + "'");
+  }
+  return v;
+}
+
+long parseInt(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + key + ": not an integer: '" + value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("option " + key + ": trailing junk in '" + value + "'");
+  }
+  return v;
+}
+
+bool parseBool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "off" || value == "no") return false;
+  throw std::invalid_argument("option " + key + ": not a boolean: '" + value + "'");
+}
+
+}  // namespace
+
+void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string& value) {
+  // Scenario-level.
+  if (key == "protocol") {
+    cfg.protocol = protocolKindFromString(value);
+  } else if (key == "topology") {
+    if (value == "mesh") {
+      cfg.topology = TopologyKind::RegularMesh;
+    } else if (value == "random") {
+      cfg.topology = TopologyKind::Random;
+    } else {
+      throw std::invalid_argument("topology must be mesh|random, got '" + value + "'");
+    }
+  } else if (key == "degree") {
+    cfg.mesh.degree = static_cast<int>(parseInt(key, value));
+  } else if (key == "rows") {
+    cfg.mesh.rows = static_cast<int>(parseInt(key, value));
+  } else if (key == "cols") {
+    cfg.mesh.cols = static_cast<int>(parseInt(key, value));
+  } else if (key == "random.nodes") {
+    cfg.random.nodes = static_cast<int>(parseInt(key, value));
+  } else if (key == "random.avg-degree") {
+    cfg.random.avgDegree = parseDouble(key, value);
+  } else if (key == "seed") {
+    cfg.seed = static_cast<std::uint64_t>(parseInt(key, value));
+  } else if (key == "flows") {
+    cfg.flows = static_cast<int>(parseInt(key, value));
+  } else if (key == "traffic") {
+    if (value == "cbr") {
+      cfg.traffic = TrafficKind::Cbr;
+    } else if (value == "tcp") {
+      cfg.traffic = TrafficKind::Tcp;
+    } else {
+      throw std::invalid_argument("traffic must be cbr|tcp, got '" + value + "'");
+    }
+  } else if (key == "rate") {
+    cfg.packetsPerSecond = parseDouble(key, value);
+  } else if (key == "bytes") {
+    cfg.packetBytes = static_cast<std::uint32_t>(parseInt(key, value));
+  } else if (key == "ttl") {
+    cfg.ttl = static_cast<int>(parseInt(key, value));
+  } else if (key == "window") {
+    cfg.tcpWindow = static_cast<int>(parseInt(key, value));
+  } else if (key == "traffic-start") {
+    cfg.trafficStart = Time::seconds(parseDouble(key, value));
+  } else if (key == "traffic-stop") {
+    cfg.trafficStop = Time::seconds(parseDouble(key, value));
+  } else if (key == "failures") {
+    cfg.failureCount = static_cast<int>(parseInt(key, value));
+  } else if (key == "fail-at") {
+    cfg.failAt = Time::seconds(parseDouble(key, value));
+  } else if (key == "fail-spacing") {
+    cfg.failureSpacing = Time::seconds(parseDouble(key, value));
+  } else if (key == "repair-after") {
+    cfg.repairAfter = Time::seconds(parseDouble(key, value));
+  } else if (key == "no-failure") {
+    cfg.injectFailure = !parseBool(key, value);
+  } else if (key == "end-at") {
+    cfg.endAt = Time::seconds(parseDouble(key, value));
+  } else if (key == "trace-packets") {
+    cfg.tracePackets = parseBool(key, value);
+    // Link layer.
+  } else if (key == "bandwidth") {
+    cfg.link.bandwidthBps = parseDouble(key, value);
+  } else if (key == "prop-delay-ms") {
+    cfg.link.propDelay = Time::seconds(parseDouble(key, value) / 1e3);
+  } else if (key == "queue") {
+    cfg.link.queueCapacity = static_cast<std::size_t>(parseInt(key, value));
+  } else if (key == "detect-ms") {
+    cfg.link.detectDelay = Time::seconds(parseDouble(key, value) / 1e3);
+    // Distance-vector knobs.
+  } else if (key == "dv.periodic") {
+    cfg.protoCfg.dv.periodicInterval = Time::seconds(parseDouble(key, value));
+  } else if (key == "dv.timeout") {
+    cfg.protoCfg.dv.timeout = Time::seconds(parseDouble(key, value));
+  } else if (key == "dv.damp-min") {
+    cfg.protoCfg.dv.triggerDampMinSec = parseDouble(key, value);
+  } else if (key == "dv.damp-max") {
+    cfg.protoCfg.dv.triggerDampMaxSec = parseDouble(key, value);
+  } else if (key == "dv.infinity") {
+    cfg.protoCfg.dv.infinityMetric = static_cast<int>(parseInt(key, value));
+  } else if (key == "dv.max-entries") {
+    cfg.protoCfg.dv.maxEntriesPerMessage = static_cast<int>(parseInt(key, value));
+  } else if (key == "dv.poison") {
+    cfg.protoCfg.dv.splitHorizon =
+        parseBool(key, value) ? SplitHorizonMode::PoisonReverse : SplitHorizonMode::None;
+  } else if (key == "dv.split-horizon") {
+    if (value == "none") {
+      cfg.protoCfg.dv.splitHorizon = SplitHorizonMode::None;
+    } else if (value == "simple") {
+      cfg.protoCfg.dv.splitHorizon = SplitHorizonMode::SplitHorizon;
+    } else if (value == "poison") {
+      cfg.protoCfg.dv.splitHorizon = SplitHorizonMode::PoisonReverse;
+    } else {
+      throw std::invalid_argument("dv.split-horizon must be none|simple|poison");
+    }
+    // BGP knobs.
+  } else if (key == "bgp.mrai-min") {
+    cfg.protoCfg.bgp.mraiMinSec = parseDouble(key, value);
+  } else if (key == "bgp.mrai-max") {
+    cfg.protoCfg.bgp.mraiMaxSec = parseDouble(key, value);
+  } else if (key == "bgp.per-dest-mrai") {
+    cfg.protoCfg.bgp.perDestMrai = parseBool(key, value);
+  } else if (key == "bgp.wd-exempt") {
+    cfg.protoCfg.bgp.withdrawalsExemptFromMrai = parseBool(key, value);
+  } else if (key == "bgp.rfd") {
+    cfg.protoCfg.bgp.flapDampingEnabled = parseBool(key, value);
+  } else if (key == "bgp.rfd-half-life") {
+    cfg.protoCfg.bgp.rfdHalfLifeSec = parseDouble(key, value);
+    // Link-state knobs.
+  } else if (key == "ls.spf-delay-ms") {
+    cfg.protoCfg.ls.spfDelay = Time::seconds(parseDouble(key, value) / 1e3);
+  } else if (key == "ls.refresh") {
+    cfg.protoCfg.ls.refreshInterval = Time::seconds(parseDouble(key, value));
+    // DUAL knobs.
+  } else if (key == "dual.sia-timeout") {
+    cfg.protoCfg.dual.siaTimeout = Time::seconds(parseDouble(key, value));
+  } else if (key == "dual.max-distance") {
+    cfg.protoCfg.dual.maxDistance = static_cast<int>(parseInt(key, value));
+  } else {
+    throw std::invalid_argument("unknown option: " + key);
+  }
+}
+
+void applyOptionString(ScenarioConfig& cfg, const std::string& arg) {
+  std::string s = arg;
+  if (s.rfind("--", 0) == 0) s = s.substr(2);
+  const auto eq = s.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("expected key=value, got '" + arg + "'");
+  }
+  applyOption(cfg, s.substr(0, eq), s.substr(eq + 1));
+}
+
+std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
+  std::vector<std::string> out;
+  auto add = [&out](const std::string& k, const std::string& v) { out.push_back(k + "=" + v); };
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return std::string{buf};
+  };
+  add("protocol", toString(cfg.protocol));
+  add("topology", cfg.topology == TopologyKind::RegularMesh ? "mesh" : "random");
+  if (cfg.topology == TopologyKind::RegularMesh) {
+    add("rows", std::to_string(cfg.mesh.rows));
+    add("cols", std::to_string(cfg.mesh.cols));
+    add("degree", std::to_string(cfg.mesh.degree));
+  } else {
+    add("random.nodes", std::to_string(cfg.random.nodes));
+    add("random.avg-degree", num(cfg.random.avgDegree));
+  }
+  add("seed", std::to_string(cfg.seed));
+  add("flows", std::to_string(cfg.flows));
+  add("traffic", cfg.traffic == TrafficKind::Cbr ? "cbr" : "tcp");
+  add("rate", num(cfg.packetsPerSecond));
+  add("bytes", std::to_string(cfg.packetBytes));
+  add("ttl", std::to_string(cfg.ttl));
+  add("traffic-start", num(cfg.trafficStart.toSeconds()));
+  add("traffic-stop", num(cfg.trafficStop.toSeconds()));
+  add("no-failure", cfg.injectFailure ? "0" : "1");
+  add("failures", std::to_string(cfg.failureCount));
+  add("fail-at", num(cfg.failAt.toSeconds()));
+  add("end-at", num(cfg.endAt.toSeconds()));
+  return out;
+}
+
+}  // namespace rcsim

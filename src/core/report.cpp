@@ -1,0 +1,54 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+namespace rcsim::report {
+
+std::string fmt(double v, int width, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%*.*f", width, precision, v);
+  return buf;
+}
+
+void header(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+void degreeSweep(const std::string& metric, const std::vector<int>& degrees,
+                 const std::vector<std::string>& protocols,
+                 const std::vector<std::vector<double>>& values) {
+  std::printf("%-8s", "degree");
+  for (const auto& p : protocols) std::printf("%12s", p.c_str());
+  std::printf("    (%s)\n", metric.c_str());
+  for (std::size_t d = 0; d < degrees.size(); ++d) {
+    std::printf("%-8d", degrees[d]);
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      std::printf("%12s", fmt(values[p][d], 10, 2).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void timeSeries(const std::string& metric, const std::vector<std::string>& protocols,
+                const std::vector<Aggregate>& aggs, int fromRel, int toRel, bool delaySeries) {
+  // The paper normalizes time so that the failure lands at t = 50 s.
+  std::printf("%-8s", "t(s)");
+  for (const auto& p : protocols) std::printf("%12s", p.c_str());
+  std::printf("    (%s, failure at t=50)\n", metric.c_str());
+  for (int rel = fromRel; rel <= toRel; ++rel) {
+    std::printf("%-8d", rel + 50);
+    for (const auto& a : aggs) {
+      const int sec = a.failSec + rel;
+      const auto& series = delaySeries ? a.meanDelay : a.throughput;
+      const double v =
+          sec >= 0 && static_cast<std::size_t>(sec) < series.size()
+              ? series[static_cast<std::size_t>(sec)]
+              : 0.0;
+      std::printf("%12s", fmt(v, 10, delaySeries ? 4 : 2).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace rcsim::report

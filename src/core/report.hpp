@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace rcsim {
+
+/// Console table/series printers shared by the bench binaries so every
+/// figure reproduction reports in the same format.
+namespace report {
+
+void header(const std::string& title, const std::string& subtitle);
+
+/// One row per degree, one column per protocol — the Figure 3/4/6 layout.
+void degreeSweep(const std::string& metric, const std::vector<int>& degrees,
+                 const std::vector<std::string>& protocols,
+                 const std::vector<std::vector<double>>& values);
+
+/// Time series around the failure: one column per protocol, time printed
+/// relative to the failure instant shifted to t=50 s as in Figure 5.
+void timeSeries(const std::string& metric, const std::vector<std::string>& protocols,
+                const std::vector<Aggregate>& aggs, int fromRel, int toRel,
+                bool delaySeries = false);
+
+std::string fmt(double v, int width = 10, int precision = 2);
+
+}  // namespace report
+}  // namespace rcsim

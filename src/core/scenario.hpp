@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "routing/factory.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/collector.hpp"
+#include "topo/topology.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/tcp_flow.hpp"
+
+namespace rcsim {
+
+/// Traffic model per flow: the paper's CBR workload, or the future-work
+/// extension — a window-based reliable transfer riding the data plane.
+enum class TrafficKind { Cbr, Tcp };
+
+/// Which topology family the scenario builds.
+enum class TopologyKind { RegularMesh, Random };
+
+/// Full description of one simulation run of the paper's experiment:
+/// a regular mesh, one routing protocol everywhere, one or more flows
+/// attached between the first/last row, and one or more link failures on
+/// forwarding paths. Defaults follow the paper's timeline (§5): warm-up,
+/// traffic from t=390 s, failure at t=400 s, simulation until t=800 s.
+struct ScenarioConfig {
+  ProtocolKind protocol = ProtocolKind::Dbf;
+  TopologyKind topology = TopologyKind::RegularMesh;
+  MeshSpec mesh{7, 7, 4};          ///< used when topology == RegularMesh
+  RandomGraphSpec random{};        ///< used when topology == Random (seed is overridden by `seed`)
+  LinkConfig link{};
+  std::uint64_t seed = 1;
+
+  // Traffic. The paper uses a single CBR pair; `flows` > 1 and
+  // TrafficKind::Tcp exercise the paper's §6 future-work extensions.
+  TrafficKind traffic = TrafficKind::Cbr;
+  int flows = 1;
+  double packetsPerSecond = 20.0;  ///< per flow (CBR)
+  std::uint32_t packetBytes = 1000;
+  int ttl = 127;
+  int tcpWindow = 8;  ///< window (packets) for TrafficKind::Tcp
+  Time trafficStart = Time::seconds(390.0);
+  Time trafficStop = Time::seconds(550.0);
+
+  // Failures. The first failure hits flow 0's forwarding path at failAt;
+  // each further failure hits the *then-current* path of the next flow
+  // (round-robin) `failureSpacing` later — overlapping convergence events,
+  // the paper's "multiple failures" extension.
+  bool injectFailure = true;
+  int failureCount = 1;
+  Time failAt = Time::seconds(400.0);
+  Time failureSpacing = Time::seconds(5.0);
+  /// When finite, each failed link is repaired this long after it failed
+  /// (link-flap / repair studies).
+  Time repairAfter = Time::infinity();
+
+  Time endAt = Time::seconds(800.0);
+  bool tracePackets = true;  ///< Per-packet hop recording (loop forensics).
+
+  ProtocolConfig protoCfg{};
+};
+
+/// The wired-up world for one run. Owns the scheduler, network and
+/// instrumentation; build with the constructor, then run().
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& cfg);
+
+  /// Execute the whole timeline (including the failure injections).
+  void run();
+
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] StatsCollector& stats() { return *stats_; }
+
+  struct Flow {
+    NodeId sender = kInvalidNode;
+    NodeId receiver = kInvalidNode;
+    std::unique_ptr<CbrSource> cbr;   ///< set when traffic == Cbr
+    std::unique_ptr<TcpFlow> tcp;     ///< set when traffic == Tcp
+  };
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+
+  /// Primary (flow 0) endpoints — what the figures measure.
+  [[nodiscard]] NodeId sender() const { return flows_[0].sender; }
+  [[nodiscard]] NodeId receiver() const { return flows_[0].receiver; }
+
+  /// Total data packets originated across all flows.
+  [[nodiscard]] std::uint64_t packetsSent() const;
+
+  /// Links failed so far, in injection order (empty until failures fire).
+  [[nodiscard]] const std::vector<Link*>& failedLinks() const { return failedLinks_; }
+  [[nodiscard]] Link* failedLink() const {
+    return failedLinks_.empty() ? nullptr : failedLinks_.front();
+  }
+
+  /// Was flow 0's forwarding path the true shortest path just before the
+  /// first failure?
+  [[nodiscard]] bool preFailurePathShortest() const { return preFailShortest_; }
+  [[nodiscard]] int preFailurePathHops() const { return preFailHops_; }
+
+ private:
+  void injectFailure(int index);
+  [[nodiscard]] Link* pickLinkOnPath(NodeId src, NodeId dst);
+
+  ScenarioConfig cfg_;
+  Rng rng_;
+  Scheduler sched_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<StatsCollector> stats_;
+  std::vector<Flow> flows_;
+  std::vector<Link*> failedLinks_;
+  bool preFailShortest_ = false;
+  int preFailHops_ = 0;
+};
+
+}  // namespace rcsim

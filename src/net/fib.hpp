@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rcsim {
+
+/// Forwarding Information Base: destination node -> next-hop neighbor.
+/// Stored as a flat vector indexed by destination for O(1) lookups in the
+/// data-forwarding hot path.
+class Fib {
+ public:
+  void resize(std::size_t nodeCount) { nextHop_.assign(nodeCount, kInvalidNode); }
+
+  [[nodiscard]] NodeId nextHop(NodeId dst) const {
+    const auto i = static_cast<std::size_t>(dst);
+    return i < nextHop_.size() ? nextHop_[i] : kInvalidNode;
+  }
+
+  /// Returns the previous next hop.
+  NodeId set(NodeId dst, NodeId nh) {
+    auto& slot = nextHop_[static_cast<std::size_t>(dst)];
+    const NodeId old = slot;
+    slot = nh;
+    return old;
+  }
+
+  [[nodiscard]] std::size_t size() const { return nextHop_.size(); }
+
+ private:
+  std::vector<NodeId> nextHop_;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,111 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace rcsim {
+
+Link::Link(Network& net, NodeId a, NodeId b, LinkConfig cfg)
+    : net_{net}, a_{a}, b_{b}, cfg_{cfg} {
+  assert(a != b);
+  assert(cfg.bandwidthBps > 0.0);
+}
+
+Time Link::transmissionTime(const Packet& p) const {
+  return Time::seconds(static_cast<double>(p.sizeBytes) * 8.0 / cfg_.bandwidthBps);
+}
+
+void Link::send(NodeId from, Packet&& p) {
+  auto& sched = net_.scheduler();
+  if (!up_) {
+    if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::LinkDown);
+    return;
+  }
+  const int dir = directionFrom(from);
+  auto& d = dirs_[dir];
+  if (d.queue.size() >= cfg_.queueCapacity) {
+    if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::QueueOverflow);
+    return;
+  }
+  d.queue.push_back(std::move(p));
+  if (!d.transmitting) startTransmission(dir);
+}
+
+void Link::startTransmission(int dir) {
+  auto& d = dirs_[dir];
+  assert(!d.queue.empty());
+  d.transmitting = true;
+  Packet p = std::move(d.queue.front());
+  d.queue.pop_front();
+
+  auto& sched = net_.scheduler();
+  const Time txDone = transmissionTime(p);
+  const std::uint64_t epoch = epoch_;
+  // Serialization completes first; then the bits propagate. If the link
+  // fails in between, the packet is lost (epoch check).
+  sched.scheduleAfter(txDone, [this, dir, epoch, p = std::move(p)]() mutable {
+    auto& d2 = dirs_[dir];
+    d2.transmitting = false;
+    if (up_ && epoch == epoch_) {
+      const NodeId to = receiverOf(dir);
+      const NodeId from = peerOf(to);
+      net_.scheduler().scheduleAfter(cfg_.propDelay, [this, to, from, epoch,
+                                                      p2 = std::move(p)]() mutable {
+        if (up_ && epoch == epoch_) {
+          net_.node(to).receive(std::move(p2), from);
+        } else if (net_.hooks().onDrop) {
+          net_.hooks().onDrop(net_.scheduler().now(), from, p2, DropReason::InFlightCut);
+        }
+      });
+    } else if (net_.hooks().onDrop) {
+      net_.hooks().onDrop(net_.scheduler().now(), receiverOf(dir) == b_ ? a_ : b_, p,
+                          DropReason::InFlightCut);
+    }
+    // Restart the transmitter regardless of what happened to this packet:
+    // the link may have failed and recovered while we were serializing, in
+    // which case fresh packets may already be waiting in the queue.
+    if (up_ && !d2.queue.empty()) startTransmission(dir);
+  });
+}
+
+void Link::fail() {
+  if (!up_) return;
+  up_ = false;
+  ++epoch_;
+  auto& sched = net_.scheduler();
+  net_.trace().emit(sched.now(), TraceCategory::Failure,
+                    "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") failed");
+  // Everything sitting in the queues is lost.
+  for (int dir = 0; dir < 2; ++dir) {
+    auto& d = dirs_[dir];
+    const NodeId from = dir == 0 ? a_ : b_;
+    for (auto& p : d.queue) {
+      if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::InFlightCut);
+    }
+    d.queue.clear();
+  }
+  // Both attached nodes detect the failure after the detection delay
+  // (paper §5: "detected by the two nodes attached to it within 50 ms").
+  sched.scheduleAfter(cfg_.detectDelay, [this] {
+    if (up_) return;  // recovered before detection fired
+    net_.node(a_).handleLinkDown(b_);
+    net_.node(b_).handleLinkDown(a_);
+  });
+}
+
+void Link::recover() {
+  if (up_) return;
+  up_ = true;
+  auto& sched = net_.scheduler();
+  net_.trace().emit(sched.now(), TraceCategory::Failure,
+                    "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") recovered");
+  sched.scheduleAfter(cfg_.detectDelay, [this] {
+    if (!up_) return;
+    net_.node(a_).handleLinkUp(b_);
+    net_.node(b_).handleLinkUp(a_);
+  });
+}
+
+}  // namespace rcsim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+
+/// Physical characteristics of a link (paper §5: unit cost, 1 ms propagation
+/// delay, 10 Mbps, 20-packet queue, 50 ms failure detection).
+struct LinkConfig {
+  double bandwidthBps = 10e6;
+  Time propDelay = Time::milliseconds(1);
+  std::size_t queueCapacity = 20;
+  Time detectDelay = Time::milliseconds(50);
+  int cost = 1;
+};
+
+/// Full-duplex point-to-point link with per-direction drop-tail FIFO queue
+/// and serialization delay. Failure drops queued and in-flight packets and
+/// notifies both endpoint routing protocols after `detectDelay`.
+class Link {
+ public:
+  Link(Network& net, NodeId a, NodeId b, LinkConfig cfg);
+
+  [[nodiscard]] NodeId endpointA() const { return a_; }
+  [[nodiscard]] NodeId endpointB() const { return b_; }
+  [[nodiscard]] NodeId peerOf(NodeId n) const { return n == a_ ? b_ : a_; }
+  [[nodiscard]] bool isUp() const { return up_; }
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+  [[nodiscard]] bool connects(NodeId x, NodeId y) const {
+    return (a_ == x && b_ == y) || (a_ == y && b_ == x);
+  }
+
+  /// Enqueue a packet from endpoint `from` toward the other endpoint.
+  /// Drops (with accounting) if the link is down or the queue is full.
+  void send(NodeId from, Packet&& p);
+
+  /// Take the link down at the current simulation time.
+  void fail();
+
+  /// Bring the link back up at the current simulation time.
+  void recover();
+
+ private:
+  struct Direction {
+    std::deque<Packet> queue;
+    bool transmitting = false;
+  };
+
+  void startTransmission(int dir);
+  [[nodiscard]] Time transmissionTime(const Packet& p) const;
+  [[nodiscard]] int directionFrom(NodeId from) const { return from == a_ ? 0 : 1; }
+  [[nodiscard]] NodeId receiverOf(int dir) const { return dir == 0 ? b_ : a_; }
+
+  Network& net_;
+  NodeId a_;
+  NodeId b_;
+  LinkConfig cfg_;
+  Direction dirs_[2];
+  bool up_ = true;
+  /// Bumped on every failure; in-flight delivery events check it so that
+  /// packets "on the wire" at failure time are lost.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace rcsim

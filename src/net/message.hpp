@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rcsim {
+
+/// Base class for routing-protocol and transport control payloads.
+///
+/// Control payloads are immutable once sent (shared between the sender's
+/// retransmission buffers and in-flight packets), hence they are carried as
+/// shared_ptr<const ControlPayload>.
+class ControlPayload {
+ public:
+  virtual ~ControlPayload() = default;
+
+  /// Wire size in bytes, used for link serialization delay.
+  [[nodiscard]] virtual std::uint32_t sizeBytes() const = 0;
+
+  /// Human-readable one-liner for trace logs.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace rcsim

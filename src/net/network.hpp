@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/logging.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcsim {
+
+/// Observation points used by the stats layer. All hooks are optional.
+struct NetworkHooks {
+  std::function<void(Time, NodeId where, const Packet&, DropReason)> onDrop;
+  std::function<void(Time, NodeId, const Packet&)> onDeliver;
+  std::function<void(Time, NodeId, const Packet&, NodeId nextHop)> onForward;
+  std::function<void(Time, NodeId node, NodeId dst, NodeId oldNh, NodeId newNh)> onRouteChange;
+  /// Every routing/transport payload handed to a link (sent or not —
+  /// fires before any queue/down-link drop). Feeds routing-load accounting.
+  std::function<void(Time, NodeId from, NodeId to, const ControlPayload&)> onControlSend;
+};
+
+/// Owns every node and link of one simulated network and wires them to a
+/// scheduler. Also provides the topology queries (live shortest paths, FIB
+/// walks) the convergence metrics are built on.
+class Network {
+ public:
+  Network(Scheduler& sched, Rng rng);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] TraceLog& trace() { return trace_; }
+  [[nodiscard]] NetworkHooks& hooks() { return hooks_; }
+
+  /// Create a node; ids are dense and assigned in creation order.
+  NodeId addNode();
+  Link& addLink(NodeId a, NodeId b, const LinkConfig& cfg);
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Node& node(NodeId id) const { return *nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  [[nodiscard]] Link* findLink(NodeId a, NodeId b) const;
+
+  /// Size every FIB to the final node count. Call after all addNode calls
+  /// and before starting protocols.
+  void finalize();
+
+  /// Start every node's routing protocol.
+  void startProtocols();
+
+  std::uint64_t nextPacketId() { return nextPacketId_++; }
+
+  /// Shortest path over currently-up links (BFS, unit costs), inclusive of
+  /// both endpoints. Empty when unreachable.
+  [[nodiscard]] std::vector<NodeId> shortestPathLive(NodeId src, NodeId dst) const;
+
+  /// Hop distance over currently-up links; -1 when unreachable.
+  [[nodiscard]] int shortestDistLive(NodeId src, NodeId dst) const;
+
+  /// Walk FIBs from src toward dst. Returns the node sequence; sets *loop
+  /// if a node repeats and *blackhole if some node had no route.
+  [[nodiscard]] std::vector<NodeId> fibWalk(NodeId src, NodeId dst, bool* loop = nullptr,
+                                            bool* blackhole = nullptr) const;
+
+ private:
+  Scheduler& sched_;
+  Rng rng_;
+  TraceLog trace_;
+  NetworkHooks hooks_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t nextPacketId_ = 1;
+};
+
+}  // namespace rcsim

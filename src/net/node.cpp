@@ -1,0 +1,113 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+
+namespace rcsim {
+
+Node::Node(Network& net, NodeId id, Rng rng) : net_{net}, id_{id}, rng_{rng} {}
+
+Scheduler& Node::scheduler() { return net_.scheduler(); }
+
+void Node::attachLink(Link& link) {
+  const NodeId peer = link.peerOf(id_);
+  assert(linkByNeighbor_.find(peer) == linkByNeighbor_.end());
+  neighborIds_.push_back(peer);
+  linkByNeighbor_.emplace(peer, &link);
+}
+
+Link* Node::linkTo(NodeId neighbor) const {
+  const auto it = linkByNeighbor_.find(neighbor);
+  return it == linkByNeighbor_.end() ? nullptr : it->second;
+}
+
+bool Node::neighborReachable(NodeId neighbor) const {
+  const Link* l = linkTo(neighbor);
+  return l != nullptr && l->isUp();
+}
+
+void Node::setRoute(NodeId dst, NodeId nextHop) {
+  const NodeId old = fib_.set(dst, nextHop);
+  if (old == nextHop) return;
+  if (net_.hooks().onRouteChange) {
+    net_.hooks().onRouteChange(scheduler().now(), id_, dst, old, nextHop);
+  }
+}
+
+void Node::originate(Packet&& p) {
+  if (p.trace) p.trace->push_back(id_);
+  if (p.dst == id_) {
+    deliverLocally(p);
+    return;
+  }
+  route(std::move(p));
+}
+
+void Node::deliverLocally(const Packet& p) {
+  if (net_.hooks().onDeliver) net_.hooks().onDeliver(scheduler().now(), id_, p);
+  for (const auto& handler : deliveryHandlers_) handler(p);
+}
+
+void Node::receive(Packet&& p, NodeId from) {
+  if (p.trace) p.trace->push_back(id_);
+  if (p.kind == PacketKind::Control) {
+    assert(p.payload);
+    if (proto_) proto_->onMessage(from, std::move(p.payload));
+    return;
+  }
+  if (p.dst == id_) {
+    deliverLocally(p);
+    return;
+  }
+  // Transit: decrement TTL, then forward if still alive (RFC 791 behaviour;
+  // the paper's loop-caused losses show up here as TtlExpired).
+  if (--p.ttl <= 0) {
+    if (net_.hooks().onDrop) net_.hooks().onDrop(scheduler().now(), id_, p, DropReason::TtlExpired);
+    return;
+  }
+  route(std::move(p));
+}
+
+void Node::route(Packet&& p) {
+  const NodeId nh = fib_.nextHop(p.dst);
+  if (nh == kInvalidNode) {
+    if (net_.hooks().onDrop) net_.hooks().onDrop(scheduler().now(), id_, p, DropReason::NoRoute);
+    return;
+  }
+  Link* l = linkTo(nh);
+  assert(l != nullptr);
+  if (net_.hooks().onForward) net_.hooks().onForward(scheduler().now(), id_, p, nh);
+  l->send(id_, std::move(p));
+}
+
+void Node::sendControl(NodeId neighbor, std::shared_ptr<const ControlPayload> payload,
+                       std::uint32_t extraBytes) {
+  Link* l = linkTo(neighbor);
+  assert(l != nullptr);
+  Packet p;
+  p.id = net_.nextPacketId();
+  p.src = id_;
+  p.dst = neighbor;
+  p.ttl = 1;
+  p.kind = PacketKind::Control;
+  p.sizeBytes = payload->sizeBytes() + extraBytes;
+  p.sendTime = scheduler().now();
+  p.payload = std::move(payload);
+  if (net_.hooks().onControlSend) {
+    net_.hooks().onControlSend(scheduler().now(), id_, neighbor, *p.payload);
+  }
+  l->send(id_, std::move(p));
+}
+
+void Node::handleLinkDown(NodeId neighbor) {
+  if (proto_) proto_->onLinkDown(neighbor);
+}
+
+void Node::handleLinkUp(NodeId neighbor) {
+  if (proto_) proto_->onLinkUp(neighbor);
+}
+
+}  // namespace rcsim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fib.hpp"
+#include "net/packet.hpp"
+#include "net/routing_protocol.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+class Link;
+class Scheduler;
+
+/// A router (or degree-1 host stub). Forwards data packets hop-by-hop
+/// according to its FIB, decrementing TTL, and hands control packets to its
+/// routing protocol — exactly the hop-by-hop model of the paper's §4.
+class Node {
+ public:
+  Node(Network& net, NodeId id, Rng rng);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] Scheduler& scheduler();
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  void setProtocol(std::unique_ptr<RoutingProtocol> proto) { proto_ = std::move(proto); }
+  [[nodiscard]] RoutingProtocol* protocol() { return proto_.get(); }
+
+  /// Called by Network when a link is attached.
+  void attachLink(Link& link);
+
+  [[nodiscard]] const std::vector<NodeId>& neighbors() const { return neighborIds_; }
+  [[nodiscard]] Link* linkTo(NodeId neighbor) const;
+  /// True when the link to `neighbor` exists and is currently up.
+  [[nodiscard]] bool neighborReachable(NodeId neighbor) const;
+
+  /// Install/replace the route toward `dst`; kInvalidNode removes it.
+  /// Fires the network's route-change hook when the next hop changes.
+  void setRoute(NodeId dst, NodeId nextHop);
+  [[nodiscard]] const Fib& fib() const { return fib_; }
+  void resizeFib(std::size_t nodeCount) { fib_.resize(nodeCount); }
+
+  /// Application-layer origination (TTL already set, not decremented here).
+  void originate(Packet&& p);
+
+  /// Register an application sink: every data packet delivered to this
+  /// node is offered to each handler (after the network-wide onDeliver
+  /// hook). Used by the end-to-end transport in traffic/.
+  void addDeliveryHandler(std::function<void(const Packet&)> handler) {
+    deliveryHandlers_.push_back(std::move(handler));
+  }
+
+  /// A packet arrived over the link from `from`.
+  void receive(Packet&& p, NodeId from);
+
+  /// Send a routing/transport payload to a directly connected neighbor.
+  /// `extraBytes` accounts for IP/UDP framing around the payload.
+  void sendControl(NodeId neighbor, std::shared_ptr<const ControlPayload> payload,
+                   std::uint32_t extraBytes = 28);
+
+  /// Failure-detector callbacks (invoked by Link after the detection delay).
+  void handleLinkDown(NodeId neighbor);
+  void handleLinkUp(NodeId neighbor);
+
+ private:
+  void route(Packet&& p);
+  void deliverLocally(const Packet& p);
+
+  Network& net_;
+  NodeId id_;
+  Rng rng_;
+  Fib fib_;
+  std::unique_ptr<RoutingProtocol> proto_;
+  std::vector<NodeId> neighborIds_;
+  std::unordered_map<NodeId, Link*> linkByNeighbor_;
+  std::vector<std::function<void(const Packet&)>> deliveryHandlers_;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// A simulated IP packet. Data packets carry no payload object; control
+/// packets carry a routing/transport payload and are link-local (one hop).
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int ttl = 0;
+  std::uint32_t sizeBytes = 0;
+  PacketKind kind = PacketKind::Data;
+  Time sendTime;  ///< Origination time (for end-to-end delay).
+  std::shared_ptr<const ControlPayload> payload;
+  /// End-to-end flow header (used by the TCP-like traffic extension):
+  /// which flow the packet belongs to, its sequence number, and whether it
+  /// is a (cumulative) acknowledgement travelling back to the sender.
+  std::int32_t flowId = -1;
+  std::uint64_t flowSeq = 0;
+  bool flowAck = false;
+  /// When packet tracing is enabled, every node that receives the packet
+  /// appends its id; lets the forensics tools detect loops per packet.
+  std::shared_ptr<std::vector<NodeId>> trace;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,100 @@
+#include "net/reliable.hpp"
+
+#include <utility>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+ReliableSession::ReliableSession(Node& node, NodeId peer, DeliverFn deliver, Config cfg)
+    : node_{node}, peer_{peer}, deliver_{std::move(deliver)}, cfg_{cfg} {}
+
+ReliableSession::~ReliableSession() { node_.scheduler().cancel(rtoTimer_); }
+
+void ReliableSession::send(std::shared_ptr<const ControlPayload> msg) {
+  backlog_.push_back(std::move(msg));
+  trySendWindow();
+}
+
+void ReliableSession::trySendWindow() {
+  while (!backlog_.empty() && nextSeq_ - sendBase_ < cfg_.window) {
+    auto msg = std::move(backlog_.front());
+    backlog_.pop_front();
+    const std::uint32_t seq = nextSeq_++;
+    inFlight_.emplace(seq, msg);
+    transmit(seq, msg);
+  }
+  armRtoTimer();
+}
+
+void ReliableSession::transmit(std::uint32_t seq, const std::shared_ptr<const ControlPayload>& msg) {
+  auto seg = std::make_shared<TransportSegment>();
+  seg->seq = seq;
+  seg->ackNo = recvNext_;  // piggyback the cumulative ack
+  seg->isAck = false;
+  seg->inner = msg;
+  node_.sendControl(peer_, std::move(seg));
+}
+
+void ReliableSession::sendAck() {
+  auto seg = std::make_shared<TransportSegment>();
+  seg->isAck = true;
+  seg->ackNo = recvNext_;
+  node_.sendControl(peer_, std::move(seg));
+}
+
+void ReliableSession::onSegment(const std::shared_ptr<const TransportSegment>& seg) {
+  // Sender side: process the (possibly piggybacked) cumulative ack.
+  if (seg->ackNo > sendBase_) {
+    while (!inFlight_.empty() && inFlight_.begin()->first < seg->ackNo) {
+      inFlight_.erase(inFlight_.begin());
+    }
+    sendBase_ = seg->ackNo;
+    node_.scheduler().cancel(rtoTimer_);
+    rtoTimer_ = EventId{};
+    trySendWindow();
+  }
+  if (seg->isAck) return;
+
+  // Receiver side: buffer, deliver in order, ack cumulatively.
+  if (seg->seq >= recvNext_) outOfOrder_.emplace(seg->seq, seg->inner);
+  while (!outOfOrder_.empty() && outOfOrder_.begin()->first == recvNext_) {
+    auto msg = std::move(outOfOrder_.begin()->second);
+    outOfOrder_.erase(outOfOrder_.begin());
+    ++recvNext_;
+    if (deliver_) deliver_(std::move(msg));
+  }
+  sendAck();
+}
+
+void ReliableSession::armRtoTimer() {
+  if (inFlight_.empty() || rtoTimer_.valid()) return;
+  rtoTimer_ = node_.scheduler().scheduleAfter(cfg_.rto, [this] { onRtoTimer(); });
+}
+
+void ReliableSession::onRtoTimer() {
+  rtoTimer_ = EventId{};
+  if (inFlight_.empty()) return;
+  node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Transport,
+                               "node " + std::to_string(node_.id()) + " rto -> " +
+                                   std::to_string(peer_) + " (go-back-" +
+                                   std::to_string(inFlight_.size()) + ")");
+  // Go-back-N: retransmit everything outstanding.
+  for (const auto& [seq, msg] : inFlight_) {
+    ++retransmissions_;
+    transmit(seq, msg);
+  }
+  armRtoTimer();
+}
+
+void ReliableSession::reset() {
+  node_.scheduler().cancel(rtoTimer_);
+  rtoTimer_ = EventId{};
+  nextSeq_ = sendBase_ = recvNext_ = 0;
+  backlog_.clear();
+  inFlight_.clear();
+  outOfOrder_.clear();
+}
+
+}  // namespace rcsim

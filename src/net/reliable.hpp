@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Node;
+
+/// Wire format of the reliable transport: either a data segment wrapping a
+/// protocol payload, or a pure cumulative ACK.
+struct TransportSegment final : ControlPayload {
+  std::uint32_t seq = 0;     ///< Sequence number of this segment (data only).
+  std::uint32_t ackNo = 0;   ///< Cumulative ack: all segments < ackNo received.
+  bool isAck = false;        ///< Pure ACK carries no inner payload.
+  std::shared_ptr<const ControlPayload> inner;
+
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return 20 + (inner ? inner->sizeBytes() : 0);
+  }
+  [[nodiscard]] std::string describe() const override {
+    if (isAck) return "ack:" + std::to_string(ackNo);
+    return "seg:" + std::to_string(seq) + " [" + (inner ? inner->describe() : "") + "]";
+  }
+};
+
+/// One endpoint of a reliable, in-order message stream between two adjacent
+/// nodes — the stand-in for the TCP session BGP runs over (DESIGN.md §4).
+/// Sliding window, cumulative ACKs, fixed RTO
+/// retransmission, exactly-once in-order delivery to the application.
+class ReliableSession {
+ public:
+  using DeliverFn = std::function<void(std::shared_ptr<const ControlPayload>)>;
+
+  struct Config {
+    std::uint32_t window = 32;
+    Time rto = Time::milliseconds(1000);
+  };
+
+  ReliableSession(Node& node, NodeId peer, DeliverFn deliver, Config cfg);
+  ~ReliableSession();
+
+  ReliableSession(const ReliableSession&) = delete;
+  ReliableSession& operator=(const ReliableSession&) = delete;
+
+  /// Queue an application message for reliable in-order delivery.
+  void send(std::shared_ptr<const ControlPayload> msg);
+
+  /// Feed an incoming TransportSegment from the peer.
+  void onSegment(const std::shared_ptr<const TransportSegment>& seg);
+
+  /// Drop all connection state (both sides must reset on session failure;
+  /// BGP does this when the link goes down).
+  void reset();
+
+  [[nodiscard]] NodeId peer() const { return peer_; }
+  [[nodiscard]] std::size_t unackedCount() const { return inFlight_.size(); }
+  [[nodiscard]] std::size_t backlogCount() const { return backlog_.size(); }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  void trySendWindow();
+  void transmit(std::uint32_t seq, const std::shared_ptr<const ControlPayload>& msg);
+  void sendAck();
+  void armRtoTimer();
+  void onRtoTimer();
+
+  Node& node_;
+  NodeId peer_;
+  DeliverFn deliver_;
+  Config cfg_;
+
+  // Sender state.
+  std::uint32_t nextSeq_ = 0;                 ///< Next sequence number to assign.
+  std::uint32_t sendBase_ = 0;                ///< Lowest unacked sequence number.
+  std::deque<std::shared_ptr<const ControlPayload>> backlog_;  ///< Not yet in window.
+  std::map<std::uint32_t, std::shared_ptr<const ControlPayload>> inFlight_;
+  EventId rtoTimer_{};
+  std::uint64_t retransmissions_ = 0;
+
+  // Receiver state.
+  std::uint32_t recvNext_ = 0;  ///< Next in-order sequence number expected.
+  std::map<std::uint32_t, std::shared_ptr<const ControlPayload>> outOfOrder_;
+};
+
+}  // namespace rcsim

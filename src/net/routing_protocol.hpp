@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+
+namespace rcsim {
+
+class Node;
+
+/// Interface every routing protocol implements. The Node owns its protocol
+/// instance and feeds it link events and incoming control payloads; the
+/// protocol installs routes through Node::setRoute.
+class RoutingProtocol {
+ public:
+  explicit RoutingProtocol(Node& node) : node_{node} {}
+  virtual ~RoutingProtocol() = default;
+
+  RoutingProtocol(const RoutingProtocol&) = delete;
+  RoutingProtocol& operator=(const RoutingProtocol&) = delete;
+
+  /// Called once at simulation start, after the whole network is wired.
+  virtual void start() = 0;
+
+  /// Link to `neighbor` reported down by the failure detector.
+  virtual void onLinkDown(NodeId neighbor) = 0;
+
+  /// Link to `neighbor` reported back up.
+  virtual void onLinkUp(NodeId neighbor) = 0;
+
+  /// A control payload arrived from a directly connected neighbor.
+  virtual void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Node& node_;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rcsim {
+
+/// Dense node identifier; nodes are numbered 0..N-1 by the Network.
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Why a packet left the network without being delivered.
+///
+/// The paper's Figure 3 counts `NoRoute` ("drops due to no reachability",
+/// i.e. the router is inside its path switch-over period) and Figure 4
+/// counts `TtlExpired` (always loop-caused in these topologies, §5.2).
+enum class DropReason {
+  NoRoute,        ///< FIB has no next hop for the destination.
+  TtlExpired,     ///< TTL decremented to zero (transient forwarding loop).
+  QueueOverflow,  ///< Drop-tail queue at the outgoing link was full.
+  LinkDown,       ///< Forwarded into a link already known to be down.
+  InFlightCut,    ///< Was on the wire / in the queue when the link failed.
+};
+
+[[nodiscard]] constexpr const char* toString(DropReason r) {
+  switch (r) {
+    case DropReason::NoRoute: return "no-route";
+    case DropReason::TtlExpired: return "ttl-expired";
+    case DropReason::QueueOverflow: return "queue-overflow";
+    case DropReason::LinkDown: return "link-down";
+    case DropReason::InFlightCut: return "in-flight-cut";
+  }
+  return "?";
+}
+
+enum class PacketKind { Data, Control };
+
+}  // namespace rcsim

@@ -1,0 +1,343 @@
+#include "routing/bgp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+Bgp::Bgp(Node& node, BgpConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+
+Bgp::~Bgp() {
+  auto& sched = node_.scheduler();
+  for (auto& [id, peer] : peers_) {
+    sched.cancel(peer.mraiTimer);
+    for (auto& [dst, timer] : peer.destTimers) sched.cancel(timer);
+    for (auto& [dst, st] : peer.damp) sched.cancel(st.reuseTimer);
+  }
+}
+
+void Bgp::start() {
+  const auto n = node_.network().nodeCount();
+  bestPath_.assign(n, {});
+  bestVia_.assign(n, kInvalidNode);
+  const auto self = static_cast<std::size_t>(node_.id());
+  bestPath_[self] = {node_.id()};
+  bestVia_[self] = node_.id();
+
+  for (const NodeId nb : node_.neighbors()) {
+    Peer peer;
+    peer.session = std::make_unique<ReliableSession>(
+        node_, nb,
+        [this, nb](std::shared_ptr<const ControlPayload> msg) {
+          if (const auto* u = dynamic_cast<const BgpUpdate*>(msg.get())) processUpdate(nb, *u);
+        },
+        cfg_.transport);
+    peer.ribOut.assign(n, {});
+    peers_.emplace(nb, std::move(peer));
+    ribIn_[nb].assign(n, {});
+  }
+  // Session establishment: announce everything we know (just ourselves).
+  scheduleAdvertAll(node_.id());
+}
+
+const std::vector<NodeId>* Bgp::ribInPath(NodeId neighbor, NodeId dst) const {
+  const auto it = ribIn_.find(neighbor);
+  if (it == ribIn_.end()) return nullptr;
+  const auto& p = it->second[static_cast<std::size_t>(dst)];
+  return p.empty() ? nullptr : &p;
+}
+
+void Bgp::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
+  const auto it = peers_.find(from);
+  if (it == peers_.end() || !it->second.up) return;
+  if (auto seg = std::dynamic_pointer_cast<const TransportSegment>(msg)) {
+    it->second.session->onSegment(seg);
+  }
+}
+
+void Bgp::processUpdate(NodeId from, const BgpUpdate& update) {
+  auto& rib = ribIn_[from];
+  for (const auto& route : update.advertised) {
+    const NodeId d = route.dst;
+    if (d == node_.id()) continue;
+    const bool loops = std::find(route.path.begin(), route.path.end(), node_.id()) !=
+                       route.path.end();
+    // Receiver-side loop detection: a path through ourselves is unusable and
+    // treated exactly like a withdrawal (paper §3).
+    auto& slot = rib[static_cast<std::size_t>(d)];
+    std::vector<NodeId> next = loops ? std::vector<NodeId>{} : route.path;
+    const bool changed = slot != next;
+    slot = std::move(next);
+    if (changed && cfg_.flapDampingEnabled) recordFlap(from, d);
+    runDecision(d);
+  }
+  for (const NodeId d : update.withdrawn) {
+    if (d == node_.id()) continue;
+    auto& slot = rib[static_cast<std::size_t>(d)];
+    const bool changed = !slot.empty();
+    slot.clear();
+    if (changed && cfg_.flapDampingEnabled) recordFlap(from, d);
+    runDecision(d);
+  }
+}
+
+void Bgp::decayPenalty(Peer::DampState& st) {
+  const Time now = node_.scheduler().now();
+  const double dt = (now - st.lastDecay).toSeconds();
+  if (dt > 0.0) st.penalty *= std::pow(0.5, dt / cfg_.rfdHalfLifeSec);
+  st.lastDecay = now;
+}
+
+void Bgp::recordFlap(NodeId peerId, NodeId dst) {
+  auto& peer = peers_.at(peerId);
+  auto& st = peer.damp[dst];
+  decayPenalty(st);
+  st.penalty += cfg_.rfdPenaltyPerFlap;
+  if (st.suppressed || st.penalty <= cfg_.rfdSuppressThreshold) return;
+  // Suppress: the route is unusable until the penalty halves its way below
+  // the reuse threshold.
+  st.suppressed = true;
+  ++suppressions_;
+  const double waitSec =
+      cfg_.rfdHalfLifeSec * std::log2(st.penalty / cfg_.rfdReuseThreshold);
+  node_.scheduler().cancel(st.reuseTimer);
+  st.reuseTimer =
+      node_.scheduler().scheduleAfter(Time::seconds(waitSec), [this, peerId, dst] {
+        auto& p = peers_.at(peerId);
+        auto& s2 = p.damp[dst];
+        decayPenalty(s2);
+        s2.suppressed = false;
+        s2.reuseTimer = EventId{};
+        runDecision(dst);  // the parked route may now win
+      });
+  runDecision(dst);  // drop the suppressed route from consideration now
+}
+
+bool Bgp::isSuppressed(NodeId neighbor, NodeId dst) const {
+  const auto it = peers_.find(neighbor);
+  if (it == peers_.end()) return false;
+  const auto dit = it->second.damp.find(dst);
+  return dit != it->second.damp.end() && dit->second.suppressed;
+}
+
+bool Bgp::pathConsistent(NodeId from, NodeId dst, const std::vector<NodeId>& path) const {
+  // path = [from, ..., dst]. Wherever it claims to traverse one of our own
+  // direct neighbors m, compare the claimed tail with what m itself last
+  // advertised us for dst. A conflicting (or withdrawn) view from m means
+  // `from`'s information is stale — the assertion fails.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {  // skip path[0]==from and the dst itself
+    const NodeId m = path[i];
+    if (m == from) continue;
+    const auto pit = peers_.find(m);
+    if (pit == peers_.end() || !pit->second.up) continue;
+    const auto rit = ribIn_.find(m);
+    if (rit == ribIn_.end()) continue;
+    const auto& own = rit->second[static_cast<std::size_t>(dst)];
+    const std::vector<NodeId> tail(path.begin() + static_cast<std::ptrdiff_t>(i), path.end());
+    if (own != tail) return false;
+  }
+  return true;
+}
+
+void Bgp::runDecision(NodeId dst) {
+  const auto i = static_cast<std::size_t>(dst);
+  const std::vector<NodeId>* best = nullptr;
+  NodeId via = kInvalidNode;
+  const NodeId incumbent = bestVia_[i];
+  for (auto& [nb, peer] : peers_) {
+    if (!peer.up) continue;
+    if (cfg_.flapDampingEnabled && isSuppressed(nb, dst)) continue;
+    const auto& p = ribIn_[nb][i];
+    if (p.empty()) continue;
+    // Strict assertions (as in Pei et al.): a path contradicting a crossing
+    // neighbor's own advertisement is infeasible, not merely dispreferred —
+    // that is what prevents exploring stale alternates one MRAI at a time.
+    if (cfg_.consistencyAssertions && !pathConsistent(nb, dst, p)) continue;
+    bool beats = false;
+    if (best == nullptr || p.size() < best->size()) {
+      beats = true;
+    } else if (p.size() == best->size() && via != incumbent) {
+      beats = nb == incumbent || nb < via;
+    }
+    if (beats) {
+      best = &p;
+      via = nb;
+    }
+  }
+
+  const std::vector<NodeId> newPath = best ? *best : std::vector<NodeId>{};
+  if (newPath == bestPath_[i] && via == bestVia_[i]) return;
+  const bool wasReachable = !bestPath_[i].empty();
+  bestPath_[i] = newPath;
+  bestVia_[i] = via;
+  node_.setRoute(dst, via);
+  node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Routing,
+                               "node " + std::to_string(node_.id()) + " dst " +
+                                   std::to_string(dst) + " best via " + std::to_string(via));
+  if (newPath.empty()) {
+    if (wasReachable) sendWithdrawalAll(dst);
+  } else {
+    scheduleAdvertAll(dst);
+  }
+}
+
+void Bgp::scheduleAdvertAll(NodeId dst) {
+  for (auto& [nb, peer] : peers_) {
+    if (peer.up) scheduleAdvert(nb, dst);
+  }
+}
+
+void Bgp::scheduleAdvert(NodeId peerId, NodeId dst) {
+  auto& peer = peers_.at(peerId);
+  if (cfg_.perDestMrai) {
+    const auto it = peer.destTimers.find(dst);
+    if (it == peer.destTimers.end()) {
+      if (emitRoute(peerId, dst)) armDestMrai(peerId, dst);
+    } else {
+      peer.destPending.insert(dst);
+    }
+    return;
+  }
+  peer.pending.insert(dst);
+  // Flush via a zero-delay event: one incoming update / link event may
+  // change routes for many destinations, and the paper's model sends all
+  // the resulting updates *before* the MRAI turns on ("after a router has
+  // processed all the changed path and sent out corresponding updates, it
+  // turns on the MRAI timer", §4.3). The MRAI is armed only when an update
+  // really goes on the wire (duplicate suppression may swallow the change).
+  if (peer.mraiRunning || peer.flushScheduled) return;
+  peer.flushScheduled = true;
+  node_.scheduler().scheduleAfter(Time::zero(), [this, peerId] {
+    auto& p = peers_.at(peerId);
+    p.flushScheduled = false;
+    if (p.mraiRunning || !p.up) return;
+    if (flushPeer(peerId)) armMrai(peerId);
+  });
+}
+
+void Bgp::sendWithdrawalAll(NodeId dst) {
+  for (auto& [nb, peer] : peers_) {
+    if (!peer.up) continue;
+    if (!cfg_.withdrawalsExemptFromMrai) {
+      // Ablation mode: unreachability waits in line like any other change.
+      scheduleAdvert(nb, dst);
+      continue;
+    }
+    // A withdrawal supersedes any queued advertisement for this dst.
+    peer.pending.erase(dst);
+    peer.destPending.erase(dst);
+    emitRoute(nb, dst);
+  }
+}
+
+bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
+  auto& peer = peers_.at(peerId);
+  if (!peer.up) return false;
+  const auto i = static_cast<std::size_t>(dst);
+  auto& out = peer.ribOut[i];
+  if (bestPath_[i].empty()) {
+    if (out.empty()) return false;  // peer never heard of it / already withdrawn
+    out.clear();
+    auto update = std::make_shared<BgpUpdate>();
+    update->withdrawn.push_back(dst);
+    ++withdrawalsSent_;
+    peer.session->send(std::move(update));
+    return true;
+  }
+  // Advertised path = [self] + best path; the self-originated route is just
+  // [self] (bestPath_ stores {self} for the local node, not a transit path).
+  std::vector<NodeId> path;
+  path.reserve(bestPath_[i].size() + 1);
+  path.push_back(node_.id());
+  if (dst != node_.id()) {
+    path.insert(path.end(), bestPath_[i].begin(), bestPath_[i].end());
+  }
+  if (out == path) return false;  // duplicate suppression against Adj-RIB-Out
+  out = path;
+  auto update = std::make_shared<BgpUpdate>();
+  update->advertised.push_back(BgpRoute{dst, std::move(path)});
+  ++updatesSent_;
+  peer.session->send(std::move(update));
+  return true;
+}
+
+bool Bgp::flushPeer(NodeId peerId) {
+  auto& peer = peers_.at(peerId);
+  const std::set<NodeId> pending = std::exchange(peer.pending, {});
+  bool sent = false;
+  for (const NodeId dst : pending) sent = emitRoute(peerId, dst) || sent;
+  return sent;
+}
+
+double Bgp::mraiDelay() { return node_.rng().uniform(cfg_.mraiMinSec, cfg_.mraiMaxSec); }
+
+void Bgp::armMrai(NodeId peerId) {
+  auto& peer = peers_.at(peerId);
+  peer.mraiRunning = true;
+  peer.mraiTimer = node_.scheduler().scheduleAfter(Time::seconds(mraiDelay()), [this, peerId] {
+    auto& p = peers_.at(peerId);
+    p.mraiRunning = false;
+    p.mraiTimer = EventId{};
+    if (!p.pending.empty() && p.up && flushPeer(peerId)) armMrai(peerId);
+  });
+}
+
+void Bgp::armDestMrai(NodeId peerId, NodeId dst) {
+  auto& peer = peers_.at(peerId);
+  peer.destTimers[dst] =
+      node_.scheduler().scheduleAfter(Time::seconds(mraiDelay()), [this, peerId, dst] {
+        auto& p = peers_.at(peerId);
+        p.destTimers.erase(dst);
+        if (p.destPending.erase(dst) > 0 && p.up) {
+          emitRoute(peerId, dst);
+          armDestMrai(peerId, dst);
+        }
+      });
+}
+
+void Bgp::onLinkDown(NodeId neighbor) {
+  const auto it = peers_.find(neighbor);
+  if (it == peers_.end() || !it->second.up) return;
+  auto& peer = it->second;
+  peer.up = false;
+  peer.session->reset();
+  node_.scheduler().cancel(peer.mraiTimer);
+  peer.mraiTimer = EventId{};
+  peer.mraiRunning = false;
+  peer.pending.clear();
+  for (auto& [dst, timer] : peer.destTimers) node_.scheduler().cancel(timer);
+  peer.destTimers.clear();
+  peer.destPending.clear();
+  // The session is gone: what we advertised is forgotten on both sides,
+  // and so is the damping history (RFC 2439 resets state with the session).
+  for (auto& out : peer.ribOut) out.clear();
+  for (auto& [dst, st] : peer.damp) node_.scheduler().cancel(st.reuseTimer);
+  peer.damp.clear();
+  // Drop everything learned from this neighbor and re-decide.
+  auto& rib = ribIn_[neighbor];
+  for (NodeId d = 0; d < static_cast<NodeId>(rib.size()); ++d) {
+    if (!rib[static_cast<std::size_t>(d)].empty()) {
+      rib[static_cast<std::size_t>(d)].clear();
+      runDecision(d);
+    }
+  }
+}
+
+void Bgp::onLinkUp(NodeId neighbor) {
+  const auto it = peers_.find(neighbor);
+  if (it == peers_.end() || it->second.up) return;
+  auto& peer = it->second;
+  peer.session->reset();
+  peer.up = true;
+  // Session re-establishment: advertise the full table to this peer.
+  for (NodeId d = 0; d < static_cast<NodeId>(bestPath_.size()); ++d) {
+    if (!bestPath_[static_cast<std::size_t>(d)].empty()) scheduleAdvert(neighbor, d);
+  }
+}
+
+}  // namespace rcsim

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/reliable.hpp"
+#include "net/routing_protocol.hpp"
+#include "routing/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// BGP parameters (paper §3). The paper's "BGP" uses an average MRAI of
+/// ~30 s; its specially parameterized "BGP3" uses ~3 s. Both apply the MRAI
+/// per *neighbor* (the common vendor implementation the paper simulates);
+/// `perDestMrai` switches to the per-(neighbor, destination) variant the
+/// paper conjectures would behave differently (ablation A1 in DESIGN.md).
+struct BgpConfig {
+  double mraiMinSec = 22.5;  ///< RFC 4271 jitter: U[0.75, 1.0] x 30 s
+  double mraiMaxSec = 30.0;
+  bool perDestMrai = false;
+  /// Withdrawals bypass the MRAI timer (paper §4.3); turning this off is
+  /// part of ablation A3.
+  bool withdrawalsExemptFromMrai = true;
+  ReliableSession::Config transport{};
+
+  /// Route flap damping (RFC 2439 model, receiver side, per (peer, dst)).
+  /// The paper's §1 cites Mao et al. / Bush et al.: damping interacts
+  /// badly with path exploration after a single failure — a well-connected
+  /// network's extra alternate paths mean extra transient announcements,
+  /// which damping can misread as flapping. Off by default (as in the
+  /// paper's simulations); bench/ablation_flap_damping turns it on.
+  /// Consistency assertions (the paper's ref [21], Pei et al. INFOCOM'02):
+  /// before using an alternate path learned from neighbor A that claims to
+  /// pass through another direct neighbor B, cross-check it against B's own
+  /// latest advertisement; a mismatch marks A's path stale and it is
+  /// skipped while any consistent candidate exists. Substantially shortens
+  /// path exploration after failures.
+  bool consistencyAssertions = false;
+
+  bool flapDampingEnabled = false;
+  double rfdPenaltyPerFlap = 1000.0;
+  double rfdSuppressThreshold = 2000.0;
+  double rfdReuseThreshold = 750.0;
+  double rfdHalfLifeSec = 15.0;  ///< scaled down from RFC's 15 min to sim scale
+};
+
+/// Path-vector protocol in the image of BGP-4 restricted to shortest-path
+/// policy, one router per AS (paper §3 footnote). Keeps a full Adj-RIB-In
+/// per neighbor, runs over the reliable transport, sends updates only on
+/// change, detects loops on the receiver side (a path containing the local
+/// node is treated as a withdrawal) and paces updates with a per-neighbor
+/// MRAI timer from which withdrawals are exempt.
+class Bgp final : public RoutingProtocol {
+ public:
+  Bgp(Node& node, BgpConfig cfg);
+  ~Bgp() override;
+
+  void start() override;
+  void onLinkDown(NodeId neighbor) override;
+  void onLinkUp(NodeId neighbor) override;
+  void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) override;
+  [[nodiscard]] std::string name() const override { return "BGP"; }
+
+  /// Introspection for tests and forensics.
+  [[nodiscard]] const std::vector<NodeId>& bestPath(NodeId dst) const {
+    return bestPath_[static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] NodeId bestVia(NodeId dst) const {
+    return bestVia_[static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] const std::vector<NodeId>* ribInPath(NodeId neighbor, NodeId dst) const;
+  [[nodiscard]] std::uint64_t updatesSent() const { return updatesSent_; }
+  [[nodiscard]] std::uint64_t withdrawalsSent() const { return withdrawalsSent_; }
+  /// Is the route from `neighbor` for `dst` currently damped (suppressed)?
+  [[nodiscard]] bool isSuppressed(NodeId neighbor, NodeId dst) const;
+  [[nodiscard]] std::uint64_t suppressions() const { return suppressions_; }
+  [[nodiscard]] const BgpConfig& config() const { return cfg_; }
+
+ private:
+  struct Peer {
+    std::unique_ptr<ReliableSession> session;
+    bool up = true;
+    // Per-neighbor MRAI state.
+    bool mraiRunning = false;
+    bool flushScheduled = false;
+    EventId mraiTimer{};
+    std::set<NodeId> pending;  ///< Destinations awaiting (re-)advertisement.
+    // Per-(neighbor, destination) MRAI state (ablation mode).
+    std::map<NodeId, EventId> destTimers;
+    std::set<NodeId> destPending;
+    /// Adj-RIB-Out: last path advertised to this peer (empty = withdrawn /
+    /// never advertised); used to suppress duplicate updates.
+    std::vector<std::vector<NodeId>> ribOut;
+    /// Route-flap-damping state per destination (allocated lazily).
+    struct DampState {
+      double penalty = 0.0;
+      Time lastDecay;
+      bool suppressed = false;
+      EventId reuseTimer{};
+    };
+    std::map<NodeId, DampState> damp;
+  };
+
+  void processUpdate(NodeId from, const BgpUpdate& update);
+  void runDecision(NodeId dst);
+  void scheduleAdvertAll(NodeId dst);
+  void scheduleAdvert(NodeId peerId, NodeId dst);
+  void sendWithdrawalAll(NodeId dst);
+  /// Emit the current state (advert or withdrawal) of `dst` toward a peer,
+  /// suppressing no-ops against the Adj-RIB-Out. Returns true if a message
+  /// actually went out.
+  bool emitRoute(NodeId peerId, NodeId dst);
+  /// Returns true if at least one message went out.
+  bool flushPeer(NodeId peerId);
+  void armMrai(NodeId peerId);
+  void armDestMrai(NodeId peerId, NodeId dst);
+  [[nodiscard]] double mraiDelay();
+  /// Record one flap from `peerId` about `dst`; may suppress the route.
+  void recordFlap(NodeId peerId, NodeId dst);
+  /// Does `path` (from peer `from`, toward `dst`) agree with every other
+  /// direct neighbor's own advertisement where it crosses one?
+  [[nodiscard]] bool pathConsistent(NodeId from, NodeId dst, const std::vector<NodeId>& path) const;
+  void decayPenalty(Peer::DampState& st);
+
+  BgpConfig cfg_;
+  std::map<NodeId, Peer> peers_;  // ordered: deterministic iteration across platforms
+  /// Adj-RIB-In: per neighbor, per destination, the advertised path
+  /// ([neighbor, ..., dst]); empty = none/withdrawn.
+  std::map<NodeId, std::vector<std::vector<NodeId>>> ribIn_;
+  std::vector<std::vector<NodeId>> bestPath_;  ///< empty = unreachable
+  std::vector<NodeId> bestVia_;
+  std::uint64_t updatesSent_ = 0;
+  std::uint64_t withdrawalsSent_ = 0;
+  std::uint64_t suppressions_ = 0;
+};
+
+}  // namespace rcsim

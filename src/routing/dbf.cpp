@@ -1,0 +1,106 @@
+#include "routing/dbf.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+Dbf::Dbf(Node& node, DvConfig cfg) : DvProtocolBase{node, cfg} {}
+
+void Dbf::start() {
+  const auto n = node_.network().nodeCount();
+  bestMetric_.assign(n, config().infinityMetric);
+  bestHop_.assign(n, kInvalidNode);
+  known_.assign(n, 0);
+  const auto self = static_cast<std::size_t>(node_.id());
+  bestMetric_[self] = 0;
+  bestHop_[self] = node_.id();
+  known_[self] = 1;
+  DvProtocolBase::start();
+}
+
+int Dbf::metricFor(NodeId dst) const { return bestMetric_[static_cast<std::size_t>(dst)]; }
+
+NodeId Dbf::nextHopFor(NodeId dst) const {
+  const auto i = static_cast<std::size_t>(dst);
+  return bestMetric_[i] >= config().infinityMetric ? kInvalidNode : bestHop_[i];
+}
+
+int Dbf::cachedMetric(NodeId neighbor, NodeId dst) const {
+  const auto it = cache_.find(neighbor);
+  if (it == cache_.end()) return config().infinityMetric;
+  return it->second[static_cast<std::size_t>(dst)];
+}
+
+std::vector<NodeId> Dbf::knownDestinations() const {
+  std::vector<NodeId> dsts;
+  for (NodeId d = 0; d < static_cast<NodeId>(known_.size()); ++d) {
+    if (known_[static_cast<std::size_t>(d)]) dsts.push_back(d);
+  }
+  return dsts;
+}
+
+void Dbf::recompute(NodeId dst) {
+  if (dst == node_.id()) return;
+  const auto i = static_cast<std::size_t>(dst);
+  const int inf = config().infinityMetric;
+  int best = inf;
+  NodeId via = kInvalidNode;
+  const NodeId current = bestHop_[i];
+  // Tie-break: keep the incumbent next hop if it stays optimal, otherwise
+  // lowest neighbor id — fully deterministic.
+  auto beats = [&](int cand, NodeId n) {
+    if (cand != best) return cand < best;
+    if (via == current) return false;
+    return n == current || n < via;
+  };
+  for (const NodeId n : aliveNeighbors()) {
+    const auto it = cache_.find(n);
+    if (it == cache_.end()) continue;
+    const int cand = std::min<int>(it->second[i] + 1, inf);
+    if (cand < inf && beats(cand, n)) {
+      best = cand;
+      via = n;
+    }
+  }
+  if (best >= inf) via = kInvalidNode;
+  if (best == bestMetric_[i] && via == bestHop_[i]) return;
+  const bool metricChanged = best != bestMetric_[i];
+  bestMetric_[i] = best;
+  bestHop_[i] = via;
+  node_.setRoute(dst, via);
+  // Advertise on metric change (next-hop-only changes are invisible to
+  // neighbors except through poison reverse, which periodic updates fix).
+  if (metricChanged) markChanged(dst);
+}
+
+void Dbf::processUpdate(NodeId from, const DvUpdate& update) {
+  auto it = cache_.find(from);
+  if (it == cache_.end()) {
+    it = cache_.emplace(from, std::vector<std::uint8_t>(node_.network().nodeCount(),
+                                                        static_cast<std::uint8_t>(
+                                                            config().infinityMetric)))
+             .first;
+  }
+  for (const auto& entry : update.entries) {
+    const NodeId d = entry.dst;
+    if (d == node_.id()) continue;
+    known_[static_cast<std::size_t>(d)] = 1;
+    it->second[static_cast<std::size_t>(d)] =
+        static_cast<std::uint8_t>(std::min<int>(entry.metric, config().infinityMetric));
+    recompute(d);
+  }
+}
+
+void Dbf::neighborDown(NodeId neighbor) {
+  // The cache entry survives only as history; the neighbor is out of
+  // aliveNeighbors() so recompute() skips it — instant switch-over.
+  cache_.erase(neighbor);
+  for (NodeId d = 0; d < static_cast<NodeId>(bestMetric_.size()); ++d) recompute(d);
+}
+
+void Dbf::neighborUp(NodeId /*neighbor*/) {}
+
+}  // namespace rcsim

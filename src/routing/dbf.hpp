@@ -1,0 +1,46 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "routing/dv_common.hpp"
+
+namespace rcsim {
+
+/// Distributed Bellman-Ford (paper §3): identical to our RIP except that the
+/// router caches the latest distance vector learned from *each* neighbor.
+/// When the current next hop fails it can immediately switch to the best
+/// alternate in the cache — a zero-time path switch-over (paper §4.1) — at
+/// the price of possibly choosing an invalid path and "counting to the
+/// next-best path" instead of counting to infinity (paper §6).
+class Dbf final : public DvProtocolBase {
+ public:
+  Dbf(Node& node, DvConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "DBF"; }
+
+  [[nodiscard]] int metricFor(NodeId dst) const override;
+  [[nodiscard]] NodeId nextHopFor(NodeId dst) const override;
+
+  /// Distance to dst as most recently advertised by `neighbor` (infinity if
+  /// none) — exposed for tests.
+  [[nodiscard]] int cachedMetric(NodeId neighbor, NodeId dst) const;
+
+ protected:
+  void processUpdate(NodeId from, const DvUpdate& update) override;
+  void neighborDown(NodeId neighbor) override;
+  void neighborUp(NodeId neighbor) override;
+  [[nodiscard]] std::vector<NodeId> knownDestinations() const override;
+  void start() override;
+
+ private:
+  /// Recompute the best route for dst from the per-neighbor cache.
+  void recompute(NodeId dst);
+
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> cache_;  ///< neighbor -> advertised metric per dst
+  std::vector<int> bestMetric_;
+  std::vector<NodeId> bestHop_;
+  std::vector<char> known_;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,267 @@
+#include "routing/dual.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+std::string DualMessage::describe() const {
+  std::ostringstream os;
+  switch (msgKind) {
+    case DualMsgKind::Update: os << "dual-update"; break;
+    case DualMsgKind::Query: os << "dual-query"; break;
+    case DualMsgKind::Reply: os << "dual-reply"; break;
+  }
+  for (const auto& e : entries) os << " " << e.dst << ":" << e.dist;
+  return os.str();
+}
+
+Dual::Dual(Node& node, DualConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+
+Dual::~Dual() {
+  for (auto& r : table_) node_.scheduler().cancel(r.siaTimer);
+}
+
+void Dual::start() {
+  initTables();
+  for (const NodeId n : node_.neighbors()) alive_.insert(n);
+  sendToAll(DualMsgKind::Update, node_.id(), 0);
+}
+
+void Dual::initTables() {
+  const auto n = node_.network().nodeCount();
+  table_.assign(n, Route{});
+  for (auto& r : table_) {
+    r.feasibleDistance = cfg_.maxDistance;
+    r.distance = cfg_.maxDistance;
+  }
+  auto& self = table_[static_cast<std::size_t>(node_.id())];
+  self.feasibleDistance = 0;
+  self.distance = 0;
+  self.successor = node_.id();
+}
+
+int Dual::distance(NodeId dst) const { return table_[static_cast<std::size_t>(dst)].distance; }
+
+int Dual::reported(NodeId neighbor, NodeId dst) const {
+  const auto it = reported_.find(neighbor);
+  if (it == reported_.end()) return cfg_.maxDistance;
+  return it->second[static_cast<std::size_t>(dst)];
+}
+
+void Dual::installRoute(NodeId dst, int dist, NodeId successor) {
+  auto& r = table_[static_cast<std::size_t>(dst)];
+  const bool changed = dist != r.distance;
+  r.distance = dist;
+  r.successor = successor;
+  node_.setRoute(dst, dist >= cfg_.maxDistance ? kInvalidNode : successor);
+  if (changed) sendToAll(DualMsgKind::Update, dst, dist);
+}
+
+void Dual::recompute(NodeId dst) {
+  if (dst == node_.id()) return;
+  auto& r = table_[static_cast<std::size_t>(dst)];
+  if (r.active) return;  // frozen until the diffusing computation completes
+
+  // Best distance over all live neighbors, and best over *feasible* ones
+  // (reported distance strictly below our feasible distance — the loop-
+  // freedom invariant).
+  int bestAny = cfg_.maxDistance;
+  int bestFeasible = cfg_.maxDistance;
+  NodeId feasibleVia = kInvalidNode;
+  for (const NodeId n : alive_) {
+    const int rd = reported(n, dst);
+    const int cand = std::min(rd + 1, cfg_.maxDistance);
+    bestAny = std::min(bestAny, cand);
+    if (rd < r.feasibleDistance) {
+      // Deterministic tie-break: incumbent first, then lowest id.
+      const bool beats = cand < bestFeasible ||
+                         (cand == bestFeasible &&
+                          (feasibleVia != r.successor && (n == r.successor || n < feasibleVia)));
+      if (beats) {
+        bestFeasible = cand;
+        feasibleVia = n;
+      }
+    }
+  }
+
+  if (feasibleVia != kInvalidNode) {
+    r.feasibleDistance = std::min(r.feasibleDistance, bestFeasible);
+    installRoute(dst, bestFeasible, feasibleVia);
+    return;
+  }
+  if (bestAny >= cfg_.maxDistance) {
+    // Nothing anywhere: settle on unreachable, no diffusion needed. Keep FD
+    // at max so any future finite report is immediately feasible.
+    r.feasibleDistance = cfg_.maxDistance;
+    installRoute(dst, cfg_.maxDistance, kInvalidNode);
+    return;
+  }
+  // A longer path exists but is not provably loop-free: diffuse.
+  goActive(dst);
+}
+
+void Dual::goActive(NodeId dst) {
+  auto& r = table_[static_cast<std::size_t>(dst)];
+  if (r.active) return;
+  r.active = true;
+  ++diffusions_;
+  // The paper's reading of DUAL (§2): "the routing table is frozen and the
+  // affected destinations are unreachable until the diffusion process
+  // completes" — withdraw the route for the duration.
+  installRoute(dst, cfg_.maxDistance, kInvalidNode);
+  r.outstanding = alive_;
+  sendToAll(DualMsgKind::Query, dst, cfg_.maxDistance);
+  node_.scheduler().cancel(r.siaTimer);
+  r.siaTimer = node_.scheduler().scheduleAfter(cfg_.siaTimeout, [this, dst] {
+    auto& route = table_[static_cast<std::size_t>(dst)];
+    if (!route.active) return;
+    // Stuck-in-active: give up on the laggards, and distrust them — a
+    // neighbor that never confirmed its distance must not be adopted on
+    // stale information (that would reintroduce transient loops).
+    for (const NodeId n : route.outstanding) {
+      const auto it = reported_.find(n);
+      if (it != reported_.end()) {
+        it->second[static_cast<std::size_t>(dst)] =
+            static_cast<std::uint16_t>(cfg_.maxDistance);
+      }
+    }
+    route.outstanding.clear();
+    completeActive(dst);
+  });
+  if (r.outstanding.empty()) completeActive(dst);
+}
+
+void Dual::completeActive(NodeId dst) {
+  auto& r = table_[static_cast<std::size_t>(dst)];
+  node_.scheduler().cancel(r.siaTimer);
+  r.siaTimer = EventId{};
+  r.active = false;
+  // Reset the feasibility anchor: after a completed diffusion every
+  // currently reported distance is trusted.
+  r.feasibleDistance = cfg_.maxDistance;
+  recompute(dst);
+  const auto pending = std::exchange(r.pendingRepliesTo, {});
+  for (const NodeId q : pending) {
+    if (alive_.count(q) > 0) sendTo(q, DualMsgKind::Reply, dst, r.distance);
+  }
+}
+
+void Dual::sendToAll(DualMsgKind kind, NodeId dst, int dist, NodeId except) {
+  for (const NodeId n : alive_) {
+    if (n != except) sendTo(n, kind, dst, dist);
+  }
+}
+
+void Dual::sendTo(NodeId neighbor, DualMsgKind kind, NodeId dst, int dist) {
+  auto& batch = outbox_[{neighbor, kind}];
+  // Later values for the same destination supersede earlier ones within a
+  // batch (the receiver would apply them in order anyway).
+  for (auto& e : batch) {
+    if (e.dst == dst) {
+      e.dist = static_cast<std::uint16_t>(dist);
+      return;
+    }
+  }
+  batch.push_back(DualMessage::Entry{dst, static_cast<std::uint16_t>(dist)});
+  if (flushScheduled_) return;
+  flushScheduled_ = true;
+  node_.scheduler().scheduleAfter(Time::zero(), [this] { flushOutbox(); });
+}
+
+void Dual::flushOutbox() {
+  flushScheduled_ = false;
+  // Deterministic order: per neighbor, updates before queries before
+  // replies (state first, then questions, then answers).
+  auto box = std::exchange(outbox_, {});
+  for (auto& [key, entries] : box) {
+    const auto& [neighbor, kind] = key;
+    if (alive_.count(neighbor) == 0) continue;
+    auto msg = std::make_shared<DualMessage>();
+    msg->msgKind = kind;
+    msg->entries = std::move(entries);
+    node_.sendControl(neighbor, std::move(msg));
+  }
+}
+
+void Dual::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
+  const auto* m = dynamic_cast<const DualMessage*>(msg.get());
+  if (m == nullptr || alive_.count(from) == 0) return;
+  for (const auto& e : m->entries) handleEntry(from, m->msgKind, e.dst, e.dist);
+}
+
+void Dual::handleEntry(NodeId from, DualMsgKind kind, NodeId dst, int dist) {
+  auto it = reported_.find(from);
+  if (it == reported_.end()) {
+    it = reported_
+             .emplace(from, std::vector<std::uint16_t>(
+                                node_.network().nodeCount(),
+                                static_cast<std::uint16_t>(cfg_.maxDistance)))
+             .first;
+  }
+  if (dst != node_.id()) {
+    it->second[static_cast<std::size_t>(dst)] =
+        static_cast<std::uint16_t>(std::min(dist, cfg_.maxDistance));
+  }
+  auto& r = table_[static_cast<std::size_t>(dst)];
+
+  switch (kind) {
+    case DualMsgKind::Update:
+      recompute(dst);
+      break;
+    case DualMsgKind::Query: {
+      if (dst == node_.id()) {
+        sendTo(from, DualMsgKind::Reply, dst, 0);
+        return;
+      }
+      if (r.active) {
+        // Simplification (see header): answer nested queries with the
+        // frozen (infinite) distance instead of stacking diffusions.
+        sendTo(from, DualMsgKind::Reply, dst, r.distance);
+        return;
+      }
+      recompute(dst);
+      if (r.active) {
+        // The query tipped us into our own diffusion: defer the reply.
+        r.pendingRepliesTo.insert(from);
+      } else {
+        sendTo(from, DualMsgKind::Reply, dst, r.distance);
+      }
+      break;
+    }
+    case DualMsgKind::Reply: {
+      if (!r.active) return;
+      if (r.outstanding.erase(from) > 0 && r.outstanding.empty()) completeActive(dst);
+      break;
+    }
+  }
+}
+
+void Dual::onLinkDown(NodeId neighbor) {
+  if (alive_.erase(neighbor) == 0) return;
+  reported_.erase(neighbor);
+  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
+    auto& r = table_[static_cast<std::size_t>(d)];
+    r.pendingRepliesTo.erase(neighbor);
+    if (r.active) {
+      if (r.outstanding.erase(neighbor) > 0 && r.outstanding.empty()) completeActive(d);
+    } else {
+      recompute(d);
+    }
+  }
+}
+
+void Dual::onLinkUp(NodeId neighbor) {
+  if (!alive_.insert(neighbor).second) return;
+  // Share the full table with the returning neighbor.
+  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
+    const auto& r = table_[static_cast<std::size_t>(d)];
+    if (r.distance < cfg_.maxDistance) sendTo(neighbor, DualMsgKind::Update, d, r.distance);
+  }
+}
+
+}  // namespace rcsim

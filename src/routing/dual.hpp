@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/routing_protocol.hpp"
+#include "routing/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// DUAL messages: routine distance updates plus the diffusing-computation
+/// query/reply pair.
+enum class DualMsgKind : std::uint8_t { Update, Query, Reply };
+
+struct DualMessage final : ControlPayload {
+  struct Entry {
+    NodeId dst = kInvalidNode;
+    std::uint16_t dist = 0;  ///< kDualInfinity = unreachable
+  };
+  DualMsgKind msgKind = DualMsgKind::Update;
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return 8 + 8 * static_cast<std::uint32_t>(entries.size());
+  }
+  [[nodiscard]] std::string describe() const override;
+};
+
+struct DualConfig {
+  /// Stuck-in-active guard: a diffusing computation that cannot collect all
+  /// replies is force-completed after this long (EIGRP uses 3 min; scaled
+  /// to the simulation's timescale).
+  Time siaTimeout = Time::seconds(10.0);
+  /// Unbounded distances are clamped here (no counting to infinity in DUAL;
+  /// this is only a wire encoding ceiling).
+  int maxDistance = 512;
+};
+
+/// DUAL — the Diffusing Update Algorithm (Garcia-Luna-Aceves 1989/93), the
+/// paper's §2 counterpoint: it *guarantees* loop-freedom by (a) only ever
+/// switching to a feasible successor (reported distance < our feasible
+/// distance) and (b) otherwise freezing the route and running a diffusing
+/// computation (query/reply) before using a longer path. The paper argues
+/// this trades packet delivery for loop prevention: while a destination is
+/// Active its route is withdrawn and packets are dropped. This
+/// implementation follows that characterization (see DESIGN.md).
+///
+/// Simplifications vs full EIGRP: one metric unit per hop; a node that is
+/// already Active answers a new query for the same destination immediately
+/// with its (frozen, infinite) distance instead of layering diffusions; an
+/// SIA timer force-completes wedged computations.
+class Dual final : public RoutingProtocol {
+ public:
+  Dual(Node& node, DualConfig cfg);
+  ~Dual() override;
+
+  void start() override;
+  void onLinkDown(NodeId neighbor) override;
+  void onLinkUp(NodeId neighbor) override;
+  void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) override;
+  [[nodiscard]] std::string name() const override { return "DUAL"; }
+
+  /// Introspection for tests.
+  [[nodiscard]] int distance(NodeId dst) const;
+  [[nodiscard]] bool isActive(NodeId dst) const {
+    return table_[static_cast<std::size_t>(dst)].active;
+  }
+  [[nodiscard]] std::uint64_t diffusingComputations() const { return diffusions_; }
+
+ private:
+  struct Route {
+    int feasibleDistance = 0;    ///< lowest distance ever achieved (FC anchor)
+    int distance = 0;            ///< current distance (maxDistance = unreachable)
+    NodeId successor = kInvalidNode;
+    bool active = false;
+    std::set<NodeId> outstanding;  ///< neighbors whose REPLY we await
+    std::set<NodeId> pendingRepliesTo;  ///< queriers we answer when Passive again
+    EventId siaTimer{};
+  };
+
+  void initTables();
+  /// Neighbor's reported distance for dst (maxDistance if none).
+  [[nodiscard]] int reported(NodeId neighbor, NodeId dst) const;
+  /// Local computation: try to stay Passive via a feasible successor;
+  /// otherwise start (or continue) a diffusing computation.
+  void recompute(NodeId dst);
+  void goActive(NodeId dst);
+  void completeActive(NodeId dst);
+  void installRoute(NodeId dst, int dist, NodeId successor);
+  void sendToAll(DualMsgKind kind, NodeId dst, int dist, NodeId except = kInvalidNode);
+  /// Queue an entry for `neighbor`; entries of one event are batched into a
+  /// single message per (neighbor, kind) via a zero-delay flush (keeps a
+  /// link-down's burst of per-destination queries from overflowing queues).
+  void sendTo(NodeId neighbor, DualMsgKind kind, NodeId dst, int dist);
+  void flushOutbox();
+  void handleEntry(NodeId from, DualMsgKind kind, NodeId dst, int dist);
+
+  DualConfig cfg_;
+  std::vector<Route> table_;
+  /// Per-(neighbor, message-kind) outgoing entry batches.
+  std::map<std::pair<NodeId, DualMsgKind>, std::vector<DualMessage::Entry>> outbox_;
+  bool flushScheduled_ = false;
+  std::map<NodeId, std::vector<std::uint16_t>> reported_;  ///< per-neighbor distances
+  std::set<NodeId> alive_;
+  std::uint64_t diffusions_ = 0;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,152 @@
+#include "routing/dv_common.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+DvProtocolBase::DvProtocolBase(Node& node, DvConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+
+DvProtocolBase::~DvProtocolBase() {
+  node_.scheduler().cancel(dampTimer_);
+  node_.scheduler().cancel(periodicTimer_);
+}
+
+void DvProtocolBase::start() {
+  auto& sched = node_.scheduler();
+  for (const NodeId n : node_.neighbors()) {
+    alive_.push_back(n);
+    lastHeard_[n] = sched.now();
+    neighborUp(n);
+  }
+  // Seed propagation right away (stands in for the RIP boot-time request/
+  // response exchange), then announce the full table periodically with a
+  // random phase so nodes do not synchronize.
+  sched.scheduleAfter(Time::seconds(node_.rng().uniform(0.0, 0.1)), [this] { sendFullTables(); });
+  const double phase = node_.rng().uniform(0.0, cfg_.periodicInterval.toSeconds());
+  periodicTimer_ = sched.scheduleAfter(Time::seconds(phase), [this] { periodicTick(); });
+}
+
+void DvProtocolBase::periodicTick() {
+  checkNeighborAging();
+  sendFullTables();
+  const double jitter = cfg_.periodicJitter.toSeconds();
+  const double next = cfg_.periodicInterval.toSeconds() + node_.rng().uniform(-jitter, jitter);
+  periodicTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), [this] { periodicTick(); });
+}
+
+void DvProtocolBase::checkNeighborAging() {
+  const Time now = node_.scheduler().now();
+  std::vector<NodeId> expired;
+  for (const NodeId n : alive_) {
+    const auto it = lastHeard_.find(n);
+    if (it != lastHeard_.end() && now - it->second > cfg_.timeout) expired.push_back(n);
+  }
+  for (const NodeId n : expired) onLinkDown(n);
+}
+
+void DvProtocolBase::sendFullTables() {
+  const auto dsts = knownDestinations();
+  for (const NodeId n : alive_) sendEntries(n, dsts);
+}
+
+void DvProtocolBase::sendEntries(NodeId neighbor, const std::vector<NodeId>& dsts) {
+  if (dsts.empty()) return;
+  auto update = std::make_shared<DvUpdate>();
+  update->entries.reserve(std::min<std::size_t>(dsts.size(),
+                                                static_cast<std::size_t>(cfg_.maxEntriesPerMessage)));
+  auto flush = [&] {
+    if (update->entries.empty()) return;
+    ++updatesSent_;
+    node_.sendControl(neighbor, update);
+    update = std::make_shared<DvUpdate>();
+  };
+  for (const NodeId d : dsts) {
+    int metric = metricFor(d);
+    if (nextHopFor(d) == neighbor) {
+      switch (cfg_.splitHorizon) {
+        case SplitHorizonMode::None: break;
+        case SplitHorizonMode::SplitHorizon: continue;  // simply omit
+        case SplitHorizonMode::PoisonReverse: metric = cfg_.infinityMetric; break;
+      }
+    }
+    update->entries.push_back(DvEntry{d, static_cast<std::uint8_t>(metric)});
+    if (static_cast<int>(update->entries.size()) >= cfg_.maxEntriesPerMessage) flush();
+  }
+  flush();
+}
+
+void DvProtocolBase::markChanged(NodeId dst) {
+  changed_.insert(dst);
+  if (dampRunning_ || flushScheduled_) return;  // batched by the damping timer / pending flush
+  // Flush via a zero-delay event rather than synchronously: a single
+  // incoming update (or link-down) changes many destinations, and they must
+  // all ride in the *same* triggered update. Only after that first message
+  // goes out does the damping timer start (RFC 2453 §3.10.1; the paper's
+  // "failure information can propagate along the path in a few
+  // milliseconds" depends on this batching).
+  flushScheduled_ = true;
+  node_.scheduler().scheduleAfter(Time::zero(), [this] {
+    flushScheduled_ = false;
+    if (dampRunning_ || changed_.empty()) return;
+    flushTriggered();
+    armDampTimer();
+  });
+}
+
+void DvProtocolBase::flushTriggered() {
+  if (changed_.empty()) return;
+  const std::vector<NodeId> dsts(changed_.begin(), changed_.end());
+  changed_.clear();
+  for (const NodeId n : alive_) sendEntries(n, dsts);
+}
+
+void DvProtocolBase::armDampTimer() {
+  dampRunning_ = true;
+  const double delay = node_.rng().uniform(cfg_.triggerDampMinSec, cfg_.triggerDampMaxSec);
+  dampTimer_ = node_.scheduler().scheduleAfter(Time::seconds(delay), [this] {
+    dampRunning_ = false;
+    if (!changed_.empty()) {
+      flushTriggered();
+      armDampTimer();  // an update went out, so space out the next one too
+    }
+  });
+}
+
+bool DvProtocolBase::neighborAlive(NodeId neighbor) const {
+  return std::find(alive_.begin(), alive_.end(), neighbor) != alive_.end();
+}
+
+void DvProtocolBase::onLinkDown(NodeId neighbor) {
+  const auto it = std::find(alive_.begin(), alive_.end(), neighbor);
+  if (it == alive_.end()) return;
+  alive_.erase(it);
+  neighborDown(neighbor);
+}
+
+void DvProtocolBase::onLinkUp(NodeId neighbor) {
+  if (neighborAlive(neighbor)) return;
+  alive_.push_back(neighbor);
+  lastHeard_[neighbor] = node_.scheduler().now();
+  neighborUp(neighbor);
+  // Give the returning neighbor our full view immediately.
+  sendEntries(neighbor, knownDestinations());
+}
+
+void DvProtocolBase::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
+  const auto* update = dynamic_cast<const DvUpdate*>(msg.get());
+  if (update == nullptr) return;  // not ours (defensive)
+  if (!neighborAlive(from)) {
+    // Late packet from a neighbor we consider dead: a live message proves
+    // the link works again only if the detector agrees; ignore otherwise.
+    if (!node_.neighborReachable(from)) return;
+    onLinkUp(from);
+  }
+  lastHeard_[from] = node_.scheduler().now();
+  processUpdate(from, *update);
+}
+
+}  // namespace rcsim

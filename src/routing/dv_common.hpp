@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing_protocol.hpp"
+#include "routing/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// Loop-prevention flavor for advertisements toward a route's next hop.
+enum class SplitHorizonMode {
+  None,           ///< advertise everything honestly (no protection)
+  SplitHorizon,   ///< omit routes whose next hop is the receiver
+  PoisonReverse,  ///< advertise such routes with the infinity metric (paper §3)
+};
+
+/// Shared configuration of the distance-vector protocols (paper §3).
+struct DvConfig {
+  Time periodicInterval = Time::seconds(30.0);
+  Time periodicJitter = Time::seconds(3.0);  ///< uniform +- around the interval
+  Time timeout = Time::seconds(180.0);       ///< route/neighbor expiry
+  double triggerDampMinSec = 1.0;  ///< triggered-update damping timer lower bound
+  double triggerDampMaxSec = 5.0;  ///< ... upper bound ("randomly chosen between 1 and 5 s")
+  int infinityMetric = 16;
+  int maxEntriesPerMessage = 25;  ///< RFC 2453 message capacity
+  SplitHorizonMode splitHorizon = SplitHorizonMode::PoisonReverse;
+};
+
+/// Machinery common to RIP and DBF: neighbor liveness, the jittered periodic
+/// full-table announcement, and the RFC 2453 triggered-update engine (first
+/// change sent immediately, subsequent changes batched behind a random
+/// 1-5 s damping timer).
+///
+/// Subclasses provide route computation/state through the protected hooks.
+class DvProtocolBase : public RoutingProtocol {
+ public:
+  DvProtocolBase(Node& node, DvConfig cfg);
+  ~DvProtocolBase() override;
+
+  void start() override;
+  void onLinkDown(NodeId neighbor) override;
+  void onLinkUp(NodeId neighbor) override;
+  void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) override;
+
+  [[nodiscard]] const DvConfig& config() const { return cfg_; }
+  /// Messages sent, for the paper's routing-overhead accounting.
+  [[nodiscard]] std::uint64_t updatesSent() const { return updatesSent_; }
+
+ protected:
+  /// Apply an incoming update's entries to the routing state.
+  virtual void processUpdate(NodeId from, const DvUpdate& update) = 0;
+  /// The neighbor is gone (link down or aged out): drop state learned from it.
+  virtual void neighborDown(NodeId neighbor) = 0;
+  /// The neighbor (re)appeared.
+  virtual void neighborUp(NodeId neighbor) = 0;
+  /// Current best metric toward dst (infinityMetric when unreachable).
+  [[nodiscard]] virtual int metricFor(NodeId dst) const = 0;
+  /// Current next hop toward dst (kInvalidNode when unreachable).
+  [[nodiscard]] virtual NodeId nextHopFor(NodeId dst) const = 0;
+  /// Destinations this node would include in a full-table announcement.
+  [[nodiscard]] virtual std::vector<NodeId> knownDestinations() const = 0;
+
+  /// Record a route change; drives the triggered-update engine.
+  void markChanged(NodeId dst);
+
+  /// True when we believe the link to this neighbor is usable.
+  [[nodiscard]] bool neighborAlive(NodeId neighbor) const;
+  [[nodiscard]] const std::vector<NodeId>& aliveNeighbors() const { return alive_; }
+
+  /// Send `dsts` (split-horizon-poisoned per neighbor, chunked at the
+  /// message capacity) to one neighbor.
+  void sendEntries(NodeId neighbor, const std::vector<NodeId>& dsts);
+
+ private:
+  void periodicTick();
+  void sendFullTables();
+  void flushTriggered();
+  void armDampTimer();
+  void checkNeighborAging();
+
+  DvConfig cfg_;
+  std::vector<NodeId> alive_;
+  std::unordered_map<NodeId, Time> lastHeard_;
+  std::set<NodeId> changed_;
+  bool flushScheduled_ = false;
+  bool dampRunning_ = false;
+  EventId dampTimer_{};
+  EventId periodicTimer_{};
+  std::uint64_t updatesSent_ = 0;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/routing_protocol.hpp"
+#include "routing/bgp.hpp"
+#include "routing/dual.hpp"
+#include "routing/dv_common.hpp"
+#include "routing/linkstate.hpp"
+
+namespace rcsim {
+
+/// The protocols of the study. Rip/Dbf/Bgp/Bgp3 are the paper's four
+/// configurations; LinkState and Dual are extensions (the paper's §6
+/// future work and its §2 loop-free counterpoint, respectively).
+enum class ProtocolKind { Rip, Dbf, Bgp, Bgp3, LinkState, Dual };
+
+[[nodiscard]] const char* toString(ProtocolKind kind);
+[[nodiscard]] ProtocolKind protocolKindFromString(const std::string& name);
+
+/// Per-protocol tunables bundled for the scenario layer. The factory applies
+/// the kind-specific defaults (e.g. BGP3's 3 s MRAI) on top.
+struct ProtocolConfig {
+  DvConfig dv;
+  BgpConfig bgp;
+  LinkStateConfig ls;
+  DualConfig dual;
+};
+
+/// Instantiate a routing protocol for `node`. Call after all links are
+/// attached and Network::finalize().
+[[nodiscard]] std::unique_ptr<RoutingProtocol> makeProtocol(ProtocolKind kind, Node& node,
+                                                            const ProtocolConfig& cfg);
+
+}  // namespace rcsim

@@ -1,0 +1,135 @@
+#include "routing/linkstate.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+LinkState::LinkState(Node& node, LinkStateConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+
+LinkState::~LinkState() {
+  node_.scheduler().cancel(spfTimer_);
+  node_.scheduler().cancel(refreshTimer_);
+}
+
+void LinkState::start() {
+  for (const NodeId n : node_.neighbors()) aliveNeighbors_.insert(n);
+  originateOwnLsa();
+  const double phase = node_.rng().uniform(0.0, cfg_.refreshInterval.toSeconds());
+  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(phase), [this] { refreshTick(); });
+}
+
+void LinkState::refreshTick() {
+  originateOwnLsa();
+  const double jitter = cfg_.refreshJitter.toSeconds();
+  const double next = cfg_.refreshInterval.toSeconds() + node_.rng().uniform(-jitter, jitter);
+  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), [this] { refreshTick(); });
+}
+
+void LinkState::originateOwnLsa() {
+  auto lsa = std::make_shared<Lsa>();
+  lsa->origin = node_.id();
+  lsa->seq = ++ownSeq_;
+  lsa->neighbors.assign(aliveNeighbors_.begin(), aliveNeighbors_.end());
+  auto& mine = db_[node_.id()];
+  mine.seq = lsa->seq;
+  mine.neighbors = lsa->neighbors;
+  flood(lsa, kInvalidNode);
+  scheduleSpf();
+}
+
+void LinkState::flood(const std::shared_ptr<const Lsa>& lsa, NodeId except) {
+  for (const NodeId n : aliveNeighbors_) {
+    if (n == except) continue;
+    ++lsasSent_;
+    node_.sendControl(n, lsa);
+  }
+}
+
+void LinkState::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
+  auto lsa = std::dynamic_pointer_cast<const Lsa>(msg);
+  if (!lsa) return;
+  if (lsa->origin == node_.id()) return;  // our own LSA echoed back
+  auto& entry = db_[lsa->origin];
+  if (entry.seq >= lsa->seq) return;  // stale or duplicate
+  entry.seq = lsa->seq;
+  entry.neighbors = lsa->neighbors;
+  flood(lsa, from);
+  scheduleSpf();
+}
+
+void LinkState::onLinkDown(NodeId neighbor) {
+  if (aliveNeighbors_.erase(neighbor) == 0) return;
+  originateOwnLsa();
+}
+
+void LinkState::onLinkUp(NodeId neighbor) {
+  if (!aliveNeighbors_.insert(neighbor).second) return;
+  originateOwnLsa();
+  // Database sync on adjacency formation: send our whole DB to the neighbor.
+  for (const auto& [origin, entry] : db_) {
+    auto lsa = std::make_shared<Lsa>();
+    lsa->origin = origin;
+    lsa->seq = entry.seq;
+    lsa->neighbors = entry.neighbors;
+    ++lsasSent_;
+    node_.sendControl(neighbor, std::move(lsa));
+  }
+}
+
+void LinkState::scheduleSpf() {
+  if (spfPending_) return;
+  spfPending_ = true;
+  spfTimer_ = node_.scheduler().scheduleAfter(cfg_.spfDelay, [this] {
+    spfPending_ = false;
+    runSpf();
+  });
+}
+
+void LinkState::runSpf() {
+  ++spfRuns_;
+  // Unit link costs: BFS from self over bidirectionally-confirmed edges.
+  const auto n = node_.network().nodeCount();
+  auto confirmed = [&](NodeId u, NodeId v) {
+    const auto iu = db_.find(u);
+    const auto iv = db_.find(v);
+    if (iu == db_.end() || iv == db_.end()) return false;
+    const bool uv = std::find(iu->second.neighbors.begin(), iu->second.neighbors.end(), v) !=
+                    iu->second.neighbors.end();
+    const bool vu = std::find(iv->second.neighbors.begin(), iv->second.neighbors.end(), u) !=
+                    iv->second.neighbors.end();
+    return uv && vu;
+  };
+
+  std::vector<NodeId> firstHop(n, kInvalidNode);
+  std::vector<int> dist(n, -1);
+  std::queue<NodeId> q;
+  const NodeId self = node_.id();
+  dist[static_cast<std::size_t>(self)] = 0;
+  q.push(self);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    const auto it = db_.find(u);
+    if (it == db_.end()) continue;
+    // Deterministic neighbor order: LSA neighbor lists are sorted by origin.
+    for (const NodeId v : it->second.neighbors) {
+      if (static_cast<std::size_t>(v) >= n) continue;
+      if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+      if (u == self && aliveNeighbors_.count(v) == 0) continue;
+      if (!confirmed(u, v)) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      firstHop[static_cast<std::size_t>(v)] = u == self ? v : firstHop[static_cast<std::size_t>(u)];
+      q.push(v);
+    }
+  }
+  for (NodeId d = 0; d < static_cast<NodeId>(n); ++d) {
+    if (d == self) continue;
+    node_.setRoute(d, firstHop[static_cast<std::size_t>(d)]);
+  }
+}
+
+}  // namespace rcsim

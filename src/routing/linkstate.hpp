@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/routing_protocol.hpp"
+#include "routing/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+struct LinkStateConfig {
+  /// Hold-down between a topology-database change and the SPF run,
+  /// modelling router SPF scheduling.
+  Time spfDelay = Time::milliseconds(10);
+  /// Periodic LSA refresh (repairs any lost floods). Real OSPF refreshes at
+  /// 30 min; we keep minutes-scale so a refresh still lands inside a run.
+  Time refreshInterval = Time::seconds(300.0);
+  Time refreshJitter = Time::seconds(30.0);
+};
+
+/// Flooding link-state protocol with BFS shortest-path-first computation —
+/// the paper's "future work" comparison point (§6), implemented as an
+/// extension so the packet-delivery study can include an SPF datapoint.
+class LinkState final : public RoutingProtocol {
+ public:
+  LinkState(Node& node, LinkStateConfig cfg);
+  ~LinkState() override;
+
+  void start() override;
+  void onLinkDown(NodeId neighbor) override;
+  void onLinkUp(NodeId neighbor) override;
+  void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) override;
+  [[nodiscard]] std::string name() const override { return "LS"; }
+
+  [[nodiscard]] std::uint64_t lsasSent() const { return lsasSent_; }
+  [[nodiscard]] std::uint64_t spfRuns() const { return spfRuns_; }
+
+ private:
+  struct DbEntry {
+    std::uint32_t seq = 0;
+    std::vector<NodeId> neighbors;
+  };
+
+  void originateOwnLsa();
+  void flood(const std::shared_ptr<const Lsa>& lsa, NodeId except);
+  void scheduleSpf();
+  void runSpf();
+  void refreshTick();
+
+  LinkStateConfig cfg_;
+  std::map<NodeId, DbEntry> db_;
+  std::set<NodeId> aliveNeighbors_;
+  std::uint32_t ownSeq_ = 0;
+  bool spfPending_ = false;
+  EventId spfTimer_{};
+  EventId refreshTimer_{};
+  std::uint64_t lsasSent_ = 0;
+  std::uint64_t spfRuns_ = 0;
+};
+
+}  // namespace rcsim

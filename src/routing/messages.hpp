@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+
+namespace rcsim {
+
+/// One (destination, distance) pair of a distance-vector advertisement.
+struct DvEntry {
+  NodeId dst = kInvalidNode;
+  std::uint8_t metric = 0;  ///< 16 == infinity (RIP semantics).
+};
+
+/// RIP/DBF update message. RFC 2453 limits a message to 25 route entries;
+/// the paper leans on this (one message can carry every affected
+/// destination in the 49-node mesh, §5.2).
+struct DvUpdate final : ControlPayload {
+  std::vector<DvEntry> entries;
+
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    // RIP header (4B) + 20B per RTE, on UDP.
+    return 4 + 20 * static_cast<std::uint32_t>(entries.size());
+  }
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "dv-update(" << entries.size() << ")";
+    for (const auto& e : entries) os << " " << e.dst << ":" << int{e.metric};
+    return os.str();
+  }
+};
+
+/// One path-vector route: the advertiser's full node path to `dst`,
+/// beginning with the advertiser itself and ending with `dst`.
+struct BgpRoute {
+  NodeId dst = kInvalidNode;
+  std::vector<NodeId> path;
+};
+
+/// BGP update: advertisements and/or withdrawals. In this model every node
+/// is its own AS and originates one "prefix", so each advertised route has a
+/// distinct path — matching the paper's note that a path-vector update can
+/// only share one path among its destinations.
+struct BgpUpdate final : ControlPayload {
+  std::vector<BgpRoute> advertised;
+  std::vector<NodeId> withdrawn;
+
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    std::uint32_t sz = 23;  // BGP header (19) + attribute scaffolding
+    for (const auto& r : advertised) {
+      sz += 8 + 4 * static_cast<std::uint32_t>(r.path.size());
+    }
+    sz += 4 * static_cast<std::uint32_t>(withdrawn.size());
+    return sz;
+  }
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "bgp-update adv=" << advertised.size() << " wd=" << withdrawn.size();
+    for (const auto& r : advertised) {
+      os << " " << r.dst << ":[";
+      for (std::size_t i = 0; i < r.path.size(); ++i) os << (i ? " " : "") << r.path[i];
+      os << "]";
+    }
+    for (const NodeId d : withdrawn) os << " -" << d;
+    return os.str();
+  }
+};
+
+/// Link-state advertisement for the SPF protocol (the paper's future-work
+/// comparison point, implemented here as an extension).
+struct Lsa final : ControlPayload {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+  std::vector<NodeId> neighbors;  ///< Neighbors the origin currently sees up.
+
+  [[nodiscard]] std::uint32_t sizeBytes() const override {
+    return 24 + 12 * static_cast<std::uint32_t>(neighbors.size());
+  }
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "lsa origin=" << origin << " seq=" << seq << " nbrs=" << neighbors.size();
+    return os.str();
+  }
+};
+
+}  // namespace rcsim

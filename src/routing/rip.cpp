@@ -1,0 +1,95 @@
+#include "routing/rip.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+Rip::Rip(Node& node, DvConfig cfg) : DvProtocolBase{node, cfg} {}
+
+void Rip::start() {
+  table_.assign(node_.network().nodeCount(), Route{});
+  auto& self = table_[static_cast<std::size_t>(node_.id())];
+  self.metric = 0;
+  self.nextHop = node_.id();
+  self.known = true;
+  self.lastRefresh = node_.scheduler().now();
+  DvProtocolBase::start();
+}
+
+int Rip::metricFor(NodeId dst) const {
+  const auto& e = table_[static_cast<std::size_t>(dst)];
+  return e.known ? e.metric : config().infinityMetric;
+}
+
+NodeId Rip::nextHopFor(NodeId dst) const {
+  const auto& e = table_[static_cast<std::size_t>(dst)];
+  if (!e.known || e.metric >= config().infinityMetric) return kInvalidNode;
+  return e.nextHop;
+}
+
+std::vector<NodeId> Rip::knownDestinations() const {
+  std::vector<NodeId> dsts;
+  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
+    if (table_[static_cast<std::size_t>(d)].known) dsts.push_back(d);
+  }
+  return dsts;
+}
+
+void Rip::adopt(NodeId dst, int metric, NodeId nextHop) {
+  auto& e = table_[static_cast<std::size_t>(dst)];
+  const bool metricChanged = !e.known || e.metric != metric;
+  e.known = true;
+  e.metric = metric;
+  e.nextHop = metric >= config().infinityMetric ? kInvalidNode : nextHop;
+  e.lastRefresh = node_.scheduler().now();
+  node_.setRoute(dst, e.nextHop);
+  if (metricChanged) markChanged(dst);
+}
+
+void Rip::processUpdate(NodeId from, const DvUpdate& update) {
+  expireStale();
+  for (const auto& entry : update.entries) {
+    const NodeId d = entry.dst;
+    if (d == node_.id()) continue;
+    const int metric = std::min<int>(entry.metric + 1, config().infinityMetric);
+    auto& e = table_[static_cast<std::size_t>(d)];
+    if (e.known && e.nextHop == from) {
+      // Updates from the current next hop are authoritative, better or worse
+      // (RFC 2453 §3.9.2) — this is what erases the route on poison.
+      if (metric != e.metric) {
+        adopt(d, metric, from);
+      } else if (metric < config().infinityMetric) {
+        e.lastRefresh = node_.scheduler().now();
+      }
+    } else if (metric < (e.known ? e.metric : config().infinityMetric)) {
+      adopt(d, metric, from);
+    }
+  }
+}
+
+void Rip::expireStale() {
+  const Time now = node_.scheduler().now();
+  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
+    auto& e = table_[static_cast<std::size_t>(d)];
+    if (d == node_.id() || !e.known || e.metric >= config().infinityMetric) continue;
+    if (now - e.lastRefresh > config().timeout) adopt(d, config().infinityMetric, kInvalidNode);
+  }
+}
+
+void Rip::neighborDown(NodeId neighbor) {
+  // All routes through the dead neighbor become unreachable at once; RIP has
+  // nothing cached to fall back on (paper §4.1).
+  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
+    auto& e = table_[static_cast<std::size_t>(d)];
+    if (e.known && e.metric < config().infinityMetric && e.nextHop == neighbor) {
+      adopt(d, config().infinityMetric, kInvalidNode);
+    }
+  }
+}
+
+void Rip::neighborUp(NodeId /*neighbor*/) {}
+
+}  // namespace rcsim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/dv_common.hpp"
+
+namespace rcsim {
+
+/// RIP (RFC 2453 model, paper §3): keeps only the single best route per
+/// destination, discarding reachability information learned from other
+/// neighbors. When the next hop fails, the router has *no* alternate and
+/// must wait for another neighbor's (periodic or triggered) announcement —
+/// the source of RIP's long path switch-over period (paper §4.1).
+class Rip final : public DvProtocolBase {
+ public:
+  Rip(Node& node, DvConfig cfg);
+
+  [[nodiscard]] std::string name() const override { return "RIP"; }
+
+  /// Introspection for tests.
+  [[nodiscard]] int metricFor(NodeId dst) const override;
+  [[nodiscard]] NodeId nextHopFor(NodeId dst) const override;
+
+ protected:
+  void processUpdate(NodeId from, const DvUpdate& update) override;
+  void neighborDown(NodeId neighbor) override;
+  void neighborUp(NodeId neighbor) override;
+  [[nodiscard]] std::vector<NodeId> knownDestinations() const override;
+  void start() override;
+
+ private:
+  struct Route {
+    int metric = 0;
+    NodeId nextHop = kInvalidNode;
+    Time lastRefresh;
+    bool known = false;  ///< Destination ever heard of (stays true once dead).
+  };
+
+  void adopt(NodeId dst, int metric, NodeId nextHop);
+  void expireStale();
+
+  std::vector<Route> table_;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// Trace categories roughly matching the paper's "routing and forwarding
+/// trace files" (Section 5): packet-level forwarding events and routing
+/// protocol events can be captured independently.
+enum class TraceCategory { Forwarding, Routing, Transport, Failure };
+
+/// Lightweight trace sink. Disabled by default; experiments that need
+/// forensic traces (e.g. the loop analysis example) install a sink.
+class TraceLog {
+ public:
+  using Sink = std::function<void(Time, TraceCategory, const std::string&)>;
+
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool enabled() const { return static_cast<bool>(sink_); }
+
+  void emit(Time t, TraceCategory cat, const std::string& msg) const {
+    if (sink_) sink_(t, cat, msg);
+  }
+
+ private:
+  Sink sink_;
+};
+
+[[nodiscard]] inline const char* toString(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::Forwarding: return "fwd";
+    case TraceCategory::Routing: return "rt";
+    case TraceCategory::Transport: return "tx";
+    case TraceCategory::Failure: return "fail";
+  }
+  return "?";
+}
+
+}  // namespace rcsim

@@ -1,0 +1,70 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rcsim {
+namespace {
+
+std::uint64_t splitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // this guarantees a non-zero state for every seed, including zero.
+  for (auto& s : state_) s = splitMix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range + 1) % range;
+  std::uint64_t v = next();
+  while (v > limit) v = next();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform01();
+  // uniform01 can return exactly 0; nudge to keep log() finite.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork() { return Rng{next()}; }
+
+}  // namespace rcsim

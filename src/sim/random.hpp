@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rcsim {
+
+/// Deterministic xoshiro256++ pseudo-random generator.
+///
+/// We implement the generator ourselves (instead of using std::mt19937) so
+/// that simulation runs are reproducible across standard-library
+/// implementations, and so that independent sub-streams can be forked for
+/// each node/timer without correlation (via SplitMix64 seeding + jumps).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Forked streams are themselves deterministic given the parent seed and
+  /// the sequence of fork() calls.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rcsim

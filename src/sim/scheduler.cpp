@@ -1,0 +1,53 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rcsim {
+
+EventId Scheduler::scheduleAt(Time at, Callback cb) {
+  assert(cb);
+  if (at < now_) at = now_;
+  Entry e;
+  e.at = at;
+  e.seq = nextSeq_++;
+  e.id = e.seq;
+  e.cb = std::move(cb);
+  const EventId id{e.id};
+  queue_.push(std::move(e));
+  return id;
+}
+
+EventId Scheduler::scheduleAfter(Time delay, Callback cb) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return scheduleAt(now_ + delay, std::move(cb));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.value);
+}
+
+void Scheduler::run(Time horizon) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Entry& top = queue_.top();
+    if (top.at > horizon) break;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    // Move the callback out before popping so it survives the pop, then run
+    // it with now_ already advanced (callbacks observe their own timestamp).
+    Entry e = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    e.cb();
+  }
+  // Advance the clock to the horizon unless stopped early: remaining events
+  // (if any) are strictly later, so subsequent relative scheduling should be
+  // anchored at the horizon.
+  if (!stopped_ && horizon != Time::infinity() && now_ < horizon) now_ = horizon;
+}
+
+}  // namespace rcsim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// Opaque handle returned by Scheduler::schedule*, usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+};
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Events scheduled for the same timestamp fire in FIFO order (stable by
+/// insertion sequence), which keeps protocol runs deterministic.
+/// Cancellation is lazy: cancelled ids are tombstoned and skipped on pop.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must not be before now()).
+  EventId scheduleAt(Time at, Callback cb);
+
+  /// Schedule `cb` after `delay` from now (negative delays clamp to now).
+  EventId scheduleAfter(Time delay, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// no-op, so callers can keep stale handles safely.
+  void cancel(EventId id);
+
+  /// Run until the queue drains, stop() is called, or the horizon is reached.
+  /// Events exactly at the horizon still fire.
+  void run(Time horizon = Time::infinity());
+
+  /// Request run() to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events currently pending (including tombstoned ones).
+  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// Total events executed so far (for perf accounting).
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    Callback cb;
+
+    // Min-heap: earlier time first; FIFO among equal times.
+    bool operator>(const Entry& rhs) const {
+      if (at != rhs.at) return at > rhs.at;
+      return seq > rhs.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = Time::zero();
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace rcsim {
+
+/// Simulation time, stored as integer nanoseconds so that event ordering is
+/// exact and runs are bit-for-bit reproducible across platforms.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t us) { return Time{us * 1'000}; }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  /// A time later than any event a simulation will ever schedule.
+  [[nodiscard]] static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) { return os << t.toSeconds() << "s"; }
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_{ns} {}
+
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_sec(long double s) { return Time::seconds(static_cast<double>(s)); }
+constexpr Time operator""_sec(unsigned long long s) {
+  return Time::nanoseconds(static_cast<std::int64_t>(s) * 1'000'000'000);
+}
+constexpr Time operator""_ms(unsigned long long ms) {
+  return Time::milliseconds(static_cast<std::int64_t>(ms));
+}
+constexpr Time operator""_us(unsigned long long us) {
+  return Time::microseconds(static_cast<std::int64_t>(us));
+}
+}  // namespace literals
+
+}  // namespace rcsim

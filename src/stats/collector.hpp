@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/types.hpp"
+#include "stats/path_tracer.hpp"
+#include "stats/route_log.hpp"
+#include "stats/timeseries.hpp"
+
+namespace rcsim {
+
+class Network;
+struct Packet;
+
+/// Packet-event tallies, split by cause. Data and control planes are
+/// counted separately so routing messages don't pollute Figure 3/4 numbers.
+struct PacketCounters {
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropNoRoute = 0;
+  std::uint64_t dropTtl = 0;
+  std::uint64_t dropQueue = 0;
+  std::uint64_t dropLinkDown = 0;
+  std::uint64_t dropInFlightCut = 0;
+
+  [[nodiscard]] std::uint64_t totalDropped() const {
+    return dropNoRoute + dropTtl + dropQueue + dropLinkDown + dropInFlightCut;
+  }
+};
+
+/// One-stop instrumentation: installs itself into the network's hooks and
+/// feeds the counters, time series, route-change log and path tracer.
+class StatsCollector {
+ public:
+  struct Config {
+    NodeId sender = kInvalidNode;    ///< Data source (for path tracing).
+    NodeId receiver = kInvalidNode;  ///< Data sink.
+    bool trackPath = true;
+  };
+
+  StatsCollector(Network& net, Config cfg);
+
+  /// Install network hooks. Must be the only hooks user for this network.
+  void install();
+
+  /// Set the failure watermark on all sub-collectors.
+  void setFailureWatermark(Time t);
+
+  [[nodiscard]] const PacketCounters& data() const { return data_; }
+  [[nodiscard]] const PacketCounters& control() const { return control_; }
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  [[nodiscard]] const RouteChangeLog& routeLog() const { return routeLog_; }
+  [[nodiscard]] RouteChangeLog& routeLog() { return routeLog_; }
+  [[nodiscard]] const PathTracer* tracer() const { return tracer_.get(); }
+
+  /// Data packets dropped at/after the watermark, by reason (the paper's
+  /// Figures 3 and 4 count only convergence-period drops).
+  [[nodiscard]] const PacketCounters& dataAfterWatermark() const { return dataAfter_; }
+
+  /// Delivered packets that had visited some node twice (escaped a loop).
+  [[nodiscard]] std::uint64_t loopEscapedDeliveries() const { return loopEscaped_; }
+
+  /// Routing-load accounting (every control payload handed to a link).
+  [[nodiscard]] std::uint64_t controlMessages() const { return controlMessages_; }
+  [[nodiscard]] std::uint64_t controlBytes() const { return controlBytes_; }
+  [[nodiscard]] std::uint64_t controlMessagesAfterWatermark() const {
+    return controlMessagesAfter_;
+  }
+
+ private:
+  void onDrop(Time t, NodeId where, const Packet& p, DropReason reason);
+  void onDeliver(Time t, NodeId node, const Packet& p);
+
+  Network& net_;
+  Config cfg_;
+  PacketCounters data_;
+  PacketCounters dataAfter_;
+  PacketCounters control_;
+  TimeSeries series_;
+  RouteChangeLog routeLog_;
+  std::unique_ptr<PathTracer> tracer_;
+  Time watermark_ = Time::infinity();
+  std::uint64_t loopEscaped_ = 0;
+  std::uint64_t controlMessages_ = 0;
+  std::uint64_t controlBytes_ = 0;
+  std::uint64_t controlMessagesAfter_ = 0;
+};
+
+}  // namespace rcsim

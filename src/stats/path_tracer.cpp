@@ -1,0 +1,52 @@
+#include "stats/path_tracer.hpp"
+
+#include "net/network.hpp"
+
+namespace rcsim {
+
+PathTracer::PathTracer(Network& net, NodeId src, NodeId dst) : net_{net}, src_{src}, dst_{dst} {}
+
+void PathTracer::snapshot(Time t) {
+  bool loop = false;
+  bool blackhole = false;
+  auto path = net_.fibWalk(src_, dst_, &loop, &blackhole);
+  if (!events_.empty() && events_.back().path == path) return;
+  events_.push_back(PathEvent{t, std::move(path), loop, blackhole});
+}
+
+const std::vector<NodeId>& PathTracer::currentPath() const {
+  static const std::vector<NodeId> kEmpty{};
+  return events_.empty() ? kEmpty : events_.back().path;
+}
+
+int PathTracer::transientPathsAfter(Time watermark) const {
+  int count = 0;
+  for (const auto& e : events_) {
+    if (e.t >= watermark) ++count;
+  }
+  return count;
+}
+
+double PathTracer::convergenceSecondsAfter(Time watermark) const {
+  Time last = watermark;
+  for (const auto& e : events_) {
+    if (e.t >= watermark && e.t > last) last = e.t;
+  }
+  return (last - watermark).toSeconds();
+}
+
+bool PathTracer::sawLoopAfter(Time watermark) const {
+  for (const auto& e : events_) {
+    if (e.t >= watermark && e.loop) return true;
+  }
+  return false;
+}
+
+bool PathTracer::sawBlackholeAfter(Time watermark) const {
+  for (const auto& e : events_) {
+    if (e.t >= watermark && e.blackhole) return true;
+  }
+  return false;
+}
+
+}  // namespace rcsim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+
+/// Watches the sender→receiver forwarding path (the FIB walk) across route
+/// changes. Produces the paper's per-failure path forensics: the sequence
+/// of transient forwarding paths, whether each loops or black-holes, and
+/// the forwarding-path convergence delay (Figure 6a).
+class PathTracer {
+ public:
+  struct PathEvent {
+    Time t;
+    std::vector<NodeId> path;
+    bool loop = false;
+    bool blackhole = false;
+  };
+
+  PathTracer(Network& net, NodeId src, NodeId dst);
+
+  /// Snapshot the current path; records an event if it differs from the
+  /// last snapshot. Call after any route change (and once at start).
+  void snapshot(Time t);
+
+  [[nodiscard]] const std::vector<PathEvent>& events() const { return events_; }
+  [[nodiscard]] const std::vector<NodeId>& currentPath() const;
+
+  /// Number of distinct transient paths observed at or after `watermark`.
+  [[nodiscard]] int transientPathsAfter(Time watermark) const;
+  /// Seconds from watermark to the last path change (0 if none).
+  [[nodiscard]] double convergenceSecondsAfter(Time watermark) const;
+  /// Did any observed path at/after watermark contain a loop?
+  [[nodiscard]] bool sawLoopAfter(Time watermark) const;
+  [[nodiscard]] bool sawBlackholeAfter(Time watermark) const;
+
+ private:
+  Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  std::vector<PathEvent> events_;
+};
+
+}  // namespace rcsim

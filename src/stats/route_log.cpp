@@ -1,0 +1,17 @@
+#include "stats/route_log.hpp"
+
+namespace rcsim {
+
+void RouteChangeLog::record(Time t, NodeId /*node*/, NodeId dst, NodeId /*oldNh*/, NodeId newNh) {
+  ++total_;
+  lastAny_ = t;
+  if (static_cast<std::size_t>(dst) < lastPerDst_.size()) {
+    lastPerDst_[static_cast<std::size_t>(dst)] = t;
+  }
+  if (t >= watermark_) {
+    ++afterWatermark_;
+    if (newNh == kInvalidNode) ++lossesAfterWatermark_;
+  }
+}
+
+}  // namespace rcsim

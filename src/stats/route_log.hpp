@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+/// Aggregated view of every FIB change in the network. Provides the
+/// paper's "network routing convergence time" (Figure 6b): the time of the
+/// last route change after the failure watermark.
+class RouteChangeLog {
+ public:
+  void resize(std::size_t nodeCount) { lastPerDst_.assign(nodeCount, Time::zero()); }
+
+  /// The failure-injection time; changes at or after it count as
+  /// convergence activity.
+  void setWatermark(Time t) { watermark_ = t; }
+  [[nodiscard]] Time watermark() const { return watermark_; }
+
+  void record(Time t, NodeId node, NodeId dst, NodeId oldNh, NodeId newNh);
+
+  [[nodiscard]] Time lastChangeAny() const { return lastAny_; }
+  [[nodiscard]] Time lastChangeFor(NodeId dst) const {
+    return lastPerDst_[static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::uint64_t totalChanges() const { return total_; }
+  [[nodiscard]] std::uint64_t changesAfterWatermark() const { return afterWatermark_; }
+  /// Routes lost (new next hop invalid) after the watermark — the
+  /// switch-over black-hole events.
+  [[nodiscard]] std::uint64_t routeLossesAfterWatermark() const { return lossesAfterWatermark_; }
+
+  /// Seconds from watermark to the last observed change (0 when no change
+  /// happened after the watermark).
+  [[nodiscard]] double convergenceSeconds() const {
+    if (lastAny_ < watermark_) return 0.0;
+    return (lastAny_ - watermark_).toSeconds();
+  }
+
+ private:
+  Time watermark_ = Time::infinity();
+  Time lastAny_ = Time::zero();
+  std::vector<Time> lastPerDst_;
+  std::uint64_t total_ = 0;
+  std::uint64_t afterWatermark_ = 0;
+  std::uint64_t lossesAfterWatermark_ = 0;
+};
+
+}  // namespace rcsim

@@ -1,0 +1,51 @@
+#include "topo/graph_algo.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace rcsim {
+
+std::vector<int> bfsDistances(const Topology& topo, NodeId src) {
+  const auto adj = topo.adjacency();
+  std::vector<int> dist(static_cast<std::size_t>(topo.nodeCount), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int graphDiameter(const Topology& topo) {
+  int diameter = 0;
+  for (NodeId s = 0; s < topo.nodeCount; ++s) {
+    const auto dist = bfsDistances(topo, s);
+    for (const int d : dist) {
+      if (d < 0) return -1;
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+int shortestFirstHops(const Topology& topo, NodeId src, NodeId dst) {
+  const auto distFromDst = bfsDistances(topo, dst);
+  const auto adj = topo.adjacency();
+  const int d = distFromDst[static_cast<std::size_t>(src)];
+  if (d < 0) return 0;
+  int count = 0;
+  for (const NodeId v : adj[static_cast<std::size_t>(src)]) {
+    if (distFromDst[static_cast<std::size_t>(v)] == d - 1) ++count;
+  }
+  return count;
+}
+
+}  // namespace rcsim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace rcsim {
+
+/// Unit-cost BFS distances from `src` to every node; -1 when unreachable.
+[[nodiscard]] std::vector<int> bfsDistances(const Topology& topo, NodeId src);
+
+/// Largest finite pairwise distance; -1 if the graph is disconnected.
+[[nodiscard]] int graphDiameter(const Topology& topo);
+
+/// Number of edge-disjoint shortest-path "first hops": how many neighbors of
+/// `src` lie on some shortest path to `dst`. This is the alternate-path
+/// supply the paper's §4.2 reasons about.
+[[nodiscard]] int shortestFirstHops(const Topology& topo, NodeId src, NodeId dst);
+
+}  // namespace rcsim

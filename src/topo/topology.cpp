@@ -1,0 +1,205 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace rcsim {
+
+std::vector<std::vector<NodeId>> Topology::adjacency() const {
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(nodeCount));
+  for (const auto& [a, b] : edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  return adj;
+}
+
+int Topology::degreeOf(NodeId n) const {
+  int d = 0;
+  for (const auto& [a, b] : edges) {
+    if (a == n || b == n) ++d;
+  }
+  return d;
+}
+
+bool Topology::hasEdge(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges.begin(), edges.end(), std::make_pair(a, b));
+}
+
+bool Topology::isConnected() const {
+  if (nodeCount == 0) return true;
+  const auto adj = adjacency();
+  std::vector<char> seen(static_cast<std::size_t>(nodeCount), 0);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = 1;
+  int visited = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == nodeCount;
+}
+
+namespace {
+
+/// Parity predicates that let a link family contribute exactly +1 to every
+/// interior node's degree (each node gets either the outgoing or the
+/// incoming instance of the offset, never both — see DESIGN.md §4).
+enum class Pred {
+  All,         ///< every node emits the offset (+2 interior degree)
+  DiagParity,  ///< (r + c) even
+  RowEven,     ///< r even
+  ColMod4,     ///< c mod 4 in {0, 1}
+  RowMod4,     ///< r mod 4 in {0, 1}
+};
+
+struct LinkRule {
+  int dr;
+  int dc;
+  Pred pred;
+};
+
+bool predHolds(Pred p, int r, int c) {
+  switch (p) {
+    case Pred::All: return true;
+    case Pred::DiagParity: return (r + c) % 2 == 0;
+    case Pred::RowEven: return r % 2 == 0;
+    case Pred::ColMod4: return c % 4 < 2;
+    case Pred::RowMod4: return r % 4 < 2;
+  }
+  return false;
+}
+
+/// Ordered construction stages. For target degree d we take the rules listed
+/// for that degree; each `All` rule adds 2 to the interior degree and each
+/// parity rule adds exactly 1.
+std::vector<LinkRule> rulesForDegree(int degree) {
+  switch (degree) {
+    case 3:
+      return {{0, 1, Pred::All}, {1, 0, Pred::DiagParity}};
+    case 4:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}};
+    case 5:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::RowEven}};
+    case 6:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}};
+    case 7:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::RowEven}};
+    case 8:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All}};
+    case 9:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::ColMod4}};
+    case 10:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}};
+    case 11:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::RowMod4}};
+    case 12:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::All}};
+    case 13:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::All}, {1, 2, Pred::ColMod4}};
+    case 14:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::All}, {1, 2, Pred::All}};
+    case 15:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::All}, {1, 2, Pred::All}, {2, 1, Pred::RowMod4}};
+    case 16:
+      return {{0, 1, Pred::All}, {1, 0, Pred::All}, {1, 1, Pred::All}, {1, -1, Pred::All},
+              {0, 2, Pred::All}, {2, 0, Pred::All}, {1, 2, Pred::All}, {2, 1, Pred::All}};
+    default:
+      throw std::invalid_argument("mesh degree must be in [3, 16], got " +
+                                  std::to_string(degree));
+  }
+}
+
+}  // namespace
+
+Topology makeRandomTopology(const RandomGraphSpec& spec) {
+  if (spec.nodes < 2) throw std::invalid_argument("random graph needs >= 2 nodes");
+  const auto maxEdges =
+      static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes - 1) / 2;
+  auto target = static_cast<std::size_t>(spec.avgDegree * spec.nodes / 2.0 + 0.5);
+  target = std::max<std::size_t>(target, static_cast<std::size_t>(spec.nodes - 1));
+  if (target > maxEdges) {
+    throw std::invalid_argument("average degree too high for node count");
+  }
+
+  Rng rng{spec.seed};
+  Topology topo;
+  topo.nodeCount = spec.nodes;
+
+  // Random spanning tree: attach each node (in a random order) to a
+  // uniformly chosen, already-attached node. Guarantees connectivity.
+  std::vector<NodeId> order(static_cast<std::size_t>(spec.nodes));
+  for (NodeId i = 0; i < spec.nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = order.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i)));
+    std::swap(order[i], order[j]);
+  }
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+    NodeId a = order[i];
+    NodeId b = order[j];
+    if (a > b) std::swap(a, b);
+    edges.emplace(a, b);
+  }
+  // Fill to the target with uniform random extra edges.
+  while (edges.size() < target) {
+    NodeId a = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
+    NodeId b = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    edges.emplace(a, b);
+  }
+  topo.edges.assign(edges.begin(), edges.end());
+  return topo;
+}
+
+Topology makeRegularMesh(const MeshSpec& spec) {
+  if (spec.rows < 3 || spec.cols < 3) {
+    throw std::invalid_argument("mesh requires rows, cols >= 3");
+  }
+  const auto rules = rulesForDegree(spec.degree);
+  Topology topo;
+  topo.nodeCount = spec.rows * spec.cols;
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      for (const auto& rule : rules) {
+        if (!predHolds(rule.pred, r, c)) continue;
+        const int r2 = r + rule.dr;
+        const int c2 = c + rule.dc;
+        if (r2 < 0 || r2 >= spec.rows || c2 < 0 || c2 >= spec.cols) continue;
+        NodeId a = gridId(r, c, spec.cols);
+        NodeId b = gridId(r2, c2, spec.cols);
+        if (a > b) std::swap(a, b);
+        topo.edges.emplace_back(a, b);
+      }
+    }
+  }
+  std::sort(topo.edges.begin(), topo.edges.end());
+  topo.edges.erase(std::unique(topo.edges.begin(), topo.edges.end()), topo.edges.end());
+  return topo;
+}
+
+}  // namespace rcsim

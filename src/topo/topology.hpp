@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rcsim {
+
+/// Pure graph description of a network (no simulation state). Produced by
+/// generators in this library and consumed by the scenario builder.
+struct Topology {
+  int nodeCount = 0;
+  /// Undirected edges, canonical form (a < b), sorted lexicographically.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  [[nodiscard]] std::vector<std::vector<NodeId>> adjacency() const;
+  [[nodiscard]] int degreeOf(NodeId n) const;
+  [[nodiscard]] bool isConnected() const;
+  [[nodiscard]] bool hasEdge(NodeId a, NodeId b) const;
+};
+
+/// Parameters of the regular-mesh family used throughout the paper:
+/// an RxC grid whose interior nodes all have the same degree (3..16),
+/// built with a deterministic Baran-style construction (DESIGN.md §4).
+struct MeshSpec {
+  int rows = 7;
+  int cols = 7;
+  int degree = 4;  ///< Target interior node degree, 3..16.
+};
+
+/// Deterministically construct the regular mesh for `spec`.
+/// Node ids are row-major: id = r * cols + c.
+[[nodiscard]] Topology makeRegularMesh(const MeshSpec& spec);
+
+/// Node id helpers for the row-major grid numbering.
+[[nodiscard]] constexpr NodeId gridId(int r, int c, int cols) {
+  return static_cast<NodeId>(r * cols + c);
+}
+
+/// Parameters of a connected random graph with a target average degree —
+/// the "random topology" the paper contrasts its regular family against
+/// (§5: regular topologies remove the per-run random factor; this
+/// generator lets the repository check the findings survive randomness).
+struct RandomGraphSpec {
+  int nodes = 49;
+  double avgDegree = 4.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministically (per seed) construct a connected random graph:
+/// a uniform random spanning tree skeleton plus uniform random extra
+/// edges up to round(nodes * avgDegree / 2) total.
+[[nodiscard]] Topology makeRandomTopology(const RandomGraphSpec& spec);
+
+}  // namespace rcsim

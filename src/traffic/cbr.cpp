@@ -1,0 +1,35 @@
+#include "traffic/cbr.hpp"
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace rcsim {
+
+CbrSource::CbrSource(Network& net, Config cfg) : net_{net}, cfg_{cfg} {}
+
+void CbrSource::install() {
+  auto& sched = net_.scheduler();
+  const double periodSec = 1.0 / cfg_.packetsPerSecond;
+  for (Time t = cfg_.start; t < cfg_.stop; t += Time::seconds(periodSec)) {
+    sched.scheduleAt(t, [this] { emitPacket(); });
+  }
+}
+
+void CbrSource::emitPacket() {
+  Packet p;
+  p.id = net_.nextPacketId();
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.ttl = cfg_.ttl;
+  p.sizeBytes = cfg_.packetBytes;
+  p.kind = PacketKind::Data;
+  p.sendTime = net_.scheduler().now();
+  if (cfg_.tracePackets) p.trace = std::make_shared<std::vector<NodeId>>();
+  ++sent_;
+  net_.node(cfg_.src).originate(std::move(p));
+}
+
+}  // namespace rcsim

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+struct Packet;
+
+/// End-to-end reliable flow over the routed data plane — the paper's §6
+/// future-work measurement ("end-to-end TCP performance during routing
+/// convergence"), modelled after the FTP workload of Shankar et al. that
+/// the paper cites: a fixed-window transfer with cumulative ACKs,
+/// timeout retransmission and duplicate-ACK fast retransmit. Both data and
+/// ACK packets are ordinary routed packets that can loop or be dropped.
+class TcpFlow {
+ public:
+  struct Config {
+    std::int32_t flowId = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    int window = 8;           ///< fixed window, packets
+    std::uint32_t packetBytes = 1000;
+    std::uint32_t ackBytes = 40;
+    int ttl = 127;
+    Time start;
+    Time stop;                ///< stop *offering* new data at this time
+    Time rto = Time::seconds(1.0);
+    int dupAckThreshold = 3;
+    bool tracePackets = false;
+  };
+
+  TcpFlow(Network& net, Config cfg);
+  ~TcpFlow();
+
+  TcpFlow(const TcpFlow&) = delete;
+  TcpFlow& operator=(const TcpFlow&) = delete;
+
+  /// Register delivery handlers on both endpoints and schedule the start.
+  void install();
+
+  // Sender-side counters.
+  [[nodiscard]] std::uint64_t uniquePacketsSent() const { return nextSeq_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t acked() const { return sendBase_; }
+
+  // Receiver-side counters.
+  [[nodiscard]] std::uint64_t goodputPackets() const { return recvNext_; }
+  /// New in-order packets accepted at the receiver, bucketed per second of
+  /// simulation time — the goodput series for the TCP figure.
+  [[nodiscard]] const std::vector<std::uint32_t>& goodputSeries() const { return goodput_; }
+  [[nodiscard]] double goodputAt(int second) const {
+    const auto i = static_cast<std::size_t>(second);
+    return second >= 0 && i < goodput_.size() ? goodput_[i] : 0.0;
+  }
+
+ private:
+  void startSending();
+  void fillWindow();
+  void sendData(std::uint64_t seq);
+  void sendAck();
+  void onPacket(const Packet& p);  // both endpoints dispatch here
+  void armRto();
+  void onRto();
+
+  Network& net_;
+  Config cfg_;
+
+  // Sender state.
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t sendBase_ = 0;
+  int dupAcks_ = 0;
+  EventId rtoTimer_{};
+  std::uint64_t retransmissions_ = 0;
+
+  // Receiver state.
+  std::uint64_t recvNext_ = 0;
+  std::set<std::uint64_t> outOfOrder_;
+  std::vector<std::uint32_t> goodput_;
+};
+
+}  // namespace rcsim

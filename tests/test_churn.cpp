@@ -1,0 +1,87 @@
+#include "core/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+ScenarioConfig churnBase(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::LinkState;  // fastest to reconverge
+  cfg.mesh.degree = 6;
+  cfg.seed = seed;
+  cfg.injectFailure = false;
+  cfg.trafficStart = 50_sec;
+  cfg.trafficStop = 250_sec;
+  cfg.failAt = 50_sec;  // watermark only
+  cfg.endAt = 300_sec;
+  return cfg;
+}
+
+TEST(Churn, InjectsFailuresAndRepairs) {
+  Scenario sc{churnBase(3)};
+  ChurnInjector::Config cfg;
+  cfg.meanUpSec = 30.0;
+  cfg.meanDownSec = 5.0;
+  cfg.start = 50_sec;
+  cfg.stop = 250_sec;
+  ChurnInjector churn{sc.network(), Rng{99}, cfg};
+  churn.install();
+  sc.run();
+  EXPECT_GT(churn.failuresInjected(), 10u);
+  // Every failure before the stop gets a repair eventually (repairs may lag
+  // the last failures by one MTTR, still inside the 50 s drain window).
+  EXPECT_GE(churn.repairsInjected() + 5, churn.failuresInjected());
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  auto run = [] {
+    Scenario sc{churnBase(5)};
+    ChurnInjector::Config cfg;
+    cfg.start = 50_sec;
+    cfg.stop = 250_sec;
+    ChurnInjector churn{sc.network(), Rng{7}, cfg};
+    churn.install();
+    sc.run();
+    return std::make_pair(churn.failuresInjected(), sc.stats().data().delivered);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Churn, NoNewFailuresAfterStop) {
+  Scenario sc{churnBase(7)};
+  ChurnInjector::Config cfg;
+  cfg.meanUpSec = 20.0;
+  cfg.meanDownSec = 2.0;
+  cfg.start = 50_sec;
+  cfg.stop = 150_sec;
+  ChurnInjector churn{sc.network(), Rng{11}, cfg};
+  churn.install();
+  sc.run();
+  // After stop + repairs drain, every link must be up again.
+  for (const auto& link : sc.network().links()) {
+    EXPECT_TRUE(link->isUp());
+  }
+  EXPECT_EQ(churn.failuresInjected(), churn.repairsInjected());
+}
+
+TEST(Churn, PacketConservationHolds) {
+  Scenario sc{churnBase(9)};
+  ChurnInjector::Config cfg;
+  cfg.start = 50_sec;
+  cfg.stop = 250_sec;
+  ChurnInjector churn{sc.network(), Rng{13}, cfg};
+  churn.install();
+  sc.run();
+  const auto& d = sc.stats().data();
+  EXPECT_EQ(sc.packetsSent(), d.delivered + d.totalDropped());
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,57 @@
+// Golden regression values: exact outputs of three deterministic runs
+// (degree-4 mesh, seed 42). Any change to protocol logic, timer handling,
+// RNG consumption order or the event pipeline will move these numbers —
+// that is the point. If a change is *intentional*, re-generate with the
+// printed actual values and record the reason in the commit.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace rcsim {
+namespace {
+
+RunResult golden(ProtocolKind kind) {
+  ScenarioConfig cfg;
+  cfg.protocol = kind;
+  cfg.mesh.degree = 4;
+  cfg.seed = 42;
+  return runScenario(cfg);
+}
+
+TEST(Golden, RipDegree4Seed42) {
+  const RunResult r = golden(ProtocolKind::Rip);
+  EXPECT_EQ(r.sent, 3200u);
+  EXPECT_EQ(r.data.delivered, 3006u);
+  EXPECT_EQ(r.dataAfterFailure.dropNoRoute, 193u);
+  EXPECT_EQ(r.dataAfterFailure.dropTtl, 0u);
+  EXPECT_EQ(r.dataAfterFailure.dropInFlightCut + r.dataAfterFailure.dropLinkDown, 1u);
+  EXPECT_NEAR(r.forwardingConvergenceSec, 9.663645, 1e-6);
+  EXPECT_NEAR(r.routingConvergenceSec, 25.174469, 1e-6);
+  EXPECT_EQ(r.transientPaths, 5);
+  EXPECT_EQ(r.eventsExecuted, 91801u);
+}
+
+TEST(Golden, DbfDegree4Seed42) {
+  const RunResult r = golden(ProtocolKind::Dbf);
+  EXPECT_EQ(r.sent, 3200u);
+  EXPECT_EQ(r.data.delivered, 3199u);
+  EXPECT_EQ(r.dataAfterFailure.dropNoRoute, 0u);
+  EXPECT_NEAR(r.forwardingConvergenceSec, 0.05, 1e-9);
+  EXPECT_NEAR(r.routingConvergenceSec, 7.992472, 1e-6);
+  EXPECT_EQ(r.transientPaths, 1);
+  EXPECT_EQ(r.eventsExecuted, 95132u);
+}
+
+TEST(Golden, Bgp3Degree4Seed42) {
+  const RunResult r = golden(ProtocolKind::Bgp3);
+  EXPECT_EQ(r.sent, 3200u);
+  EXPECT_EQ(r.data.delivered, 3199u);
+  EXPECT_EQ(r.dataAfterFailure.dropNoRoute, 0u);
+  EXPECT_NEAR(r.forwardingConvergenceSec, 0.05, 1e-9);
+  EXPECT_NEAR(r.routingConvergenceSec, 3.003035, 1e-6);
+  EXPECT_EQ(r.transientPaths, 1);
+  EXPECT_EQ(r.eventsExecuted, 111382u);
+}
+
+}  // namespace
+}  // namespace rcsim

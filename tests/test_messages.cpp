@@ -1,0 +1,67 @@
+// Wire-format accounting tests: message sizes feed link serialization and
+// the routing-load figures, so they are part of the observable model.
+#include <gtest/gtest.h>
+
+#include "net/reliable.hpp"
+#include "routing/messages.hpp"
+
+namespace rcsim {
+namespace {
+
+TEST(Messages, DvUpdateSizeTracksEntryCount) {
+  DvUpdate u;
+  EXPECT_EQ(u.sizeBytes(), 4u);  // bare header
+  u.entries.push_back(DvEntry{1, 3});
+  EXPECT_EQ(u.sizeBytes(), 24u);
+  u.entries.resize(25, DvEntry{2, 5});
+  EXPECT_EQ(u.sizeBytes(), 4u + 25u * 20u);
+}
+
+TEST(Messages, DvUpdateDescribeListsRoutes) {
+  DvUpdate u;
+  u.entries.push_back(DvEntry{7, 16});
+  const auto text = u.describe();
+  EXPECT_NE(text.find("dv-update(1)"), std::string::npos);
+  EXPECT_NE(text.find("7:16"), std::string::npos);
+}
+
+TEST(Messages, BgpUpdateSizeTracksPathLengths) {
+  BgpUpdate u;
+  const auto base = u.sizeBytes();
+  u.advertised.push_back(BgpRoute{5, {1, 2, 5}});
+  EXPECT_EQ(u.sizeBytes(), base + 8 + 12);
+  u.withdrawn.push_back(9);
+  EXPECT_EQ(u.sizeBytes(), base + 8 + 12 + 4);
+}
+
+TEST(Messages, BgpUpdateDescribeShowsPathAndWithdrawal) {
+  BgpUpdate u;
+  u.advertised.push_back(BgpRoute{5, {1, 2, 5}});
+  u.withdrawn.push_back(9);
+  const auto text = u.describe();
+  EXPECT_NE(text.find("adv=1"), std::string::npos);
+  EXPECT_NE(text.find("5:[1 2 5]"), std::string::npos);
+  EXPECT_NE(text.find("-9"), std::string::npos);
+}
+
+TEST(Messages, LsaSizeTracksNeighborCount) {
+  Lsa lsa;
+  const auto base = lsa.sizeBytes();
+  lsa.neighbors = {1, 2, 3};
+  EXPECT_EQ(lsa.sizeBytes(), base + 36);
+}
+
+TEST(Messages, TransportSegmentWrapsInnerSize) {
+  auto inner = std::make_shared<BgpUpdate>();
+  inner->advertised.push_back(BgpRoute{5, {1, 5}});
+  TransportSegment seg;
+  seg.inner = inner;
+  EXPECT_EQ(seg.sizeBytes(), 20u + inner->sizeBytes());
+  TransportSegment ack;
+  ack.isAck = true;
+  EXPECT_EQ(ack.sizeBytes(), 20u);
+  EXPECT_NE(ack.describe().find("ack"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,104 @@
+// Network container and topology-query tests.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/topology.hpp"
+
+namespace rcsim {
+namespace {
+
+TEST(Network, DenseIdsInCreationOrder) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  EXPECT_EQ(net.addNode(), 0);
+  EXPECT_EQ(net.addNode(), 1);
+  EXPECT_EQ(net.addNode(), 2);
+  EXPECT_EQ(net.nodeCount(), 3u);
+}
+
+TEST(Network, FindLinkEitherDirection) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  net.addNode();
+  net.addNode();
+  Link& l = net.addLink(0, 1, LinkConfig{});
+  EXPECT_EQ(net.findLink(0, 1), &l);
+  EXPECT_EQ(net.findLink(1, 0), &l);
+  EXPECT_EQ(net.findLink(0, 0), nullptr);
+}
+
+TEST(Network, NeighborsReflectAttachedLinks) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  for (int i = 0; i < 4; ++i) net.addNode();
+  net.addLink(0, 1, LinkConfig{});
+  net.addLink(0, 2, LinkConfig{});
+  EXPECT_EQ(net.node(0).neighbors().size(), 2u);
+  EXPECT_EQ(net.node(3).neighbors().size(), 0u);
+  EXPECT_TRUE(net.node(0).neighborReachable(1));
+  net.findLink(0, 1)->fail();
+  EXPECT_FALSE(net.node(0).neighborReachable(1));
+}
+
+TEST(Network, ShortestPathLiveOnMesh) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  const auto topo = makeRegularMesh(MeshSpec{5, 5, 4});
+  for (int i = 0; i < topo.nodeCount; ++i) net.addNode();
+  for (const auto& [a, b] : topo.edges) net.addLink(a, b, LinkConfig{});
+  net.finalize();
+  EXPECT_EQ(net.shortestDistLive(gridId(0, 0, 5), gridId(4, 4, 5)), 8);
+  // Cutting a corner link forces the detour accounting to update.
+  net.findLink(gridId(0, 0, 5), gridId(0, 1, 5))->fail();
+  net.findLink(gridId(0, 0, 5), gridId(1, 0, 5))->fail();
+  EXPECT_EQ(net.shortestDistLive(gridId(0, 0, 5), gridId(4, 4, 5)), -1);
+}
+
+TEST(Network, FibWalkTrivialCases) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  net.addNode();
+  net.addNode();
+  net.addLink(0, 1, LinkConfig{});
+  net.finalize();
+  bool loop = true;
+  bool blackhole = false;
+  // src == dst: a one-node path, no blackhole.
+  const auto self = net.fibWalk(0, 0, &loop, &blackhole);
+  EXPECT_EQ(self, (std::vector<NodeId>{0}));
+  EXPECT_FALSE(loop);
+  EXPECT_FALSE(blackhole);
+  // No route installed: immediate blackhole.
+  const auto walk = net.fibWalk(0, 1, &loop, &blackhole);
+  EXPECT_TRUE(blackhole);
+  EXPECT_EQ(walk, (std::vector<NodeId>{0}));
+}
+
+TEST(Network, PacketIdsAreUnique) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  const auto a = net.nextPacketId();
+  const auto b = net.nextPacketId();
+  EXPECT_NE(a, b);
+}
+
+TEST(Network, TraceSinkReceivesFailureEvents) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  net.addNode();
+  net.addNode();
+  Link& l = net.addLink(0, 1, LinkConfig{});
+  std::vector<std::string> lines;
+  net.trace().setSink([&lines](Time, TraceCategory cat, const std::string& msg) {
+    lines.push_back(std::string{toString(cat)} + " " + msg);
+  });
+  l.fail();
+  l.recover();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("failed"), std::string::npos);
+  EXPECT_NE(lines[1].find("recovered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,107 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcsim {
+namespace {
+
+TEST(Options, AppliesScenarioKeys) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "protocol", "RIP");
+  applyOption(cfg, "degree", "9");
+  applyOption(cfg, "seed", "77");
+  applyOption(cfg, "flows", "3");
+  applyOption(cfg, "traffic", "tcp");
+  applyOption(cfg, "rate", "12.5");
+  applyOption(cfg, "failures", "2");
+  applyOption(cfg, "fail-at", "123.5");
+  applyOption(cfg, "no-failure", "0");
+  EXPECT_EQ(cfg.protocol, ProtocolKind::Rip);
+  EXPECT_EQ(cfg.mesh.degree, 9);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.flows, 3);
+  EXPECT_EQ(cfg.traffic, TrafficKind::Tcp);
+  EXPECT_DOUBLE_EQ(cfg.packetsPerSecond, 12.5);
+  EXPECT_EQ(cfg.failureCount, 2);
+  EXPECT_DOUBLE_EQ(cfg.failAt.toSeconds(), 123.5);
+  EXPECT_TRUE(cfg.injectFailure);
+}
+
+TEST(Options, AppliesProtocolKnobs) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "dv.periodic", "15");
+  applyOption(cfg, "dv.infinity", "32");
+  applyOption(cfg, "dv.poison", "off");
+  applyOption(cfg, "bgp.mrai-min", "2.25");
+  applyOption(cfg, "bgp.per-dest-mrai", "1");
+  applyOption(cfg, "bgp.rfd", "true");
+  applyOption(cfg, "ls.spf-delay-ms", "25");
+  EXPECT_DOUBLE_EQ(cfg.protoCfg.dv.periodicInterval.toSeconds(), 15.0);
+  EXPECT_EQ(cfg.protoCfg.dv.infinityMetric, 32);
+  EXPECT_EQ(cfg.protoCfg.dv.splitHorizon, SplitHorizonMode::None);
+  EXPECT_DOUBLE_EQ(cfg.protoCfg.bgp.mraiMinSec, 2.25);
+  EXPECT_TRUE(cfg.protoCfg.bgp.perDestMrai);
+  EXPECT_TRUE(cfg.protoCfg.bgp.flapDampingEnabled);
+  EXPECT_DOUBLE_EQ(cfg.protoCfg.ls.spfDelay.toSeconds(), 0.025);
+}
+
+TEST(Options, AppliesLinkKnobs) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "bandwidth", "1e6");
+  applyOption(cfg, "prop-delay-ms", "2.5");
+  applyOption(cfg, "queue", "50");
+  applyOption(cfg, "detect-ms", "100");
+  EXPECT_DOUBLE_EQ(cfg.link.bandwidthBps, 1e6);
+  EXPECT_DOUBLE_EQ(cfg.link.propDelay.toSeconds(), 0.0025);
+  EXPECT_EQ(cfg.link.queueCapacity, 50u);
+  EXPECT_DOUBLE_EQ(cfg.link.detectDelay.toSeconds(), 0.1);
+}
+
+TEST(Options, TopologySelection) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "topology", "random");
+  applyOption(cfg, "random.nodes", "64");
+  applyOption(cfg, "random.avg-degree", "5.5");
+  EXPECT_EQ(cfg.topology, TopologyKind::Random);
+  EXPECT_EQ(cfg.random.nodes, 64);
+  EXPECT_DOUBLE_EQ(cfg.random.avgDegree, 5.5);
+  applyOption(cfg, "topology", "mesh");
+  EXPECT_EQ(cfg.topology, TopologyKind::RegularMesh);
+}
+
+TEST(Options, OptionStringFormats) {
+  ScenarioConfig cfg;
+  applyOptionString(cfg, "degree=11");
+  EXPECT_EQ(cfg.mesh.degree, 11);
+  applyOptionString(cfg, "--degree=12");
+  EXPECT_EQ(cfg.mesh.degree, 12);
+}
+
+TEST(Options, RejectsMalformedInput) {
+  ScenarioConfig cfg;
+  EXPECT_THROW(applyOption(cfg, "unknown-key", "1"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "degree", "abc"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "degree", "4x"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "rate", ""), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "protocol", "OSPFv9"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "traffic", "udp"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "dv.poison", "maybe"), std::invalid_argument);
+  EXPECT_THROW(applyOptionString(cfg, "no-equals-sign"), std::invalid_argument);
+}
+
+TEST(Options, DescribeRoundTrips) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "protocol", "BGP3");
+  applyOption(cfg, "degree", "5");
+  applyOption(cfg, "flows", "2");
+  const auto described = describeOptions(cfg);
+  ScenarioConfig rebuilt;
+  for (const auto& opt : described) applyOptionString(rebuilt, opt);
+  EXPECT_EQ(rebuilt.protocol, cfg.protocol);
+  EXPECT_EQ(rebuilt.mesh.degree, cfg.mesh.degree);
+  EXPECT_EQ(rebuilt.flows, cfg.flows);
+  EXPECT_EQ(rebuilt.failAt, cfg.failAt);
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,126 @@
+// Property-style invariants over the (protocol x degree x seed) grid,
+// using the full paper timeline. These are the repository's conservation
+// laws: if any of them breaks, figure numbers cannot be trusted.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace rcsim {
+namespace {
+
+struct GridParam {
+  ProtocolKind kind;
+  int degree;
+  std::uint64_t seed;
+};
+
+void PrintTo(const GridParam& p, std::ostream* os) {
+  *os << toString(p.kind) << "/deg" << p.degree << "/seed" << p.seed;
+}
+
+class RunGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static RunResult run(const GridParam& p) {
+    ScenarioConfig cfg;
+    cfg.protocol = p.kind;
+    cfg.mesh.degree = p.degree;
+    cfg.seed = p.seed;
+    return runScenario(cfg);
+  }
+};
+
+TEST_P(RunGrid, PacketConservation) {
+  const RunResult r = run(GetParam());
+  // Every data packet is delivered or dropped with a recorded cause; none
+  // remain in flight at simulation end (traffic stops 250 s before it).
+  EXPECT_EQ(r.residual(), 0) << "sent=" << r.sent << " delivered=" << r.data.delivered
+                             << " dropped=" << r.data.totalDropped();
+}
+
+TEST_P(RunGrid, WarmupReachesShortestPath) {
+  const RunResult r = run(GetParam());
+  EXPECT_TRUE(r.preFailurePathShortest);
+}
+
+TEST_P(RunGrid, ForwardingPathReconvergesToShortest) {
+  const RunResult r = run(GetParam());
+  EXPECT_TRUE(r.finalPathShortest);
+}
+
+TEST_P(RunGrid, ConvergenceCompletesWithinRun) {
+  const RunResult r = run(GetParam());
+  // 400 s of post-failure time must be enough for every protocol here.
+  EXPECT_LT(r.routingConvergenceSec, 350.0);
+  EXPECT_LE(r.forwardingConvergenceSec, r.routingConvergenceSec + 1e-9);
+}
+
+TEST_P(RunGrid, NoQueueOverflowAtThisLoad) {
+  // 20 pkt/s against 10 Mb/s links: queueing losses would indicate a
+  // simulation bug, not congestion.
+  const RunResult r = run(GetParam());
+  EXPECT_EQ(r.data.dropQueue, 0u);
+}
+
+TEST_P(RunGrid, DropsOnlyDuringConvergence) {
+  const RunResult r = run(GetParam());
+  // No-route/TTL drops must not occur before the failure watermark.
+  EXPECT_EQ(r.data.dropNoRoute, r.dataAfterFailure.dropNoRoute);
+  EXPECT_EQ(r.data.dropTtl, r.dataAfterFailure.dropTtl);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RunGrid,
+    ::testing::Values(
+        GridParam{ProtocolKind::Rip, 3, 1}, GridParam{ProtocolKind::Rip, 5, 2},
+        GridParam{ProtocolKind::Rip, 8, 3}, GridParam{ProtocolKind::Dbf, 3, 1},
+        GridParam{ProtocolKind::Dbf, 5, 2}, GridParam{ProtocolKind::Dbf, 8, 3},
+        GridParam{ProtocolKind::Bgp, 3, 1}, GridParam{ProtocolKind::Bgp, 5, 2},
+        GridParam{ProtocolKind::Bgp, 8, 3}, GridParam{ProtocolKind::Bgp3, 3, 1},
+        GridParam{ProtocolKind::Bgp3, 5, 2}, GridParam{ProtocolKind::Bgp3, 8, 3},
+        GridParam{ProtocolKind::LinkState, 3, 1}, GridParam{ProtocolKind::LinkState, 5, 2},
+        GridParam{ProtocolKind::Dual, 3, 1}, GridParam{ProtocolKind::Dual, 5, 2},
+        GridParam{ProtocolKind::Dual, 8, 3}, GridParam{ProtocolKind::Rip, 16, 4},
+        GridParam{ProtocolKind::Dbf, 16, 4}, GridParam{ProtocolKind::Bgp3, 16, 4}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string{toString(info.param.kind)} + "_deg" +
+             std::to_string(info.param.degree) + "_seed" + std::to_string(info.param.seed);
+    });
+
+/// DBF's defining property, checked across seeds: with degree >= 5 in this
+/// family there is always a valid cached alternate, so a failure causes no
+/// no-route drops at all (the only losses are in-flight cuts).
+class DbfSwitchover : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbfSwitchover, NoRouteDropFreeAtDegree5Plus) {
+  for (const int degree : {5, 6, 8}) {
+    ScenarioConfig cfg;
+    cfg.protocol = ProtocolKind::Dbf;
+    cfg.mesh.degree = degree;
+    cfg.seed = GetParam();
+    const RunResult r = runScenario(cfg);
+    EXPECT_EQ(r.dataAfterFailure.dropNoRoute, 0u) << "degree " << degree;
+    EXPECT_LE(r.dataAfterFailure.dropInFlightCut + r.dataAfterFailure.dropLinkDown, 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbfSwitchover, ::testing::Range<std::uint64_t>(1, 9));
+
+/// BGP safety across seeds: no node ever installs a route whose path
+/// contains itself (checked end-state; transient checks live in the
+/// forwarding-loop counters instead).
+class BgpLoopFree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpLoopFree, EndStateHasNoLoopedForwarding) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Bgp3;
+  cfg.mesh.degree = 4;
+  cfg.seed = GetParam();
+  const RunResult r = runScenario(cfg);
+  EXPECT_TRUE(r.finalPathShortest);
+  EXPECT_EQ(r.residual(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpLoopFree, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,111 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rcsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r{0};
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 100; ++i) vals.insert(r.next());
+  EXPECT_GT(vals.size(), 95u);  // not stuck on a degenerate state
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform(22.5, 30.0);
+    EXPECT_GE(v, 22.5);
+    EXPECT_LT(v, 30.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r{123};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r{9};
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniformInt(0, 6);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 6);
+    sawLo = sawLo || v == 0;
+    sawHi = sawHi || v == 6;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r{9};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformIntUnbiasedish) {
+  Rng r{11};
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(r.uniformInt(0, 6))];
+  for (const int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsIndependentAndDeterministic) {
+  Rng parent1{77};
+  Rng parent2{77};
+  Rng childA = parent1.fork();
+  Rng childB = parent2.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childA.next(), childB.next());
+  // Fork order matters and yields distinct streams.
+  Rng parent3{77};
+  (void)parent3.next();
+  Rng childC = parent3.fork();
+  EXPECT_NE(childA.next(), childC.next());
+}
+
+}  // namespace
+}  // namespace rcsim

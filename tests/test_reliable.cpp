@@ -1,0 +1,159 @@
+#include "net/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+struct Msg final : ControlPayload {
+  explicit Msg(int v) : value{v} {}
+  int value;
+  std::uint32_t sizeBytes() const override { return 16; }
+  std::string describe() const override { return "msg:" + std::to_string(value); }
+};
+
+/// Two adjacent nodes with a ReliableSession on each side, dispatched
+/// manually (the way Bgp wires them).
+struct ReliableFixture : ::testing::Test {
+  ReliableFixture() : net{sched, Rng{5}} {
+    a = net.addNode();
+    b = net.addNode();
+    cfg.queueCapacity = 4;  // small queue so overflow-loss is easy to force
+    link = &net.addLink(a, b, cfg);
+    net.finalize();
+
+    ReliableSession::Config scfg;
+    scfg.rto = 200_ms;
+    sessA = std::make_unique<ReliableSession>(
+        net.node(a), b, [this](std::shared_ptr<const ControlPayload> m) { recvAtA.push_back(value(m)); },
+        scfg);
+    sessB = std::make_unique<ReliableSession>(
+        net.node(b), a, [this](std::shared_ptr<const ControlPayload> m) { recvAtB.push_back(value(m)); },
+        scfg);
+    // Control dispatch: Node has no protocol here, so hand segments over
+    // via a tiny adapter protocol.
+    struct Adapter final : RoutingProtocol {
+      ReliableSession* sess;
+      Adapter(Node& n, ReliableSession* s) : RoutingProtocol{n}, sess{s} {}
+      void start() override {}
+      void onLinkDown(NodeId) override {}
+      void onLinkUp(NodeId) override {}
+      void onMessage(NodeId, std::shared_ptr<const ControlPayload> msg) override {
+        if (auto seg = std::dynamic_pointer_cast<const TransportSegment>(msg)) sess->onSegment(seg);
+      }
+      std::string name() const override { return "adapter"; }
+    };
+    net.node(a).setProtocol(std::make_unique<Adapter>(net.node(a), sessA.get()));
+    net.node(b).setProtocol(std::make_unique<Adapter>(net.node(b), sessB.get()));
+  }
+
+  static int value(const std::shared_ptr<const ControlPayload>& m) {
+    return dynamic_cast<const Msg&>(*m).value;
+  }
+
+  Scheduler sched;
+  Network net;
+  LinkConfig cfg;
+  NodeId a{}, b{};
+  Link* link = nullptr;
+  std::unique_ptr<ReliableSession> sessA, sessB;
+  std::vector<int> recvAtA, recvAtB;
+};
+
+TEST_F(ReliableFixture, DeliversInOrder) {
+  for (int i = 0; i < 10; ++i) sessA->send(std::make_shared<Msg>(i));
+  sched.run();
+  ASSERT_EQ(recvAtB.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(recvAtB[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(ReliableFixture, BidirectionalStreamsDoNotInterfere) {
+  for (int i = 0; i < 5; ++i) {
+    sessA->send(std::make_shared<Msg>(i));
+    sessB->send(std::make_shared<Msg>(100 + i));
+  }
+  sched.run();
+  EXPECT_EQ(recvAtB, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(recvAtA, (std::vector<int>{100, 101, 102, 103, 104}));
+}
+
+TEST_F(ReliableFixture, RecoversFromQueueOverflowLoss) {
+  // Burst far beyond the 4-packet queue: some segments drop, the RTO
+  // recovers them, and delivery stays exactly-once in-order.
+  for (int i = 0; i < 30; ++i) sessA->send(std::make_shared<Msg>(i));
+  sched.run();
+  ASSERT_EQ(recvAtB.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(recvAtB[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(sessA->retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, BacklogBeyondWindowDrains) {
+  for (int i = 0; i < 100; ++i) sessA->send(std::make_shared<Msg>(i));
+  EXPECT_GT(sessA->backlogCount(), 0u);  // window is 32
+  sched.run();
+  EXPECT_EQ(recvAtB.size(), 100u);
+  EXPECT_EQ(sessA->backlogCount(), 0u);
+  EXPECT_EQ(sessA->unackedCount(), 0u);
+}
+
+TEST_F(ReliableFixture, RetransmitsAcrossLinkOutage) {
+  sessA->send(std::make_shared<Msg>(7));
+  sched.scheduleAt(Time::microseconds(10), [this] { link->fail(); });
+  sched.scheduleAt(1_sec, [this] { link->recover(); });
+  sched.run(10_sec);
+  ASSERT_EQ(recvAtB.size(), 1u);
+  EXPECT_EQ(recvAtB[0], 7);
+  EXPECT_GT(sessA->retransmissions(), 0u);
+}
+
+TEST_F(ReliableFixture, DuplicateSegmentsDeliveredOnce) {
+  // Force duplicates: RTO fires even though the first copy arrived, because
+  // we delay the ack path with an outage in the reverse direction only.
+  // Simpler: send, let it deliver, then replay the same segment manually.
+  auto seg = std::make_shared<TransportSegment>();
+  seg->seq = 0;
+  seg->isAck = false;
+  seg->inner = std::make_shared<Msg>(1);
+  sessB->onSegment(seg);
+  sessB->onSegment(seg);
+  sched.run();
+  EXPECT_EQ(recvAtB, (std::vector<int>{1}));
+}
+
+TEST_F(ReliableFixture, OutOfOrderSegmentsBufferedUntilGapFills) {
+  auto mk = [](std::uint32_t seq, int v) {
+    auto seg = std::make_shared<TransportSegment>();
+    seg->seq = seq;
+    seg->inner = std::make_shared<Msg>(v);
+    return seg;
+  };
+  sessB->onSegment(mk(2, 2));
+  sessB->onSegment(mk(1, 1));
+  EXPECT_TRUE(recvAtB.empty());
+  sessB->onSegment(mk(0, 0));
+  EXPECT_EQ(recvAtB, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(ReliableFixture, ResetAcrossOutageRestartsCleanly) {
+  // Reset pairs with a link outage (as BGP uses it): the cut removes every
+  // in-flight segment, so both sides can restart the sequence space.
+  for (int i = 0; i < 50; ++i) sessA->send(std::make_shared<Msg>(i));
+  sched.run(10_ms);
+  link->fail();
+  sessA->reset();
+  sessB->reset();
+  link->recover();
+  recvAtB.clear();
+  sessA->send(std::make_shared<Msg>(999));
+  sched.run(sched.now() + 2_sec);
+  EXPECT_EQ(recvAtB, (std::vector<int>{999}));  // sequence space restarted
+  EXPECT_EQ(sessA->unackedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace rcsim

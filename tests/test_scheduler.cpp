@@ -1,0 +1,156 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(3_sec, [&] { order.push_back(3); });
+  s.scheduleAt(1_sec, [&] { order.push_back(1); });
+  s.scheduleAt(2_sec, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_sec);
+}
+
+TEST(Scheduler, FifoAmongEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.scheduleAt(1_sec, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesDuringCallbacks) {
+  Scheduler s;
+  Time seen;
+  s.scheduleAt(5_sec, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 5_sec);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  Time seen;
+  s.scheduleAt(2_sec, [&] { s.scheduleAfter(3_sec, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 5_sec);
+}
+
+TEST(Scheduler, ZeroDelayFiresSameTimestampAfterCurrent) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(1_sec, [&] {
+    order.push_back(1);
+    s.scheduleAfter(Time::zero(), [&] { order.push_back(3); });
+  });
+  s.scheduleAt(1_sec, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 1_sec);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.scheduleAt(1_sec, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeOnStaleIds) {
+  Scheduler s;
+  int fired = 0;
+  const EventId id = s.scheduleAt(1_sec, [&] { ++fired; });
+  s.run();
+  s.cancel(id);     // already fired: no-op
+  s.cancel(id);     // twice: still fine
+  s.cancel(EventId{});  // invalid id: no-op
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, RunUntilHorizonStopsAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.scheduleAt(1_sec, [&] { ++fired; });
+  s.scheduleAt(10_sec, [&] { ++fired; });
+  s.run(5_sec);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_sec);
+  s.run(20_sec);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20_sec);
+}
+
+TEST(Scheduler, EventExactlyAtHorizonFires) {
+  Scheduler s;
+  bool fired = false;
+  s.scheduleAt(5_sec, [&] { fired = true; });
+  s.run(5_sec);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, StopHaltsProcessing) {
+  Scheduler s;
+  int fired = 0;
+  s.scheduleAt(1_sec, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.scheduleAt(2_sec, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  Time seen = Time::infinity();
+  s.scheduleAt(4_sec, [&] {
+    s.scheduleAt(1_sec, [&] { seen = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(seen, 4_sec);
+}
+
+TEST(Scheduler, ExecutedEventsCounts) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.scheduleAt(Time::seconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executedEvents(), 5u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  Time last = Time::zero();
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    s.scheduleAt(Time::microseconds((i * 7919) % 10007), [&] {
+      if (s.now() < last) monotone = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executedEvents(), 20000u);
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,187 @@
+#include "stats/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "stats/path_tracer.hpp"
+#include "stats/route_log.hpp"
+#include "stats/timeseries.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+TEST(TimeSeries, BucketsBySecond) {
+  TimeSeries ts;
+  ts.recordDelivery(Time::milliseconds(500), 0.01, false, 3);
+  ts.recordDelivery(Time::milliseconds(900), 0.03, false, 3);
+  ts.recordDelivery(Time::milliseconds(1100), 0.05, true, 9);
+  EXPECT_EQ(ts.throughputAt(0), 2.0);
+  EXPECT_EQ(ts.throughputAt(1), 1.0);
+  EXPECT_EQ(ts.throughputAt(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.meanDelayAt(0), 0.02);
+  EXPECT_DOUBLE_EQ(ts.meanDelayAt(1), 0.05);
+  EXPECT_EQ(ts.bucket(1).loopedDelivered, 1u);
+  EXPECT_EQ(ts.bucket(0).hopSum, 6u);
+}
+
+TEST(TimeSeries, OutOfRangeBucketsAreEmpty) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.throughputAt(-1), 0.0);
+  EXPECT_EQ(ts.throughputAt(1000), 0.0);
+  EXPECT_EQ(ts.meanDelayAt(5), 0.0);
+}
+
+TEST(RouteChangeLog, ConvergenceSecondsFromWatermark) {
+  RouteChangeLog log;
+  log.resize(4);
+  log.setWatermark(10_sec);
+  log.record(5_sec, 0, 1, kInvalidNode, 1);   // pre-failure
+  log.record(12_sec, 0, 1, 1, 2);             // post-failure
+  log.record(Time::seconds(13.5), 1, 1, 0, 2);
+  EXPECT_DOUBLE_EQ(log.convergenceSeconds(), 3.5);
+  EXPECT_EQ(log.changesAfterWatermark(), 2u);
+  EXPECT_EQ(log.totalChanges(), 3u);
+  EXPECT_EQ(log.lastChangeFor(1), Time::seconds(13.5));
+}
+
+TEST(RouteChangeLog, NoChangeAfterWatermarkIsZero) {
+  RouteChangeLog log;
+  log.resize(2);
+  log.setWatermark(10_sec);
+  log.record(5_sec, 0, 1, kInvalidNode, 1);
+  EXPECT_DOUBLE_EQ(log.convergenceSeconds(), 0.0);
+}
+
+TEST(RouteChangeLog, CountsRouteLosses) {
+  RouteChangeLog log;
+  log.resize(2);
+  log.setWatermark(Time::zero());
+  log.record(1_sec, 0, 1, 1, kInvalidNode);
+  log.record(2_sec, 0, 1, kInvalidNode, 1);
+  EXPECT_EQ(log.routeLossesAfterWatermark(), 1u);
+}
+
+struct TracerFixture : ::testing::Test {
+  TracerFixture() : net{sched, Rng{1}} {
+    for (int i = 0; i < 4; ++i) net.addNode();  // 0-1-2-3 line
+    net.addLink(0, 1, cfg);
+    net.addLink(1, 2, cfg);
+    net.addLink(2, 3, cfg);
+    net.finalize();
+  }
+  Scheduler sched;
+  LinkConfig cfg;
+  Network net;
+};
+
+TEST_F(TracerFixture, RecordsDistinctPathsOnly) {
+  PathTracer tracer{net, 0, 3};
+  net.node(0).setRoute(3, 1);
+  net.node(1).setRoute(3, 2);
+  net.node(2).setRoute(3, 3);
+  tracer.snapshot(1_sec);
+  tracer.snapshot(2_sec);  // unchanged: no new event
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].path, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_FALSE(tracer.events()[0].loop);
+
+  net.node(1).setRoute(3, kInvalidNode);
+  tracer.snapshot(3_sec);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_TRUE(tracer.events()[1].blackhole);
+  EXPECT_DOUBLE_EQ(tracer.convergenceSecondsAfter(Time::zero()), 3.0);
+  EXPECT_EQ(tracer.transientPathsAfter(Time::seconds(2.5)), 1);
+  EXPECT_TRUE(tracer.sawBlackholeAfter(Time::zero()));
+  EXPECT_FALSE(tracer.sawLoopAfter(Time::zero()));
+}
+
+TEST_F(TracerFixture, DetectsLoops) {
+  PathTracer tracer{net, 0, 3};
+  net.node(0).setRoute(3, 1);
+  net.node(1).setRoute(3, 0);
+  tracer.snapshot(1_sec);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_TRUE(tracer.events()[0].loop);
+  EXPECT_TRUE(tracer.sawLoopAfter(Time::zero()));
+}
+
+TEST_F(TracerFixture, CollectorWiresEverythingTogether) {
+  StatsCollector stats{net, StatsCollector::Config{0, 3, true}};
+  stats.install();
+  stats.setFailureWatermark(10_sec);
+
+  net.node(0).setRoute(3, 1);
+  net.node(1).setRoute(3, 2);
+  net.node(2).setRoute(3, 3);
+
+  // A delivered data packet.
+  Packet p;
+  p.id = 1;
+  p.src = 0;
+  p.dst = 3;
+  p.ttl = 64;
+  p.sizeBytes = 1000;
+  p.kind = PacketKind::Data;
+  p.sendTime = Time::zero();
+  p.trace = std::make_shared<std::vector<NodeId>>();
+  net.node(0).originate(std::move(p));
+  sched.run();
+
+  EXPECT_EQ(stats.data().delivered, 1u);
+  EXPECT_EQ(stats.data().forwarded, 3u);
+  EXPECT_EQ(stats.loopEscapedDeliveries(), 0u);
+  EXPECT_EQ(stats.routeLog().totalChanges(), 3u);
+  ASSERT_NE(stats.tracer(), nullptr);
+  EXPECT_FALSE(stats.tracer()->events().empty());
+  // Delivered in bucket 0 with ~hops*(tx+prop) delay.
+  EXPECT_EQ(stats.series().throughputAt(0), 1.0);
+  EXPECT_GT(stats.series().meanDelayAt(0), 0.0);
+}
+
+TEST_F(TracerFixture, CollectorSeparatesDataFromControl) {
+  StatsCollector stats{net, StatsCollector::Config{0, 3, false}};
+  stats.install();
+  struct Dummy final : ControlPayload {
+    std::uint32_t sizeBytes() const override { return 8; }
+    std::string describe() const override { return "dummy"; }
+  };
+  // Control toward a down link: counted as a control drop, not data.
+  net.findLink(0, 1)->fail();
+  net.node(0).sendControl(1, std::make_shared<Dummy>());
+  sched.run();
+  EXPECT_EQ(stats.control().dropLinkDown, 1u);
+  EXPECT_EQ(stats.data().totalDropped(), 0u);
+}
+
+TEST_F(TracerFixture, WatermarkSplitsDropCounters) {
+  StatsCollector stats{net, StatsCollector::Config{0, 3, false}};
+  stats.install();
+  stats.setFailureWatermark(5_sec);
+  net.node(0).setRoute(3, 1);
+  net.node(1).setRoute(3, 2);
+  net.node(2).setRoute(3, 3);
+
+  auto emit = [&](Time at) {
+    sched.scheduleAt(at, [&] {
+      Packet p;
+      p.id = net.nextPacketId();
+      p.src = 0;
+      p.dst = 3;
+      p.ttl = 1;  // dies at node 1
+      p.sizeBytes = 100;
+      p.kind = PacketKind::Data;
+      p.sendTime = sched.now();
+      net.node(0).originate(std::move(p));
+    });
+  };
+  emit(1_sec);
+  emit(6_sec);
+  sched.run();
+  EXPECT_EQ(stats.data().dropTtl, 2u);
+  EXPECT_EQ(stats.dataAfterWatermark().dropTtl, 1u);
+}
+
+}  // namespace
+}  // namespace rcsim

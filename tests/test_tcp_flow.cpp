@@ -1,0 +1,109 @@
+#include "traffic/tcp_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+/// Line 0-1-2 with static routes; the flow runs 0 -> 2.
+struct TcpFixture : ::testing::Test {
+  TcpFixture() : net{sched, Rng{2}} {
+    for (int i = 0; i < 3; ++i) net.addNode();
+    net.addLink(0, 1, link);
+    net.addLink(1, 2, link);
+    net.finalize();
+    net.node(0).setRoute(2, 1);
+    net.node(1).setRoute(2, 2);
+    net.node(2).setRoute(0, 1);
+    net.node(1).setRoute(0, 0);
+  }
+
+  TcpFlow::Config config(Time start, Time stop) {
+    TcpFlow::Config cfg;
+    cfg.flowId = 1;
+    cfg.src = 0;
+    cfg.dst = 2;
+    cfg.window = 4;
+    cfg.start = start;
+    cfg.stop = stop;
+    cfg.rto = 500_ms;
+    return cfg;
+  }
+
+  Scheduler sched;
+  LinkConfig link;
+  Network net;
+};
+
+TEST_F(TcpFixture, TransfersAtWindowPerRttWhenClean) {
+  TcpFlow flow{net, config(1_sec, 3_sec)};
+  flow.install();
+  sched.run(10_sec);
+  // RTT ~ 2 * 2 * (0.8ms tx + 1ms prop) ~ 7.2 ms; 2 s of window-4 transfer
+  // moves on the order of a thousand packets.
+  EXPECT_GT(flow.goodputPackets(), 500u);
+  EXPECT_EQ(flow.goodputPackets(), flow.acked());
+  EXPECT_EQ(flow.retransmissions(), 0u);
+}
+
+TEST_F(TcpFixture, GoodputSeriesCoversTransferWindow) {
+  TcpFlow flow{net, config(1_sec, 3_sec)};
+  flow.install();
+  sched.run(10_sec);
+  EXPECT_GT(flow.goodputAt(1), 0.0);
+  EXPECT_GT(flow.goodputAt(2), 0.0);
+  EXPECT_EQ(flow.goodputAt(5), 0.0);
+}
+
+TEST_F(TcpFixture, StallsDuringBlackholeThenRecoversViaRto) {
+  TcpFlow flow{net, config(1_sec, 20_sec)};
+  flow.install();
+  // Remove node 1's route at t=2 s, restore at t=4 s: a transient
+  // black-hole on the data path.
+  sched.scheduleAt(2_sec, [this] { net.node(1).setRoute(2, kInvalidNode); });
+  sched.scheduleAt(4_sec, [this] { net.node(1).setRoute(2, 2); });
+  sched.run(25_sec);
+  const auto during = flow.goodputAt(3);  // deep inside the outage
+  EXPECT_EQ(during, 0.0);
+  EXPECT_GT(flow.goodputAt(5), 0.0);  // recovered
+  EXPECT_GT(flow.retransmissions(), 0u);
+  // Reliable: everything offered before the window closed eventually acked.
+  sched.run(40_sec);
+  EXPECT_EQ(flow.acked(), flow.uniquePacketsSent());
+}
+
+TEST_F(TcpFixture, AckPathOutageAlsoStallsTheWindow) {
+  TcpFlow flow{net, config(1_sec, 20_sec)};
+  flow.install();
+  // Break only the *reverse* route (acks), data path intact.
+  sched.scheduleAt(2_sec, [this] { net.node(1).setRoute(0, kInvalidNode); });
+  sched.scheduleAt(4_sec, [this] { net.node(1).setRoute(0, 0); });
+  sched.run(25_sec);
+  EXPECT_EQ(flow.goodputAt(3), 0.0);  // receiver gets nothing new: window closed
+  EXPECT_GT(flow.goodputAt(6), 0.0);
+  EXPECT_GT(flow.retransmissions(), 0u);
+}
+
+TEST_F(TcpFixture, DuplicateDataDeliveredOnceToGoodput) {
+  TcpFlow flow{net, config(1_sec, Time::seconds(1.001))};  // ~1 window only
+  flow.install();
+  sched.run(30_sec);
+  EXPECT_EQ(flow.goodputPackets(), flow.uniquePacketsSent());
+  EXPECT_LE(flow.uniquePacketsSent(), 4u);
+}
+
+TEST_F(TcpFixture, StopTimeEndsNewDataButNotReliability) {
+  TcpFlow flow{net, config(1_sec, 2_sec)};
+  flow.install();
+  sched.run(60_sec);
+  EXPECT_EQ(flow.acked(), flow.uniquePacketsSent());
+  EXPECT_EQ(flow.goodputPackets(), flow.uniquePacketsSent());
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -1,0 +1,61 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(Time, FactoryConversions) {
+  EXPECT_EQ(Time::seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(Time::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Time::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Time::nanoseconds(7).ns(), 7);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ((2_sec).ns(), 2'000'000'000);
+  EXPECT_EQ((1.5_sec).ns(), 1'500'000'000);
+  EXPECT_EQ((30_ms).ns(), 30'000'000);
+  EXPECT_EQ((5_us).ns(), 5'000);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(1_sec + 500_ms, Time::milliseconds(1500));
+  EXPECT_EQ(1_sec - 250_ms, Time::milliseconds(750));
+  EXPECT_EQ(100_ms * 3, Time::milliseconds(300));
+  Time t = 1_sec;
+  t += 1_sec;
+  EXPECT_EQ(t, 2_sec);
+  t -= 500_ms;
+  EXPECT_EQ(t, Time::milliseconds(1500));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(1_ms, 1_sec);
+  EXPECT_GT(Time::infinity(), Time::seconds(1e9));
+  EXPECT_LE(Time::zero(), Time::zero());
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ((1500_ms).toSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::seconds(0.25).toSeconds(), 0.25);
+}
+
+TEST(Time, StreamFormat) {
+  std::ostringstream os;
+  os << 1500_ms;
+  EXPECT_EQ(os.str(), "1.5s");
+}
+
+}  // namespace
+}  // namespace rcsim

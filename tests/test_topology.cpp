@@ -1,0 +1,133 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/graph_algo.hpp"
+
+namespace rcsim {
+namespace {
+
+TEST(Topology, Degree4IsPlainGrid) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, 4});
+  EXPECT_EQ(topo.nodeCount, 49);
+  // 7x7 grid: 6*7 horizontal + 7*6 vertical edges.
+  EXPECT_EQ(topo.edges.size(), 84u);
+  EXPECT_TRUE(topo.hasEdge(gridId(0, 0, 7), gridId(0, 1, 7)));
+  EXPECT_TRUE(topo.hasEdge(gridId(0, 0, 7), gridId(1, 0, 7)));
+  EXPECT_FALSE(topo.hasEdge(gridId(0, 0, 7), gridId(1, 1, 7)));
+}
+
+TEST(Topology, EdgesCanonicalAndUnique) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, 8});
+  EXPECT_TRUE(std::is_sorted(topo.edges.begin(), topo.edges.end()));
+  EXPECT_EQ(std::adjacent_find(topo.edges.begin(), topo.edges.end()), topo.edges.end());
+  for (const auto& [a, b] : topo.edges) {
+    EXPECT_LT(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LT(b, topo.nodeCount);
+  }
+}
+
+TEST(Topology, RejectsOutOfFamilyDegrees) {
+  EXPECT_THROW(makeRegularMesh(MeshSpec{7, 7, 2}), std::invalid_argument);
+  EXPECT_THROW(makeRegularMesh(MeshSpec{7, 7, 17}), std::invalid_argument);
+  EXPECT_THROW(makeRegularMesh(MeshSpec{2, 7, 4}), std::invalid_argument);
+}
+
+TEST(Topology, AdjacencyMatchesEdges) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, 6});
+  const auto adj = topo.adjacency();
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) total += nbrs.size();
+  EXPECT_EQ(total, 2 * topo.edges.size());
+}
+
+/// Property sweep over the entire degree family (paper: degrees 3..16).
+class MeshFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshFamily, InteriorNodesHaveExactTargetDegree) {
+  const int degree = GetParam();
+  const MeshSpec spec{9, 9, degree};  // 9x9 so interior is 2 away from borders
+  const auto topo = makeRegularMesh(spec);
+  // All construction offsets have magnitude <= 2, so nodes at grid distance
+  // >= 2 from every border see the full rule set.
+  for (int r = 2; r < spec.rows - 2; ++r) {
+    for (int c = 2; c < spec.cols - 2; ++c) {
+      EXPECT_EQ(topo.degreeOf(gridId(r, c, spec.cols)), degree)
+          << "node (" << r << "," << c << ") at degree " << degree;
+    }
+  }
+}
+
+TEST_P(MeshFamily, Connected) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, GetParam()});
+  EXPECT_TRUE(topo.isConnected());
+}
+
+TEST_P(MeshFamily, Deterministic) {
+  const auto a = makeRegularMesh(MeshSpec{7, 7, GetParam()});
+  const auto b = makeRegularMesh(MeshSpec{7, 7, GetParam()});
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST_P(MeshFamily, DegreeMonotoneInEdgeCount) {
+  const int degree = GetParam();
+  if (degree == 3) return;
+  const auto lo = makeRegularMesh(MeshSpec{7, 7, degree - 1});
+  const auto hi = makeRegularMesh(MeshSpec{7, 7, degree});
+  EXPECT_GT(hi.edges.size(), lo.edges.size());
+}
+
+TEST_P(MeshFamily, DiameterShrinksOrHoldsWithDensity) {
+  const int degree = GetParam();
+  if (degree == 3) return;
+  const auto lo = makeRegularMesh(MeshSpec{7, 7, degree - 1});
+  const auto hi = makeRegularMesh(MeshSpec{7, 7, degree});
+  EXPECT_LE(graphDiameter(hi), graphDiameter(lo));
+}
+
+TEST_P(MeshFamily, NoSelfLoops) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, GetParam()});
+  for (const auto& [a, b] : topo.edges) EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MeshFamily, ::testing::Range(3, 17));
+
+TEST(GraphAlgo, BfsDistancesOnGrid) {
+  const auto topo = makeRegularMesh(MeshSpec{7, 7, 4});
+  const auto dist = bfsDistances(topo, gridId(0, 0, 7));
+  EXPECT_EQ(dist[static_cast<std::size_t>(gridId(0, 0, 7))], 0);
+  EXPECT_EQ(dist[static_cast<std::size_t>(gridId(0, 6, 7))], 6);
+  EXPECT_EQ(dist[static_cast<std::size_t>(gridId(6, 6, 7))], 12);  // Manhattan
+}
+
+TEST(GraphAlgo, DiagonalsShortenDiameter) {
+  EXPECT_EQ(graphDiameter(makeRegularMesh(MeshSpec{7, 7, 4})), 12);
+  EXPECT_LE(graphDiameter(makeRegularMesh(MeshSpec{7, 7, 8})), 6);
+}
+
+TEST(GraphAlgo, ShortestFirstHopsGrowWithDegree) {
+  // The supply of shortest first hops from a mid-grid node toward the
+  // opposite corner grows with connectivity — the paper's §4.2 intuition.
+  const NodeId src = gridId(3, 3, 7);
+  const NodeId dst = gridId(6, 6, 7);
+  const int d4 = shortestFirstHops(makeRegularMesh(MeshSpec{7, 7, 4}), src, dst);
+  const int d8 = shortestFirstHops(makeRegularMesh(MeshSpec{7, 7, 8}), src, dst);
+  EXPECT_GE(d4, 2);
+  EXPECT_GE(d8, d4 - 1);
+}
+
+TEST(GraphAlgo, UnreachableIsMinusOne) {
+  Topology topo;
+  topo.nodeCount = 3;
+  topo.edges = {{0, 1}};
+  const auto dist = bfsDistances(topo, 0);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(graphDiameter(topo), -1);
+  EXPECT_FALSE(topo.isConnected());
+}
+
+}  // namespace
+}  // namespace rcsim

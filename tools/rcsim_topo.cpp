@@ -1,0 +1,100 @@
+// rcsim-topo — inspect the topology families (the paper's Figure 2).
+//
+// Prints, for a chosen mesh degree (or a random graph), the construction's
+// link rules as an ASCII adjacency picture plus the degree histogram,
+// diameter and alternate-path supply — the quantities §4.4 reasons about.
+//
+//   rcsim-topo [degree]          one regular mesh in detail
+//   rcsim-topo --sweep           summary table for degrees 3..16
+//   rcsim-topo --random N AVG S  a random graph's summary
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "topo/graph_algo.hpp"
+#include "topo/topology.hpp"
+
+namespace {
+
+using namespace rcsim;
+
+void summarize(const Topology& topo, const char* label) {
+  std::map<int, int> histogram;
+  for (NodeId n = 0; n < topo.nodeCount; ++n) ++histogram[topo.degreeOf(n)];
+  std::printf("%-12s nodes=%d edges=%zu diameter=%d connected=%s degrees{", label,
+              topo.nodeCount, topo.edges.size(), graphDiameter(topo),
+              topo.isConnected() ? "yes" : "NO");
+  bool first = true;
+  for (const auto& [deg, count] : histogram) {
+    std::printf("%s%d:%d", first ? "" : " ", deg, count);
+    first = false;
+  }
+  std::printf("}\n");
+}
+
+void drawMesh(const MeshSpec& spec) {
+  const auto topo = makeRegularMesh(spec);
+  std::printf("regular mesh %dx%d, target interior degree %d "
+              "(paper Figure 2 analogue)\n\n",
+              spec.rows, spec.cols, spec.degree);
+  // Node grid with horizontal/vertical links drawn; diagonals and skip
+  // links listed because ASCII art only goes so far.
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      std::printf("%2d", gridId(r, c, spec.cols));
+      if (c + 1 < spec.cols) {
+        std::printf(topo.hasEdge(gridId(r, c, spec.cols), gridId(r, c + 1, spec.cols)) ? "--"
+                                                                                       : "  ");
+      }
+    }
+    std::printf("\n");
+    if (r + 1 < spec.rows) {
+      for (int c = 0; c < spec.cols; ++c) {
+        std::printf(topo.hasEdge(gridId(r, c, spec.cols), gridId(r + 1, c, spec.cols)) ? " |"
+                                                                                       : "  ");
+        if (c + 1 < spec.cols) std::printf("  ");
+      }
+      std::printf("\n");
+    }
+  }
+  int other = 0;
+  for (const auto& [a, b] : topo.edges) {
+    const int dr = b / spec.cols - a / spec.cols;
+    const int dc = b % spec.cols - a % spec.cols;
+    if ((dr == 0 && dc == 1) || (dr == 1 && dc == 0)) continue;
+    ++other;
+  }
+  std::printf("\n(+%d diagonal/skip links not drawn)\n\n", other);
+  summarize(topo, ("degree-" + std::to_string(spec.degree)).c_str());
+
+  // §4.4's key quantity: alternate shortest first hops corner-to-corner.
+  const NodeId a = gridId(0, 0, spec.cols);
+  const NodeId b = gridId(spec.rows - 1, spec.cols - 1, spec.cols);
+  std::printf("shortest first-hop choices %d -> %d: %d\n", a, b, shortestFirstHops(topo, a, b));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--sweep") == 0) {
+    std::printf("the regular mesh family (7x7):\n");
+    for (int degree = 3; degree <= 16; ++degree) {
+      summarize(makeRegularMesh(MeshSpec{7, 7, degree}),
+                ("degree-" + std::to_string(degree)).c_str());
+    }
+    return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--random") == 0) {
+    RandomGraphSpec spec;
+    if (argc > 2) spec.nodes = std::atoi(argv[2]);
+    if (argc > 3) spec.avgDegree = std::atof(argv[3]);
+    if (argc > 4) spec.seed = std::strtoull(argv[4], nullptr, 10);
+    summarize(makeRandomTopology(spec), "random");
+    return 0;
+  }
+  MeshSpec spec;
+  spec.degree = argc > 1 ? std::atoi(argv[1]) : 5;
+  drawMesh(spec);
+  return 0;
+}

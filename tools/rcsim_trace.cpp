@@ -1,0 +1,125 @@
+// rcsim-trace — dump the routing & forwarding trace of one simulation run,
+// in the spirit of the paper's §2 methodology ("studying the forwarding and
+// routing trace files, thus we can identify the causes of routing loops in
+// each circumstance").
+//
+//   rcsim-trace [key=value ...] [--from=SEC] [--to=SEC] [--kinds=rt,fwd,drop,fail]
+//
+// Events (tab-separated): time  kind  detail
+//   rt    <node> dst=<d> <old> -> <new>        FIB change
+//   fwd   <node> -> <next>  pkt=<id> ttl=<n>   data-plane forwarding
+//   drop  <node> pkt=<id> reason=<r>           any packet drop
+//   del   <node> pkt=<id> delay=<s> hops=<n>   delivery at the receiver
+//   fail  link events from the failure detector
+//   path  sender->receiver forwarding path snapshots (loops flagged)
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <set>
+#include <string>
+
+#include "core/options.hpp"
+#include "core/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcsim;
+
+  ScenarioConfig cfg;
+  double fromSec = 395.0;
+  double toSec = 460.0;
+  std::set<std::string> kinds{"rt", "fwd", "drop", "del", "fail", "path"};
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-h" || arg == "--help") {
+        std::printf("usage: rcsim-trace [key=value ...] [--from=SEC] [--to=SEC]"
+                    " [--kinds=rt,fwd,drop,del,fail,path]\n");
+        return 0;
+      }
+      if (arg.rfind("--from=", 0) == 0) {
+        fromSec = std::atof(arg.c_str() + 7);
+      } else if (arg.rfind("--to=", 0) == 0) {
+        toSec = std::atof(arg.c_str() + 5);
+      } else if (arg.rfind("--kinds=", 0) == 0) {
+        kinds.clear();
+        std::string list = arg.substr(8);
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+          const auto comma = list.find(',', pos);
+          kinds.insert(list.substr(pos, comma == std::string::npos ? comma : comma - pos));
+          pos = comma == std::string::npos ? comma : comma + 1;
+        }
+      } else {
+        applyOptionString(cfg, arg);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  Scenario sc{cfg};
+  const Time from = Time::seconds(fromSec);
+  const Time to = Time::seconds(toSec);
+  auto inWindow = [&](Time t) { return t >= from && t <= to; };
+  auto want = [&](const char* k) { return kinds.count(k) > 0; };
+
+  // The StatsCollector owns the network hooks; wrap them so both the stats
+  // and the trace output see every event.
+  auto& hooks = sc.network().hooks();
+  const auto prevRoute = hooks.onRouteChange;
+  hooks.onRouteChange = [&, prevRoute](Time t, NodeId n, NodeId d, NodeId o, NodeId nw) {
+    if (prevRoute) prevRoute(t, n, d, o, nw);
+    if (want("rt") && inWindow(t)) {
+      std::printf("%12.6f\trt\tnode=%d dst=%d %d -> %d\n", t.toSeconds(), n, d, o, nw);
+    }
+  };
+  const auto prevForward = hooks.onForward;
+  hooks.onForward = [&, prevForward](Time t, NodeId n, const Packet& p, NodeId nh) {
+    if (prevForward) prevForward(t, n, p, nh);
+    if (want("fwd") && inWindow(t) && p.kind == PacketKind::Data) {
+      std::printf("%12.6f\tfwd\t%d -> %d  pkt=%llu ttl=%d\n", t.toSeconds(), n, nh,
+                  static_cast<unsigned long long>(p.id), p.ttl);
+    }
+  };
+  const auto prevDrop = hooks.onDrop;
+  hooks.onDrop = [&, prevDrop](Time t, NodeId n, const Packet& p, DropReason r) {
+    if (prevDrop) prevDrop(t, n, p, r);
+    if (want("drop") && inWindow(t) && p.kind == PacketKind::Data) {
+      std::printf("%12.6f\tdrop\tnode=%d pkt=%llu reason=%s\n", t.toSeconds(), n,
+                  static_cast<unsigned long long>(p.id), toString(r));
+    }
+  };
+  const auto prevDeliver = hooks.onDeliver;
+  hooks.onDeliver = [&, prevDeliver](Time t, NodeId n, const Packet& p) {
+    if (prevDeliver) prevDeliver(t, n, p);
+    if (want("del") && inWindow(t) && p.kind == PacketKind::Data) {
+      std::printf("%12.6f\tdel\tnode=%d pkt=%llu delay=%.6f hops=%zu\n", t.toSeconds(), n,
+                  static_cast<unsigned long long>(p.id), (t - p.sendTime).toSeconds(),
+                  p.trace ? p.trace->size() - 1 : 0);
+    }
+  };
+  if (want("fail")) {
+    sc.network().trace().setSink([&](Time t, TraceCategory cat, const std::string& msg) {
+      if (cat == TraceCategory::Failure && inWindow(t)) {
+        std::printf("%12.6f\tfail\t%s\n", t.toSeconds(), msg.c_str());
+      }
+    });
+  }
+
+  sc.run();
+
+  if (want("path")) {
+    for (const auto& e : sc.stats().tracer()->events()) {
+      if (!inWindow(e.t)) continue;
+      std::printf("%12.6f\tpath\t%s", e.t.toSeconds(),
+                  e.loop ? "LOOP " : (e.blackhole ? "BLACKHOLE " : ""));
+      for (std::size_t i = 0; i < e.path.size(); ++i) {
+        std::printf("%s%d", i ? "->" : "", e.path[i]);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
