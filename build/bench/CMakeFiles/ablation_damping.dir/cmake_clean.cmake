@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_damping.dir/ablation_damping.cpp.o"
+  "CMakeFiles/ablation_damping.dir/ablation_damping.cpp.o.d"
+  "ablation_damping"
+  "ablation_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

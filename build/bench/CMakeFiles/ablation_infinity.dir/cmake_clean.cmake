@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_infinity.dir/ablation_infinity.cpp.o"
+  "CMakeFiles/ablation_infinity.dir/ablation_infinity.cpp.o.d"
+  "ablation_infinity"
+  "ablation_infinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_infinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

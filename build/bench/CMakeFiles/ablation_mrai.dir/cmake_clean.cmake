@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mrai.dir/ablation_mrai.cpp.o"
+  "CMakeFiles/ablation_mrai.dir/ablation_mrai.cpp.o.d"
+  "ablation_mrai"
+  "ablation_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_splithorizon.dir/ablation_splithorizon.cpp.o"
+  "CMakeFiles/ablation_splithorizon.dir/ablation_splithorizon.cpp.o.d"
+  "ablation_splithorizon"
+  "ablation_splithorizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_splithorizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_load.dir/appendix_load.cpp.o"
+  "CMakeFiles/appendix_load.dir/appendix_load.cpp.o.d"
+  "appendix_load"
+  "appendix_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

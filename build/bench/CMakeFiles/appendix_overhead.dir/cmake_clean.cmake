@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_overhead.dir/appendix_overhead.cpp.o"
+  "CMakeFiles/appendix_overhead.dir/appendix_overhead.cpp.o.d"
+  "appendix_overhead"
+  "appendix_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_assertions.dir/ext_assertions.cpp.o"
+  "CMakeFiles/ext_assertions.dir/ext_assertions.cpp.o.d"
+  "ext_assertions"
+  "ext_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dual.dir/ext_dual.cpp.o"
+  "CMakeFiles/ext_dual.dir/ext_dual.cpp.o.d"
+  "ext_dual"
+  "ext_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

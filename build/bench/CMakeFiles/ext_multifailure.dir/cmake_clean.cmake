@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multifailure.dir/ext_multifailure.cpp.o"
+  "CMakeFiles/ext_multifailure.dir/ext_multifailure.cpp.o.d"
+  "ext_multifailure"
+  "ext_multifailure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multifailure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_random_topo.dir/ext_random_topo.cpp.o"
+  "CMakeFiles/ext_random_topo.dir/ext_random_topo.cpp.o.d"
+  "ext_random_topo"
+  "ext_random_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_random_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tcp.dir/ext_tcp.cpp.o"
+  "CMakeFiles/ext_tcp.dir/ext_tcp.cpp.o.d"
+  "ext_tcp"
+  "ext_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_drops.dir/fig3_drops.cpp.o"
+  "CMakeFiles/fig3_drops.dir/fig3_drops.cpp.o.d"
+  "fig3_drops"
+  "fig3_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ttl.dir/fig4_ttl.cpp.o"
+  "CMakeFiles/fig4_ttl.dir/fig4_ttl.cpp.o.d"
+  "fig4_ttl"
+  "fig4_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

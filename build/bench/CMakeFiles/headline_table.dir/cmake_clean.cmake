@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_table.dir/headline_table.cpp.o"
+  "CMakeFiles/headline_table.dir/headline_table.cpp.o.d"
+  "headline_table"
+  "headline_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

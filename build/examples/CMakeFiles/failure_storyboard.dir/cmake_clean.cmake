@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_storyboard.dir/failure_storyboard.cpp.o"
+  "CMakeFiles/failure_storyboard.dir/failure_storyboard.cpp.o.d"
+  "failure_storyboard"
+  "failure_storyboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_storyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkstate_preview.dir/linkstate_preview.cpp.o"
+  "CMakeFiles/linkstate_preview.dir/linkstate_preview.cpp.o.d"
+  "linkstate_preview"
+  "linkstate_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkstate_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/churn.cpp" "src/CMakeFiles/rcsim_core.dir/core/churn.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/churn.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/rcsim_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/rcsim_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/rcsim_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/rcsim_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_core.dir/core/churn.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/churn.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/options.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/report.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/runner.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/scenario.cpp.o.d"
+  "librcsim_core.a"
+  "librcsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/rcsim_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/rcsim_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rcsim_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rcsim_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/rcsim_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/rcsim_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/CMakeFiles/rcsim_net.dir/net/reliable.cpp.o" "gcc" "src/CMakeFiles/rcsim_net.dir/net/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

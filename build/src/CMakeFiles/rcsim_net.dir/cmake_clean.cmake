@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_net.dir/net/link.cpp.o"
+  "CMakeFiles/rcsim_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/rcsim_net.dir/net/network.cpp.o"
+  "CMakeFiles/rcsim_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/rcsim_net.dir/net/node.cpp.o"
+  "CMakeFiles/rcsim_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/rcsim_net.dir/net/reliable.cpp.o"
+  "CMakeFiles/rcsim_net.dir/net/reliable.cpp.o.d"
+  "librcsim_net.a"
+  "librcsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

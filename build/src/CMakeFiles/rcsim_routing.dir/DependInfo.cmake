@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o.d"
+  "/root/repo/src/routing/dbf.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/dbf.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/dbf.cpp.o.d"
+  "/root/repo/src/routing/dual.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/dual.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/dual.cpp.o.d"
+  "/root/repo/src/routing/dv_common.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/dv_common.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/dv_common.cpp.o.d"
+  "/root/repo/src/routing/factory.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/factory.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/factory.cpp.o.d"
+  "/root/repo/src/routing/linkstate.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/linkstate.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/linkstate.cpp.o.d"
+  "/root/repo/src/routing/rip.cpp" "src/CMakeFiles/rcsim_routing.dir/routing/rip.cpp.o" "gcc" "src/CMakeFiles/rcsim_routing.dir/routing/rip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

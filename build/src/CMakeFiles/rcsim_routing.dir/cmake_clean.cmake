@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/dbf.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/dbf.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/dual.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/dual.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/dv_common.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/dv_common.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/factory.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/factory.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/linkstate.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/linkstate.cpp.o.d"
+  "CMakeFiles/rcsim_routing.dir/routing/rip.cpp.o"
+  "CMakeFiles/rcsim_routing.dir/routing/rip.cpp.o.d"
+  "librcsim_routing.a"
+  "librcsim_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/rcsim_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/rcsim_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/rcsim_sim.dir/sim/scheduler.cpp.o.d"
+  "librcsim_sim.a"
+  "librcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

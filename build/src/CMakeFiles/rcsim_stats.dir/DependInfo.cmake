@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/collector.cpp" "src/CMakeFiles/rcsim_stats.dir/stats/collector.cpp.o" "gcc" "src/CMakeFiles/rcsim_stats.dir/stats/collector.cpp.o.d"
+  "/root/repo/src/stats/path_tracer.cpp" "src/CMakeFiles/rcsim_stats.dir/stats/path_tracer.cpp.o" "gcc" "src/CMakeFiles/rcsim_stats.dir/stats/path_tracer.cpp.o.d"
+  "/root/repo/src/stats/route_log.cpp" "src/CMakeFiles/rcsim_stats.dir/stats/route_log.cpp.o" "gcc" "src/CMakeFiles/rcsim_stats.dir/stats/route_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_stats.dir/stats/collector.cpp.o"
+  "CMakeFiles/rcsim_stats.dir/stats/collector.cpp.o.d"
+  "CMakeFiles/rcsim_stats.dir/stats/path_tracer.cpp.o"
+  "CMakeFiles/rcsim_stats.dir/stats/path_tracer.cpp.o.d"
+  "CMakeFiles/rcsim_stats.dir/stats/route_log.cpp.o"
+  "CMakeFiles/rcsim_stats.dir/stats/route_log.cpp.o.d"
+  "librcsim_stats.a"
+  "librcsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_topo.dir/topo/graph_algo.cpp.o"
+  "CMakeFiles/rcsim_topo.dir/topo/graph_algo.cpp.o.d"
+  "CMakeFiles/rcsim_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/rcsim_topo.dir/topo/topology.cpp.o.d"
+  "librcsim_topo.a"
+  "librcsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

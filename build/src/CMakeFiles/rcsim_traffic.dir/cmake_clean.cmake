@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_traffic.dir/traffic/cbr.cpp.o"
+  "CMakeFiles/rcsim_traffic.dir/traffic/cbr.cpp.o.d"
+  "CMakeFiles/rcsim_traffic.dir/traffic/tcp_flow.cpp.o"
+  "CMakeFiles/rcsim_traffic.dir/traffic/tcp_flow.cpp.o.d"
+  "librcsim_traffic.a"
+  "librcsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

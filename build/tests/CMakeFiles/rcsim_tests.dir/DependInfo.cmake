@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assertions.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_assertions.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_assertions.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_churn.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_churn.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_churn.cpp.o.d"
+  "/root/repo/tests/test_conformance.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_conformance.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_conformance.cpp.o.d"
+  "/root/repo/tests/test_dbf.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_dbf.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_dbf.cpp.o.d"
+  "/root/repo/tests/test_dual.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_dual.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_dual.cpp.o.d"
+  "/root/repo/tests/test_dv_common.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_dv_common.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_dv_common.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_linkstate.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_linkstate.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_linkstate.cpp.o.d"
+  "/root/repo/tests/test_messages.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_messages.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_messages.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_node_forwarding.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_node_forwarding.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_node_forwarding.cpp.o.d"
+  "/root/repo/tests/test_observations.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_observations.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_observations.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_reliable.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_reliable.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_reliable.cpp.o.d"
+  "/root/repo/tests/test_rip.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_rip.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_rip.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tcp_flow.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_tcp_flow.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_tcp_flow.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim-topo.dir/rcsim_topo.cpp.o"
+  "CMakeFiles/rcsim-topo.dir/rcsim_topo.cpp.o.d"
+  "rcsim-topo"
+  "rcsim-topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim-topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim-trace.dir/rcsim_trace.cpp.o"
+  "CMakeFiles/rcsim-trace.dir/rcsim_trace.cpp.o.d"
+  "rcsim-trace"
+  "rcsim-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

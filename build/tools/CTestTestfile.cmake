@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_table "/root/repo/build/tools/rcsim" "protocol=DBF" "degree=5" "--runs=2")
+set_tests_properties(cli_table PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv "/root/repo/build/tools/rcsim" "protocol=BGP3" "degree=4" "failures=2" "--runs=2" "--format=csv")
+set_tests_properties(cli_csv PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_series "/root/repo/build/tools/rcsim" "protocol=RIP" "degree=3" "--runs=2" "--format=series")
+set_tests_properties(cli_series PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_input "/root/repo/build/tools/rcsim" "protocol=NOPE")
+set_tests_properties(cli_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(topo_tool "/root/repo/build/tools/rcsim-topo" "--sweep")
+set_tests_properties(topo_tool PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_tool "/root/repo/build/tools/rcsim-trace" "protocol=RIP" "degree=4" "seed=7" "--from=399" "--to=401" "--kinds=rt,fail")
+set_tests_properties(trace_tool PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
