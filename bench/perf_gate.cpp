@@ -1,0 +1,326 @@
+// Performance regression gate for the sim-core hot path (docs/benchmarking.md).
+//
+// Measures the scheduler's event throughput and the four paper protocols'
+// full-scenario wall time with a self-contained harness (no google-benchmark
+// runtime, so numbers are comparable across library builds), emits them as
+// BENCH_simcore.json, and — given a baseline — fails with a per-metric diff
+// when anything regresses beyond the tolerance.
+//
+//   perf_gate --json BENCH_simcore.json            # refresh the baseline
+//   perf_gate --baseline BENCH_simcore.json        # gate: compare, exit 1 on regression
+//   perf_gate --smoke --benchmark_min_time=0.01    # ctest smoke run (fast, no gate)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/json_lite.hpp"
+#include "reference_scheduler.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace rcsim;
+
+constexpr int kScheduleRunEvents = 65536;
+constexpr int kSelfReschedEvents = 65536;
+
+double nowSec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Repeat `body` (which processes `items` items per call) until `minTimeSec`
+/// has elapsed, in `reps` independent repetitions; return the best observed
+/// items/sec (max over repetitions minimizes scheduler-noise pessimism).
+double measureItemsPerSec(int items, double minTimeSec, int reps,
+                          const std::function<void()>& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    int iters = 0;
+    const double start = nowSec();
+    double elapsed = 0.0;
+    do {
+      body();
+      ++iters;
+      elapsed = nowSec() - start;
+    } while (elapsed < minTimeSec);
+    const double rate = static_cast<double>(items) * iters / elapsed;
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+template <typename Sched>
+double benchScheduleRun() {
+  Sched sched;
+  int fired = 0;
+  for (int i = 0; i < kScheduleRunEvents; ++i) {
+    sched.scheduleAt(Time::microseconds(i % 997), [&fired] { ++fired; });
+  }
+  sched.run();
+  return static_cast<double>(fired);
+}
+
+double benchSelfResched() {
+  Scheduler sched;
+  int remaining = kSelfReschedEvents;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) sched.scheduleAfter(Time::microseconds(1), tick);
+  };
+  sched.scheduleAfter(Time::microseconds(1), tick);
+  sched.run();
+  return static_cast<double>(remaining);
+}
+
+/// Best-of-`reps` wall milliseconds of one full scenario run.
+double benchScenarioMs(ProtocolKind kind, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ScenarioConfig cfg;
+    cfg.protocol = kind;
+    cfg.mesh.degree = 4;
+    cfg.seed = 11;
+    const double start = nowSec();
+    const RunResult result = runScenario(cfg);
+    const double ms = (nowSec() - start) * 1e3;
+    if (result.sent == 0) std::fprintf(stderr, "warning: %s scenario sent 0 packets\n",
+                                       toString(kind));
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Peak resident set size in MiB (VmHWM); 0 when /proc is unavailable.
+double peakRssMb() {
+#ifdef __linux__
+  std::ifstream status{"/proc/self/status"};
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long kb = 0;
+      std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb);
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+#endif
+  return 0.0;
+}
+
+struct Metrics {
+  double scheduleRunEventsPerSec = 0.0;
+  double seedScheduleRunEventsPerSec = 0.0;
+  double selfReschedEventsPerSec = 0.0;
+  std::vector<std::pair<std::string, double>> scenarioMs;  // stable order
+  double rssMb = 0.0;
+};
+
+Metrics collect(double minTimeSec, int reps) {
+  Metrics m;
+  // The pooled engine and the frozen pre-rewrite engine
+  // (bench/reference_scheduler.hpp) run the identical workload back to back
+  // in each repetition, so their ratio is measured under the same load and
+  // flags — cross-process comparisons on shared machines are noise.
+  for (int r = 0; r < reps; ++r) {
+    m.scheduleRunEventsPerSec =
+        std::max(m.scheduleRunEventsPerSec,
+                 measureItemsPerSec(kScheduleRunEvents, minTimeSec, 1,
+                                    [] { benchScheduleRun<Scheduler>(); }));
+    m.seedScheduleRunEventsPerSec =
+        std::max(m.seedScheduleRunEventsPerSec,
+                 measureItemsPerSec(kScheduleRunEvents, minTimeSec, 1,
+                                    [] { benchScheduleRun<bench::ReferenceScheduler>(); }));
+  }
+  m.selfReschedEventsPerSec =
+      measureItemsPerSec(kSelfReschedEvents, minTimeSec, reps, [] { benchSelfResched(); });
+  for (const ProtocolKind kind :
+       {ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp, ProtocolKind::Bgp3}) {
+    m.scenarioMs.emplace_back(toString(kind), benchScenarioMs(kind, reps));
+  }
+  m.rssMb = peakRssMb();
+  return m;
+}
+
+std::string toJson(const Metrics& m) {
+  std::ostringstream os;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return std::string{buf};
+  };
+  os << "{\n";
+  os << "  \"schema\": \"rcsim-bench-simcore-v1\",\n";
+  os << "  \"scheduler\": {\n";
+  os << "    \"schedule_run_events_per_sec\": " << num(m.scheduleRunEventsPerSec) << ",\n";
+  os << "    \"self_resched_events_per_sec\": " << num(m.selfReschedEventsPerSec) << ",\n";
+  os << "    \"seed_schedule_run_events_per_sec\": " << num(m.seedScheduleRunEventsPerSec)
+     << ",\n";
+  os << "    \"pooled_speedup_vs_seed\": "
+     << num(m.seedScheduleRunEventsPerSec > 0.0
+                ? m.scheduleRunEventsPerSec / m.seedScheduleRunEventsPerSec
+                : 0.0)
+     << "\n";
+  os << "  },\n";
+  os << "  \"scenario_ms\": {\n";
+  for (std::size_t i = 0; i < m.scenarioMs.size(); ++i) {
+    os << "    \"" << m.scenarioMs[i].first << "\": " << num(m.scenarioMs[i].second)
+       << (i + 1 < m.scenarioMs.size() ? "," : "") << "\n";
+  }
+  os << "  },\n";
+  os << "  \"rss_mb\": " << num(m.rssMb) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// One gate check. `higherIsBetter` picks the regression direction.
+bool checkMetric(const char* name, double baseline, double current, double tolerancePct,
+                 bool higherIsBetter, int& failures) {
+  if (baseline <= 0.0) return true;  // metric absent from the baseline: nothing to gate
+  const double ratio = current / baseline;
+  const double tol = tolerancePct / 100.0;
+  const bool regressed = higherIsBetter ? ratio < 1.0 - tol : ratio > 1.0 + tol;
+  std::printf("  %-34s baseline %12.2f  current %12.2f  (%+6.1f%%)%s\n", name, baseline,
+              current, (ratio - 1.0) * 100.0, regressed ? "  << REGRESSION" : "");
+  if (regressed) ++failures;
+  return !regressed;
+}
+
+int compareAgainstBaseline(const Metrics& m, const std::string& path, double tolerancePct) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "perf_gate: cannot read baseline %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue base;
+  try {
+    base = parseJson(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: malformed baseline %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  std::printf("perf gate vs %s (tolerance %.0f%%):\n", path.c_str(), tolerancePct);
+  int failures = 0;
+  const JsonValue& sched = base.at("scheduler");
+  checkMetric("scheduler.schedule_run (ev/s)", sched.numberAt("schedule_run_events_per_sec"),
+              m.scheduleRunEventsPerSec, tolerancePct, /*higherIsBetter=*/true, failures);
+  checkMetric("scheduler.self_resched (ev/s)", sched.numberAt("self_resched_events_per_sec"),
+              m.selfReschedEventsPerSec, tolerancePct, /*higherIsBetter=*/true, failures);
+  if (sched.has("pooled_speedup_vs_seed") && m.seedScheduleRunEventsPerSec > 0.0) {
+    // The in-process ratio is load-independent, so it gates the pooled
+    // engine's advantage itself, not just absolute machine speed.
+    checkMetric("scheduler.pooled_speedup_vs_seed",
+                sched.numberAt("pooled_speedup_vs_seed"),
+                m.scheduleRunEventsPerSec / m.seedScheduleRunEventsPerSec, tolerancePct,
+                /*higherIsBetter=*/true, failures);
+  }
+  const JsonValue& scen = base.at("scenario_ms");
+  for (const auto& [name, ms] : m.scenarioMs) {
+    if (!scen.has(name)) continue;
+    checkMetric(("scenario." + name + " (ms)").c_str(), scen.numberAt(name), ms, tolerancePct,
+                /*higherIsBetter=*/false, failures);
+  }
+  if (base.has("rss_mb")) {
+    checkMetric("rss_mb", base.numberAt("rss_mb"), m.rssMb, tolerancePct,
+                /*higherIsBetter=*/false, failures);
+  }
+  if (failures > 0) {
+    std::printf("perf gate: %d metric(s) regressed beyond %.0f%% — failing.\n", failures,
+                tolerancePct);
+    std::printf("If intentional, refresh with scripts/run_bench_gate.sh --update-baseline\n");
+    return 1;
+  }
+  std::printf("perf gate: all metrics within tolerance.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonOut;
+  std::string baseline;
+  double tolerancePct = 15.0;
+  double minTimeSec = 0.5;
+  int reps = 3;
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perf_gate: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto number = [&](double min) -> double {
+      const std::string v = value();
+      char* end = nullptr;
+      const double parsed = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || parsed < min) {
+        std::fprintf(stderr, "perf_gate: %s wants a number >= %g, got \"%s\"\n", arg.c_str(), min,
+                     v.c_str());
+        std::exit(2);
+      }
+      return parsed;
+    };
+    if (arg == "--json") {
+      jsonOut = value();
+    } else if (arg == "--baseline") {
+      baseline = value();
+    } else if (arg == "--tolerance") {
+      tolerancePct = number(0.0);
+    } else if (arg == "--reps") {
+      reps = static_cast<int>(number(1.0));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--benchmark_min_time=", 0) == 0) {
+      minTimeSec = std::atof(arg.c_str() + std::strlen("--benchmark_min_time="));
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_gate [--json PATH] [--baseline PATH] [--tolerance PCT]\n"
+                   "                 [--reps N] [--smoke] [--benchmark_min_time=SEC]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    reps = 1;
+    if (minTimeSec > 0.01) minTimeSec = 0.01;
+  }
+
+  const Metrics m = collect(minTimeSec, reps);
+  const std::string json = toJson(m);
+  std::printf("%s", json.c_str());
+
+  if (!jsonOut.empty()) {
+    std::ofstream out{jsonOut};
+    if (!out) {
+      std::fprintf(stderr, "perf_gate: cannot write %s\n", jsonOut.c_str());
+      return 2;
+    }
+    out << json;
+  }
+  // Self-check: what we emitted must parse back (keeps the smoke run honest).
+  try {
+    const JsonValue v = parseJson(json);
+    if (v.at("scheduler").numberAt("schedule_run_events_per_sec") <= 0.0) {
+      std::fprintf(stderr, "perf_gate: zero scheduler throughput?\n");
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: emitted JSON does not parse: %s\n", e.what());
+    return 2;
+  }
+
+  if (!baseline.empty()) return compareAgainstBaseline(m, baseline, tolerancePct);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#pragma once
+
+// Frozen copy of the pre-rewrite event scheduler (priority_queue of
+// heap-allocated std::function entries + a tombstone set for cancellation),
+// kept ONLY so the perf gate can measure the pooled engine's speedup
+// against its predecessor in the same process, under the same load, with
+// the same compiler flags. Never use this in the simulator.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rcsim::bench {
+
+/// The seed engine, verbatim apart from the namespace. See
+/// src/sim/scheduler.hpp for the current pooled implementation.
+class ReferenceScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t value = 0;
+  };
+
+  ReferenceScheduler() = default;
+  ReferenceScheduler(const ReferenceScheduler&) = delete;
+  ReferenceScheduler& operator=(const ReferenceScheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  EventId scheduleAt(Time at, Callback cb) {
+    assert(cb);
+    if (at < now_) at = now_;
+    Entry e;
+    e.at = at;
+    e.seq = nextSeq_++;
+    e.id = e.seq;
+    e.cb = std::move(cb);
+    const EventId id{e.id};
+    queue_.push(std::move(e));
+    return id;
+  }
+
+  EventId scheduleAfter(Time delay, Callback cb) {
+    if (delay < Time::zero()) delay = Time::zero();
+    return scheduleAt(now_ + delay, std::move(cb));
+  }
+
+  void cancel(EventId id) {
+    if (id.value != 0) cancelled_.insert(id.value);
+  }
+
+  void run(Time horizon = Time::infinity()) {
+    stopped_ = false;
+    while (!queue_.empty() && !stopped_) {
+      const Entry& top = queue_.top();
+      if (top.at > horizon) break;
+      if (cancelled_.erase(top.id) > 0) {
+        queue_.pop();
+        continue;
+      }
+      Entry e = std::move(const_cast<Entry&>(top));
+      queue_.pop();
+      now_ = e.at;
+      ++executed_;
+      e.cb();
+    }
+    if (!stopped_ && horizon != Time::infinity() && now_ < horizon) now_ = horizon;
+  }
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    Callback cb;
+
+    bool operator>(const Entry& rhs) const {
+      if (at != rhs.at) return at > rhs.at;
+      return seq > rhs.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = Time::zero();
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rcsim::bench

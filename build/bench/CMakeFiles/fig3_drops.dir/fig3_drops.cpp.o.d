@@ -204,7 +204,9 @@ bench/CMakeFiles/fig3_drops.dir/fig3_drops.cpp.o: \
  /root/repo/src/net/packet.hpp /root/repo/src/net/message.hpp \
  /root/repo/src/net/types.hpp /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/limits /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -214,13 +216,11 @@ bench/CMakeFiles/fig3_drops.dir/fig3_drops.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.hpp \
- /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
- /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
- /root/repo/src/sim/logging.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/node.hpp \
+ /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/routing/factory.hpp \
  /root/repo/src/routing/bgp.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
@@ -228,7 +228,6 @@ bench/CMakeFiles/fig3_drops.dir/fig3_drops.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/reliable.hpp \
  /root/repo/src/routing/messages.hpp /root/repo/src/routing/dual.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/routing/dv_common.hpp \
  /root/repo/src/routing/linkstate.hpp /root/repo/src/stats/collector.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

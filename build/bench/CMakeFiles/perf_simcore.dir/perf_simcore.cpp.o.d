@@ -217,14 +217,12 @@ bench/CMakeFiles/perf_simcore.dir/perf_simcore.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /root/repo/src/net/message.hpp /root/repo/src/net/types.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.hpp \
  /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
  /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
  /root/repo/src/sim/logging.hpp /usr/include/c++/12/sstream \

@@ -10,6 +10,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/churn.cpp" "src/CMakeFiles/rcsim_core.dir/core/churn.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/churn.cpp.o.d"
   "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "src/CMakeFiles/rcsim_core.dir/core/fingerprint.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/fingerprint.cpp.o.d"
+  "/root/repo/src/core/json_lite.cpp" "src/CMakeFiles/rcsim_core.dir/core/json_lite.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/json_lite.cpp.o.d"
   "/root/repo/src/core/options.cpp" "src/CMakeFiles/rcsim_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/options.cpp.o.d"
   "/root/repo/src/core/report.cpp" "src/CMakeFiles/rcsim_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/report.cpp.o.d"
   "/root/repo/src/core/runner.cpp" "src/CMakeFiles/rcsim_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/rcsim_core.dir/core/runner.cpp.o.d"

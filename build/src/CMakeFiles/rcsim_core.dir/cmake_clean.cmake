@@ -3,6 +3,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/rcsim_core.dir/core/churn.cpp.o.d"
   "CMakeFiles/rcsim_core.dir/core/experiment.cpp.o"
   "CMakeFiles/rcsim_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/fingerprint.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/fingerprint.cpp.o.d"
+  "CMakeFiles/rcsim_core.dir/core/json_lite.cpp.o"
+  "CMakeFiles/rcsim_core.dir/core/json_lite.cpp.o.d"
   "CMakeFiles/rcsim_core.dir/core/options.cpp.o"
   "CMakeFiles/rcsim_core.dir/core/options.cpp.o.d"
   "CMakeFiles/rcsim_core.dir/core/report.cpp.o"

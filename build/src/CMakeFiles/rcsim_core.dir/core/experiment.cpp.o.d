@@ -202,7 +202,9 @@ src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o: \
  /root/repo/src/net/packet.hpp /root/repo/src/net/message.hpp \
  /root/repo/src/net/types.hpp /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/limits /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/network.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -212,13 +214,11 @@ src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.hpp \
- /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
- /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
- /root/repo/src/sim/logging.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/node.hpp \
+ /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/routing/factory.hpp \
  /root/repo/src/routing/bgp.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
@@ -226,7 +226,6 @@ src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/reliable.hpp \
  /root/repo/src/routing/messages.hpp /root/repo/src/routing/dual.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/routing/dv_common.hpp \
  /root/repo/src/routing/linkstate.hpp /root/repo/src/stats/collector.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -235,4 +234,25 @@ src/CMakeFiles/rcsim_core.dir/core/experiment.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/stats/path_tracer.hpp \
  /root/repo/src/stats/route_log.hpp /root/repo/src/stats/timeseries.hpp \
  /root/repo/src/topo/topology.hpp /root/repo/src/traffic/cbr.hpp \
- /root/repo/src/traffic/tcp_flow.hpp
+ /root/repo/src/traffic/tcp_flow.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

@@ -216,9 +216,7 @@ src/CMakeFiles/rcsim_net.dir/net/node.cpp.o: /root/repo/src/net/node.cpp \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/link.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.hpp \
+ /root/repo/src/sim/scheduler.hpp /root/repo/src/net/network.hpp \
  /root/repo/src/sim/logging.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

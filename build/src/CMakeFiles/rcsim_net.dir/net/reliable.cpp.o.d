@@ -214,15 +214,12 @@ src/CMakeFiles/rcsim_net.dir/net/reliable.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/message.hpp \
  /root/repo/src/net/types.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/limits /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/network.hpp \
- /root/repo/src/net/link.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/net/packet.hpp /root/repo/src/net/node.hpp \
- /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
- /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/net/network.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
+ /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
+ /root/repo/src/sim/logging.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -216,10 +216,10 @@ src/CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/net/message.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/limits /root/repo/src/net/routing_protocol.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/net/routing_protocol.hpp \
  /root/repo/src/routing/messages.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
@@ -248,9 +248,7 @@ src/CMakeFiles/rcsim_routing.dir/routing/bgp.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/network.hpp \
- /root/repo/src/net/link.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/net/packet.hpp /root/repo/src/net/node.hpp \
- /root/repo/src/net/fib.hpp /root/repo/src/sim/random.hpp \
- /root/repo/src/sim/logging.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/net/network.hpp \
+ /root/repo/src/net/link.hpp /root/repo/src/net/packet.hpp \
+ /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp

@@ -218,14 +218,12 @@ src/CMakeFiles/rcsim_routing.dir/routing/factory.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/limits /root/repo/src/routing/messages.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/routing/dual.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/routing/messages.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/routing/dual.hpp \
  /root/repo/src/routing/dv_common.hpp \
  /root/repo/src/routing/linkstate.hpp /root/repo/src/routing/dbf.hpp \
  /root/repo/src/routing/rip.hpp

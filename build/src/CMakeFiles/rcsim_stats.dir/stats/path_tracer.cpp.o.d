@@ -215,9 +215,8 @@ src/CMakeFiles/rcsim_stats.dir/stats/path_tracer.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/packet.hpp /root/repo/src/net/message.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/node.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/node.hpp \
  /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
  /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

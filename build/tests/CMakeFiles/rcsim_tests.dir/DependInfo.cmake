@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_node_forwarding.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_node_forwarding.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_node_forwarding.cpp.o.d"
   "/root/repo/tests/test_observations.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_observations.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_observations.cpp.o.d"
   "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_perf_gate.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_perf_gate.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_perf_gate.cpp.o.d"
   "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_properties.cpp.o.d"
   "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_random.cpp.o.d"
   "/root/repo/tests/test_reliable.cpp" "tests/CMakeFiles/rcsim_tests.dir/test_reliable.cpp.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_reliable.cpp.o.d"

@@ -297,10 +297,7 @@ tests/CMakeFiles/rcsim_tests.dir/test_assertions.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/message.hpp \
  /root/repo/src/net/types.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
- /root/repo/src/net/routing_protocol.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/net/routing_protocol.hpp \
  /root/repo/src/routing/messages.hpp /root/repo/tests/test_util.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/net/packet.hpp /root/repo/src/net/node.hpp \

@@ -210,17 +210,9 @@ tests/CMakeFiles/rcsim_tests.dir/test_dbf.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/time.hpp \
  /usr/include/c++/12/limits /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -289,7 +281,11 @@ tests/CMakeFiles/rcsim_tests.dir/test_dbf.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
@@ -300,10 +296,11 @@ tests/CMakeFiles/rcsim_tests.dir/test_dbf.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/tests/test_util.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/net/link.hpp /root/repo/src/net/packet.hpp \
- /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
- /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
- /root/repo/src/routing/factory.hpp /root/repo/src/routing/bgp.hpp \
- /root/repo/src/net/reliable.hpp /root/repo/src/routing/dual.hpp \
- /root/repo/src/routing/linkstate.hpp /root/repo/src/topo/topology.hpp \
- /root/repo/src/topo/graph_algo.hpp
+ /root/repo/src/net/link.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/node.hpp \
+ /root/repo/src/net/fib.hpp /root/repo/src/sim/random.hpp \
+ /root/repo/src/sim/logging.hpp /root/repo/src/routing/factory.hpp \
+ /root/repo/src/routing/bgp.hpp /root/repo/src/net/reliable.hpp \
+ /root/repo/src/routing/dual.hpp /root/repo/src/routing/linkstate.hpp \
+ /root/repo/src/topo/topology.hpp /root/repo/src/topo/graph_algo.hpp

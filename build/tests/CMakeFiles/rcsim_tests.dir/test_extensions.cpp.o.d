@@ -299,15 +299,12 @@ tests/CMakeFiles/rcsim_tests.dir/test_extensions.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /root/repo/src/net/message.hpp /root/repo/src/net/types.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/network.hpp \
- /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
- /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
- /root/repo/src/sim/logging.hpp /root/repo/src/routing/factory.hpp \
- /root/repo/src/routing/bgp.hpp /root/repo/src/net/reliable.hpp \
- /root/repo/src/routing/messages.hpp /root/repo/src/routing/dual.hpp \
- /root/repo/src/routing/dv_common.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/net/node.hpp \
+ /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
+ /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
+ /root/repo/src/routing/factory.hpp /root/repo/src/routing/bgp.hpp \
+ /root/repo/src/net/reliable.hpp /root/repo/src/routing/messages.hpp \
+ /root/repo/src/routing/dual.hpp /root/repo/src/routing/dv_common.hpp \
  /root/repo/src/routing/linkstate.hpp /root/repo/src/stats/collector.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

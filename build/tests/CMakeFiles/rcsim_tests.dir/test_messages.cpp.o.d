@@ -296,7 +296,5 @@ tests/CMakeFiles/rcsim_tests.dir/test_messages.cpp.o: \
  /root/repo/src/net/reliable.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/message.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/scheduler.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/routing/messages.hpp

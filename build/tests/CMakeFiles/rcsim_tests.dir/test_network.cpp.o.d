@@ -298,9 +298,6 @@ tests/CMakeFiles/rcsim_tests.dir/test_network.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/net/packet.hpp \
  /root/repo/src/net/message.hpp /root/repo/src/net/types.hpp \
  /root/repo/src/sim/time.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/node.hpp \
- /root/repo/src/net/fib.hpp /root/repo/src/net/routing_protocol.hpp \
- /root/repo/src/sim/random.hpp /root/repo/src/sim/logging.hpp \
- /root/repo/src/topo/topology.hpp
+ /root/repo/src/net/node.hpp /root/repo/src/net/fib.hpp \
+ /root/repo/src/net/routing_protocol.hpp /root/repo/src/sim/random.hpp \
+ /root/repo/src/sim/logging.hpp /root/repo/src/topo/topology.hpp

@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/rcsim_tests[1]_include.cmake")
+add_test(perf_gate_smoke "/root/repo/build/bench/perf_gate" "--smoke" "--benchmark_min_time=0.01")
+set_tests_properties(perf_gate_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

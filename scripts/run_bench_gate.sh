@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the sim-core performance gate against the checked-in baseline
+# (BENCH_simcore.json), or refresh that baseline in one step.
+#
+#   scripts/run_bench_gate.sh                     # gate: exit 1 on >15% regression
+#   scripts/run_bench_gate.sh --update-baseline   # re-measure and rewrite baseline
+#   scripts/run_bench_gate.sh --tolerance 10      # tighter gate
+#
+# Extra arguments are forwarded to perf_gate (see docs/benchmarking.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+BASELINE=${BASELINE:-BENCH_simcore.json}
+GATE="$BUILD/bench/perf_gate"
+
+if [[ ! -x "$GATE" ]]; then
+  echo "building perf_gate..."
+  cmake --build "$BUILD" --target perf_gate -j
+fi
+
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  shift
+  exec "$GATE" --json "$BASELINE" "$@"
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "run_bench_gate.sh: no baseline at $BASELINE" >&2
+  echo "create one with: scripts/run_bench_gate.sh --update-baseline" >&2
+  exit 2
+fi
+
+exec "$GATE" --baseline "$BASELINE" "$@"

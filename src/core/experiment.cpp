@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <cmath>
+
 namespace rcsim {
 
 RunResult runScenario(const ScenarioConfig& cfg) {
@@ -50,7 +52,9 @@ RunResult runScenario(const ScenarioConfig& cfg) {
                                                             scenario.receiver());
   }
 
-  const int endSec = static_cast<int>(cfg.endAt.toSeconds());
+  // Round up: a fractional final second still accumulates deliveries, and
+  // truncating here would silently drop that bucket from the series.
+  const int endSec = static_cast<int>(std::ceil(cfg.endAt.toSeconds()));
   r.throughput.resize(static_cast<std::size_t>(endSec), 0.0);
   r.meanDelay.resize(static_cast<std::size_t>(endSec), 0.0);
   for (int s = 0; s < endSec; ++s) {

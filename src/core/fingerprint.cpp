@@ -1,0 +1,83 @@
+#include "core/fingerprint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace rcsim {
+
+namespace {
+
+void put(std::ostringstream& os, const char* key, std::uint64_t v) {
+  os << key << '=' << v << '\n';
+}
+
+void put(std::ostringstream& os, const char* key, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << key << '=' << buf << '\n';
+}
+
+void put(std::ostringstream& os, const char* key, const PacketCounters& c) {
+  os << key << '=' << c.delivered << ',' << c.forwarded << ',' << c.dropNoRoute << ','
+     << c.dropTtl << ',' << c.dropQueue << ',' << c.dropLinkDown << ',' << c.dropInFlightCut
+     << '\n';
+}
+
+}  // namespace
+
+std::string runResultFingerprint(const RunResult& r) {
+  std::ostringstream os;
+  put(os, "protocol", static_cast<std::uint64_t>(r.protocol));
+  put(os, "degree", static_cast<std::uint64_t>(r.degree));
+  put(os, "seed", r.seed);
+  put(os, "sent", r.sent);
+  put(os, "data", r.data);
+  put(os, "dataAfterFailure", r.dataAfterFailure);
+  put(os, "control", r.control);
+  put(os, "loopEscapedDeliveries", r.loopEscapedDeliveries);
+  put(os, "controlMessages", r.controlMessages);
+  put(os, "controlBytes", r.controlBytes);
+  put(os, "controlMessagesAfterFailure", r.controlMessagesAfterFailure);
+  put(os, "tcpGoodputPackets", r.tcpGoodputPackets);
+  put(os, "tcpRetransmissions", r.tcpRetransmissions);
+  put(os, "routingConvergenceSec", r.routingConvergenceSec);
+  put(os, "forwardingConvergenceSec", r.forwardingConvergenceSec);
+  put(os, "transientPaths", static_cast<std::uint64_t>(r.transientPaths));
+  put(os, "sawLoop", static_cast<std::uint64_t>(r.sawLoop));
+  put(os, "sawBlackhole", static_cast<std::uint64_t>(r.sawBlackhole));
+  put(os, "preFailurePathShortest", static_cast<std::uint64_t>(r.preFailurePathShortest));
+  put(os, "preFailurePathHops", static_cast<std::uint64_t>(r.preFailurePathHops));
+  put(os, "finalPathShortest", static_cast<std::uint64_t>(r.finalPathShortest));
+  put(os, "routeChangesAfterFailure", r.routeChangesAfterFailure);
+  put(os, "failSec", static_cast<std::uint64_t>(r.failSec));
+  put(os, "eventsExecuted", r.eventsExecuted);
+  os << "throughput=";
+  for (const double v : r.throughput) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g;", v);
+    os << buf;
+  }
+  os << '\n' << "meanDelay=";
+  for (const double v : r.meanDelay) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g;", v);
+    os << buf;
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string runResultDigest(const RunResult& r) {
+  const std::string fp = runResultFingerprint(r);
+  std::uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : fp) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return std::string{buf};
+}
+
+}  // namespace rcsim

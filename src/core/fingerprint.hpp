@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace rcsim {
+
+/// Canonical text rendering of every RunResult field (doubles at full
+/// precision), for byte-exact determinism comparisons across engine
+/// refactors. Two runs are equivalent iff their fingerprints match.
+[[nodiscard]] std::string runResultFingerprint(const RunResult& r);
+
+/// FNV-1a 64-bit digest of the fingerprint, as 16 lowercase hex chars —
+/// compact enough to check golden values into a test.
+[[nodiscard]] std::string runResultDigest(const RunResult& r);
+
+}  // namespace rcsim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcsim {
+
+/// Minimal JSON document model for the benchmark gate: objects, arrays,
+/// numbers, strings, booleans and null. Enough to round-trip
+/// BENCH_simcore.json without an external dependency.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::Object && object.count(key) > 0;
+  }
+  /// Object member access; throws std::runtime_error on missing key or
+  /// non-object value, so gate failures are loud rather than silent zeros.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] double numberAt(const std::string& key) const { return at(key).number; }
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error with a byte
+/// offset on malformed input; trailing garbage is an error.
+[[nodiscard]] JsonValue parseJson(std::string_view text);
+
+}  // namespace rcsim

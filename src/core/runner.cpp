@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdlib>
 #include <thread>
 
@@ -37,6 +38,13 @@ Aggregate Aggregate::over(const std::vector<RunResult>& results) {
   Aggregate a;
   a.runs = static_cast<int>(results.size());
   if (results.empty()) return a;
+  // All runs of an aggregate share one scenario config, so the failure
+  // instant is a property of the batch — take it from the first run rather
+  // than whichever happens to iterate last.
+  a.failSec = results.front().failSec;
+  assert(std::all_of(results.begin(), results.end(),
+                     [&](const RunResult& r) { return r.failSec == a.failSec; }) &&
+         "aggregating runs with differing failure times");
   std::size_t maxLen = 0;
   for (const auto& r : results) maxLen = std::max(maxLen, r.throughput.size());
   a.throughput.assign(maxLen, 0.0);
@@ -62,7 +70,6 @@ Aggregate Aggregate::over(const std::vector<RunResult>& results) {
         ++delayCounts[s];
       }
     }
-    a.failSec = r.failSec;
   }
   const auto n = static_cast<double>(a.runs);
   a.dropsNoRoute /= n;

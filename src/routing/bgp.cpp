@@ -25,6 +25,8 @@ void Bgp::start() {
   const auto n = node_.network().nodeCount();
   bestPath_.assign(n, {});
   bestVia_.assign(n, kInvalidNode);
+  advertCache_.assign(n, nullptr);
+  withdrawCache_.assign(n, nullptr);
   const auto self = static_cast<std::size_t>(node_.id());
   bestPath_[self] = {node_.id()};
   bestVia_[self] = node_.id();
@@ -173,6 +175,7 @@ void Bgp::runDecision(NodeId dst) {
   const std::vector<NodeId> newPath = best ? *best : std::vector<NodeId>{};
   if (newPath == bestPath_[i] && via == bestVia_[i]) return;
   const bool wasReachable = !bestPath_[i].empty();
+  if (newPath != bestPath_[i]) advertCache_[i] = nullptr;  // content changed
   bestPath_[i] = newPath;
   bestVia_[i] = via;
   node_.setRoute(dst, via);
@@ -243,10 +246,16 @@ bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
   if (bestPath_[i].empty()) {
     if (out.empty()) return false;  // peer never heard of it / already withdrawn
     out.clear();
-    auto update = std::make_shared<BgpUpdate>();
-    update->withdrawn.push_back(dst);
+    // One immutable withdrawal payload per destination, shared by every
+    // peer that needs it — its content never changes.
+    auto& cached = withdrawCache_[i];
+    if (cached == nullptr) {
+      auto update = std::make_shared<BgpUpdate>();
+      update->withdrawn.push_back(dst);
+      cached = std::move(update);
+    }
     ++withdrawalsSent_;
-    peer.session->send(std::move(update));
+    peer.session->send(cached);
     return true;
   }
   // Advertised path = [self] + best path; the self-originated route is just
@@ -258,11 +267,18 @@ bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
     path.insert(path.end(), bestPath_[i].begin(), bestPath_[i].end());
   }
   if (out == path) return false;  // duplicate suppression against Adj-RIB-Out
-  out = path;
-  auto update = std::make_shared<BgpUpdate>();
-  update->advertised.push_back(BgpRoute{dst, std::move(path)});
+  // The advert payload is a pure function of bestPath_[dst], so every peer
+  // receiving this round of updates shares one immutable copy (invalidated
+  // in runDecision when the best path changes).
+  auto& cached = advertCache_[i];
+  if (cached == nullptr) {
+    auto update = std::make_shared<BgpUpdate>();
+    update->advertised.push_back(BgpRoute{dst, path});
+    cached = std::move(update);
+  }
+  out = std::move(path);
   ++updatesSent_;
-  peer.session->send(std::move(update));
+  peer.session->send(cached);
   return true;
 }
 

@@ -133,6 +133,13 @@ class Bgp final : public RoutingProtocol {
   std::map<NodeId, std::vector<std::vector<NodeId>>> ribIn_;
   std::vector<std::vector<NodeId>> bestPath_;  ///< empty = unreachable
   std::vector<NodeId> bestVia_;
+  /// Per-destination immutable payload caches shared across peers: an
+  /// update's content never varies by receiver (no per-peer rewriting in
+  /// path-vector single-route updates), only *whether* it is sent does
+  /// (Adj-RIB-Out duplicate suppression). The advert cache is invalidated
+  /// when the best path changes; a withdrawal's content is constant.
+  std::vector<std::shared_ptr<const BgpUpdate>> advertCache_;
+  std::vector<std::shared_ptr<const BgpUpdate>> withdrawCache_;
   std::uint64_t updatesSent_ = 0;
   std::uint64_t withdrawalsSent_ = 0;
   std::uint64_t suppressions_ = 0;

@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <set>
 
 #include "net/network.hpp"
 #include "net/node.hpp"
 
 namespace rcsim {
 
-DvProtocolBase::DvProtocolBase(Node& node, DvConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+// The wire format must be able to carry any configurable infinity.
+static_assert(std::numeric_limits<decltype(DvEntry::metric)>::max() >= 255,
+              "DvEntry::metric too narrow for RIP-style metrics");
+
+DvProtocolBase::DvProtocolBase(Node& node, DvConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {
+  assert(cfg_.infinityMetric > 0 &&
+         cfg_.infinityMetric <= int{std::numeric_limits<decltype(DvEntry::metric)>::max()} &&
+         "infinityMetric must fit the DvEntry wire metric");
+  // Release builds: clamp rather than silently truncate on the wire.
+  cfg_.infinityMetric = std::min<int>(
+      cfg_.infinityMetric, int{std::numeric_limits<decltype(DvEntry::metric)>::max()});
+}
 
 DvProtocolBase::~DvProtocolBase() {
   node_.scheduler().cancel(dampTimer_);
@@ -48,10 +61,7 @@ void DvProtocolBase::checkNeighborAging() {
   for (const NodeId n : expired) onLinkDown(n);
 }
 
-void DvProtocolBase::sendFullTables() {
-  const auto dsts = knownDestinations();
-  for (const NodeId n : alive_) sendEntries(n, dsts);
-}
+void DvProtocolBase::sendFullTables() { sendEntriesAll(knownDestinations()); }
 
 void DvProtocolBase::sendEntries(NodeId neighbor, const std::vector<NodeId>& dsts) {
   if (dsts.empty()) return;
@@ -73,10 +83,56 @@ void DvProtocolBase::sendEntries(NodeId neighbor, const std::vector<NodeId>& dst
         case SplitHorizonMode::PoisonReverse: metric = cfg_.infinityMetric; break;
       }
     }
-    update->entries.push_back(DvEntry{d, static_cast<std::uint8_t>(metric)});
+    metric = std::clamp(metric, 0, cfg_.infinityMetric);
+    update->entries.push_back(DvEntry{d, static_cast<std::uint16_t>(metric)});
     if (static_cast<int>(update->entries.size()) >= cfg_.maxEntriesPerMessage) flush();
   }
   flush();
+}
+
+std::vector<std::shared_ptr<const DvUpdate>> DvProtocolBase::buildSharedChunks(
+    const std::vector<NodeId>& dsts) const {
+  std::vector<std::shared_ptr<const DvUpdate>> chunks;
+  auto update = std::make_shared<DvUpdate>();
+  update->entries.reserve(std::min<std::size_t>(dsts.size(),
+                                                static_cast<std::size_t>(cfg_.maxEntriesPerMessage)));
+  for (const NodeId d : dsts) {
+    const int metric = std::clamp(metricFor(d), 0, cfg_.infinityMetric);
+    update->entries.push_back(DvEntry{d, static_cast<std::uint16_t>(metric)});
+    if (static_cast<int>(update->entries.size()) >= cfg_.maxEntriesPerMessage) {
+      chunks.push_back(std::move(update));
+      update = std::make_shared<DvUpdate>();
+    }
+  }
+  if (!update->entries.empty()) chunks.push_back(std::move(update));
+  return chunks;
+}
+
+void DvProtocolBase::sendEntriesAll(const std::vector<NodeId>& dsts) {
+  if (dsts.empty() || alive_.empty()) return;
+  // Only a neighbor that is the next hop of some advertised destination sees
+  // content altered by split horizon / poison reverse; every other neighbor
+  // receives byte-identical chunks, so build those once and share them.
+  std::set<NodeId> rewritten;
+  if (cfg_.splitHorizon != SplitHorizonMode::None) {
+    for (const NodeId d : dsts) rewritten.insert(nextHopFor(d));
+  }
+  std::vector<std::shared_ptr<const DvUpdate>> shared;
+  bool built = false;
+  for (const NodeId n : alive_) {
+    if (rewritten.count(n) != 0) {
+      sendEntries(n, dsts);
+      continue;
+    }
+    if (!built) {
+      shared = buildSharedChunks(dsts);
+      built = true;
+    }
+    for (const auto& chunk : shared) {
+      ++updatesSent_;
+      node_.sendControl(n, chunk);
+    }
+  }
 }
 
 void DvProtocolBase::markChanged(NodeId dst) {
@@ -101,7 +157,7 @@ void DvProtocolBase::flushTriggered() {
   if (changed_.empty()) return;
   const std::vector<NodeId> dsts(changed_.begin(), changed_.end());
   changed_.clear();
-  for (const NodeId n : alive_) sendEntries(n, dsts);
+  sendEntriesAll(dsts);
 }
 
 void DvProtocolBase::armDampTimer() {

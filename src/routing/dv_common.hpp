@@ -76,7 +76,18 @@ class DvProtocolBase : public RoutingProtocol {
   /// message capacity) to one neighbor.
   void sendEntries(NodeId neighbor, const std::vector<NodeId>& dsts);
 
+  /// Send `dsts` to every live neighbor. Neighbors that are the next hop of
+  /// an advertised destination get per-neighbor content (split horizon /
+  /// poison reverse rewrites it); all others receive the *same* immutable
+  /// chunked payload, built once — identical bytes on the wire, without the
+  /// per-neighbor message construction.
+  void sendEntriesAll(const std::vector<NodeId>& dsts);
+
  private:
+  /// Chunk `dsts` with honest (un-poisoned) metrics into shareable updates.
+  [[nodiscard]] std::vector<std::shared_ptr<const DvUpdate>> buildSharedChunks(
+      const std::vector<NodeId>& dsts) const;
+
   void periodicTick();
   void sendFullTables();
   void flushTriggered();

@@ -11,9 +11,12 @@
 namespace rcsim {
 
 /// One (destination, distance) pair of a distance-vector advertisement.
+/// The metric is wide enough for any configurable infinity (DvConfig checks
+/// the bound at construction); RIP's default infinity of 16 is just the
+/// paper's parameterization, not a storage limit.
 struct DvEntry {
   NodeId dst = kInvalidNode;
-  std::uint8_t metric = 0;  ///< 16 == infinity (RIP semantics).
+  std::uint16_t metric = 0;  ///< infinityMetric == unreachable (RIP semantics).
 };
 
 /// RIP/DBF update message. RFC 2453 limits a message to 25 route entries;

@@ -1,48 +1,58 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
-#include <utility>
 
 namespace rcsim {
 
-EventId Scheduler::scheduleAt(Time at, Callback cb) {
-  assert(cb);
-  if (at < now_) at = now_;
-  Entry e;
-  e.at = at;
-  e.seq = nextSeq_++;
-  e.id = e.seq;
-  e.cb = std::move(cb);
-  const EventId id{e.id};
-  queue_.push(std::move(e));
-  return id;
-}
-
-EventId Scheduler::scheduleAfter(Time delay, Callback cb) {
-  if (delay < Time::zero()) delay = Time::zero();
-  return scheduleAt(now_ + delay, std::move(cb));
+std::uint32_t Scheduler::acquireSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t s = freeSlots_.back();
+    freeSlots_.pop_back();
+    return s;
+  }
+  if (usedSlots_ == chunks_.size() * kChunkSlots) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+  }
+  assert(usedSlots_ <= kSlotMask && "event pool exceeded 2^24 concurrent events");
+  return usedSlots_++;
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.value);
+  if (!id.valid()) return;
+  const auto slot = static_cast<std::uint32_t>(id.value & kSlotMask);
+  if (slot >= usedSlots_) return;
+  Slot& s = slotRef(slot);
+  if (s.key != id.value) return;  // fired or stale
+  s.cb.reset();
+  s.key = 0;
+  freeSlots_.push_back(slot);
+  --live_;
 }
 
 void Scheduler::run(Time horizon) {
   stopped_ = false;
+  const std::int64_t horizonNs = horizon.ns();
   while (!queue_.empty() && !stopped_) {
-    const Entry& top = queue_.top();
-    if (top.at > horizon) break;
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
-      continue;
-    }
-    // Move the callback out before popping so it survives the pop, then run
-    // it with now_ already advanced (callbacks observe their own timestamp).
-    Entry e = std::move(const_cast<Entry&>(top));
+    const HeapItem top = queue_.top();
+    if (static_cast<std::int64_t>(top.atNs) > horizonNs) break;
+    // Pop order wanders across the slab, so the slot line is usually cold;
+    // start fetching it while the sift-down below does its compares.
+    Slot& s = slotRef(static_cast<std::uint32_t>(top.key & kSlotMask));
+#if defined(__GNUC__)
+    __builtin_prefetch(&s);
+#endif
     queue_.pop();
-    now_ = e.at;
+    if (s.key != top.key) continue;  // cancelled: orphaned heap record
+    // Clear the key before invoking so a self-cancel during the callback is
+    // a stale no-op, but keep the slot off the free list until the callback
+    // finishes: chunk addresses are stable, so it runs in place — no move.
+    s.key = 0;
+    --live_;
+    now_ = Time::nanoseconds(static_cast<std::int64_t>(top.atNs));
     ++executed_;
-    e.cb();
+    s.cb();
+    s.cb.reset();
+    freeSlots_.push_back(static_cast<std::uint32_t>(top.key & kSlotMask));
   }
   // Advance the clock to the horizon unless stopped early: remaining events
   // (if any) are strictly later, so subsequent relative scheduling should be

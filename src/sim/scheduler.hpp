@@ -1,16 +1,71 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace rcsim {
 
+/// Type-erased callable with inline storage, sized for the simulator's event
+/// lambdas. Callables up to kInlineBytes are constructed directly inside the
+/// scheduler's pooled event slot — no per-event heap allocation on the hot
+/// path; larger ones fall back to a single heap cell.
+///
+/// Slots never relocate (the pool is chunked, see Scheduler), so the
+/// callable is pinned: constructed once via emplace(), invoked in place,
+/// destroyed via reset(). No move machinery is needed or provided.
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventCallback() = default;
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  /// Construct a callable in place. Must be empty (fresh or reset).
+  template <typename F>
+    requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      destroy_ = [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); };
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); };
+      destroy_ = [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); };
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(storage_);
+      invoke_ = nullptr;
+      destroy_ = nullptr;
+    }
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) noexcept = nullptr;
+};
+
 /// Opaque handle returned by Scheduler::schedule*, usable for cancellation.
+/// Encodes (sequence number, pool slot); zero is the invalid handle.
 struct EventId {
   std::uint64_t value = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
@@ -20,10 +75,18 @@ struct EventId {
 ///
 /// Events scheduled for the same timestamp fire in FIFO order (stable by
 /// insertion sequence), which keeps protocol runs deterministic.
-/// Cancellation is lazy: cancelled ids are tombstoned and skipped on pop.
+///
+/// Storage is a chunked slab of pooled slots (callback + liveness key)
+/// indexed by a min-heap of plain 16-byte (time, key) records, where key
+/// packs the globally increasing sequence number with the slot index.
+/// Chunks give slots stable addresses, so callbacks are constructed,
+/// invoked, and destroyed in place — never moved. Cancellation clears the
+/// slot's key and recycles it immediately — O(1), no tombstone set, no
+/// growth on stale cancels; the orphaned heap record is skipped when popped
+/// because its key no longer matches the slot's.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -32,14 +95,35 @@ class Scheduler {
   /// Current simulation time.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `at` (must not be before now()).
-  EventId scheduleAt(Time at, Callback cb);
+  /// Schedule `f` at absolute time `at` (times before now() clamp to now).
+  template <typename F>
+    requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId scheduleAt(Time at, F&& f) {
+    if (at < now_) at = now_;
+    const std::uint32_t slot = acquireSlot();
+    Slot& s = slotRef(slot);
+    s.cb.emplace(std::forward<F>(f));
+    // The key is unique for the scheduler's lifetime (sequence in the high
+    // bits), so a recycled slot can never satisfy a stale handle or an
+    // orphaned heap record.
+    const std::uint64_t key = (nextSeq_++ << kSlotBits) | slot;
+    s.key = key;
+    queue_.push(HeapItem{static_cast<std::uint64_t>(at.ns()), key});
+    ++live_;
+    return EventId{key};
+  }
 
-  /// Schedule `cb` after `delay` from now (negative delays clamp to now).
-  EventId scheduleAfter(Time delay, Callback cb);
+  /// Schedule `f` after `delay` from now (negative delays clamp to now).
+  template <typename F>
+    requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId scheduleAfter(Time delay, F&& f) {
+    if (delay < Time::zero()) delay = Time::zero();
+    return scheduleAt(now_ + delay, std::forward<F>(f));
+  }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
-  /// no-op, so callers can keep stale handles safely.
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or invalid id is an O(1) no-op with no bookkeeping growth, so callers
+  /// can keep stale handles safely.
   void cancel(EventId id);
 
   /// Run until the queue drains, stop() is called, or the horizon is reached.
@@ -49,28 +133,109 @@ class Scheduler {
   /// Request run() to return after the current event completes.
   void stop() { stopped_ = true; }
 
-  /// Number of events currently pending (including tombstoned ones).
-  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+  /// Number of live (scheduled, not yet fired or cancelled) events.
+  [[nodiscard]] std::size_t pendingEvents() const { return live_; }
+
+  /// Slots allocated in the event pool — bounded by the peak number of
+  /// simultaneously pending events (rounded up to a chunk), never by total
+  /// churn.
+  [[nodiscard]] std::size_t poolCapacity() const { return chunks_.size() * kChunkSlots; }
 
   /// Total events executed so far (for perf accounting).
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq = 0;
-    std::uint64_t id = 0;
-    Callback cb;
+  /// Slot index occupies the low bits of a key; the rest is the sequence
+  /// number. 16M concurrent events, ~1.1e12 total events per scheduler.
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
 
-    // Min-heap: earlier time first; FIFO among equal times.
-    bool operator>(const Entry& rhs) const {
-      if (at != rhs.at) return at > rhs.at;
-      return seq > rhs.seq;
+  /// Slots are allocated in fixed-size chunks so they keep stable addresses
+  /// as the pool grows — growth never move-constructs live callbacks.
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  struct Slot {
+    EventCallback cb;
+    std::uint64_t key = 0;  ///< Key of the live occupant; 0 when free.
+  };
+
+  struct HeapItem {
+    std::uint64_t atNs = 0;  ///< Event time; never negative, stored unsigned.
+    std::uint64_t key = 0;
+
+    // Min-heap: earlier time first; FIFO among equal times (keys carry the
+    // sequence number in their high bits and are strictly increasing).
+    bool operator<(const HeapItem& rhs) const {
+#if defined(__SIZEOF_INT128__)
+      // One branchless 128-bit compare instead of compare-then-compare.
+      return ((static_cast<unsigned __int128>(atNs) << 64) | key) <
+             ((static_cast<unsigned __int128>(rhs.atNs) << 64) | rhs.key);
+#else
+      if (atNs != rhs.atNs) return atNs < rhs.atNs;
+      return key < rhs.key;
+#endif
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// 4-ary min-heap of plain 16-byte records. Shallower than a binary heap
+  /// and cache-friendlier (four children share a line), which is where the
+  /// scheduler hot loop spends its time.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const { return v_.empty(); }
+    [[nodiscard]] std::size_t size() const { return v_.size(); }
+    [[nodiscard]] const HeapItem& top() const { return v_.front(); }
+
+    void push(const HeapItem& item) {
+      // Sift up by moving parents into the hole; the item lands once.
+      std::size_t i = v_.size();
+      v_.push_back(item);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!(item < v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = item;
+    }
+
+    void pop() {
+      const HeapItem displaced = v_.back();
+      v_.pop_back();
+      if (v_.empty()) return;
+      const std::size_t n = v_.size();
+      std::size_t i = 0;
+      while (true) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < last; ++c) {
+          if (v_[c] < v_[best]) best = c;
+        }
+        if (!(v_[best] < displaced)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = displaced;
+    }
+
+   private:
+    std::vector<HeapItem> v_;
+  };
+
+  Slot& slotRef(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSlots - 1)];
+  }
+
+  std::uint32_t acquireSlot();
+
+  EventHeap queue_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::uint32_t usedSlots_ = 0;  ///< High-water mark of freshly carved slots.
+  std::size_t live_ = 0;
   Time now_ = Time::zero();
   std::uint64_t nextSeq_ = 1;
   std::uint64_t executed_ = 0;

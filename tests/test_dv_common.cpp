@@ -125,6 +125,30 @@ TEST_F(DvEngine, NoPoisonReverseModeAdvertisesHonestly) {
   EXPECT_TRUE(sawHonestTowardNextHop);
 }
 
+TEST_F(DvEngine, LargeInfinityMetricSurvivesTheWire) {
+  // Regression: DvEntry::metric used to be uint8_t, so an infinity of 300
+  // truncated to 44 on the wire — an unreachable destination advertised as
+  // a *great* route, resurrecting dead paths. The full metric must arrive
+  // intact and the route must actually die.
+  ProtocolConfig cfg;
+  cfg.dv.infinityMetric = 300;
+  TestNet tn{testutil::lineTopology(3), ProtocolKind::Rip, cfg};
+  tn.warmUp(40_sec);
+  install(tn);
+  tn.net().findLink(1, 2)->fail();
+  tn.runUntil(50_sec);
+  bool sawFullInfinity = false;
+  for (const auto& c : captured_) {
+    if (c.from != 1 || c.to != 0) continue;
+    for (const auto& e : c.entries) {
+      EXPECT_NE(e.metric, 44) << "metric truncated to 8 bits on the wire";
+      if (e.dst == 2 && e.metric == 300) sawFullInfinity = true;
+    }
+  }
+  EXPECT_TRUE(sawFullInfinity);
+  EXPECT_EQ(tn.nextHop(0, 2), kInvalidNode);
+}
+
 TEST_F(DvEngine, ZeroDampingPropagatesChangesBackToBack) {
   ProtocolConfig cfg;
   cfg.dv.triggerDampMinSec = 0.0;

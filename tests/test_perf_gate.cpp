@@ -1,0 +1,120 @@
+// The perf gate's moving parts that must not rot: the JSON schema it emits
+// and consumes (bench/perf_gate.cpp, BENCH_simcore.json), and the
+// determinism contract behind the scheduler's pooled-event rewrite — the
+// optimized engine must reproduce the seed engine's RunResults bit for bit.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "core/fingerprint.hpp"
+#include "core/json_lite.hpp"
+
+namespace rcsim {
+namespace {
+
+// A frozen copy of the gate's output schema ("rcsim-bench-simcore-v1").
+// If perf_gate's emitter drifts away from this shape, the checked-in
+// baseline stops gating anything — fail here first.
+constexpr const char* kGoldenBench = R"json({
+  "schema": "rcsim-bench-simcore-v1",
+  "scheduler": {
+    "schedule_run_events_per_sec": 5253000.25,
+    "self_resched_events_per_sec": 30126000.50,
+    "seed_schedule_run_events_per_sec": 3886599.17,
+    "pooled_speedup_vs_seed": 1.35
+  },
+  "scenario_ms": {
+    "RIP": 21.61,
+    "DBF": 27.51,
+    "BGP": 30.36,
+    "BGP3": 30.35
+  },
+  "rss_mb": 9.40
+})json";
+
+TEST(PerfGate, GoldenBenchJsonParses) {
+  const JsonValue v = parseJson(kGoldenBench);
+  EXPECT_EQ(v.at("schema").str, "rcsim-bench-simcore-v1");
+  const JsonValue& sched = v.at("scheduler");
+  EXPECT_DOUBLE_EQ(sched.numberAt("schedule_run_events_per_sec"), 5253000.25);
+  EXPECT_DOUBLE_EQ(sched.numberAt("self_resched_events_per_sec"), 30126000.50);
+  EXPECT_DOUBLE_EQ(sched.numberAt("seed_schedule_run_events_per_sec"), 3886599.17);
+  EXPECT_DOUBLE_EQ(sched.numberAt("pooled_speedup_vs_seed"), 1.35);
+  const JsonValue& scen = v.at("scenario_ms");
+  for (const char* proto : {"RIP", "DBF", "BGP", "BGP3"}) {
+    ASSERT_TRUE(scen.has(proto)) << proto;
+    EXPECT_GT(scen.numberAt(proto), 0.0) << proto;
+  }
+  EXPECT_DOUBLE_EQ(v.numberAt("rss_mb"), 9.40);
+}
+
+TEST(PerfGate, JsonParserRejectsGarbage) {
+  EXPECT_THROW(parseJson("{"), std::runtime_error);
+  EXPECT_THROW(parseJson("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(parseJson("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(parseJson(""), std::runtime_error);
+  EXPECT_THROW(parseJson("{\"a\" 1}"), std::runtime_error);
+}
+
+TEST(PerfGate, JsonParserHandlesStructure) {
+  const JsonValue v = parseJson(R"({"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}})");
+  ASSERT_EQ(v.at("a").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(v.at("a").array[2].number, -300.0);
+  EXPECT_TRUE(v.at("b").at("c").boolean);
+  EXPECT_EQ(v.at("b").at("d").kind, JsonValue::Kind::Null);
+  EXPECT_THROW(static_cast<void>(v.at("missing")), std::runtime_error);
+}
+
+struct GoldenDigest {
+  ProtocolKind protocol;
+  std::uint64_t seed;
+  const char* digest;
+};
+
+// RunResult digests recorded with the seed (pre-pooling, pre-payload-
+// sharing) engine at degree 4 and default configuration. The rewritten
+// scheduler and the shared-payload send paths must reproduce every run
+// bit for bit — any divergence here means an optimization changed
+// simulation behavior, not just speed.
+constexpr GoldenDigest kSeedDigests[] = {
+    {ProtocolKind::Rip, 1, "778e0e455546c13d"},  {ProtocolKind::Rip, 2, "39f28b0bc6015810"},
+    {ProtocolKind::Rip, 3, "a38ca0a3320edce5"},  {ProtocolKind::Rip, 4, "9d2ef2ba0e96c6f5"},
+    {ProtocolKind::Rip, 5, "0b59d00c62d889d6"},  {ProtocolKind::Dbf, 1, "f12585a56305180c"},
+    {ProtocolKind::Dbf, 2, "37646e4c1e31608e"},  {ProtocolKind::Dbf, 3, "e74c13137a67b985"},
+    {ProtocolKind::Dbf, 4, "e8c1642e01e303d5"},  {ProtocolKind::Dbf, 5, "7b52ea88b3615e44"},
+    {ProtocolKind::Bgp, 1, "94e09cd48c2fccbb"},  {ProtocolKind::Bgp, 2, "40a708a0246c7e3f"},
+    {ProtocolKind::Bgp, 3, "3205204eedf3fb7c"},  {ProtocolKind::Bgp, 4, "02ae1988ed6bbeb6"},
+    {ProtocolKind::Bgp, 5, "105922b16f8f8a23"},  {ProtocolKind::Bgp3, 1, "96959e6bb56bc36a"},
+    {ProtocolKind::Bgp3, 2, "26737ea4bb855578"}, {ProtocolKind::Bgp3, 3, "b16d2082d79e0359"},
+    {ProtocolKind::Bgp3, 4, "8bbad565894eba6d"}, {ProtocolKind::Bgp3, 5, "5b459d241a0ccb3b"},
+};
+
+TEST(PerfGate, PooledSchedulerMatchesSeedEngineBitForBit) {
+  for (const GoldenDigest& g : kSeedDigests) {
+    ScenarioConfig cfg;
+    cfg.protocol = g.protocol;
+    cfg.mesh.degree = 4;
+    cfg.seed = g.seed;
+    const RunResult r = runScenario(cfg);
+    EXPECT_EQ(runResultDigest(r), g.digest)
+        << toString(g.protocol) << " seed " << g.seed << " diverged from the seed engine";
+  }
+}
+
+TEST(PerfGate, FingerprintIsDeterministicAndSensitive) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Rip;
+  cfg.mesh.degree = 4;
+  cfg.seed = 1;
+  const RunResult a = runScenario(cfg);
+  const RunResult b = runScenario(cfg);
+  EXPECT_EQ(runResultFingerprint(a), runResultFingerprint(b));
+  RunResult mutated = a;
+  mutated.sent += 1;
+  EXPECT_NE(runResultDigest(mutated), runResultDigest(a));
+}
+
+}  // namespace
+}  // namespace rcsim

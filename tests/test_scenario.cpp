@@ -82,6 +82,22 @@ TEST(Scenario, ThroughputSeriesShapedByTrafficWindow) {
   EXPECT_EQ(r.throughput[170], 0.0);   // after traffic stop
 }
 
+TEST(Scenario, FractionalEndTimeKeepsFinalBucket) {
+  // Regression: endSec was truncated (static_cast<int> of 120.5 -> 120), so
+  // a run ending mid-second silently dropped the final throughput/delay
+  // bucket — deliveries at endAt - 0.1 s vanished from the series.
+  ScenarioConfig cfg = quickConfig(ProtocolKind::Dbf, 4, 7);
+  cfg.injectFailure = false;
+  cfg.trafficStop = Time::seconds(120.5);
+  cfg.endAt = Time::seconds(120.5);
+  const RunResult r = runScenario(cfg);
+  ASSERT_EQ(r.throughput.size(), 121u);  // ceil(120.5) buckets
+  ASSERT_EQ(r.meanDelay.size(), 121u);
+  // Traffic runs through the fractional last second; packets sent in
+  // [120.0, 120.4] deliver well before 120.5 and must be counted.
+  EXPECT_GT(r.throughput[120], 0.0);
+}
+
 TEST(Scenario, RunnerAggregatesMeans) {
   ScenarioConfig cfg = quickConfig(ProtocolKind::Dbf, 6, 1);
   const auto results = runMany(cfg, 4, /*startSeed=*/1, /*threads=*/2);
@@ -94,6 +110,20 @@ TEST(Scenario, RunnerAggregatesMeans) {
   EXPECT_DOUBLE_EQ(agg.sent, 1200.0);
   EXPECT_GT(agg.delivered, 1100.0);
   EXPECT_EQ(agg.failSec, 100);
+}
+
+TEST(Scenario, AggregateTakesFailSecFromFirstRun) {
+  // failSec is a property of the batch's shared config; Aggregate::over
+  // reads it from the first run (and asserts the rest agree) instead of
+  // whichever run iterates last.
+  RunResult a;
+  a.failSec = 77;
+  a.throughput = {1.0, 2.0};
+  RunResult b;
+  b.failSec = 77;
+  const auto agg = Aggregate::over({a, b});
+  EXPECT_EQ(agg.failSec, 77);
+  EXPECT_EQ(agg.throughput.size(), 2u);
 }
 
 TEST(Scenario, ParallelRunnerMatchesSerial) {

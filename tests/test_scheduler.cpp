@@ -137,6 +137,45 @@ TEST(Scheduler, ExecutedEventsCounts) {
   EXPECT_EQ(s.executedEvents(), 5u);
 }
 
+TEST(Scheduler, CancelChurnKeepsBookkeepingBounded) {
+  // Regression: the pre-pool scheduler accumulated one tombstone per
+  // cancel() forever. A million schedule/fire/cancel cycles must leave no
+  // pending state and a pool bounded by peak concurrency (two events here),
+  // not by total churn.
+  Scheduler s;
+  constexpr int kCycles = 1'000'000;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < kCycles; ++i) {
+    const EventId keep = s.scheduleAfter(Time::microseconds(1), [&fired] { ++fired; });
+    const EventId victim = s.scheduleAfter(Time::microseconds(2), [] { FAIL(); });
+    s.cancel(victim);
+    s.cancel(victim);  // double-cancel: must stay a no-op
+    s.run();
+    s.cancel(keep);  // stale handle of a fired event: must stay a no-op
+    EXPECT_EQ(s.pendingEvents(), 0u);
+  }
+  EXPECT_EQ(fired, static_cast<std::uint64_t>(kCycles));
+  EXPECT_EQ(s.executedEvents(), static_cast<std::uint64_t>(kCycles));
+  // Peak concurrency was 2 events; the pool allocates whole chunks, so the
+  // capacity must be a single chunk — far below the 2M handles churned.
+  EXPECT_LE(s.poolCapacity(), 1024u);
+}
+
+TEST(Scheduler, CancelDuringCallbackAndSelfCancel) {
+  Scheduler s;
+  int fired = 0;
+  EventId later{};
+  const EventId self = s.scheduleAt(1_sec, [&] {
+    ++fired;
+    s.cancel(self);   // self-cancel while executing: no-op, no corruption
+    s.cancel(later);  // cancel a pending sibling from inside a callback
+  });
+  later = s.scheduleAt(2_sec, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler s;
   Time last = Time::zero();
