@@ -1,0 +1,212 @@
+// The one bench binary: every registered experiment (figures, ablations,
+// extensions, appendix) behind --list / --only / --all. All selected
+// experiments are submitted to a single SweepExecutor up front, so their
+// (cell, seed) replicas share one work queue and one persistent thread
+// pool — no fork/join barrier between cells or between experiments.
+//
+// Console tables are byte-compatible with the historical one-binary-per-
+// figure benches (banners and progress go to stderr now, tables stay on
+// stdout); each experiment additionally writes a JSON artifact under
+// --out (default results/).
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "exp/artifact.hpp"
+#include "exp/executor.hpp"
+#include "exp/registry.hpp"
+
+namespace {
+
+using rcsim::exp::ExperimentResult;
+using rcsim::exp::ExperimentSpec;
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: rcsim_bench [--list] [--all | --only=NAME ...] [options]\n"
+               "\n"
+               "selection:\n"
+               "  --list            list registered experiments and exit\n"
+               "  --all             run every registered experiment\n"
+               "  --only=NAME       run one experiment (repeatable)\n"
+               "\n"
+               "options:\n"
+               "  --runs=N          replicas per cell (else env RCSIM_RUNS, else the\n"
+               "                    experiment default; see --list)\n"
+               "  --paper-runs      use each experiment's checked-in-results replica count\n"
+               "  --threads=K       worker threads (else env RCSIM_THREADS, else cores)\n"
+               "  --out=DIR         artifact directory (default: results)\n"
+               "  --txt             write each experiment's tables to DIR/NAME.txt\n"
+               "                    instead of stdout\n"
+               "  --no-json         skip the JSON artifacts\n"
+               "  -h, --help        this message\n");
+}
+
+/// Strict positive-integer flag parsing — "--runs=banana" and "--runs=0"
+/// are errors, not silently zero like atoi.
+int parsePositiveInt(const std::string& value, const char* flag) {
+  if (value.empty()) {
+    std::fprintf(stderr, "rcsim_bench: %s needs a positive integer\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || v <= 0 || v > 1'000'000'000L) {
+    std::fprintf(stderr, "rcsim_bench: %s got '%s', expected a positive integer\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+/// Redirect stdout to a file for one experiment's tables; restores the
+/// original stdout on destruction (so stderr progress and the next
+/// experiment's redirect are unaffected).
+class StdoutToFile {
+ public:
+  explicit StdoutToFile(const std::string& path) {
+    std::fflush(stdout);
+    saved_ = dup(fileno(stdout));
+    if (saved_ < 0 || std::freopen(path.c_str(), "w", stdout) == nullptr) {
+      std::fprintf(stderr, "rcsim_bench: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+  }
+  ~StdoutToFile() {
+    std::fflush(stdout);
+    dup2(saved_, fileno(stdout));
+    close(saved_);
+    clearerr(stdout);
+  }
+  StdoutToFile(const StdoutToFile&) = delete;
+  StdoutToFile& operator=(const StdoutToFile&) = delete;
+
+ private:
+  int saved_ = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcsim::exp::registerBuiltinExperiments();
+
+  bool list = false;
+  bool all = false;
+  bool paperRuns = false;
+  bool toTxt = false;
+  bool json = true;
+  int runsFlag = 0;
+  int threads = 0;
+  std::string outDir = "results";
+  std::vector<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) { return arg.substr(std::strlen(prefix)); };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only.push_back(value("--only="));
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runsFlag = parsePositiveInt(value("--runs="), "--runs");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = parsePositiveInt(value("--threads="), "--threads");
+    } else if (arg == "--paper-runs") {
+      paperRuns = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      outDir = value("--out=");
+    } else if (arg == "--txt") {
+      toTxt = true;
+    } else if (arg == "--no-json") {
+      json = false;
+    } else {
+      std::fprintf(stderr, "rcsim_bench: unknown argument '%s'\n\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const auto& registry = rcsim::exp::allExperiments();
+
+  if (list) {
+    for (const auto& spec : registry) {
+      std::printf("%-22s %3zu cells, %3d runs (paper %3d)  %s\n", spec.name.c_str(),
+                  spec.cells.size(), spec.defaultRuns, spec.paperRuns, spec.description.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<const ExperimentSpec*> selected;
+  if (all) {
+    for (const auto& spec : registry) selected.push_back(&spec);
+  }
+  for (const auto& name : only) {
+    const ExperimentSpec* spec = rcsim::exp::findExperiment(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "rcsim_bench: no experiment named '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+    selected.push_back(spec);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "rcsim_bench: nothing selected — use --all, --only=NAME or --list\n\n");
+    usage(stderr);
+    return 2;
+  }
+
+  if (toTxt || json) std::filesystem::create_directories(outDir);
+
+  rcsim::exp::SweepExecutor executor{threads};
+
+  // Submit everything first: later experiments' replicas backfill the pool
+  // while earlier ones drain, so the sweep never serializes on one
+  // experiment's slowest cell.
+  struct Pending {
+    const ExperimentSpec* spec;
+    int runs;
+    std::shared_ptr<rcsim::exp::SweepExecutor::Job> job;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(selected.size());
+  for (const ExperimentSpec* spec : selected) {
+    const int fallback = paperRuns ? spec->paperRuns : spec->defaultRuns;
+    const int runs = runsFlag > 0 ? runsFlag : rcsim::defaultRunCount(fallback);
+    pending.push_back({spec, runs, executor.submit(*spec, runs)});
+  }
+
+  for (auto& p : pending) {
+    // The historical bench banner, byte for byte — but on stderr, so
+    // piping tables to a file stays clean.
+    std::fprintf(stderr, "%s — %d run(s) per data point (set RCSIM_RUNS to change; paper used 100)\n",
+                 p.spec->title.c_str(), p.runs);
+    const ExperimentResult result = executor.finish(p.job);
+    if (toTxt) {
+      StdoutToFile redirect{outDir + "/" + p.spec->name + ".txt"};
+      p.spec->render(*p.spec, result);
+    } else {
+      p.spec->render(*p.spec, result);
+      std::fflush(stdout);
+    }
+    if (json) {
+      rcsim::exp::writeArtifact(*p.spec, result, outDir + "/" + p.spec->name + ".json");
+    }
+    std::fprintf(stderr, "# %s: %zu cells x %d runs in %.1f s on %d threads\n",
+                 p.spec->name.c_str(), p.spec->cells.size(), result.runs, result.wallSeconds,
+                 result.threads);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The whole tier-1 gate in one command: configure, build, unit tests, and
+# a smoke run of the bench pipeline (one real experiment at 2 runs plus
+# its JSON artifact). Safe to run repeatedly; reuses the build directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+
+cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure
+
+# Bench smoke: the registry lists, one experiment runs, and its artifact
+# parses back (the test suite covers the schema; this covers the binary).
+smoke_out=$(mktemp -d)
+trap 'rm -rf "$smoke_out"' EXIT
+"$BUILD/bench/rcsim_bench" --list > /dev/null
+RCSIM_RUNS=2 "$BUILD/bench/rcsim_bench" --only=headline_table --out="$smoke_out" > /dev/null
+test -s "$smoke_out/headline_table.json"
+
+echo "ci: all gates green"

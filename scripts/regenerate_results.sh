@@ -1,40 +1,17 @@
 #!/usr/bin/env bash
-# Regenerate every table in results/ (the data behind EXPERIMENTS.md).
-# Figures use the paper's 100 runs per data point; ablations/extensions use
-# lighter replica counts. Expect ~45 minutes on one core; RCSIM_THREADS
-# scales it down on multicore machines.
+# Regenerate every table in results/ (the data behind EXPERIMENTS.md) plus
+# the machine-readable JSON artifact next to each one. Replica counts come
+# from each experiment's paper-runs value (rcsim_bench --list shows them);
+# figures use the paper's 100 runs per data point. Expect ~45 minutes on
+# one core; RCSIM_THREADS scales it down on multicore machines. Banners
+# and per-experiment progress go to stderr; the tables land in
+# results/<name>.txt (no banner line — it moved off stdout).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
 OUT=${OUT:-results}
-mkdir -p "$OUT"
 
-run() {
-  local bench=$1 runs=$2
-  echo "=== $bench (RCSIM_RUNS=$runs)"
-  RCSIM_RUNS=$runs "$BUILD/bench/$bench" > "$OUT/$bench.txt"
-}
-
-run fig3_drops 100
-run fig4_ttl 100
-run fig5_throughput 100
-run fig6_convergence 100
-run fig7_delay 100
-run headline_table 100
-run ablation_mrai 30
-run ablation_msgsize 30
-run ablation_damping 30
-run ablation_flap_damping 30
-run ablation_infinity 30
-run ablation_splithorizon 30
-run ext_tcp 20
-run ext_multifailure 15
-run ext_random_topo 30
-run ext_assertions 15
-run ext_dual 30
-run ext_churn 10
-run appendix_overhead 30
-run appendix_load 10
+"$BUILD/bench/rcsim_bench" --all --paper-runs --txt --out="$OUT"
 
 echo "done; see $OUT/"

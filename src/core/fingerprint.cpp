@@ -68,8 +68,9 @@ std::string runResultFingerprint(const RunResult& r) {
   return os.str();
 }
 
-std::string runResultDigest(const RunResult& r) {
-  const std::string fp = runResultFingerprint(r);
+namespace {
+
+std::string fnv1aHex(const std::string& fp) {
   std::uint64_t h = 14695981039346656037ull;
   for (const unsigned char c : fp) {
     h ^= c;
@@ -79,5 +80,40 @@ std::string runResultDigest(const RunResult& r) {
   std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
   return std::string{buf};
 }
+
+void putSeries(std::ostringstream& os, const char* key, const std::vector<double>& series) {
+  os << key << '=';
+  for (const double v : series) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g;", v);
+    os << buf;
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string runResultDigest(const RunResult& r) { return fnv1aHex(runResultFingerprint(r)); }
+
+std::string aggregateFingerprint(const Aggregate& a) {
+  std::ostringstream os;
+  put(os, "runs", static_cast<std::uint64_t>(a.runs));
+  put(os, "dropsNoRoute", a.dropsNoRoute);
+  put(os, "dropsTtl", a.dropsTtl);
+  put(os, "dropsOther", a.dropsOther);
+  put(os, "delivered", a.delivered);
+  put(os, "sent", a.sent);
+  put(os, "routingConvergenceSec", a.routingConvergenceSec);
+  put(os, "forwardingConvergenceSec", a.forwardingConvergenceSec);
+  put(os, "transientPaths", a.transientPaths);
+  put(os, "loopFraction", a.loopFraction);
+  put(os, "loopEscapedDeliveries", a.loopEscapedDeliveries);
+  put(os, "failSec", static_cast<std::uint64_t>(a.failSec));
+  putSeries(os, "throughput", a.throughput);
+  putSeries(os, "meanDelay", a.meanDelay);
+  return os.str();
+}
+
+std::string aggregateDigest(const Aggregate& a) { return fnv1aHex(aggregateFingerprint(a)); }
 
 }  // namespace rcsim

@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "core/experiment.hpp"
+#include "core/runner.hpp"
 
 namespace rcsim {
 
@@ -14,5 +14,12 @@ namespace rcsim {
 /// FNV-1a 64-bit digest of the fingerprint, as 16 lowercase hex chars —
 /// compact enough to check golden values into a test.
 [[nodiscard]] std::string runResultDigest(const RunResult& r);
+
+/// Same idea for an Aggregate: every scalar and both series at full
+/// precision. Lets a test assert that two aggregation paths (e.g. the
+/// per-cell runMany barrier and the flattened SweepExecutor queue) produce
+/// bit-identical statistics.
+[[nodiscard]] std::string aggregateFingerprint(const Aggregate& a);
+[[nodiscard]] std::string aggregateDigest(const Aggregate& a);
 
 }  // namespace rcsim

@@ -1,6 +1,9 @@
 #include "core/json_lite.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace rcsim {
@@ -176,5 +179,150 @@ const JsonValue& JsonValue::at(const std::string& key) const {
 }
 
 JsonValue parseJson(std::string_view text) { return Parser{text}.parseDocument(); }
+
+JsonValue JsonValue::makeNumber(double v) {
+  JsonValue j;
+  j.kind = Kind::Number;
+  j.number = v;
+  return j;
+}
+
+JsonValue JsonValue::makeString(std::string s) {
+  JsonValue j;
+  j.kind = Kind::String;
+  j.str = std::move(s);
+  return j;
+}
+
+JsonValue JsonValue::makeBool(bool b) {
+  JsonValue j;
+  j.kind = Kind::Bool;
+  j.boolean = b;
+  return j;
+}
+
+JsonValue JsonValue::makeArray() {
+  JsonValue j;
+  j.kind = Kind::Array;
+  return j;
+}
+
+JsonValue JsonValue::makeObject() {
+  JsonValue j;
+  j.kind = Kind::Object;
+  return j;
+}
+
+namespace {
+
+void writeNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  // Shortest decimal form that survives a strtod round trip.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+void writeString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+bool isScalar(const JsonValue& v) {
+  return v.kind != JsonValue::Kind::Array && v.kind != JsonValue::Kind::Object;
+}
+
+void writeValue(std::string& out, const JsonValue& v, int indent, int depth) {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close(static_cast<std::size_t>(indent) * depth, ' ');
+  switch (v.kind) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::Number: writeNumber(out, v.number); break;
+    case JsonValue::Kind::String: writeString(out, v.str); break;
+    case JsonValue::Kind::Array: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      const bool inline1 = std::all_of(v.array.begin(), v.array.end(), isScalar);
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (inline1) {
+          if (i > 0) out += ", ";
+        } else {
+          out += i > 0 ? ",\n" : "\n";
+          out += pad;
+        }
+        writeValue(out, v.array[i], indent, depth + 1);
+      }
+      if (!inline1) {
+        out += '\n';
+        out += close;
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += pad;
+        writeString(out, key);
+        out += ": ";
+        writeValue(out, member, indent, depth + 1);
+      }
+      out += '\n';
+      out += close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dumpJson(const JsonValue& v, int indent) {
+  std::string out;
+  writeValue(out, v, indent, 0);
+  out += '\n';
+  return out;
+}
 
 }  // namespace rcsim

@@ -30,10 +30,26 @@ class JsonValue {
   /// non-object value, so gate failures are loud rather than silent zeros.
   [[nodiscard]] const JsonValue& at(const std::string& key) const;
   [[nodiscard]] double numberAt(const std::string& key) const { return at(key).number; }
+  [[nodiscard]] const std::string& stringAt(const std::string& key) const { return at(key).str; }
+
+  // Builders, so writers read as declaratively as the documents they emit.
+  [[nodiscard]] static JsonValue makeNumber(double v);
+  [[nodiscard]] static JsonValue makeString(std::string s);
+  [[nodiscard]] static JsonValue makeBool(bool b);
+  [[nodiscard]] static JsonValue makeArray();
+  [[nodiscard]] static JsonValue makeObject();
 };
 
 /// Parse a complete JSON document. Throws std::runtime_error with a byte
 /// offset on malformed input; trailing garbage is an error.
 [[nodiscard]] JsonValue parseJson(std::string_view text);
+
+/// Serialize a document back to JSON text that parseJson accepts. Objects
+/// and mixed arrays are pretty-printed with `indent` spaces per level;
+/// arrays of scalars stay on one line (keeps per-second series compact).
+/// Numbers use the shortest decimal form that round-trips through strtod,
+/// so parse(dump(v)) reproduces v exactly; non-finite numbers become null
+/// (JSON has no inf/nan).
+[[nodiscard]] std::string dumpJson(const JsonValue& v, int indent = 2);
 
 }  // namespace rcsim

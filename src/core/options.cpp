@@ -1,5 +1,6 @@
 #include "core/options.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -95,7 +96,10 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
   } else if (key == "fail-spacing") {
     cfg.failureSpacing = Time::seconds(parseDouble(key, value));
   } else if (key == "repair-after") {
-    cfg.repairAfter = Time::seconds(parseDouble(key, value));
+    // "inf" (what describeOptions emits for never-repaired links) must not
+    // reach Time::seconds — casting an infinite double to int64 is UB.
+    const double sec = parseDouble(key, value);
+    cfg.repairAfter = std::isfinite(sec) ? Time::seconds(sec) : Time::infinity();
   } else if (key == "no-failure") {
     cfg.injectFailure = !parseBool(key, value);
   } else if (key == "end-at") {
@@ -146,8 +150,12 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.protoCfg.bgp.perDestMrai = parseBool(key, value);
   } else if (key == "bgp.wd-exempt") {
     cfg.protoCfg.bgp.withdrawalsExemptFromMrai = parseBool(key, value);
+  } else if (key == "bgp.assertions") {
+    cfg.protoCfg.bgp.consistencyAssertions = parseBool(key, value);
   } else if (key == "bgp.rfd") {
     cfg.protoCfg.bgp.flapDampingEnabled = parseBool(key, value);
+  } else if (key == "bgp.rfd-penalty") {
+    cfg.protoCfg.bgp.rfdPenaltyPerFlap = parseDouble(key, value);
   } else if (key == "bgp.rfd-half-life") {
     cfg.protoCfg.bgp.rfdHalfLifeSec = parseDouble(key, value);
     // Link-state knobs.
@@ -199,12 +207,44 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
   add("rate", num(cfg.packetsPerSecond));
   add("bytes", std::to_string(cfg.packetBytes));
   add("ttl", std::to_string(cfg.ttl));
+  add("window", std::to_string(cfg.tcpWindow));
   add("traffic-start", num(cfg.trafficStart.toSeconds()));
   add("traffic-stop", num(cfg.trafficStop.toSeconds()));
   add("no-failure", cfg.injectFailure ? "0" : "1");
   add("failures", std::to_string(cfg.failureCount));
   add("fail-at", num(cfg.failAt.toSeconds()));
+  add("fail-spacing", num(cfg.failureSpacing.toSeconds()));
+  add("repair-after", cfg.repairAfter == Time::infinity() ? "inf"
+                                                          : num(cfg.repairAfter.toSeconds()));
   add("end-at", num(cfg.endAt.toSeconds()));
+  add("trace-packets", cfg.tracePackets ? "1" : "0");
+  add("bandwidth", num(cfg.link.bandwidthBps));
+  add("prop-delay-ms", num(cfg.link.propDelay.toSeconds() * 1e3));
+  add("queue", std::to_string(cfg.link.queueCapacity));
+  add("detect-ms", num(cfg.link.detectDelay.toSeconds() * 1e3));
+  add("dv.periodic", num(cfg.protoCfg.dv.periodicInterval.toSeconds()));
+  add("dv.timeout", num(cfg.protoCfg.dv.timeout.toSeconds()));
+  add("dv.damp-min", num(cfg.protoCfg.dv.triggerDampMinSec));
+  add("dv.damp-max", num(cfg.protoCfg.dv.triggerDampMaxSec));
+  add("dv.infinity", std::to_string(cfg.protoCfg.dv.infinityMetric));
+  add("dv.max-entries", std::to_string(cfg.protoCfg.dv.maxEntriesPerMessage));
+  switch (cfg.protoCfg.dv.splitHorizon) {
+    case SplitHorizonMode::None: add("dv.split-horizon", "none"); break;
+    case SplitHorizonMode::SplitHorizon: add("dv.split-horizon", "simple"); break;
+    case SplitHorizonMode::PoisonReverse: add("dv.split-horizon", "poison"); break;
+  }
+  add("bgp.mrai-min", num(cfg.protoCfg.bgp.mraiMinSec));
+  add("bgp.mrai-max", num(cfg.protoCfg.bgp.mraiMaxSec));
+  add("bgp.per-dest-mrai", cfg.protoCfg.bgp.perDestMrai ? "1" : "0");
+  add("bgp.wd-exempt", cfg.protoCfg.bgp.withdrawalsExemptFromMrai ? "1" : "0");
+  add("bgp.assertions", cfg.protoCfg.bgp.consistencyAssertions ? "1" : "0");
+  add("bgp.rfd", cfg.protoCfg.bgp.flapDampingEnabled ? "1" : "0");
+  add("bgp.rfd-penalty", num(cfg.protoCfg.bgp.rfdPenaltyPerFlap));
+  add("bgp.rfd-half-life", num(cfg.protoCfg.bgp.rfdHalfLifeSec));
+  add("ls.spf-delay-ms", num(cfg.protoCfg.ls.spfDelay.toSeconds() * 1e3));
+  add("ls.refresh", num(cfg.protoCfg.ls.refreshInterval.toSeconds()));
+  add("dual.sia-timeout", num(cfg.protoCfg.dual.siaTimeout.toSeconds()));
+  add("dual.max-distance", std::to_string(cfg.protoCfg.dual.maxDistance));
   return out;
 }
 

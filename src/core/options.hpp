@@ -20,8 +20,10 @@ namespace rcsim {
 ///   dv.periodic=30 dv.timeout=180 dv.damp-min=1 dv.damp-max=5
 ///   dv.infinity=16 dv.max-entries=25 dv.poison=1
 ///   bgp.mrai-min=22.5 bgp.mrai-max=30 bgp.per-dest-mrai=0
-///   bgp.wd-exempt=1 bgp.rfd=0 bgp.rfd-half-life=15
+///   bgp.wd-exempt=1 bgp.assertions=0 bgp.rfd=0 bgp.rfd-penalty=1000
+///   bgp.rfd-half-life=15
 ///   ls.spf-delay-ms=10 ls.refresh=300
+///   dual.sia-timeout=10 dual.max-distance=512
 ///
 /// Throws std::invalid_argument on unknown keys or malformed values.
 void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string& value);

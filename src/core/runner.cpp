@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace rcsim {
@@ -42,9 +43,14 @@ Aggregate Aggregate::over(const std::vector<RunResult>& results) {
   // instant is a property of the batch — take it from the first run rather
   // than whichever happens to iterate last.
   a.failSec = results.front().failSec;
-  assert(std::all_of(results.begin(), results.end(),
-                     [&](const RunResult& r) { return r.failSec == a.failSec; }) &&
-         "aggregating runs with differing failure times");
+  for (const auto& r : results) {
+    if (r.failSec != a.failSec) {
+      throw std::invalid_argument(
+          "Aggregate::over: aggregating runs with differing failure times (failSec " +
+          std::to_string(a.failSec) + " vs " + std::to_string(r.failSec) +
+          ") — these runs are not replicas of one scenario");
+    }
+  }
   std::size_t maxLen = 0;
   for (const auto& r : results) maxLen = std::max(maxLen, r.throughput.size());
   a.throughput.assign(maxLen, 0.0);

@@ -1,0 +1,104 @@
+#include "exp/artifact.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/options.hpp"
+
+namespace rcsim::exp {
+
+namespace {
+
+JsonValue numbers(const std::vector<double>& values) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(values.size());
+  for (const double v : values) arr.array.push_back(JsonValue::makeNumber(v));
+  return arr;
+}
+
+JsonValue aggregateJson(const Aggregate& a, bool withSeries) {
+  JsonValue o = JsonValue::makeObject();
+  o.object["runs"] = JsonValue::makeNumber(a.runs);
+  o.object["drops_no_route"] = JsonValue::makeNumber(a.dropsNoRoute);
+  o.object["drops_ttl"] = JsonValue::makeNumber(a.dropsTtl);
+  o.object["drops_other"] = JsonValue::makeNumber(a.dropsOther);
+  o.object["delivered"] = JsonValue::makeNumber(a.delivered);
+  o.object["sent"] = JsonValue::makeNumber(a.sent);
+  o.object["routing_convergence_sec"] = JsonValue::makeNumber(a.routingConvergenceSec);
+  o.object["forwarding_convergence_sec"] = JsonValue::makeNumber(a.forwardingConvergenceSec);
+  o.object["transient_paths"] = JsonValue::makeNumber(a.transientPaths);
+  o.object["loop_fraction"] = JsonValue::makeNumber(a.loopFraction);
+  o.object["loop_escaped_deliveries"] = JsonValue::makeNumber(a.loopEscapedDeliveries);
+  o.object["fail_sec"] = JsonValue::makeNumber(a.failSec);
+  if (withSeries) {
+    o.object["throughput"] = numbers(a.throughput);
+    o.object["mean_delay"] = numbers(a.meanDelay);
+  }
+  return o;
+}
+
+JsonValue totalsJson(const CellStats& t) {
+  JsonValue o = JsonValue::makeObject();
+  o.object["sent"] = JsonValue::makeNumber(t.sent);
+  o.object["delivered"] = JsonValue::makeNumber(t.delivered);
+  o.object["drop_no_route"] = JsonValue::makeNumber(t.dropNoRoute);
+  o.object["drop_queue"] = JsonValue::makeNumber(t.dropQueue);
+  o.object["control_messages"] = JsonValue::makeNumber(t.controlMessages);
+  o.object["control_bytes"] = JsonValue::makeNumber(t.controlBytes);
+  o.object["control_messages_after_failure"] = JsonValue::makeNumber(t.controlMessagesAfterFailure);
+  o.object["tcp_goodput_packets"] = JsonValue::makeNumber(t.tcpGoodputPackets);
+  o.object["tcp_retransmissions"] = JsonValue::makeNumber(t.tcpRetransmissions);
+  return o;
+}
+
+}  // namespace
+
+JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& result) {
+  JsonValue doc = JsonValue::makeObject();
+  doc.object["schema"] = JsonValue::makeString(kArtifactSchema);
+  doc.object["experiment"] = JsonValue::makeString(spec.name);
+  doc.object["title"] = JsonValue::makeString(spec.title);
+  doc.object["description"] = JsonValue::makeString(spec.description);
+  doc.object["runs_per_cell"] = JsonValue::makeNumber(result.runs);
+  doc.object["threads"] = JsonValue::makeNumber(result.threads);
+  doc.object["wall_seconds"] = JsonValue::makeNumber(result.wallSeconds);
+
+  JsonValue cells = JsonValue::makeArray();
+  cells.array.reserve(spec.cells.size());
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    const CellSpec& cs = spec.cells[i];
+    JsonValue cell = JsonValue::makeObject();
+    cell.object["id"] = JsonValue::makeString(cs.id);
+    cell.object["label"] = JsonValue::makeString(cs.label);
+    cell.object["start_seed"] = JsonValue::makeNumber(static_cast<double>(cs.startSeed));
+    cell.object["custom_runner"] = JsonValue::makeBool(static_cast<bool>(cs.run));
+    JsonValue config = JsonValue::makeArray();
+    for (auto& opt : describeOptions(cs.config)) {
+      config.array.push_back(JsonValue::makeString(std::move(opt)));
+    }
+    cell.object["config"] = std::move(config);
+    if (i < result.cells.size()) {
+      cell.object["aggregate"] = aggregateJson(result.cells[i].agg, spec.jsonSeries);
+      cell.object["totals"] = totalsJson(result.cells[i].totals);
+    }
+    cells.array.push_back(std::move(cell));
+  }
+  doc.object["cells"] = std::move(cells);
+  return doc;
+}
+
+void writeArtifact(const ExperimentSpec& spec, const ExperimentResult& result,
+                   const std::string& path) {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out{p, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error("cannot open artifact file: " + path);
+  out << dumpJson(buildArtifact(spec, result));
+  if (!out.flush()) throw std::runtime_error("failed writing artifact file: " + path);
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,29 @@
+#pragma once
+
+// Machine-readable result artifacts: one JSON document per executed
+// experiment, carrying the canonical key=value config of every cell plus
+// its aggregates — enough to re-plot or re-check a sweep without
+// re-running it.
+
+#include <string>
+
+#include "core/json_lite.hpp"
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+
+/// Schema identifier stamped into every artifact ("schema" field).
+inline constexpr const char* kArtifactSchema = "rcsim-experiment-v1";
+
+/// Build the artifact document for one finished experiment. Per-second
+/// series (throughput/mean delay) are included only when the spec opts in
+/// via jsonSeries — they dominate the file size and only the time-series
+/// figures need them.
+[[nodiscard]] JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& result);
+
+/// dumpJson(buildArtifact(...)) written to `path`; creates parent
+/// directories. Throws std::runtime_error if the file cannot be written.
+void writeArtifact(const ExperimentSpec& spec, const ExperimentResult& result,
+                   const std::string& path);
+
+}  // namespace rcsim::exp

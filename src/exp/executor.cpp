@@ -1,0 +1,148 @@
+#include "exp/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace rcsim::exp {
+
+namespace {
+
+double nowSec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+/// In-flight experiment state. Replica claims and completion counts are
+/// lock-free; the executor mutex only guards the job queue and the done
+/// flag.
+class SweepExecutor::Job {
+ public:
+  Job(const ExperimentSpec& spec, int runs)
+      : spec_{&spec},
+        runs_{runs},
+        total_{spec.cells.size() * static_cast<std::size_t>(runs)},
+        startedAt_{nowSec()},
+        cellsLeft_{spec.cells.size()} {
+    raw_.resize(spec.cells.size());
+    cellLeft_ = std::make_unique<std::atomic<int>[]>(spec.cells.size());
+    for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+      raw_[c].resize(static_cast<std::size_t>(runs));
+      cellLeft_[c].store(runs, std::memory_order_relaxed);
+    }
+    result_.runs = runs;
+    result_.cells.resize(spec.cells.size());
+  }
+
+ private:
+  friend class SweepExecutor;
+
+  const ExperimentSpec* spec_;
+  int runs_;
+  std::size_t total_;                 ///< cells x runs flattened items
+  double startedAt_;
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed flattened item
+  std::atomic<std::size_t> cellsLeft_;
+  std::unique_ptr<std::atomic<int>[]> cellLeft_;
+  std::vector<std::vector<RunResult>> raw_;  ///< [cell][replica]; freed per cell
+  ExperimentResult result_;
+  bool done_ = false;  ///< guarded by the executor mutex
+};
+
+SweepExecutor::SweepExecutor(int threads) {
+  if (threads <= 0) threads = defaultThreadCount();
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepExecutor::~SweepExecutor() {
+  {
+    std::lock_guard lk{mu_};
+    stop_ = true;
+  }
+  work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::shared_ptr<SweepExecutor::Job> SweepExecutor::submit(const ExperimentSpec& spec, int runs) {
+  auto job = std::make_shared<Job>(spec, runs);
+  {
+    std::lock_guard lk{mu_};
+    if (job->total_ == 0) {
+      job->result_.wallSeconds = 0.0;
+      job->done_ = true;
+    } else {
+      queue_.push_back(job);
+    }
+  }
+  work_.notify_all();
+  return job;
+}
+
+ExperimentResult SweepExecutor::finish(const std::shared_ptr<Job>& job) {
+  std::unique_lock lk{mu_};
+  done_.wait(lk, [&] { return job->done_; });
+  ExperimentResult out = std::move(job->result_);
+  out.threads = threadCount();
+  return out;
+}
+
+ExperimentResult SweepExecutor::execute(const ExperimentSpec& spec, int runs) {
+  return finish(submit(spec, runs));
+}
+
+void SweepExecutor::workerLoop() {
+  std::unique_lock lk{mu_};
+  for (;;) {
+    work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    auto job = queue_.front();
+    const std::size_t item = job->next_.fetch_add(1, std::memory_order_relaxed);
+    if (item >= job->total_) {
+      // Every replica claimed; retire the job from the queue (another
+      // worker may have done so already) and let its claimants finish.
+      if (!queue_.empty() && queue_.front() == job) queue_.pop_front();
+      continue;
+    }
+    lk.unlock();
+    runReplica(*job, item);
+    lk.lock();
+  }
+}
+
+void SweepExecutor::runReplica(Job& job, std::size_t item) {
+  // Cell-major flattening: early cells finish (and free their raw
+  // replicas) first, keeping peak memory near one cell's worth per thread.
+  const std::size_t cell = item / static_cast<std::size_t>(job.runs_);
+  const std::size_t rep = item % static_cast<std::size_t>(job.runs_);
+  const CellSpec& cs = job.spec_->cells[cell];
+
+  ScenarioConfig cfg = cs.config;
+  cfg.seed = cs.startSeed + rep;
+  job.raw_[cell][rep] = cs.run ? cs.run(cfg) : runScenario(cfg);
+
+  if (job.cellLeft_[cell].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  // Last replica of this cell: fold in seed order (the vector is already
+  // seed-ordered, so this matches serial runMany bit for bit) and drop
+  // the raw replicas.
+  CellResult& out = job.result_.cells[cell];
+  out.agg = Aggregate::over(job.raw_[cell]);
+  out.totals = CellStats::over(job.raw_[cell]);
+  std::vector<RunResult>{}.swap(job.raw_[cell]);
+
+  if (job.cellsLeft_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  // Last cell of the experiment.
+  job.result_.wallSeconds = nowSec() - job.startedAt_;
+  {
+    std::lock_guard lk{mu_};
+    job.done_ = true;
+  }
+  done_.notify_all();
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,67 @@
+#pragma once
+
+// Barrier-free sweep execution. Historically every (protocol, degree) cell
+// was its own runMany() fork/join: threads were capped at the cell's
+// replica count and every cell ended in a join barrier, so a 56-cell
+// figure sweep spent most of its wall time waiting on each cell's slowest
+// replica. The SweepExecutor instead flattens ALL (cell, seed) replicas of
+// an experiment into one work queue drained by a persistent thread pool —
+// the only synchronization point is experiment completion.
+//
+// Determinism: replica (cell c, index i) always simulates seed
+// cell.startSeed + i and lands in results[c][i], so per-cell aggregates
+// are bit-identical to serial per-cell runMany() no matter how the pool
+// interleaves cells (verified by test_exp.cpp against core/fingerprint).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+
+class SweepExecutor {
+ public:
+  /// threads <= 0 picks defaultThreadCount() (env RCSIM_THREADS, else
+  /// hardware concurrency). Threads are spawned once and reused across
+  /// every experiment submitted to this executor.
+  explicit SweepExecutor(int threads = 0);
+  ~SweepExecutor();
+
+  SweepExecutor(const SweepExecutor&) = delete;
+  SweepExecutor& operator=(const SweepExecutor&) = delete;
+
+  class Job;
+
+  /// Enqueue every (cell, seed) replica of `spec`. Returns immediately;
+  /// several experiments may be in flight at once (FIFO between them), so
+  /// a multi-experiment sweep never drains the pool between experiments.
+  /// The spec must outlive the job (registry specs are static).
+  [[nodiscard]] std::shared_ptr<Job> submit(const ExperimentSpec& spec, int runs);
+
+  /// Block until `job` finishes and return its aggregated result.
+  [[nodiscard]] ExperimentResult finish(const std::shared_ptr<Job>& job);
+
+  /// Convenience: submit + finish.
+  [[nodiscard]] ExperimentResult execute(const ExperimentSpec& spec, int runs);
+
+  [[nodiscard]] int threadCount() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void workerLoop();
+  void runReplica(Job& job, std::size_t item);
+
+  std::mutex mu_;
+  std::condition_variable work_;
+  std::condition_variable done_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rcsim::exp

@@ -1,0 +1,54 @@
+#include "exp/registry.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "exp/specs.hpp"
+
+namespace rcsim::exp {
+
+namespace {
+
+std::vector<ExperimentSpec>& specs() {
+  static std::vector<ExperimentSpec> registry;
+  return registry;
+}
+
+}  // namespace
+
+void registerExperiment(ExperimentSpec spec) {
+  if (spec.name.empty()) throw std::invalid_argument("experiment spec needs a name");
+  if (findExperiment(spec.name) != nullptr) {
+    throw std::invalid_argument("duplicate experiment name: " + spec.name);
+  }
+  std::unordered_set<std::string> ids;
+  for (const auto& cell : spec.cells) {
+    if (!ids.insert(cell.id).second) {
+      throw std::invalid_argument("experiment " + spec.name + ": duplicate cell id " + cell.id);
+    }
+  }
+  specs().push_back(std::move(spec));
+}
+
+const std::vector<ExperimentSpec>& allExperiments() { return specs(); }
+
+const ExperimentSpec* findExperiment(const std::string& name) {
+  for (const auto& spec : specs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+void registerBuiltinExperiments() {
+  static const bool once = [] {
+    registerFigureExperiments();
+    registerAblationExperiments();
+    registerExtensionExperiments();
+    registerAppendixExperiments();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace rcsim::exp

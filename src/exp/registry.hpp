@@ -1,0 +1,28 @@
+#pragma once
+
+// Global experiment registry: specs register once by name, drivers look
+// them up (`rcsim_bench --only=fig3_drops`) or iterate in registration
+// order (`--all`, which reproduces the historical regenerate order).
+
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+
+/// Add a spec. Throws std::invalid_argument on a duplicate name, an empty
+/// name, or duplicate cell ids (cell ids key the JSON artifact).
+void registerExperiment(ExperimentSpec spec);
+
+/// All registered specs, in registration order.
+[[nodiscard]] const std::vector<ExperimentSpec>& allExperiments();
+
+/// Lookup by name; nullptr when absent.
+[[nodiscard]] const ExperimentSpec* findExperiment(const std::string& name);
+
+/// Register the full built-in suite (figures, ablations, extensions,
+/// appendices) exactly once; safe to call repeatedly.
+void registerBuiltinExperiments();
+
+}  // namespace rcsim::exp

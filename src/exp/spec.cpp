@@ -1,0 +1,21 @@
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+
+CellStats CellStats::over(const std::vector<RunResult>& results) {
+  CellStats s;
+  for (const auto& r : results) {
+    s.sent += static_cast<double>(r.sent);
+    s.delivered += static_cast<double>(r.data.delivered);
+    s.dropNoRoute += static_cast<double>(r.data.dropNoRoute);
+    s.dropQueue += static_cast<double>(r.data.dropQueue);
+    s.controlMessages += static_cast<double>(r.controlMessages);
+    s.controlBytes += static_cast<double>(r.controlBytes);
+    s.controlMessagesAfterFailure += static_cast<double>(r.controlMessagesAfterFailure);
+    s.tcpGoodputPackets += static_cast<double>(r.tcpGoodputPackets);
+    s.tcpRetransmissions += static_cast<double>(r.tcpRetransmissions);
+  }
+  return s;
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,78 @@
+#pragma once
+
+// Declarative experiment descriptions. An ExperimentSpec is data: a name,
+// a grid of cells (each one ScenarioConfig to be replicated over seeds)
+// and a render function that prints the paper-style console tables. The
+// SweepExecutor (exp/executor.hpp) runs specs; the registry
+// (exp/registry.hpp) makes them discoverable by name; exp/artifact.hpp
+// turns results into machine-readable JSON.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/runner.hpp"
+
+namespace rcsim::exp {
+
+/// One grid cell: a fully-specified scenario replicated over seeds
+/// startSeed .. startSeed+runs-1. `run` defaults to runScenario; cells
+/// that need extra wiring (churn injectors, custom failure schedules)
+/// install their own runner and still return a plain RunResult.
+struct CellSpec {
+  std::string id;     ///< unique within the experiment, e.g. "RIP/degree=3"
+  std::string label;  ///< short column/row label for console tables
+  ScenarioConfig config;
+  std::uint64_t startSeed = 1;
+  std::function<RunResult(const ScenarioConfig&)> run;  ///< empty = runScenario
+};
+
+/// Exact sums over a cell's replicas for the counters Aggregate does not
+/// carry. Sums (not means) so renderers can reproduce the historical
+/// bench output bit-for-bit regardless of how they normalize.
+struct CellStats {
+  double sent = 0.0;                         ///< whole-run packets originated
+  double delivered = 0.0;                    ///< whole-run data.delivered
+  double dropNoRoute = 0.0;                  ///< whole-run data.dropNoRoute
+  double dropQueue = 0.0;                    ///< whole-run data.dropQueue
+  double controlMessages = 0.0;
+  double controlBytes = 0.0;
+  double controlMessagesAfterFailure = 0.0;
+  double tcpGoodputPackets = 0.0;
+  double tcpRetransmissions = 0.0;
+
+  [[nodiscard]] static CellStats over(const std::vector<RunResult>& results);
+};
+
+/// Everything one executed cell produced, aggregated. Raw RunResults are
+/// folded in seed order (bit-identical to serial runMany) and released as
+/// soon as the cell completes, so a 100-replica sweep never holds more
+/// than the in-flight cells' worth of per-second series.
+struct CellResult {
+  Aggregate agg;
+  CellStats totals;
+};
+
+/// A finished experiment: one CellResult per CellSpec, in spec order.
+struct ExperimentResult {
+  int runs = 0;
+  int threads = 0;
+  double wallSeconds = 0.0;
+  std::vector<CellResult> cells;
+};
+
+struct ExperimentSpec {
+  std::string name;         ///< registry key and artifact basename, e.g. "fig3_drops"
+  std::string title;        ///< banner headline, e.g. "Figure 3: packet drops due to no route"
+  std::string description;  ///< one line for `rcsim_bench --list`
+  int defaultRuns = 10;     ///< replicas when RCSIM_RUNS/--runs are absent
+  int paperRuns = 100;      ///< replicas the checked-in results/ tables use
+  bool jsonSeries = false;  ///< include per-second series in the JSON artifact
+  std::vector<CellSpec> cells;
+  /// Print the experiment's console tables from the aggregates — stdout
+  /// only, byte-compatible with the pre-registry bench binaries.
+  std::function<void(const ExperimentSpec&, const ExperimentResult&)> render;
+};
+
+}  // namespace rcsim::exp

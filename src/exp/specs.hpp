@@ -1,0 +1,15 @@
+#pragma once
+
+// The built-in experiment suite — every figure, ablation, extension and
+// appendix of the reproduction as registered ExperimentSpecs. Split by
+// family; call registerBuiltinExperiments() (exp/registry.hpp) to get all
+// of them. Registration order mirrors scripts/regenerate_results.sh.
+
+namespace rcsim::exp {
+
+void registerFigureExperiments();     // fig3..fig7, headline_table
+void registerAblationExperiments();   // ablation_mrai .. ablation_splithorizon
+void registerExtensionExperiments();  // ext_tcp .. ext_churn
+void registerAppendixExperiments();   // appendix_overhead, appendix_load
+
+}  // namespace rcsim::exp

@@ -1,0 +1,309 @@
+// Ablations A1..A6 as registered experiment specs (see the per-spec
+// comments for the paper passages they probe).
+
+#include <cstdio>
+#include <string>
+
+#include "exp/registry.hpp"
+#include "exp/specs.hpp"
+#include "exp/specs_common.hpp"
+
+namespace rcsim::exp {
+namespace {
+
+// A1 — MRAI granularity: per-neighbor (what vendors implement and the
+// paper simulates) versus per-(neighbor, destination) (what the paper
+// conjectures would shorten the inconsistency window, §5.2).
+void registerMrai() {
+  ExperimentSpec spec;
+  spec.name = "ablation_mrai";
+  spec.title = "Ablation A1: per-neighbor vs per-destination MRAI";
+  spec.description = "per-neighbor vs per-(neighbor,destination) MRAI for BGP/BGP3";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6};
+  struct Variant {
+    const char* name;
+    ProtocolKind kind;
+    bool perDest;
+  };
+  const std::vector<Variant> variants{
+      {"BGP/nbr", ProtocolKind::Bgp, false},
+      {"BGP/dst", ProtocolKind::Bgp, true},
+      {"BGP3/nbr", ProtocolKind::Bgp3, false},
+      {"BGP3/dst", ProtocolKind::Bgp3, true},
+  };
+  std::vector<std::string> labels;
+  for (const auto& v : variants) {
+    labels.emplace_back(v.name);
+    addDegreeRow(spec.cells, v.name, degrees, [v](ScenarioConfig& cfg) {
+      cfg.protocol = v.kind;
+      cfg.protoCfg.bgp.perDestMrai = v.perDest;
+    });
+  }
+  spec.render = [degrees, labels](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Ablation A1", "packet drops due to no route");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+    report::header("Ablation A1", "TTL expirations");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsTtl; }));
+    report::header("Ablation A1", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+// A2 — DV update message capacity: shrink the RIP-format message from 25
+// routes to 1 and watch batch consistency suffer.
+void registerMsgSize() {
+  ExperimentSpec spec;
+  spec.name = "ablation_msgsize";
+  spec.title = "Ablation A2: DV routes-per-message";
+  spec.description = "RIP/DBF update capacity 25/5/1 routes per message";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6};
+  const std::vector<int> capacities{25, 5, 1};
+  std::vector<std::string> labels;
+  for (const ProtocolKind kind : {ProtocolKind::Rip, ProtocolKind::Dbf}) {
+    for (const int cap : capacities) {
+      const std::string label = std::string{toString(kind)} + "/" + std::to_string(cap);
+      labels.push_back(label);
+      addDegreeRow(spec.cells, label, degrees, [kind, cap](ScenarioConfig& cfg) {
+        cfg.protocol = kind;
+        cfg.protoCfg.dv.maxEntriesPerMessage = cap;
+      });
+    }
+  }
+  spec.render = [degrees, labels](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Ablation A2", "packet drops due to no route");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+    report::header("Ablation A2", "TTL expirations");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsTtl; }));
+    report::header("Ablation A2", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+// A3 — triggered-update damping windows for RIP/DBF, plus BGP3 with
+// withdrawals subjected to the MRAI (normally exempt, §4.3).
+void registerDamping() {
+  ExperimentSpec spec;
+  spec.name = "ablation_damping";
+  spec.title = "Ablation A3: update damping";
+  spec.description = "triggered-update damping windows; MRAI-subjected withdrawals";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6};
+  struct DampRange {
+    double lo;
+    double hi;
+  };
+  const std::vector<DampRange> ranges{{0.0, 0.0}, {1.0, 5.0}, {5.0, 10.0}};
+  std::vector<std::string> labels;
+  for (const ProtocolKind kind : {ProtocolKind::Rip, ProtocolKind::Dbf}) {
+    for (const auto& range : ranges) {
+      char label[32];
+      std::snprintf(label, sizeof label, "%s/%g-%g", toString(kind), range.lo, range.hi);
+      labels.emplace_back(label);
+      addDegreeRow(spec.cells, label, degrees, [kind, range](ScenarioConfig& cfg) {
+        cfg.protocol = kind;
+        cfg.protoCfg.dv.triggerDampMinSec = range.lo;
+        cfg.protoCfg.dv.triggerDampMaxSec = range.hi;
+      });
+    }
+  }
+  for (const bool exempt : {true, false}) {
+    const std::string label = exempt ? "BGP3/wd-fast" : "BGP3/wd-mrai";
+    labels.push_back(label);
+    addDegreeRow(spec.cells, label, degrees, [exempt](ScenarioConfig& cfg) {
+      cfg.protocol = ProtocolKind::Bgp3;
+      cfg.protoCfg.bgp.withdrawalsExemptFromMrai = exempt;
+    });
+  }
+  spec.render = [degrees, labels](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Ablation A3", "packet drops due to no route");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+    report::header("Ablation A3", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+// A4 — route flap damping during convergence: RFD can misread post-failure
+// path exploration as flapping, so convergence worsens as connectivity
+// grows (Mao et al. / Bush et al.).
+void registerFlapDamping() {
+  ExperimentSpec spec;
+  spec.name = "ablation_flap_damping";
+  spec.title = "Ablation A4: route flap damping";
+  spec.description = "BGP3 with RFD off/on/aggressive through one failure";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6, 8};
+  struct Variant {
+    const char* name;
+    bool rfd;
+    double penalty;
+  };
+  // "aggressive" halves the suppress threshold: one re-advertisement after
+  // a withdrawal is already enough to suppress.
+  const std::vector<Variant> variants{
+      {"BGP3", false, 1000.0},
+      {"BGP3+rfd", true, 1000.0},
+      {"BGP3+rfd!", true, 1999.0},
+  };
+  std::vector<std::string> labels;
+  for (const auto& v : variants) {
+    labels.emplace_back(v.name);
+    addDegreeRow(spec.cells, v.name, degrees, [v](ScenarioConfig& cfg) {
+      cfg.protocol = ProtocolKind::Bgp3;
+      cfg.protoCfg.bgp.flapDampingEnabled = v.rfd;
+      cfg.protoCfg.bgp.rfdPenaltyPerFlap = v.penalty;
+    });
+  }
+  spec.render = [degrees, labels](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Ablation A4", "packet drops (no-route + TTL) during convergence");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.dropsNoRoute + c.agg.dropsTtl;
+                        }));
+    report::header("Ablation A4", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+// A5 — the distance-vector infinity: small infinity costs reachability,
+// large infinity costs counting time (paper's conclusion).
+void registerInfinity() {
+  ExperimentSpec spec;
+  spec.name = "ablation_infinity";
+  spec.title = "Ablation A5: DV infinity metric";
+  spec.description = "RIP/DBF with infinity 8/16/32";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 6};
+  const std::vector<int> infinities{8, 16, 32};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Rip, ProtocolKind::Dbf};
+  for (const ProtocolKind kind : kinds) {
+    for (const int inf : infinities) {
+      const std::string label =
+          std::string{toString(kind)} + "/inf" + std::to_string(inf);
+      addDegreeRow(spec.cells, label, degrees, [kind, inf](ScenarioConfig& cfg) {
+        cfg.protocol = kind;
+        cfg.protoCfg.dv.infinityMetric = inf;
+      });
+    }
+  }
+  spec.render = [degrees, infinities, kinds](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto cols = degrees.size();
+    const auto rows = infinities.size();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<std::string> labels;
+      for (const int inf : infinities) {
+        labels.push_back(std::string{toString(kinds[k])} + "/inf" + std::to_string(inf));
+      }
+      const std::size_t base = k * rows * cols;
+      report::header(std::string{"Ablation A5, "} + toString(kinds[k]),
+                     "packet drops due to no route / routing convergence time");
+      report::degreeSweep("packets", degrees, labels,
+                          matrix(res, base, rows, cols,
+                                 [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+      report::degreeSweep("seconds", degrees, labels,
+                          matrix(res, base, rows, cols, [](const CellResult& c) {
+                            return c.agg.routingConvergenceSec;
+                          }));
+    }
+  };
+  registerExperiment(std::move(spec));
+}
+
+// A6 — split-horizon flavors: none / simple / poison reverse for RIP and
+// DBF, the classic textbook trade.
+void registerSplitHorizon() {
+  ExperimentSpec spec;
+  spec.name = "ablation_splithorizon";
+  spec.title = "Ablation A6: split-horizon flavor";
+  spec.description = "RIP/DBF with no protection, simple split horizon, poison reverse";
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6};
+  struct Variant {
+    const char* name;
+    SplitHorizonMode mode;
+  };
+  const std::vector<Variant> modes{{"none", SplitHorizonMode::None},
+                                   {"simple", SplitHorizonMode::SplitHorizon},
+                                   {"poison", SplitHorizonMode::PoisonReverse}};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Rip, ProtocolKind::Dbf};
+  for (const ProtocolKind kind : kinds) {
+    for (const auto& variant : modes) {
+      const std::string label = std::string{toString(kind)} + "/" + variant.name;
+      addDegreeRow(spec.cells, label, degrees, [kind, variant](ScenarioConfig& cfg) {
+        cfg.protocol = kind;
+        cfg.protoCfg.dv.splitHorizon = variant.mode;
+      });
+    }
+  }
+  spec.render = [degrees, modes, kinds](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto cols = degrees.size();
+    const auto rows = modes.size();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<std::string> labels;
+      for (const auto& variant : modes) {
+        labels.push_back(std::string{toString(kinds[k])} + "/" + variant.name);
+      }
+      const std::size_t base = k * rows * cols;
+      report::header(std::string{"Ablation A6, "} + toString(kinds[k]), "");
+      report::degreeSweep("no-route drops", degrees, labels,
+                          matrix(res, base, rows, cols,
+                                 [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+      report::degreeSweep("TTL expirations", degrees, labels,
+                          matrix(res, base, rows, cols,
+                                 [](const CellResult& c) { return c.agg.dropsTtl; }));
+      report::degreeSweep("routing convergence (s)", degrees, labels,
+                          matrix(res, base, rows, cols, [](const CellResult& c) {
+                            return c.agg.routingConvergenceSec;
+                          }));
+    }
+  };
+  registerExperiment(std::move(spec));
+}
+
+}  // namespace
+
+void registerAblationExperiments() {
+  registerMrai();
+  registerMsgSize();
+  registerDamping();
+  registerFlapDamping();
+  registerInfinity();
+  registerSplitHorizon();
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,75 @@
+#pragma once
+
+// Internal helpers shared by the spec definition files. The canonical
+// protocol set / degree axis / base config used to live in
+// bench/bench_common.hpp; grid() and matrix() replace each bench's
+// hand-rolled sweep loops with declarative cell lists.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+
+inline const std::vector<ProtocolKind> kPaperProtocols{ProtocolKind::Rip, ProtocolKind::Dbf,
+                                                       ProtocolKind::Bgp, ProtocolKind::Bgp3};
+
+inline std::vector<std::string> names(const std::vector<ProtocolKind>& kinds) {
+  std::vector<std::string> out;
+  out.reserve(kinds.size());
+  for (const auto k : kinds) out.emplace_back(toString(k));
+  return out;
+}
+
+inline std::vector<int> paperDegrees() {
+  std::vector<int> d;
+  for (int i = 3; i <= 16; ++i) d.push_back(i);
+  return d;
+}
+
+inline ScenarioConfig baseConfig() { return ScenarioConfig{}; }
+
+/// Append one cell per degree for a fixed row label; `tweak` finishes the
+/// config (protocol, knobs) before the degree is applied.
+inline void addDegreeRow(std::vector<CellSpec>& cells, const std::string& label,
+                         const std::vector<int>& degrees,
+                         const std::function<void(ScenarioConfig&)>& tweak) {
+  for (const int d : degrees) {
+    CellSpec cell;
+    cell.id = label + "/degree=" + std::to_string(d);
+    cell.label = label;
+    cell.config = baseConfig();
+    tweak(cell.config);
+    cell.config.mesh.degree = d;
+    cells.push_back(std::move(cell));
+  }
+}
+
+/// Row-major metric matrix over a contiguous block of cells: rows x cols
+/// cells starting at `base`, in the same layout report::degreeSweep wants
+/// (values[row][col]).
+inline std::vector<std::vector<double>> matrix(
+    const ExperimentResult& res, std::size_t base, std::size_t rows, std::size_t cols,
+    const std::function<double(const CellResult&)>& metric) {
+  std::vector<std::vector<double>> out(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r].reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) out[r].push_back(metric(res.cells[base + r * cols + c]));
+  }
+  return out;
+}
+
+/// Aggregates of `count` consecutive cells starting at `base` (the
+/// report::timeSeries layout).
+inline std::vector<Aggregate> aggregates(const ExperimentResult& res, std::size_t base,
+                                         std::size_t count) {
+  std::vector<Aggregate> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(res.cells[base + i].agg);
+  return out;
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,385 @@
+// Extensions E1..E6 as registered experiment specs. E4's Tdown part and
+// E6 need more than runScenario (a custom failure schedule, a churn
+// injector), so their cells install custom run functions; everything else
+// is plain declarative grid.
+
+#include <cstdio>
+#include <string>
+
+#include "core/churn.hpp"
+#include "exp/registry.hpp"
+#include "exp/specs.hpp"
+#include "exp/specs_common.hpp"
+
+namespace rcsim::exp {
+namespace {
+
+// E1 — end-to-end TCP performance during convergence: a fixed-window
+// reliable transfer whose data AND acks ride the routed data plane.
+void registerTcp() {
+  ExperimentSpec spec;
+  spec.name = "ext_tcp";
+  spec.title = "Extension E1: TCP goodput through convergence";
+  spec.description = "fixed-window reliable flow (data + acks routed) through one failure";
+  spec.paperRuns = 20;
+  const std::vector<int> degrees{3, 6};
+  for (const int degree : degrees) {
+    for (const auto kind : kPaperProtocols) {
+      CellSpec cell;
+      cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(degree);
+      cell.label = toString(kind);
+      cell.config = baseConfig();
+      cell.config.protocol = kind;
+      cell.config.mesh.degree = degree;
+      cell.config.traffic = TrafficKind::Tcp;
+      cell.config.tcpWindow = 8;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  spec.render = [degrees](const ExperimentSpec&, const ExperimentResult& res) {
+    const double runs = res.runs;
+    for (std::size_t g = 0; g < degrees.size(); ++g) {
+      report::header("Extension E1, degree " + std::to_string(degrees[g]),
+                     "TCP-like flow through one link failure");
+      std::printf("%-6s %16s %16s %16s %16s\n", "proto", "goodput-pkts", "retransmissions",
+                  "rt-conv(s)", "fwd-conv(s)");
+      for (std::size_t p = 0; p < kPaperProtocols.size(); ++p) {
+        const CellResult& c = res.cells[g * kPaperProtocols.size() + p];
+        std::printf("%-6s %16.1f %16.1f %16.2f %16.2f\n", toString(kPaperProtocols[p]),
+                    c.totals.tcpGoodputPackets / runs, c.totals.tcpRetransmissions / runs,
+                    c.agg.routingConvergenceSec, c.agg.forwardingConvergenceSec);
+      }
+    }
+    std::printf("\nReading: protocols that black-hole (RIP) stall the window for the whole\n"
+                "switch-over; protocols with alternate paths keep the ACK clock ticking, so\n"
+                "goodput barely dips and retransmissions stay near zero in dense meshes.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
+// E2 — multiple flows and multiple overlapping failures: failure k hits
+// flow (k mod flows)'s then-current path 5 s after failure k-1.
+void registerMultifailure() {
+  ExperimentSpec spec;
+  spec.name = "ext_multifailure";
+  spec.title = "Extension E2: multiple flows, overlapping failures";
+  spec.description = "4 flows, 1/2/4 staggered failures, drops summed over flows";
+  spec.paperRuns = 15;
+  const std::vector<int> degrees{4, 6};
+  const std::vector<int> failureCounts{1, 2, 4};
+  for (const int degree : degrees) {
+    for (const auto kind : kPaperProtocols) {
+      for (const int fc : failureCounts) {
+        CellSpec cell;
+        cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(degree) +
+                  "/failures=" + std::to_string(fc);
+        cell.label = toString(kind);
+        cell.config = baseConfig();
+        cell.config.protocol = kind;
+        cell.config.mesh.degree = degree;
+        cell.config.flows = 4;
+        cell.config.failureCount = fc;
+        cell.config.failureSpacing = Time::seconds(5.0);
+        spec.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  spec.render = [degrees, failureCounts](const ExperimentSpec&, const ExperimentResult& res) {
+    const std::size_t perDegree = kPaperProtocols.size() * failureCounts.size();
+    for (std::size_t g = 0; g < degrees.size(); ++g) {
+      report::header("Extension E2, degree " + std::to_string(degrees[g]),
+                     "4 flows; drops summed over all flows during convergence");
+      std::printf("%-6s", "proto");
+      for (const int fc : failureCounts) std::printf("   %2d-failure(s)", fc);
+      std::printf("   %12s\n", "rt-conv@4");
+      for (std::size_t p = 0; p < kPaperProtocols.size(); ++p) {
+        std::printf("%-6s", toString(kPaperProtocols[p]));
+        double lastConv = 0;
+        for (std::size_t f = 0; f < failureCounts.size(); ++f) {
+          const Aggregate& a =
+              res.cells[g * perDegree + p * failureCounts.size() + f].agg;
+          std::printf("   %12.2f", a.dropsNoRoute + a.dropsTtl);
+          lastConv = a.routingConvergenceSec;
+        }
+        std::printf("   %12.2f\n", lastConv);
+      }
+    }
+    std::printf("\nReading: losses grow roughly with the number of failures; the alternate-\n"
+                "path protocols degrade gracefully while RIP multiplies its black-hole\n"
+                "windows. Convergence time stretches as episodes overlap.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
+// E3 — regular meshes vs connected random graphs with matched node count
+// and average degree.
+void registerRandomTopo() {
+  ExperimentSpec spec;
+  spec.name = "ext_random_topo";
+  spec.title = "Extension E3: regular mesh vs random graph";
+  spec.description = "do the findings survive on random graphs with matched degree?";
+  spec.defaultRuns = 20;
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{4, 6, 8};
+  for (const bool randomTopo : {false, true}) {
+    for (const auto kind : kPaperProtocols) {
+      for (const int d : degrees) {
+        CellSpec cell;
+        cell.id = std::string{randomTopo ? "random" : "mesh"} + "/" + toString(kind) +
+                  "/degree=" + std::to_string(d);
+        cell.label = toString(kind);
+        cell.config = baseConfig();
+        cell.config.protocol = kind;
+        if (randomTopo) {
+          cell.config.topology = TopologyKind::Random;
+          cell.config.random.nodes = 49;
+          cell.config.random.avgDegree = d;
+        } else {
+          cell.config.mesh.degree = d;
+        }
+        spec.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  spec.render = [degrees](const ExperimentSpec&, const ExperimentResult& res) {
+    const std::size_t rows = kPaperProtocols.size();
+    const std::size_t cols = degrees.size();
+    for (int group = 0; group < 2; ++group) {
+      report::header(std::string{"Extension E3, "} + (group ? "random graphs" : "regular meshes"),
+                     "49 nodes; drops due to no route during convergence");
+      const std::size_t base = static_cast<std::size_t>(group) * rows * cols;
+      report::degreeSweep("no-route drops", degrees, names(kPaperProtocols),
+                          matrix(res, base, rows, cols,
+                                 [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+      report::degreeSweep("TTL expirations", degrees, names(kPaperProtocols),
+                          matrix(res, base, rows, cols,
+                                 [](const CellResult& c) { return c.agg.dropsTtl; }));
+    }
+    std::printf("\nReading: the ordering (RIP >> DBF/BGP3, BGP worst for loops) holds on\n"
+                "random graphs; random graphs are noisier because a single failure can hit\n"
+                "a bridge-like edge that a regular mesh never has.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
+/// E4's Tdown part: disconnect the destination entirely (fail every link
+/// of the receiver's router at t=failAt) and time until all routes are
+/// withdrawn network-wide. Traffic stops at the failure — this measures
+/// routing, not delivery.
+RunResult runTdown(const ScenarioConfig& cfg) {
+  Scenario sc{cfg};
+  sc.stats().routeLog().setWatermark(cfg.failAt);
+  Network& net = sc.network();
+  const NodeId victim = sc.receiver();
+  sc.scheduler().scheduleAt(cfg.failAt, [&net, victim] {
+    for (const NodeId nb : net.node(victim).neighbors()) {
+      net.findLink(victim, nb)->fail();
+    }
+  });
+  sc.run();
+  RunResult r;
+  r.protocol = cfg.protocol;
+  r.degree = cfg.mesh.degree;
+  r.seed = cfg.seed;
+  r.routingConvergenceSec = sc.stats().routeLog().convergenceSeconds();
+  return r;
+}
+
+// E4 — consistency assertions (the paper's ref [21], Pei et al.): Tshort
+// grid first, then the Tdown slow-convergence case where [21] reports the
+// big win.
+void registerAssertions() {
+  ExperimentSpec spec;
+  spec.name = "ext_assertions";
+  spec.title = "Extension E4: BGP consistency assertions";
+  spec.description = "BGP/BGP3 with and without consistency assertions; Tshort and Tdown";
+  spec.paperRuns = 15;
+  const std::vector<int> degrees{3, 4, 5, 6};
+  struct Variant {
+    const char* name;
+    ProtocolKind kind;
+    bool assertions;
+  };
+  const std::vector<Variant> variants{
+      {"BGP", ProtocolKind::Bgp, false},
+      {"BGP+asrt", ProtocolKind::Bgp, true},
+      {"BGP3", ProtocolKind::Bgp3, false},
+      {"BGP3+asrt", ProtocolKind::Bgp3, true},
+  };
+  std::vector<std::string> labels;
+  for (const auto& v : variants) {
+    labels.emplace_back(v.name);
+    addDegreeRow(spec.cells, v.name, degrees, [v](ScenarioConfig& cfg) {
+      cfg.protocol = v.kind;
+      cfg.protoCfg.bgp.consistencyAssertions = v.assertions;
+    });
+  }
+  for (const auto& v : variants) {
+    for (const int d : degrees) {
+      CellSpec cell;
+      cell.id = std::string{"Tdown/"} + v.name + "/degree=" + std::to_string(d);
+      cell.label = v.name;
+      cell.config = baseConfig();
+      cell.config.protocol = v.kind;
+      cell.config.mesh.degree = d;
+      cell.config.protoCfg.bgp.consistencyAssertions = v.assertions;
+      cell.config.injectFailure = false;  // runTdown injects the node-isolating cut
+      cell.config.trafficStop = cell.config.failAt;
+      cell.config.endAt = Time::seconds(1600.0);  // plain BGP explores for many MRAIs
+      cell.run = runTdown;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  spec.render = [degrees, labels, variants](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Extension E4", "packet drops due to no route");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+    report::header("Extension E4", "TTL expirations (transient loops)");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsTtl; }));
+    report::header("Extension E4", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+    report::header("Extension E4, Tdown", "receiver disconnected; time until all routes gone");
+    std::printf("%-10s", "variant");
+    for (const int d : degrees) std::printf("   degree-%-5d", d);
+    std::printf("(seconds)\n");
+    const std::size_t tdownBase = rows * cols;
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      std::printf("%-10s", variants[v].name);
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::printf("   %12.2f", res.cells[tdownBase + v * cols + c].agg.routingConvergenceSec);
+      }
+      std::printf("\n");
+    }
+  };
+  registerExperiment(std::move(spec));
+}
+
+// E5 — DUAL (diffusing computations) vs the DV/PV family: hard
+// loop-freedom traded against route freezes.
+void registerDual() {
+  ExperimentSpec spec;
+  spec.name = "ext_dual";
+  spec.title = "Extension E5: DUAL vs DV/PV family";
+  spec.description = "loop-free DUAL vs DBF/BGP3: black-holes, loops, convergence";
+  spec.defaultRuns = 20;
+  spec.paperRuns = 30;
+  const std::vector<int> degrees{3, 4, 5, 6, 8};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Dbf, ProtocolKind::Bgp3,
+                                        ProtocolKind::Dual};
+  for (const auto kind : kinds) {
+    addDegreeRow(spec.cells, toString(kind), degrees,
+                 [kind](ScenarioConfig& cfg) { cfg.protocol = kind; });
+  }
+  spec.render = [degrees, kinds](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto labels = names(kinds);
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Extension E5", "packet drops due to no route (black-holes)");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+    report::header("Extension E5", "TTL expirations (loops — must be 0 for DUAL)");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.dropsTtl; }));
+    report::header("Extension E5", "network routing convergence time");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+    std::printf("\nReading: DUAL's freeze window is only as long as its diffusion, and a\n"
+                "diffusion over millisecond links completes in milliseconds — so the\n"
+                "delivery cost the paper attributes to loop-free algorithms (§2) barely\n"
+                "materializes here; DUAL pairs DBF-grade switch-over with hard\n"
+                "loop-freedom. The paper's critique presumes slow diffusions (realistic\n"
+                "for WAN latencies and large diameters); scale the topology or delays up\n"
+                "and the freeze tax returns.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
+/// E6's cell runner: every link flaps with exponential up/down times for
+/// the whole traffic window; the single surgical failure is replaced by
+/// the injector.
+RunResult runChurn(const ScenarioConfig& cfg) {
+  Scenario sc{cfg};
+  ChurnInjector::Config churnCfg;
+  churnCfg.start = cfg.trafficStart;
+  churnCfg.stop = cfg.trafficStop;
+  ChurnInjector churn{sc.network(), Rng{cfg.seed * 7919 + 13}, churnCfg};
+  churn.install();
+  sc.run();
+  RunResult r;
+  r.protocol = cfg.protocol;
+  r.degree = cfg.mesh.degree;
+  r.seed = cfg.seed;
+  r.sent = sc.packetsSent();
+  r.data = sc.stats().data();
+  return r;
+}
+
+// E6 — availability under continuous churn: long-run delivery ratio with
+// every link flapping (MTBF 120 s, MTTR 10 s).
+void registerChurn() {
+  ExperimentSpec spec;
+  spec.name = "ext_churn";
+  spec.title = "Extension E6: delivery ratio under link churn";
+  spec.description = "long-run delivery ratio with every link flapping";
+  spec.defaultRuns = 10;
+  spec.paperRuns = 10;
+  const std::vector<int> degrees{3, 4, 6, 8};
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Rip, ProtocolKind::Dbf,
+                                        ProtocolKind::Bgp3, ProtocolKind::LinkState,
+                                        ProtocolKind::Dual};
+  for (const auto kind : kinds) {
+    for (const int d : degrees) {
+      CellSpec cell;
+      cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(d);
+      cell.label = toString(kind);
+      cell.config = baseConfig();
+      cell.config.protocol = kind;
+      cell.config.mesh.degree = d;
+      cell.config.injectFailure = false;  // churn replaces the single failure
+      cell.config.trafficStop = Time::seconds(790.0);
+      cell.run = runChurn;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  spec.render = [degrees, kinds](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto labels = names(kinds);
+    report::header("Extension E6", "delivery ratio (%) with every link flapping "
+                                   "(MTBF 120 s, MTTR 10 s)");
+    report::degreeSweep("percent", degrees, labels,
+                        matrix(res, 0, labels.size(), degrees.size(), [](const CellResult& c) {
+                          return 100.0 * c.totals.delivered / c.totals.sent;
+                        }));
+    std::printf("\nReading: Baran's redundancy thesis in one table — every protocol climbs\n"
+                "toward ~100%% as degree grows, but the event-driven protocols (LS's\n"
+                "flood+SPF and DUAL's feasible-successor switch) get there at much lower\n"
+                "connectivity than RIP, which re-pays its 30 s black-hole tax on every\n"
+                "flap. The timer-paced protocols (DBF's 1-5 s damping, BGP3's 3 s MRAI)\n"
+                "sit in between: each flap costs them a damping interval.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
+}  // namespace
+
+void registerExtensionExperiments() {
+  registerTcp();
+  registerMultifailure();
+  registerRandomTopo();
+  registerAssertions();
+  registerDual();
+  registerChurn();
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,178 @@
+// The paper's figures (3..7) and the §1/§5.2 headline comparison as
+// registered experiment specs. Console output is byte-compatible with the
+// historical one-binary-per-figure benches; see those benches' commentary
+// in EXPERIMENTS.md for the expected shapes.
+
+#include <cstdio>
+#include <string>
+
+#include "exp/registry.hpp"
+#include "exp/specs.hpp"
+#include "exp/specs_common.hpp"
+
+namespace rcsim::exp {
+namespace {
+
+/// Figures 3/4/6 share one grid: the four paper protocols swept over the
+/// full degree axis, protocol-major.
+ExperimentSpec paperGridSpec(std::string name, std::string title, std::string description) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.title = std::move(title);
+  spec.description = std::move(description);
+  for (const auto kind : kPaperProtocols) {
+    addDegreeRow(spec.cells, toString(kind), paperDegrees(),
+                 [kind](ScenarioConfig& cfg) { cfg.protocol = kind; });
+  }
+  return spec;
+}
+
+void registerFig3() {
+  ExperimentSpec spec = paperGridSpec("fig3_drops", "Figure 3: packet drops due to no route",
+                                      "mean no-route drops vs node degree (the headline figure)");
+  spec.render = [](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto degrees = paperDegrees();
+    const auto labels = names(kPaperProtocols);
+    report::header("Figure 3", "mean data packets dropped for lack of a route during convergence");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, labels.size(), degrees.size(),
+                               [](const CellResult& c) { return c.agg.dropsNoRoute; }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+void registerFig4() {
+  ExperimentSpec spec =
+      paperGridSpec("fig4_ttl", "Figure 4: TTL expirations (loop-caused drops)",
+                    "mean TTL-expiry drops and loop fraction vs node degree");
+  spec.render = [](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto degrees = paperDegrees();
+    const auto labels = names(kPaperProtocols);
+    report::header("Figure 4", "mean data packets dropped on TTL expiry during convergence");
+    report::degreeSweep("packets", degrees, labels,
+                        matrix(res, 0, labels.size(), degrees.size(),
+                               [](const CellResult& c) { return c.agg.dropsTtl; }));
+    report::header("Figure 4 (companion)",
+                   "fraction of runs whose forwarding path transited a loop");
+    report::degreeSweep("fraction", degrees, labels,
+                        matrix(res, 0, labels.size(), degrees.size(),
+                               [](const CellResult& c) { return c.agg.loopFraction; }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+void registerFig6() {
+  ExperimentSpec spec =
+      paperGridSpec("fig6_convergence", "Figure 6: convergence times",
+                    "forwarding-path and routing convergence times vs node degree");
+  spec.render = [](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto degrees = paperDegrees();
+    const auto labels = names(kPaperProtocols);
+    const auto rows = labels.size();
+    const auto cols = degrees.size();
+    report::header("Figure 6(a)", "mean forwarding-path convergence time after failure");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.forwardingConvergenceSec;
+                        }));
+    report::header("Figure 6(b)", "mean network routing convergence time after failure");
+    report::degreeSweep("seconds", degrees, labels,
+                        matrix(res, 0, rows, cols, [](const CellResult& c) {
+                          return c.agg.routingConvergenceSec;
+                        }));
+    report::header("Figure 6 (companion)", "mean number of transient forwarding paths");
+    report::degreeSweep("paths", degrees, labels,
+                        matrix(res, 0, rows, cols,
+                               [](const CellResult& c) { return c.agg.transientPaths; }));
+  };
+  registerExperiment(std::move(spec));
+}
+
+/// Figures 5 and 7 share one layout: degree groups, four protocols per
+/// group, a time series per group.
+ExperimentSpec seriesSpec(std::string name, std::string title, std::string description,
+                          const std::vector<int>& degrees, std::string headerPrefix,
+                          std::string metric, bool delaySeries) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.title = std::move(title);
+  spec.description = std::move(description);
+  spec.jsonSeries = true;
+  for (const int degree : degrees) {
+    for (const auto kind : kPaperProtocols) {
+      CellSpec cell;
+      cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(degree);
+      cell.label = toString(kind);
+      cell.config = baseConfig();
+      cell.config.protocol = kind;
+      cell.config.mesh.degree = degree;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  spec.render = [degrees, headerPrefix = std::move(headerPrefix), metric = std::move(metric),
+                 delaySeries](const ExperimentSpec&, const ExperimentResult& res) {
+    const auto labels = names(kPaperProtocols);
+    for (std::size_t g = 0; g < degrees.size(); ++g) {
+      report::header(headerPrefix + std::to_string(degrees[g]),
+                     delaySeries ? "mean end-to-end delay (s) of packets delivered in each second"
+                                 : "mean delivered packets/second at the receiver");
+      report::timeSeries(metric, labels, aggregates(res, g * labels.size(), labels.size()), -20,
+                         60, delaySeries);
+    }
+  };
+  return spec;
+}
+
+void registerHeadline() {
+  ExperimentSpec spec;
+  spec.name = "headline_table";
+  spec.title = "Headline table: protocol comparison at fixed degree";
+  spec.description = "the §1/§5.2 headline ratios (BGP vs BGP3 drops and TTL expirations)";
+  spec.defaultRuns = 20;
+  const std::vector<int> degrees{3, 6};
+  for (const int degree : degrees) {
+    for (const auto kind : kPaperProtocols) {
+      CellSpec cell;
+      cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(degree);
+      cell.label = toString(kind);
+      cell.config = baseConfig();
+      cell.config.protocol = kind;
+      cell.config.mesh.degree = degree;
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+  spec.render = [degrees](const ExperimentSpec&, const ExperimentResult& res) {
+    for (std::size_t g = 0; g < degrees.size(); ++g) {
+      report::header("Protocol comparison, degree " + std::to_string(degrees[g]),
+                     "means over " + std::to_string(res.runs) + " runs");
+      std::printf("%-6s %10s %10s %10s %10s %12s %12s %12s\n", "proto", "sent", "delivered",
+                  "no-route", "ttl-exp", "fwd-conv(s)", "rt-conv(s)", "loop-frac");
+      for (std::size_t p = 0; p < kPaperProtocols.size(); ++p) {
+        const Aggregate& a = res.cells[g * kPaperProtocols.size() + p].agg;
+        std::printf("%-6s %10.1f %10.1f %10.2f %10.2f %12.2f %12.2f %12.2f\n",
+                    toString(kPaperProtocols[p]), a.sent, a.delivered, a.dropsNoRoute, a.dropsTtl,
+                    a.forwardingConvergenceSec, a.routingConvergenceSec, a.loopFraction);
+      }
+    }
+  };
+  registerExperiment(std::move(spec));
+}
+
+}  // namespace
+
+void registerFigureExperiments() {
+  registerFig3();
+  registerFig4();
+  registerExperiment(seriesSpec("fig5_throughput", "Figure 5: instantaneous throughput",
+                                "delivered packets/second around the failure (degrees 3/4/6)",
+                                {3, 4, 6}, "Figure 5, degree ", "packets/s",
+                                /*delaySeries=*/false));
+  registerFig6();
+  registerExperiment(seriesSpec("fig7_delay", "Figure 7: instantaneous packet delay",
+                                "mean end-to-end delay around the failure (degrees 4/5/6)",
+                                {4, 5, 6}, "Figure 7, degree ", "delay-s",
+                                /*delaySeries=*/true));
+  registerHeadline();
+}
+
+}  // namespace rcsim::exp

@@ -1,0 +1,237 @@
+// Experiment engine tests: registry integrity, barrier-free executor
+// determinism against serial per-cell runMany, and the JSON artifact
+// schema round-trip.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/json_lite.hpp"
+#include "core/options.hpp"
+#include "core/runner.hpp"
+#include "exp/artifact.hpp"
+#include "exp/executor.hpp"
+#include "exp/registry.hpp"
+#include "exp/spec.hpp"
+
+namespace rcsim::exp {
+namespace {
+
+/// A scenario small enough to simulate dozens of times in a test, but
+/// still crossing the failure with live traffic.
+ScenarioConfig shortConfig(ProtocolKind kind, int degree) {
+  ScenarioConfig cfg;
+  cfg.protocol = kind;
+  cfg.mesh.degree = degree;
+  cfg.trafficStart = Time::seconds(80.0);
+  cfg.failAt = Time::seconds(100.0);
+  cfg.trafficStop = Time::seconds(140.0);
+  cfg.endAt = Time::seconds(200.0);
+  return cfg;
+}
+
+TEST(ExperimentRegistry, HasEveryBuiltinInRegenerationOrder) {
+  registerBuiltinExperiments();
+  const std::vector<std::string> expected{
+      "fig3_drops",        "fig4_ttl",          "fig5_throughput",
+      "fig6_convergence",  "fig7_delay",        "headline_table",
+      "ablation_mrai",     "ablation_msgsize",  "ablation_damping",
+      "ablation_flap_damping", "ablation_infinity", "ablation_splithorizon",
+      "ext_tcp",           "ext_multifailure",  "ext_random_topo",
+      "ext_assertions",    "ext_dual",          "ext_churn",
+      "appendix_overhead", "appendix_load",
+  };
+  const auto& all = allExperiments();
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+    EXPECT_FALSE(all[i].cells.empty()) << expected[i];
+    EXPECT_TRUE(static_cast<bool>(all[i].render)) << expected[i];
+    EXPECT_GT(all[i].defaultRuns, 0) << expected[i];
+    EXPECT_GE(all[i].paperRuns, all[i].defaultRuns) << expected[i];
+  }
+  EXPECT_NE(findExperiment("fig3_drops"), nullptr);
+  EXPECT_EQ(findExperiment("no_such_experiment"), nullptr);
+}
+
+TEST(ExperimentRegistry, RejectsBadSpecs) {
+  registerBuiltinExperiments();
+  ExperimentSpec unnamed;
+  EXPECT_THROW(registerExperiment(std::move(unnamed)), std::invalid_argument);
+
+  ExperimentSpec duplicate;
+  duplicate.name = "fig3_drops";
+  EXPECT_THROW(registerExperiment(std::move(duplicate)), std::invalid_argument);
+
+  ExperimentSpec clashing;
+  clashing.name = "test_clashing_cells";
+  CellSpec a;
+  a.id = "same";
+  CellSpec b;
+  b.id = "same";
+  clashing.cells.push_back(std::move(a));
+  clashing.cells.push_back(std::move(b));
+  EXPECT_THROW(registerExperiment(std::move(clashing)), std::invalid_argument);
+}
+
+TEST(Aggregate, RejectsMixedFailureTimes) {
+  RunResult a;
+  a.failSec = 400;
+  RunResult b;
+  b.failSec = 401;
+  EXPECT_THROW((void)Aggregate::over({a, b}), std::invalid_argument);
+}
+
+// The tentpole guarantee: flattening every (cell, seed) replica into one
+// shared queue must not change any aggregate bit. Compare full-precision
+// digests against serial single-threaded per-cell runMany.
+TEST(SweepExecutor, MatchesSerialRunManyBitForBit) {
+  const int runs = 4;
+  ExperimentSpec spec;
+  spec.name = "determinism_grid";
+  for (const ProtocolKind kind : {ProtocolKind::Rip, ProtocolKind::Bgp3}) {
+    for (const int degree : {3, 4, 5}) {
+      CellSpec cell;
+      cell.id = std::string{toString(kind)} + "/degree=" + std::to_string(degree);
+      cell.label = toString(kind);
+      cell.config = shortConfig(kind, degree);
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+
+  SweepExecutor executor{4};
+  const ExperimentResult result = executor.execute(spec, runs);
+  ASSERT_EQ(result.cells.size(), spec.cells.size());
+  EXPECT_EQ(result.runs, runs);
+
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    const auto serial = runMany(spec.cells[c].config, runs, spec.cells[c].startSeed, 1);
+    const Aggregate expected = Aggregate::over(serial);
+    EXPECT_EQ(aggregateDigest(result.cells[c].agg), aggregateDigest(expected))
+        << spec.cells[c].id;
+    const CellStats totals = CellStats::over(serial);
+    EXPECT_EQ(result.cells[c].totals.sent, totals.sent) << spec.cells[c].id;
+    EXPECT_EQ(result.cells[c].totals.delivered, totals.delivered) << spec.cells[c].id;
+    EXPECT_EQ(result.cells[c].totals.controlMessages, totals.controlMessages)
+        << spec.cells[c].id;
+  }
+}
+
+// Several experiments in flight at once (the rcsim_bench --all path):
+// FIFO completion, each one still bit-identical to its serial baseline.
+TEST(SweepExecutor, PipelinesMultipleJobs) {
+  ExperimentSpec first;
+  first.name = "pipeline_first";
+  CellSpec cell;
+  cell.id = "RIP/degree=3";
+  cell.config = shortConfig(ProtocolKind::Rip, 3);
+  first.cells.push_back(cell);
+
+  ExperimentSpec second;
+  second.name = "pipeline_second";
+  cell.id = "DBF/degree=4";
+  cell.config = shortConfig(ProtocolKind::Dbf, 4);
+  second.cells.push_back(cell);
+
+  SweepExecutor executor{2};
+  auto jobA = executor.submit(first, 3);
+  auto jobB = executor.submit(second, 3);
+  const ExperimentResult resA = executor.finish(jobA);
+  const ExperimentResult resB = executor.finish(jobB);
+
+  EXPECT_EQ(aggregateDigest(resA.cells[0].agg),
+            aggregateDigest(Aggregate::over(runMany(first.cells[0].config, 3, 1, 1))));
+  EXPECT_EQ(aggregateDigest(resB.cells[0].agg),
+            aggregateDigest(Aggregate::over(runMany(second.cells[0].config, 3, 1, 1))));
+}
+
+// Cells with custom run functions (Tdown, churn) must fold their results
+// in seed order like everything else.
+TEST(SweepExecutor, RunsCustomCellRunners) {
+  ExperimentSpec spec;
+  spec.name = "custom_runner";
+  CellSpec cell;
+  cell.id = "synthetic";
+  cell.startSeed = 10;
+  cell.run = [](const ScenarioConfig& cfg) {
+    RunResult r;
+    r.seed = cfg.seed;
+    r.routingConvergenceSec = static_cast<double>(cfg.seed);
+    r.failSec = 7;
+    return r;
+  };
+  spec.cells.push_back(std::move(cell));
+
+  SweepExecutor executor{2};
+  const ExperimentResult result = executor.execute(spec, 3);
+  ASSERT_EQ(result.cells.size(), 1u);
+  // Seeds 10, 11, 12 -> mean 11; failSec carried through unchanged.
+  EXPECT_DOUBLE_EQ(result.cells[0].agg.routingConvergenceSec, 11.0);
+  EXPECT_EQ(result.cells[0].agg.failSec, 7);
+  EXPECT_EQ(result.cells[0].agg.runs, 3);
+}
+
+TEST(Artifact, RoundTripsThroughJsonLite) {
+  ExperimentSpec spec;
+  spec.name = "artifact_demo";
+  spec.title = "Artifact demo";
+  spec.description = "round-trip test";
+  spec.jsonSeries = true;
+  CellSpec cell;
+  cell.id = "BGP3/degree=4";
+  cell.label = "BGP3";
+  cell.config = shortConfig(ProtocolKind::Bgp3, 4);
+  spec.cells.push_back(std::move(cell));
+
+  SweepExecutor executor{2};
+  const ExperimentResult result = executor.execute(spec, 2);
+
+  const JsonValue doc = buildArtifact(spec, result);
+  const JsonValue parsed = parseJson(dumpJson(doc));
+
+  EXPECT_EQ(parsed.stringAt("schema"), kArtifactSchema);
+  EXPECT_EQ(parsed.stringAt("experiment"), "artifact_demo");
+  EXPECT_DOUBLE_EQ(parsed.numberAt("runs_per_cell"), 2.0);
+  ASSERT_EQ(parsed.at("cells").array.size(), 1u);
+  const JsonValue& c = parsed.at("cells").array[0];
+  EXPECT_EQ(c.stringAt("id"), "BGP3/degree=4");
+
+  // The embedded config is the canonical key=value list — applying it to
+  // a fresh ScenarioConfig must reproduce the cell's scenario exactly.
+  ScenarioConfig rebuilt;
+  for (const auto& opt : c.at("config").array) applyOptionString(rebuilt, opt.str);
+  EXPECT_EQ(rebuilt.protocol, ProtocolKind::Bgp3);
+  EXPECT_EQ(rebuilt.mesh.degree, 4);
+  EXPECT_EQ(rebuilt.failAt, Time::seconds(100.0));
+  EXPECT_EQ(rebuilt.endAt, Time::seconds(200.0));
+  EXPECT_EQ(describeOptions(rebuilt), describeOptions(spec.cells[0].config));
+
+  // Aggregate numbers survive dump -> parse exactly.
+  const Aggregate& agg = result.cells[0].agg;
+  const JsonValue& jagg = c.at("aggregate");
+  EXPECT_EQ(jagg.numberAt("delivered"), agg.delivered);
+  EXPECT_EQ(jagg.numberAt("routing_convergence_sec"), agg.routingConvergenceSec);
+  ASSERT_EQ(jagg.at("throughput").array.size(), agg.throughput.size());
+  for (std::size_t i = 0; i < agg.throughput.size(); ++i) {
+    EXPECT_EQ(jagg.at("throughput").array[i].number, agg.throughput[i]) << i;
+  }
+}
+
+TEST(Artifact, DumpJsonNumbersRoundTripExactly) {
+  JsonValue arr = JsonValue::makeArray();
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, -0.0, 123456789.123456789,
+                         9007199254740993.0, 1e-17}) {
+    arr.array.push_back(JsonValue::makeNumber(v));
+  }
+  const JsonValue parsed = parseJson(dumpJson(arr));
+  ASSERT_EQ(parsed.array.size(), arr.array.size());
+  for (std::size_t i = 0; i < arr.array.size(); ++i) {
+    EXPECT_EQ(parsed.array[i].number, arr.array[i].number) << i;
+  }
+}
+
+}  // namespace
+}  // namespace rcsim::exp

@@ -89,6 +89,66 @@ TEST(Options, RejectsMalformedInput) {
   EXPECT_THROW(applyOptionString(cfg, "no-equals-sign"), std::invalid_argument);
 }
 
+// describeOptions must emit every knob a spec can set, so that replaying
+// an artifact's config list reproduces the scenario exactly. Twist every
+// family of knobs away from its default and compare canonical renderings
+// after a full describe -> apply cycle.
+TEST(Options, DescribeCoversEveryKnob) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Bgp3;
+  cfg.mesh.degree = 7;
+  cfg.seed = 42;
+  cfg.flows = 3;
+  cfg.traffic = TrafficKind::Tcp;
+  cfg.tcpWindow = 16;
+  cfg.packetsPerSecond = 55.5;
+  cfg.failureCount = 2;
+  cfg.failureSpacing = Time::seconds(5.0);
+  cfg.failAt = Time::seconds(123.5);
+  cfg.trafficStart = Time::seconds(80.0);
+  cfg.trafficStop = Time::seconds(140.0);
+  cfg.endAt = Time::seconds(222.0);
+  cfg.tracePackets = false;
+  cfg.link.bandwidthBps = 2e6;
+  cfg.link.propDelay = Time::milliseconds(3);
+  cfg.link.queueCapacity = 33;
+  cfg.link.detectDelay = Time::milliseconds(500);
+  cfg.protoCfg.dv.periodicInterval = Time::seconds(17.0);
+  cfg.protoCfg.dv.infinityMetric = 32;
+  cfg.protoCfg.dv.maxEntriesPerMessage = 5;
+  cfg.protoCfg.dv.splitHorizon = SplitHorizonMode::SplitHorizon;
+  cfg.protoCfg.dv.triggerDampMinSec = 2.0;
+  cfg.protoCfg.dv.triggerDampMaxSec = 6.0;
+  cfg.protoCfg.bgp.mraiMinSec = 2.5;
+  cfg.protoCfg.bgp.perDestMrai = true;
+  cfg.protoCfg.bgp.withdrawalsExemptFromMrai = false;
+  cfg.protoCfg.bgp.consistencyAssertions = true;
+  cfg.protoCfg.bgp.flapDampingEnabled = true;
+  cfg.protoCfg.bgp.rfdPenaltyPerFlap = 1999.0;
+  cfg.protoCfg.ls.spfDelay = Time::milliseconds(25);
+  cfg.protoCfg.dual.siaTimeout = Time::seconds(20.0);
+
+  ScenarioConfig rebuilt;
+  for (const auto& opt : describeOptions(cfg)) applyOptionString(rebuilt, opt);
+  EXPECT_EQ(describeOptions(rebuilt), describeOptions(cfg));
+  EXPECT_EQ(rebuilt.traffic, TrafficKind::Tcp);
+  EXPECT_EQ(rebuilt.tcpWindow, 16);
+  EXPECT_EQ(rebuilt.protoCfg.dv.splitHorizon, SplitHorizonMode::SplitHorizon);
+  EXPECT_DOUBLE_EQ(rebuilt.protoCfg.bgp.rfdPenaltyPerFlap, 1999.0);
+  EXPECT_FALSE(rebuilt.tracePackets);
+}
+
+// An infinite repair time must describe as "inf" and re-apply cleanly
+// (casting an infinite double through Time::seconds would be UB).
+TEST(Options, DescribeRoundTripsInfiniteRepair) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "repair-after", "inf");
+  EXPECT_EQ(cfg.repairAfter, Time::infinity());
+  ScenarioConfig rebuilt;
+  for (const auto& opt : describeOptions(cfg)) applyOptionString(rebuilt, opt);
+  EXPECT_EQ(rebuilt.repairAfter, Time::infinity());
+}
+
 TEST(Options, DescribeRoundTrips) {
   ScenarioConfig cfg;
   applyOption(cfg, "protocol", "BGP3");

@@ -10,15 +10,31 @@
 //   rcsim protocol=RIP degree=3 --runs=100
 //   rcsim protocol=BGP3 degree=5 failures=3 fail-spacing=5 --format=csv
 //   rcsim protocol=DBF topology=random random.avg-degree=4 --format=series
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 #include "core/options.hpp"
 #include "core/runner.hpp"
 
 namespace {
+
+/// Strict flag parsing: "--runs=abc" is an error, not atoi's silent 0.
+int parsePositiveInt(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || errno != 0 || end == value.c_str() || *end != '\0' || v <= 0 ||
+      v > 1'000'000'000L) {
+    throw std::invalid_argument(std::string{flag} + " got '" + value +
+                                "', expected a positive integer");
+  }
+  return static_cast<int>(v);
+}
 
 void printUsage() {
   std::printf(
@@ -92,9 +108,9 @@ int main(int argc, char** argv) {
         return 0;
       }
       if (arg.rfind("--runs=", 0) == 0) {
-        runs = std::atoi(arg.c_str() + 7);
+        runs = parsePositiveInt(arg.substr(7), "--runs");
       } else if (arg.rfind("--threads=", 0) == 0) {
-        threads = std::atoi(arg.c_str() + 10);
+        threads = parsePositiveInt(arg.substr(10), "--threads");
       } else if (arg.rfind("--format=", 0) == 0) {
         format = arg.substr(9);
       } else {
@@ -111,10 +127,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Config echo goes to stderr so `rcsim ... > data.txt` captures only the
+  // table (same convention as rcsim_bench's banners).
   if (format == "table") {
-    std::printf("# rcsim");
-    for (const auto& opt : describeOptions(cfg)) std::printf(" %s", opt.c_str());
-    std::printf("\n");
+    std::fprintf(stderr, "# rcsim");
+    for (const auto& opt : describeOptions(cfg)) std::fprintf(stderr, " %s", opt.c_str());
+    std::fprintf(stderr, "\n");
   }
 
   const auto results = runMany(cfg, runs, cfg.seed, threads);
