@@ -47,7 +47,15 @@ void usage(std::FILE* to) {
                "  --txt             write each experiment's tables to DIR/NAME.txt\n"
                "                    instead of stdout\n"
                "  --no-json         skip the JSON artifacts\n"
-               "  -h, --help        this message\n");
+               "  --check-invariants\n"
+               "                    run every replica under the runtime invariant\n"
+               "                    checker (violations fail the cell)\n"
+               "  --watchdog=SEC    wall-clock budget per replica; an overrunning\n"
+               "                    replica fails its cell instead of hanging the sweep\n"
+               "                    (else env RCSIM_REPLICA_WATCHDOG_SEC)\n"
+               "  -h, --help        this message\n"
+               "\n"
+               "exit status: 0 ok, 2 usage error, 3 at least one cell failed\n");
 }
 
 /// Strict positive-integer flag parsing — "--runs=banana" and "--runs=0"
@@ -106,6 +114,7 @@ int main(int argc, char** argv) {
   bool json = true;
   int runsFlag = 0;
   int threads = 0;
+  double watchdogSec = 0.0;
   std::string outDir = "results";
   std::vector<std::string> only;
 
@@ -133,6 +142,20 @@ int main(int argc, char** argv) {
       toTxt = true;
     } else if (arg == "--no-json") {
       json = false;
+    } else if (arg == "--check-invariants") {
+      // Scenario reads the env var at construction, so this covers every
+      // replica including custom cell runners.
+      setenv("RCSIM_CHECK_INVARIANTS", "1", 1);
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      const std::string v = value("--watchdog=");
+      char* end = nullptr;
+      errno = 0;
+      watchdogSec = std::strtod(v.c_str(), &end);
+      if (errno != 0 || v.empty() || end == v.c_str() || *end != '\0' || watchdogSec <= 0.0) {
+        std::fprintf(stderr, "rcsim_bench: --watchdog got '%s', expected seconds > 0\n",
+                     v.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "rcsim_bench: unknown argument '%s'\n\n", arg.c_str());
       usage(stderr);
@@ -171,6 +194,7 @@ int main(int argc, char** argv) {
   if (toTxt || json) std::filesystem::create_directories(outDir);
 
   rcsim::exp::SweepExecutor executor{threads};
+  if (watchdogSec > 0.0) executor.setReplicaWallLimit(watchdogSec);
 
   // Submit everything first: later experiments' replicas backfill the pool
   // while earlier ones drain, so the sweep never serializes on one
@@ -188,6 +212,7 @@ int main(int argc, char** argv) {
     pending.push_back({spec, runs, executor.submit(*spec, runs)});
   }
 
+  int failedCells = 0;
   for (auto& p : pending) {
     // The historical bench banner, byte for byte — but on stderr, so
     // piping tables to a file stays clean.
@@ -207,6 +232,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "# %s: %zu cells x %d runs in %.1f s on %d threads\n",
                  p.spec->name.c_str(), p.spec->cells.size(), result.runs, result.wallSeconds,
                  result.threads);
+    // Per-experiment failure report: which cells died, on which seed,
+    // and why — the healthy cells above rendered normally.
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      if (!result.cells[i].failed()) continue;
+      ++failedCells;
+      const auto& failures = result.cells[i].failures;
+      std::fprintf(stderr, "# FAILED %s cell '%s': %zu replica(s) threw\n", p.spec->name.c_str(),
+                   p.spec->cells[i].id.c_str(), failures.size());
+      for (const auto& f : failures) {
+        std::fprintf(stderr, "#   seed %llu: %s\n", static_cast<unsigned long long>(f.seed),
+                     f.error.c_str());
+      }
+    }
+  }
+  if (failedCells > 0) {
+    std::fprintf(stderr, "rcsim_bench: %d cell(s) failed — see reports above\n", failedCells);
+    return 3;
   }
   return 0;
 }

@@ -19,4 +19,14 @@ trap 'rm -rf "$smoke_out"' EXIT
 RCSIM_RUNS=2 "$BUILD/bench/rcsim_bench" --only=headline_table --out="$smoke_out" > /dev/null
 test -s "$smoke_out/headline_table.json"
 
+# Sanitizer job: a separate ASan+UBSan build runs a smoke subset of the
+# suite (the memory-heavy paths: events, links, transport, faults). The
+# tier-1 gate above stays plain Release so its timings and golden digests
+# are undisturbed.
+SAN_BUILD=${SAN_BUILD:-build-asan}
+cmake -S . -B "$SAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=ON
+cmake --build "$SAN_BUILD" -j "$(nproc)"
+ctest --test-dir "$SAN_BUILD" --output-on-failure \
+  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep'
+
 echo "ci: all gates green"

@@ -16,14 +16,27 @@ void ChurnInjector::scheduleFailure(std::size_t linkIndex, Time notBefore) {
   if (at >= cfg_.stop) return;
   net_.scheduler().scheduleAt(at, [this, linkIndex] {
     Link& link = *net_.links()[linkIndex];
-    if (!link.isUp()) return;  // already down through some other mechanism
+    if (!link.isUp()) {
+      // Down through some other mechanism (fault plan, scenario failure).
+      // Re-arm instead of returning bare: the bare return silently ended
+      // churn for this link forever whenever another fault source touched
+      // it first. Unreachable in pure-churn runs, so their schedules (and
+      // the availability bench numbers) are unchanged.
+      scheduleFailure(linkIndex, net_.scheduler().now());
+      return;
+    }
     link.fail();
     ++failures_;
     const Time repairAt =
         net_.scheduler().now() + Time::seconds(rng_.exponential(cfg_.meanDownSec));
     net_.scheduler().scheduleAt(repairAt, [this, linkIndex] {
       Link& l = *net_.links()[linkIndex];
-      if (l.isUp()) return;
+      if (l.isUp()) {
+        // Recovered externally before our repair fired: skip the double
+        // recover but keep the link's up/down cycle alive.
+        scheduleFailure(linkIndex, net_.scheduler().now());
+        return;
+      }
       l.recover();
       ++repairs_;
       scheduleFailure(linkIndex, net_.scheduler().now());

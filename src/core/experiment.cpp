@@ -29,11 +29,23 @@ RunResult runScenario(const ScenarioConfig& cfg) {
       r.tcpRetransmissions += flow.tcp->retransmissions();
     }
   }
+  for (NodeId id = 0; id < static_cast<NodeId>(net.nodeCount()); ++id) {
+    if (const auto* proto = net.node(id).protocol()) {
+      const auto tc = proto->transportCounters();
+      r.transportRetransmissions += tc.retransmissions;
+      r.transportSessionResets += tc.sessionResets;
+    }
+  }
+  if (const auto* inj = scenario.faultInjector()) {
+    const auto tc = inj->lostTransportCounters();
+    r.transportRetransmissions += tc.retransmissions;
+    r.transportSessionResets += tc.sessionResets;
+  }
 
   r.routingConvergenceSec = stats.routeLog().convergenceSeconds();
   r.routeChangesAfterFailure = stats.routeLog().changesAfterWatermark();
   if (const auto* tracer = stats.tracer()) {
-    const Time watermark = cfg.injectFailure ? cfg.failAt : Time::infinity();
+    const Time watermark = cfg.failureWatermark();
     r.forwardingConvergenceSec = tracer->convergenceSecondsAfter(watermark);
     r.transientPaths = tracer->transientPathsAfter(watermark);
     r.sawLoop = tracer->sawLoopAfter(watermark);

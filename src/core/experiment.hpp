@@ -24,6 +24,10 @@ struct RunResult {
   std::uint64_t controlMessagesAfterFailure = 0;
   std::uint64_t tcpGoodputPackets = 0;     ///< TrafficKind::Tcp only
   std::uint64_t tcpRetransmissions = 0;
+  /// Reliable-transport health across all protocol sessions (BGP), summed
+  /// over live protocols plus any destroyed by injected node crashes.
+  std::uint64_t transportRetransmissions = 0;
+  std::uint64_t transportSessionResets = 0;
 
   double routingConvergenceSec = 0.0;    ///< Figure 6b
   double forwardingConvergenceSec = 0.0; ///< Figure 6a

@@ -106,6 +106,11 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.endAt = Time::seconds(parseDouble(key, value));
   } else if (key == "trace-packets") {
     cfg.tracePackets = parseBool(key, value);
+    // Fault injection.
+  } else if (key == "fault-plan") {
+    cfg.faultPlan = fault::FaultPlan::parse(value);
+  } else if (key == "check-invariants") {
+    cfg.checkInvariants = parseBool(key, value);
     // Link layer.
   } else if (key == "bandwidth") {
     cfg.link.bandwidthBps = parseDouble(key, value);
@@ -218,6 +223,8 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
                                                           : num(cfg.repairAfter.toSeconds()));
   add("end-at", num(cfg.endAt.toSeconds()));
   add("trace-packets", cfg.tracePackets ? "1" : "0");
+  add("fault-plan", cfg.faultPlan.format());
+  add("check-invariants", cfg.checkInvariants ? "1" : "0");
   add("bandwidth", num(cfg.link.bandwidthBps));
   add("prop-delay-ms", num(cfg.link.propDelay.toSeconds() * 1e3));
   add("queue", std::to_string(cfg.link.queueCapacity));

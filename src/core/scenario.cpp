@@ -1,9 +1,18 @@
 #include "core/scenario.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace rcsim {
+namespace {
+
+bool envInvariantsEnabled() {
+  const char* v = std::getenv("RCSIM_CHECK_INVARIANTS");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+}  // namespace
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
   if (cfg_.flows < 1) throw std::invalid_argument("scenario needs at least one flow");
@@ -57,7 +66,22 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
   stats_ = std::make_unique<StatsCollector>(
       *net_, StatsCollector::Config{flows_[0].sender, flows_[0].receiver, /*trackPath=*/true});
   stats_->install();
-  stats_->setFailureWatermark(cfg_.injectFailure ? cfg_.failAt : Time::infinity());
+  stats_->setFailureWatermark(cfg_.failureWatermark());
+
+  // Runtime invariant checking (opt-in: config flag or env var). Attached
+  // as the network's secondary observer, so the stats hooks stay untouched.
+  if (cfg_.checkInvariants || envInvariantsEnabled()) {
+    checker_ = std::make_unique<fault::InvariantChecker>(*net_);
+  }
+
+  // Declarative fault schedule. The factory lets the injector rebuild a
+  // crashed node's protocol without knowing which protocol the run uses.
+  if (!cfg_.faultPlan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        *net_, cfg_.faultPlan, [this](Node& node) {
+          return makeProtocol(cfg_.protocol, node, cfg_.protoCfg);
+        });
+  }
 
   std::int32_t flowId = 0;
   for (auto& flow : flows_) {
@@ -109,7 +133,16 @@ void Scenario::run() {
       sched_.scheduleAt(cfg_.failAt + cfg_.failureSpacing * k, [this, k] { injectFailure(k); });
     }
   }
+  if (injector_) injector_->install();
   sched_.run(cfg_.endAt);
+  if (checker_) {
+    checker_->finalCheck(sched_.now());
+    if (!checker_->clean()) {
+      // Violations are simulator bugs, not scenario outcomes: fail loudly
+      // so a sweep records the cell as failed instead of a silent bad row.
+      throw std::runtime_error("invariant check failed:\n" + checker_->summary());
+    }
+  }
 }
 
 Link* Scenario::pickLinkOnPath(NodeId src, NodeId dst) {

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/plan.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
@@ -61,7 +65,26 @@ struct ScenarioConfig {
   Time endAt = Time::seconds(800.0);
   bool tracePackets = true;  ///< Per-packet hop recording (loop forensics).
 
+  /// Declarative fault schedule layered on top of (or instead of) the
+  /// path-targeted failure above — crashes, partitions, impairments
+  /// (fault/plan.hpp). Empty = no injected faults.
+  fault::FaultPlan faultPlan{};
+
+  /// Attach the runtime invariant checker; violations make run() throw.
+  /// Also enabled by the RCSIM_CHECK_INVARIANTS environment variable.
+  bool checkInvariants = false;
+
   ProtocolConfig protoCfg{};
+
+  /// When the first disruption hits — the path-targeted failure or the
+  /// earliest fault-plan event, whichever comes first. This is the
+  /// watermark the convergence/after-failure statistics measure from
+  /// (infinity when the run is fault-free).
+  [[nodiscard]] Time failureWatermark() const {
+    Time w = injectFailure ? failAt : Time::infinity();
+    for (const auto& ev : faultPlan.events) w = std::min(w, ev.at);
+    return w;
+  }
 };
 
 /// The wired-up world for one run. Owns the scheduler, network and
@@ -77,6 +100,10 @@ class Scenario {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   [[nodiscard]] Network& network() { return *net_; }
   [[nodiscard]] StatsCollector& stats() { return *stats_; }
+  /// Null unless the config carries a fault plan.
+  [[nodiscard]] fault::FaultInjector* faultInjector() { return injector_.get(); }
+  /// Null unless invariant checking is enabled.
+  [[nodiscard]] fault::InvariantChecker* invariantChecker() { return checker_.get(); }
 
   struct Flow {
     NodeId sender = kInvalidNode;
@@ -113,6 +140,8 @@ class Scenario {
   Scheduler sched_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<StatsCollector> stats_;
+  std::unique_ptr<fault::InvariantChecker> checker_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<Flow> flows_;
   std::vector<Link*> failedLinks_;
   bool preFailShortest_ = false;

@@ -1,8 +1,12 @@
 #include "exp/artifact.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <string>
+#include <system_error>
 #include <utility>
 
 #include "core/options.hpp"
@@ -50,7 +54,21 @@ JsonValue totalsJson(const CellStats& t) {
   o.object["control_messages_after_failure"] = JsonValue::makeNumber(t.controlMessagesAfterFailure);
   o.object["tcp_goodput_packets"] = JsonValue::makeNumber(t.tcpGoodputPackets);
   o.object["tcp_retransmissions"] = JsonValue::makeNumber(t.tcpRetransmissions);
+  o.object["transport_retransmissions"] = JsonValue::makeNumber(t.transportRetransmissions);
+  o.object["transport_session_resets"] = JsonValue::makeNumber(t.transportSessionResets);
   return o;
+}
+
+JsonValue failuresJson(const std::vector<ReplicaFailure>& failures) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(failures.size());
+  for (const auto& f : failures) {
+    JsonValue o = JsonValue::makeObject();
+    o.object["seed"] = JsonValue::makeNumber(static_cast<double>(f.seed));
+    o.object["error"] = JsonValue::makeString(f.error);
+    arr.array.push_back(std::move(o));
+  }
+  return arr;
 }
 
 }  // namespace
@@ -67,6 +85,7 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
 
   JsonValue cells = JsonValue::makeArray();
   cells.array.reserve(spec.cells.size());
+  int failedCells = 0;
   for (std::size_t i = 0; i < spec.cells.size(); ++i) {
     const CellSpec& cs = spec.cells[i];
     JsonValue cell = JsonValue::makeObject();
@@ -80,11 +99,20 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
     }
     cell.object["config"] = std::move(config);
     if (i < result.cells.size()) {
-      cell.object["aggregate"] = aggregateJson(result.cells[i].agg, spec.jsonSeries);
-      cell.object["totals"] = totalsJson(result.cells[i].totals);
+      // A failed cell carries its per-replica failure report in place of
+      // aggregate/totals — a partial aggregate would read like a clean
+      // (but skewed) result to downstream plotting.
+      if (result.cells[i].failed()) {
+        cell.object["failures"] = failuresJson(result.cells[i].failures);
+        ++failedCells;
+      } else {
+        cell.object["aggregate"] = aggregateJson(result.cells[i].agg, spec.jsonSeries);
+        cell.object["totals"] = totalsJson(result.cells[i].totals);
+      }
     }
     cells.array.push_back(std::move(cell));
   }
+  doc.object["failed_cells"] = JsonValue::makeNumber(failedCells);
   doc.object["cells"] = std::move(cells);
   return doc;
 }
@@ -95,10 +123,29 @@ void writeArtifact(const ExperimentSpec& spec, const ExperimentResult& result,
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path());
   }
-  std::ofstream out{p, std::ios::binary | std::ios::trunc};
-  if (!out) throw std::runtime_error("cannot open artifact file: " + path);
-  out << dumpJson(buildArtifact(spec, result));
-  if (!out.flush()) throw std::runtime_error("failed writing artifact file: " + path);
+  // Write-to-temp + rename so a crash (or a second writer) mid-write can
+  // never leave a truncated document where a previous good artifact was:
+  // readers see either the old file or the complete new one.
+  std::filesystem::path tmp{p};
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) throw std::runtime_error("cannot open artifact file: " + tmp.string());
+    out << dumpJson(buildArtifact(spec, result));
+    if (!out.flush()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("failed writing artifact file: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::error_code rmEc;
+    std::filesystem::remove(tmp, rmEc);
+    throw std::runtime_error("failed renaming artifact into place: " + path + ": " + ec.message());
+  }
 }
 
 }  // namespace rcsim::exp

@@ -2,7 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
 #include <utility>
+
+#include "sim/watchdog.hpp"
 
 namespace rcsim::exp {
 
@@ -11,6 +16,15 @@ namespace {
 double nowSec() {
   using clock = std::chrono::steady_clock;
   return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+double envReplicaWallLimit() {
+  const char* v = std::getenv("RCSIM_REPLICA_WATCHDOG_SEC");
+  if (v == nullptr || *v == '\0') return 0.0;
+  char* end = nullptr;
+  const double sec = std::strtod(v, &end);
+  if (end == nullptr || *end != '\0' || sec <= 0.0) return 0.0;
+  return sec;
 }
 
 }  // namespace
@@ -27,9 +41,11 @@ class SweepExecutor::Job {
         startedAt_{nowSec()},
         cellsLeft_{spec.cells.size()} {
     raw_.resize(spec.cells.size());
+    errors_.resize(spec.cells.size());
     cellLeft_ = std::make_unique<std::atomic<int>[]>(spec.cells.size());
     for (std::size_t c = 0; c < spec.cells.size(); ++c) {
       raw_[c].resize(static_cast<std::size_t>(runs));
+      errors_[c].resize(static_cast<std::size_t>(runs));
       cellLeft_[c].store(runs, std::memory_order_relaxed);
     }
     result_.runs = runs;
@@ -43,15 +59,20 @@ class SweepExecutor::Job {
   int runs_;
   std::size_t total_;                 ///< cells x runs flattened items
   double startedAt_;
+  double wallLimitSec_ = 0.0;         ///< per-replica budget, fixed at submit
   std::atomic<std::size_t> next_{0};  ///< next unclaimed flattened item
   std::atomic<std::size_t> cellsLeft_;
   std::unique_ptr<std::atomic<int>[]> cellLeft_;
   std::vector<std::vector<RunResult>> raw_;  ///< [cell][replica]; freed per cell
+  /// [cell][replica] exception text; non-empty slot = that replica threw.
+  /// Like raw_, each slot is written only by the replica's claimant before
+  /// the cellLeft_ fetch_sub, so the last-replica fold reads it safely.
+  std::vector<std::vector<std::string>> errors_;
   ExperimentResult result_;
   bool done_ = false;  ///< guarded by the executor mutex
 };
 
-SweepExecutor::SweepExecutor(int threads) {
+SweepExecutor::SweepExecutor(int threads) : replicaWallLimitSec_{envReplicaWallLimit()} {
   if (threads <= 0) threads = defaultThreadCount();
   if (threads < 1) threads = 1;
   workers_.reserve(static_cast<std::size_t>(threads));
@@ -69,6 +90,7 @@ SweepExecutor::~SweepExecutor() {
 
 std::shared_ptr<SweepExecutor::Job> SweepExecutor::submit(const ExperimentSpec& spec, int runs) {
   auto job = std::make_shared<Job>(spec, runs);
+  job->wallLimitSec_ = replicaWallLimitSec_;
   {
     std::lock_guard lk{mu_};
     if (job->total_ == 0) {
@@ -122,17 +144,38 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
 
   ScenarioConfig cfg = cs.config;
   cfg.seed = cs.startSeed + rep;
-  job.raw_[cell][rep] = cs.run ? cs.run(cfg) : runScenario(cfg);
+  try {
+    // A replica that throws (scenario bug, invariant violation, watchdog
+    // timeout) takes out only its own cell's aggregate: the error text is
+    // recorded and every other cell completes exactly as if the failed
+    // replica had never been enqueued.
+    watchdog::Scope wd{job.wallLimitSec_};
+    job.raw_[cell][rep] = cs.run ? cs.run(cfg) : runScenario(cfg);
+  } catch (const std::exception& e) {
+    job.errors_[cell][rep] = e.what()[0] != '\0' ? e.what() : "unknown std::exception";
+  } catch (...) {
+    job.errors_[cell][rep] = "unknown non-standard exception";
+  }
 
   if (job.cellLeft_[cell].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
   // Last replica of this cell: fold in seed order (the vector is already
   // seed-ordered, so this matches serial runMany bit for bit) and drop
-  // the raw replicas.
+  // the raw replicas. If any replica threw, the cell becomes a failure
+  // report instead — a partial aggregate would silently skew the means.
   CellResult& out = job.result_.cells[cell];
-  out.agg = Aggregate::over(job.raw_[cell]);
-  out.totals = CellStats::over(job.raw_[cell]);
+  bool anyFailed = false;
+  for (std::size_t r = 0; r < job.errors_[cell].size(); ++r) {
+    if (job.errors_[cell][r].empty()) continue;
+    anyFailed = true;
+    out.failures.push_back(ReplicaFailure{cs.startSeed + r, std::move(job.errors_[cell][r])});
+  }
+  if (!anyFailed) {
+    out.agg = Aggregate::over(job.raw_[cell]);
+    out.totals = CellStats::over(job.raw_[cell]);
+  }
   std::vector<RunResult>{}.swap(job.raw_[cell]);
+  std::vector<std::string>{}.swap(job.errors_[cell]);
 
   if (job.cellsLeft_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 

@@ -52,10 +52,20 @@ class SweepExecutor {
 
   [[nodiscard]] int threadCount() const { return static_cast<int>(workers_.size()); }
 
+  /// Wall-clock budget per replica, in seconds (<= 0 disables, the
+  /// default). A replica that overruns is aborted via watchdog::Timeout
+  /// and recorded in its cell's failure report; the rest of the sweep is
+  /// untouched. Also settable via env RCSIM_REPLICA_WATCHDOG_SEC (the
+  /// constructor reads it; this setter overrides). Applies to jobs
+  /// submitted after the call.
+  void setReplicaWallLimit(double seconds) { replicaWallLimitSec_ = seconds; }
+  [[nodiscard]] double replicaWallLimit() const { return replicaWallLimitSec_; }
+
  private:
   void workerLoop();
   void runReplica(Job& job, std::size_t item);
 
+  double replicaWallLimitSec_ = 0.0;
   std::mutex mu_;
   std::condition_variable work_;
   std::condition_variable done_;

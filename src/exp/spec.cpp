@@ -14,6 +14,8 @@ CellStats CellStats::over(const std::vector<RunResult>& results) {
     s.controlMessagesAfterFailure += static_cast<double>(r.controlMessagesAfterFailure);
     s.tcpGoodputPackets += static_cast<double>(r.tcpGoodputPackets);
     s.tcpRetransmissions += static_cast<double>(r.tcpRetransmissions);
+    s.transportRetransmissions += static_cast<double>(r.transportRetransmissions);
+    s.transportSessionResets += static_cast<double>(r.transportSessionResets);
   }
   return s;
 }

@@ -7,6 +7,7 @@
 // (exp/registry.hpp) makes them discoverable by name; exp/artifact.hpp
 // turns results into machine-readable JSON.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -41,17 +42,34 @@ struct CellStats {
   double controlMessagesAfterFailure = 0.0;
   double tcpGoodputPackets = 0.0;
   double tcpRetransmissions = 0.0;
+  double transportRetransmissions = 0.0;
+  double transportSessionResets = 0.0;
 
   [[nodiscard]] static CellStats over(const std::vector<RunResult>& results);
+};
+
+/// One replica that threw instead of producing a RunResult: the seed it
+/// simulated and the exception text. Carried in the cell's failure report
+/// so the artifact records exactly which replicas died and why.
+struct ReplicaFailure {
+  std::uint64_t seed = 0;
+  std::string error;
 };
 
 /// Everything one executed cell produced, aggregated. Raw RunResults are
 /// folded in seed order (bit-identical to serial runMany) and released as
 /// soon as the cell completes, so a 100-replica sweep never holds more
 /// than the in-flight cells' worth of per-second series.
+///
+/// If any replica threw, `failures` is non-empty and agg/totals are left
+/// default-constructed: a partial aggregate over surviving seeds would
+/// silently skew every mean, so a failed cell carries diagnostics only.
 struct CellResult {
   Aggregate agg;
   CellStats totals;
+  std::vector<ReplicaFailure> failures;  ///< seed order; empty = healthy cell
+
+  [[nodiscard]] bool failed() const { return !failures.empty(); }
 };
 
 /// A finished experiment: one CellResult per CellSpec, in spec order.

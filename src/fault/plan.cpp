@@ -1,0 +1,191 @@
+#include "fault/plan.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcsim::fault {
+namespace {
+
+/// Shortest decimal rendering that still round-trips the double exactly —
+/// plans embedded in artifacts must replay bit-for-bit.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Same, but for Time fields: round-trip is judged after the nanosecond
+/// quantization, so "460" stays "460" even though toSeconds() of the
+/// stored tick count is not exactly 460.0.
+std::string secs(Time t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", t.toSeconds());
+  if (Time::seconds(std::strtod(buf, nullptr)) != t) {
+    std::snprintf(buf, sizeof buf, "%.17g", t.toSeconds());
+  }
+  return buf;
+}
+
+std::string millis(Time t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", t.toSeconds() * 1000.0);
+  if (Time::seconds(std::strtod(buf, nullptr) / 1000.0) != t) {
+    std::snprintf(buf, sizeof buf, "%.17g", t.toSeconds() * 1000.0);
+  }
+  return buf;
+}
+
+[[noreturn]] void bad(const std::string& event, const char* why) {
+  throw std::invalid_argument("fault-plan: bad event '" + event + "': " + why);
+}
+
+double parseNum(const std::string& s, const std::string& event) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || errno != 0 || end == s.c_str() || *end != '\0') {
+    bad(event, "expected a number");
+  }
+  return v;
+}
+
+NodeId parseNode(const std::string& s, const std::string& event) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (s.empty() || errno != 0 || end == s.c_str() || *end != '\0' || v < 0 || v > 1'000'000L) {
+    bad(event, "expected a node id");
+  }
+  return static_cast<NodeId>(v);
+}
+
+/// "A-B" into (a, b); "*" sets allLinks for the impairment kinds.
+void parseEndpoints(const std::string& s, FaultEvent& ev, bool starOk,
+                    const std::string& event) {
+  if (starOk && s == "*") {
+    ev.allLinks = true;
+    return;
+  }
+  const auto dash = s.find('-');
+  if (dash == std::string::npos) bad(event, "expected 'A-B' endpoints");
+  ev.a = parseNode(s.substr(0, dash), event);
+  ev.b = parseNode(s.substr(dash + 1), event);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string part;
+  std::istringstream in{s};
+  while (std::getline(in, part, sep)) out.push_back(part);
+  return out;
+}
+
+FaultEvent parseEvent(const std::string& text) {
+  const auto fields = split(text, ':');
+  if (fields.size() < 3) bad(text, "expected '<sec>:<kind>:<args>'");
+  FaultEvent ev;
+  ev.at = Time::seconds(parseNum(fields[0], text));
+  const std::string& kind = fields[1];
+  const auto want = [&](std::size_t n) {
+    if (fields.size() != n) bad(text, "wrong number of ':' fields for this kind");
+  };
+  if (kind == "fail" || kind == "recover") {
+    want(3);
+    ev.kind = kind == "fail" ? FaultKind::LinkFail : FaultKind::LinkRecover;
+    parseEndpoints(fields[2], ev, /*starOk=*/false, text);
+  } else if (kind == "crash" || kind == "restart") {
+    want(3);
+    ev.kind = kind == "crash" ? FaultKind::NodeCrash : FaultKind::NodeRestart;
+    ev.a = parseNode(fields[2], text);
+  } else if (kind == "loss" || kind == "corrupt") {
+    want(4);
+    ev.kind = kind == "loss" ? FaultKind::LinkLoss : FaultKind::LinkCorrupt;
+    parseEndpoints(fields[2], ev, /*starOk=*/true, text);
+    ev.rate = parseNum(fields[3], text);
+    if (ev.rate < 0.0 || ev.rate > 1.0) bad(text, "rate must be in [0, 1]");
+  } else if (kind == "reorder") {
+    want(5);
+    ev.kind = FaultKind::LinkReorder;
+    parseEndpoints(fields[2], ev, /*starOk=*/true, text);
+    ev.rate = parseNum(fields[3], text);
+    if (ev.rate < 0.0 || ev.rate > 1.0) bad(text, "rate must be in [0, 1]");
+    ev.jitter = Time::seconds(parseNum(fields[4], text) / 1000.0);
+    if (ev.jitter < Time::zero()) bad(text, "jitter must be >= 0 ms");
+  } else if (kind == "detect") {
+    want(4);
+    ev.kind = FaultKind::DetectDelay;
+    parseEndpoints(fields[2], ev, /*starOk=*/false, text);
+    ev.detect = Time::seconds(parseNum(fields[3], text) / 1000.0);
+    if (ev.detect < Time::zero()) bad(text, "detect delay must be >= 0 ms");
+  } else if (kind == "partition" || kind == "heal") {
+    want(3);
+    ev.kind = kind == "partition" ? FaultKind::Partition : FaultKind::Heal;
+    for (const auto& n : split(fields[2], ',')) ev.group.push_back(parseNode(n, text));
+    if (ev.group.empty()) bad(text, "expected a comma-separated node group");
+  } else {
+    bad(text, "unknown kind");
+  }
+  if (ev.at < Time::zero()) bad(text, "time must be >= 0 s");
+  return ev;
+}
+
+}  // namespace
+
+std::string FaultPlan::format() const {
+  std::string out;
+  for (const auto& ev : events) {
+    if (!out.empty()) out += ';';
+    out += secs(ev.at);
+    out += ':';
+    out += toString(ev.kind);
+    out += ':';
+    switch (ev.kind) {
+      case FaultKind::LinkFail:
+      case FaultKind::LinkRecover:
+        out += std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        break;
+      case FaultKind::NodeCrash:
+      case FaultKind::NodeRestart:
+        out += std::to_string(ev.a);
+        break;
+      case FaultKind::LinkLoss:
+      case FaultKind::LinkCorrupt:
+        out += ev.allLinks ? "*" : std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + num(ev.rate);
+        break;
+      case FaultKind::LinkReorder:
+        out += ev.allLinks ? "*" : std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + num(ev.rate);
+        out += ':' + millis(ev.jitter);
+        break;
+      case FaultKind::DetectDelay:
+        out += std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + millis(ev.detect);
+        break;
+      case FaultKind::Partition:
+      case FaultKind::Heal:
+        for (std::size_t i = 0; i < ev.group.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(ev.group[i]);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  for (const auto& part : split(text, ';')) {
+    if (part.empty()) continue;  // tolerate trailing ';'
+    plan.events.push_back(parseEvent(part));
+  }
+  return plan;
+}
+
+}  // namespace rcsim::fault

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim::fault {
+
+/// What a single timed fault event does to the network.
+enum class FaultKind {
+  LinkFail,       ///< Take one link down (both directions).
+  LinkRecover,    ///< Bring one link back up.
+  NodeCrash,      ///< Destroy a node's protocol state and fail its links.
+  NodeRestart,    ///< Recreate the protocol (cold RIB) and recover its links.
+  LinkLoss,       ///< Set a random-loss rate on a link (or all links).
+  LinkCorrupt,    ///< Set a corruption rate on a link (or all links).
+  LinkReorder,    ///< Set a reordering rate + jitter on a link (or all links).
+  DetectDelay,    ///< Override the failure-detection delay on a link.
+  Partition,      ///< Fail every up link crossing a node-group boundary.
+  Heal,           ///< Recover the links cut by the matching Partition.
+};
+
+[[nodiscard]] constexpr const char* toString(FaultKind k) {
+  switch (k) {
+    case FaultKind::LinkFail: return "fail";
+    case FaultKind::LinkRecover: return "recover";
+    case FaultKind::NodeCrash: return "crash";
+    case FaultKind::NodeRestart: return "restart";
+    case FaultKind::LinkLoss: return "loss";
+    case FaultKind::LinkCorrupt: return "corrupt";
+    case FaultKind::LinkReorder: return "reorder";
+    case FaultKind::DetectDelay: return "detect";
+    case FaultKind::Partition: return "partition";
+    case FaultKind::Heal: return "heal";
+  }
+  return "?";
+}
+
+/// One timed fault. Which fields matter depends on `kind`:
+///   LinkFail/LinkRecover           a-b
+///   NodeCrash/NodeRestart          a
+///   LinkLoss/LinkCorrupt           a-b (or allLinks) + rate
+///   LinkReorder                    a-b (or allLinks) + rate + jitter
+///   DetectDelay                    a-b + detect
+///   Partition/Heal                 group
+struct FaultEvent {
+  Time at = Time::zero();
+  FaultKind kind = FaultKind::LinkFail;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  bool allLinks = false;       ///< LinkLoss/Corrupt/Reorder applied network-wide.
+  double rate = 0.0;           ///< Loss / corruption / reorder probability.
+  Time jitter = Time::zero();  ///< Extra delay bound for LinkReorder.
+  Time detect = Time::zero();  ///< New detection delay for DetectDelay.
+  std::vector<NodeId> group;   ///< Partition/Heal node set.
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// A declarative, replayable schedule of fault events over a scenario.
+///
+/// Text form (the `fault-plan=` option): semicolon-separated events, each
+/// `<seconds>:<kind>:<args>`:
+///
+///   400:fail:24-25          fail link 24-25 at t=400s
+///   460:recover:24-25       recover it
+///   400:crash:24            crash node 24 (protocol state lost)
+///   460:restart:24          restart it with a cold RIB
+///   395:loss:*:0.02         2% random loss on every link
+///   395:loss:24-25:0.02     ... or on one link
+///   395:corrupt:24-25:0.01  1% corruption (drops, counted separately)
+///   395:reorder:24-25:0.1:50   10% of packets get up to +50ms delay
+///   399:detect:24-25:2000   detection delay becomes 2000ms (silent failure)
+///   400:partition:0,1,2     cut the group {0,1,2} off from the rest
+///   460:heal:0,1,2          recover exactly the links that cut made
+///
+/// parse(format(p)) == p for every valid plan, so plans round-trip through
+/// describeOptions and the rcsim-experiment-v1 JSON artifacts bit-for-bit.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  bool operator==(const FaultPlan&) const = default;
+
+  /// Render to the canonical text form ("" for an empty plan).
+  [[nodiscard]] std::string format() const;
+
+  /// Parse the text form; throws std::invalid_argument with a pointer to
+  /// the offending event on malformed input. "" parses to the empty plan.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+};
+
+}  // namespace rcsim::fault

@@ -20,13 +20,13 @@ Time Link::transmissionTime(const Packet& p) const {
 void Link::send(NodeId from, Packet&& p) {
   auto& sched = net_.scheduler();
   if (!up_) {
-    if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::LinkDown);
+    net_.notifyDrop(sched.now(), from, p, DropReason::LinkDown);
     return;
   }
   const int dir = directionFrom(from);
   auto& d = dirs_[dir];
   if (d.queue.size() >= cfg_.queueCapacity) {
-    if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::QueueOverflow);
+    net_.notifyDrop(sched.now(), from, p, DropReason::QueueOverflow);
     return;
   }
   d.queue.push_back(std::move(p));
@@ -43,6 +43,7 @@ void Link::startTransmission(int dir) {
   auto& sched = net_.scheduler();
   const Time txDone = transmissionTime(p);
   const std::uint64_t epoch = epoch_;
+  net_.notifyLinkTransmit(sched.now(), dir == 0 ? a_ : b_, receiverOf(dir), up_);
   // Serialization completes first; then the bits propagate. If the link
   // fails in between, the packet is lost (epoch check).
   sched.scheduleAfter(txDone, [this, dir, epoch, p = std::move(p)]() mutable {
@@ -51,17 +52,32 @@ void Link::startTransmission(int dir) {
     if (up_ && epoch == epoch_) {
       const NodeId to = receiverOf(dir);
       const NodeId from = peerOf(to);
-      net_.scheduler().scheduleAfter(cfg_.propDelay, [this, to, from, epoch,
-                                                      p2 = std::move(p)]() mutable {
+      // Reordering impairment: some packets pick up extra propagation
+      // delay, letting later packets overtake them. Rate 0 draws nothing.
+      Time prop = cfg_.propDelay;
+      if (reorderRate_ > 0.0 && net_.rng().uniform01() < reorderRate_) {
+        prop = prop + Time::seconds(net_.rng().uniform(0.0, reorderJitter_.toSeconds()));
+      }
+      net_.scheduler().scheduleAfter(prop, [this, to, from, epoch,
+                                            p2 = std::move(p)]() mutable {
         if (up_ && epoch == epoch_) {
-          net_.node(to).receive(std::move(p2), from);
-        } else if (net_.hooks().onDrop) {
-          net_.hooks().onDrop(net_.scheduler().now(), from, p2, DropReason::InFlightCut);
+          // Loss/corruption are decided at arrival, after the wire survived
+          // the trip. Corrupted frames fail the checksum and are dropped —
+          // same fate as random loss, but accounted separately.
+          if (lossRate_ > 0.0 && net_.rng().uniform01() < lossRate_) {
+            net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::RandomLoss);
+          } else if (corruptRate_ > 0.0 && net_.rng().uniform01() < corruptRate_) {
+            net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::Corrupted);
+          } else {
+            net_.node(to).receive(std::move(p2), from);
+          }
+        } else {
+          net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::InFlightCut);
         }
       });
-    } else if (net_.hooks().onDrop) {
-      net_.hooks().onDrop(net_.scheduler().now(), receiverOf(dir) == b_ ? a_ : b_, p,
-                          DropReason::InFlightCut);
+    } else {
+      net_.notifyDrop(net_.scheduler().now(), receiverOf(dir) == b_ ? a_ : b_, p,
+                      DropReason::InFlightCut);
     }
     // Restart the transmitter regardless of what happened to this packet:
     // the link may have failed and recovered while we were serializing, in
@@ -77,12 +93,13 @@ void Link::fail() {
   auto& sched = net_.scheduler();
   net_.trace().emit(sched.now(), TraceCategory::Failure,
                     "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") failed");
+  net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/false);
   // Everything sitting in the queues is lost.
   for (int dir = 0; dir < 2; ++dir) {
     auto& d = dirs_[dir];
     const NodeId from = dir == 0 ? a_ : b_;
     for (auto& p : d.queue) {
-      if (net_.hooks().onDrop) net_.hooks().onDrop(sched.now(), from, p, DropReason::InFlightCut);
+      net_.notifyDrop(sched.now(), from, p, DropReason::InFlightCut);
     }
     d.queue.clear();
   }
@@ -101,6 +118,7 @@ void Link::recover() {
   auto& sched = net_.scheduler();
   net_.trace().emit(sched.now(), TraceCategory::Failure,
                     "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") recovered");
+  net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/true);
   sched.scheduleAfter(cfg_.detectDelay, [this] {
     if (!up_) return;
     net_.node(a_).handleLinkUp(b_);

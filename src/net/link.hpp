@@ -48,6 +48,21 @@ class Link {
   /// Bring the link back up at the current simulation time.
   void recover();
 
+  /// Fault-injection impairments. A rate of zero disables the impairment
+  /// and draws no randomness, so unimpaired runs stay bit-identical.
+  void setLossRate(double rate) { lossRate_ = rate; }
+  void setCorruptRate(double rate) { corruptRate_ = rate; }
+  void setReorder(double rate, Time jitter) {
+    reorderRate_ = rate;
+    reorderJitter_ = jitter;
+  }
+  [[nodiscard]] double lossRate() const { return lossRate_; }
+  [[nodiscard]] double corruptRate() const { return corruptRate_; }
+
+  /// Override the failure-detection delay, e.g. to model silent failures
+  /// that routing only notices long after the data plane went dark.
+  void setDetectDelay(Time d) { cfg_.detectDelay = d; }
+
  private:
   struct Direction {
     std::deque<Packet> queue;
@@ -65,6 +80,10 @@ class Link {
   LinkConfig cfg_;
   Direction dirs_[2];
   bool up_ = true;
+  double lossRate_ = 0.0;     ///< P(packet lost at arrival), DropReason::RandomLoss.
+  double corruptRate_ = 0.0;  ///< P(packet corrupted at arrival), DropReason::Corrupted.
+  double reorderRate_ = 0.0;  ///< P(extra propagation delay added).
+  Time reorderJitter_ = Time::zero();  ///< Upper bound of that extra delay.
   /// Bumped on every failure; in-flight delivery events check it so that
   /// packets "on the wire" at failure time are lost.
   std::uint64_t epoch_ = 0;

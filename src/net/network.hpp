@@ -25,6 +25,27 @@ struct NetworkHooks {
   std::function<void(Time, NodeId from, NodeId to, const ControlPayload&)> onControlSend;
 };
 
+/// Secondary, non-owning observation channel, used by the runtime invariant
+/// checker. StatsCollector stays the sole NetworkHooks user; every call site
+/// funnels through Network::notify* so hooks and observer see one stream.
+/// Extra callbacks (onOriginate, onLinkTransmit, onLinkStateChange) cover
+/// events the stats layer never needed but invariants do.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void onDrop(Time, NodeId /*where*/, const Packet&, DropReason) {}
+  virtual void onDeliver(Time, NodeId, const Packet&) {}
+  virtual void onForward(Time, NodeId, const Packet&, NodeId /*nextHop*/) {}
+  virtual void onOriginate(Time, NodeId, const Packet&) {}
+  virtual void onRouteChange(Time, NodeId /*node*/, NodeId /*dst*/, NodeId /*oldNh*/,
+                             NodeId /*newNh*/) {}
+  virtual void onControlSend(Time, NodeId /*from*/, NodeId /*to*/, const ControlPayload&) {}
+  /// A packet was accepted for serialization on the wire (never fires for
+  /// queue/down-link drops).
+  virtual void onLinkTransmit(Time, NodeId /*from*/, NodeId /*to*/, bool /*linkUp*/) {}
+  virtual void onLinkStateChange(Time, NodeId /*a*/, NodeId /*b*/, bool /*up*/) {}
+};
+
 /// Owns every node and link of one simulated network and wires them to a
 /// scheduler. Also provides the topology queries (live shortest paths, FIB
 /// walks) the convergence metrics are built on.
@@ -37,6 +58,46 @@ class Network {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   [[nodiscard]] TraceLog& trace() { return trace_; }
   [[nodiscard]] NetworkHooks& hooks() { return hooks_; }
+
+  /// The network-owned RNG, forked per node at creation; fault injection
+  /// draws impairment outcomes from it (single-threaded, deterministic).
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Attach/detach the secondary observer (invariant checker). Not owned.
+  void setObserver(NetworkObserver* obs) { observer_ = obs; }
+  [[nodiscard]] NetworkObserver* observer() const { return observer_; }
+
+  // Event fan-out: each call site notifies the stats hooks and the observer
+  // with identical arguments, so the two layers can never disagree.
+  void notifyDrop(Time t, NodeId where, const Packet& p, DropReason r) {
+    if (hooks_.onDrop) hooks_.onDrop(t, where, p, r);
+    if (observer_) observer_->onDrop(t, where, p, r);
+  }
+  void notifyDeliver(Time t, NodeId node, const Packet& p) {
+    if (hooks_.onDeliver) hooks_.onDeliver(t, node, p);
+    if (observer_) observer_->onDeliver(t, node, p);
+  }
+  void notifyForward(Time t, NodeId node, const Packet& p, NodeId nh) {
+    if (hooks_.onForward) hooks_.onForward(t, node, p, nh);
+    if (observer_) observer_->onForward(t, node, p, nh);
+  }
+  void notifyOriginate(Time t, NodeId node, const Packet& p) {
+    if (observer_) observer_->onOriginate(t, node, p);
+  }
+  void notifyRouteChange(Time t, NodeId node, NodeId dst, NodeId oldNh, NodeId newNh) {
+    if (hooks_.onRouteChange) hooks_.onRouteChange(t, node, dst, oldNh, newNh);
+    if (observer_) observer_->onRouteChange(t, node, dst, oldNh, newNh);
+  }
+  void notifyControlSend(Time t, NodeId from, NodeId to, const ControlPayload& payload) {
+    if (hooks_.onControlSend) hooks_.onControlSend(t, from, to, payload);
+    if (observer_) observer_->onControlSend(t, from, to, payload);
+  }
+  void notifyLinkTransmit(Time t, NodeId from, NodeId to, bool linkUp) {
+    if (observer_) observer_->onLinkTransmit(t, from, to, linkUp);
+  }
+  void notifyLinkStateChange(Time t, NodeId a, NodeId b, bool up) {
+    if (observer_) observer_->onLinkStateChange(t, a, b, up);
+  }
 
   /// Create a node; ids are dense and assigned in creation order.
   NodeId addNode();
@@ -74,6 +135,7 @@ class Network {
   Rng rng_;
   TraceLog trace_;
   NetworkHooks hooks_;
+  NetworkObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t nextPacketId_ = 1;

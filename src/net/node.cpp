@@ -32,13 +32,18 @@ bool Node::neighborReachable(NodeId neighbor) const {
 void Node::setRoute(NodeId dst, NodeId nextHop) {
   const NodeId old = fib_.set(dst, nextHop);
   if (old == nextHop) return;
-  if (net_.hooks().onRouteChange) {
-    net_.hooks().onRouteChange(scheduler().now(), id_, dst, old, nextHop);
+  net_.notifyRouteChange(scheduler().now(), id_, dst, old, nextHop);
+}
+
+void Node::clearRoutes() {
+  for (NodeId dst = 0; dst < static_cast<NodeId>(fib_.size()); ++dst) {
+    setRoute(dst, kInvalidNode);
   }
 }
 
 void Node::originate(Packet&& p) {
   if (p.trace) p.trace->push_back(id_);
+  net_.notifyOriginate(scheduler().now(), id_, p);
   if (p.dst == id_) {
     deliverLocally(p);
     return;
@@ -47,7 +52,7 @@ void Node::originate(Packet&& p) {
 }
 
 void Node::deliverLocally(const Packet& p) {
-  if (net_.hooks().onDeliver) net_.hooks().onDeliver(scheduler().now(), id_, p);
+  net_.notifyDeliver(scheduler().now(), id_, p);
   for (const auto& handler : deliveryHandlers_) handler(p);
 }
 
@@ -65,7 +70,7 @@ void Node::receive(Packet&& p, NodeId from) {
   // Transit: decrement TTL, then forward if still alive (RFC 791 behaviour;
   // the paper's loop-caused losses show up here as TtlExpired).
   if (--p.ttl <= 0) {
-    if (net_.hooks().onDrop) net_.hooks().onDrop(scheduler().now(), id_, p, DropReason::TtlExpired);
+    net_.notifyDrop(scheduler().now(), id_, p, DropReason::TtlExpired);
     return;
   }
   route(std::move(p));
@@ -74,12 +79,12 @@ void Node::receive(Packet&& p, NodeId from) {
 void Node::route(Packet&& p) {
   const NodeId nh = fib_.nextHop(p.dst);
   if (nh == kInvalidNode) {
-    if (net_.hooks().onDrop) net_.hooks().onDrop(scheduler().now(), id_, p, DropReason::NoRoute);
+    net_.notifyDrop(scheduler().now(), id_, p, DropReason::NoRoute);
     return;
   }
   Link* l = linkTo(nh);
   assert(l != nullptr);
-  if (net_.hooks().onForward) net_.hooks().onForward(scheduler().now(), id_, p, nh);
+  net_.notifyForward(scheduler().now(), id_, p, nh);
   l->send(id_, std::move(p));
 }
 
@@ -96,9 +101,7 @@ void Node::sendControl(NodeId neighbor, std::shared_ptr<const ControlPayload> pa
   p.sizeBytes = payload->sizeBytes() + extraBytes;
   p.sendTime = scheduler().now();
   p.payload = std::move(payload);
-  if (net_.hooks().onControlSend) {
-    net_.hooks().onControlSend(scheduler().now(), id_, neighbor, *p.payload);
-  }
+  net_.notifyControlSend(scheduler().now(), id_, neighbor, *p.payload);
   l->send(id_, std::move(p));
 }
 

@@ -44,6 +44,10 @@ class Node {
   /// Install/replace the route toward `dst`; kInvalidNode removes it.
   /// Fires the network's route-change hook when the next hop changes.
   void setRoute(NodeId dst, NodeId nextHop);
+
+  /// Remove every installed route (fault injection: a crashed node loses
+  /// its FIB). Fires the route-change hook per removed entry.
+  void clearRoutes();
   [[nodiscard]] const Fib& fib() const { return fib_; }
   void resizeFib(std::size_t nodeCount) { fib_.resize(nodeCount); }
 

@@ -1,5 +1,6 @@
 #include "net/reliable.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "net/network.hpp"
@@ -8,7 +9,7 @@
 namespace rcsim {
 
 ReliableSession::ReliableSession(Node& node, NodeId peer, DeliverFn deliver, Config cfg)
-    : node_{node}, peer_{peer}, deliver_{std::move(deliver)}, cfg_{cfg} {}
+    : node_{node}, peer_{peer}, deliver_{std::move(deliver)}, cfg_{cfg}, currentRto_{cfg.rto} {}
 
 ReliableSession::~ReliableSession() { node_.scheduler().cancel(rtoTimer_); }
 
@@ -51,6 +52,9 @@ void ReliableSession::onSegment(const std::shared_ptr<const TransportSegment>& s
       inFlight_.erase(inFlight_.begin());
     }
     sendBase_ = seg->ackNo;
+    // Ack progress: the path works again, rewind the backoff.
+    currentRto_ = cfg_.rto;
+    consecutiveRtos_ = 0;
     node_.scheduler().cancel(rtoTimer_);
     rtoTimer_ = EventId{};
     trySendWindow();
@@ -70,21 +74,38 @@ void ReliableSession::onSegment(const std::shared_ptr<const TransportSegment>& s
 
 void ReliableSession::armRtoTimer() {
   if (inFlight_.empty() || rtoTimer_.valid()) return;
-  rtoTimer_ = node_.scheduler().scheduleAfter(cfg_.rto, [this] { onRtoTimer(); });
+  rtoTimer_ = node_.scheduler().scheduleAfter(currentRto_, [this] { onRtoTimer(); });
 }
 
 void ReliableSession::onRtoTimer() {
   rtoTimer_ = EventId{};
   if (inFlight_.empty()) return;
+  ++consecutiveRtos_;
+  if (consecutiveRtos_ > cfg_.maxRetries) {
+    // Give up: the peer is unreachable past the detector's patience. Drop
+    // the connection, tell the peer (best effort — the RST rides the same
+    // broken path), and let the owner resynchronize.
+    node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Transport,
+                                 "node " + std::to_string(node_.id()) + " session -> " +
+                                     std::to_string(peer_) + " reset after " +
+                                     std::to_string(cfg_.maxRetries) + " retries");
+    ++sessionResets_;
+    reset();
+    node_.sendControl(peer_, std::make_shared<TransportReset>());
+    if (onReset_) onReset_();
+    return;
+  }
   node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Transport,
                                "node " + std::to_string(node_.id()) + " rto -> " +
                                    std::to_string(peer_) + " (go-back-" +
                                    std::to_string(inFlight_.size()) + ")");
-  // Go-back-N: retransmit everything outstanding.
+  // Go-back-N: retransmit everything outstanding, then back off.
   for (const auto& [seq, msg] : inFlight_) {
     ++retransmissions_;
     transmit(seq, msg);
   }
+  currentRto_ = Time::seconds(
+      std::min(currentRto_.toSeconds() * cfg_.backoffFactor, cfg_.rtoMax.toSeconds()));
   armRtoTimer();
 }
 
@@ -92,6 +113,8 @@ void ReliableSession::reset() {
   node_.scheduler().cancel(rtoTimer_);
   rtoTimer_ = EventId{};
   nextSeq_ = sendBase_ = recvNext_ = 0;
+  currentRto_ = cfg_.rto;
+  consecutiveRtos_ = 0;
   backlog_.clear();
   inFlight_.clear();
   outOfOrder_.clear();

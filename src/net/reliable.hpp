@@ -33,10 +33,22 @@ struct TransportSegment final : ControlPayload {
   }
 };
 
+/// Sent to the peer when this side gives up after max retries, so both
+/// ends resynchronize sequence numbers (the analogue of a TCP RST). If it
+/// is lost, the peer's own failure detection / give-up path covers it.
+struct TransportReset final : ControlPayload {
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 20; }
+  [[nodiscard]] std::string describe() const override { return "rst"; }
+};
+
 /// One endpoint of a reliable, in-order message stream between two adjacent
 /// nodes — the stand-in for the TCP session BGP runs over (DESIGN.md §4).
-/// Sliding window, cumulative ACKs, fixed RTO
-/// retransmission, exactly-once in-order delivery to the application.
+/// Sliding window, cumulative ACKs, exponentially backed-off RTO
+/// retransmission (capped at rtoMax, reset on ack progress), exactly-once
+/// in-order delivery to the application. After maxRetries consecutive RTOs
+/// with no progress the session gives up: state is dropped, a
+/// TransportReset is sent to the peer, and the owner's onReset callback
+/// fires so it can rebuild (BGP re-advertises the full table).
 class ReliableSession {
  public:
   using DeliverFn = std::function<void(std::shared_ptr<const ControlPayload>)>;
@@ -44,6 +56,9 @@ class ReliableSession {
   struct Config {
     std::uint32_t window = 32;
     Time rto = Time::milliseconds(1000);
+    double backoffFactor = 2.0;        ///< RTO multiplier per consecutive timeout.
+    Time rtoMax = Time::seconds(60.0);  ///< Backoff ceiling.
+    int maxRetries = 8;                ///< Consecutive RTOs before giving up.
   };
 
   ReliableSession(Node& node, NodeId peer, DeliverFn deliver, Config cfg);
@@ -59,13 +74,21 @@ class ReliableSession {
   void onSegment(const std::shared_ptr<const TransportSegment>& seg);
 
   /// Drop all connection state (both sides must reset on session failure;
-  /// BGP does this when the link goes down).
+  /// BGP does this when the link goes down). Also rewinds the RTO backoff.
   void reset();
+
+  /// Invoked after the max-retry give-up path has reset the session; the
+  /// owning protocol should resynchronize (e.g. re-advertise its table).
+  void setOnReset(std::function<void()> cb) { onReset_ = std::move(cb); }
 
   [[nodiscard]] NodeId peer() const { return peer_; }
   [[nodiscard]] std::size_t unackedCount() const { return inFlight_.size(); }
   [[nodiscard]] std::size_t backlogCount() const { return backlog_.size(); }
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Give-up resets only (max retries exceeded) — deliberate teardowns via
+  /// reset() (link-down handling) are not transport failures.
+  [[nodiscard]] std::uint64_t sessionResets() const { return sessionResets_; }
+  [[nodiscard]] Time currentRto() const { return currentRto_; }
 
  private:
   void trySendWindow();
@@ -85,7 +108,11 @@ class ReliableSession {
   std::deque<std::shared_ptr<const ControlPayload>> backlog_;  ///< Not yet in window.
   std::map<std::uint32_t, std::shared_ptr<const ControlPayload>> inFlight_;
   EventId rtoTimer_{};
+  Time currentRto_;          ///< Next timeout; doubles per consecutive RTO.
+  int consecutiveRtos_ = 0;  ///< RTOs since the last ack progress.
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t sessionResets_ = 0;
+  std::function<void()> onReset_;
 
   // Receiver state.
   std::uint32_t recvNext_ = 0;  ///< Next in-order sequence number expected.

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "net/message.hpp"
 #include "net/types.hpp"
+#include "sim/scheduler.hpp"
 
 namespace rcsim {
 
@@ -35,8 +38,33 @@ class RoutingProtocol {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Reliable-transport health, for protocols that run sessions (BGP).
+  /// Others return zeros.
+  struct TransportCounters {
+    std::uint64_t retransmissions = 0;
+    std::uint64_t sessionResets = 0;
+  };
+  [[nodiscard]] virtual TransportCounters transportCounters() const { return {}; }
+
  protected:
+  /// Schedule `f` so it silently expires if this protocol is destroyed
+  /// first (fault injection can crash a node mid-run). Scheduling order is
+  /// identical to a plain scheduleAfter, so default runs are unchanged.
+  /// The Scheduler is passed in because Node is incomplete here.
+  template <typename F>
+  EventId scheduleGuarded(Scheduler& sched, Time delay, F&& f) {
+    return sched.scheduleAfter(
+        delay, [guard = std::weak_ptr<void>(aliveToken_), fn = std::forward<F>(f)]() mutable {
+          if (guard.expired()) return;
+          fn();
+        });
+  }
+
   Node& node_;
+
+ private:
+  /// Liveness token for scheduleGuarded; destroyed with the protocol.
+  std::shared_ptr<void> aliveToken_ = std::make_shared<int>(0);
 };
 
 }  // namespace rcsim

@@ -20,6 +20,8 @@ enum class DropReason {
   QueueOverflow,  ///< Drop-tail queue at the outgoing link was full.
   LinkDown,       ///< Forwarded into a link already known to be down.
   InFlightCut,    ///< Was on the wire / in the queue when the link failed.
+  RandomLoss,     ///< Lost to a configured link loss rate (fault injection).
+  Corrupted,      ///< Corrupted in transit past the CRC (fault injection).
 };
 
 [[nodiscard]] constexpr const char* toString(DropReason r) {
@@ -29,6 +31,8 @@ enum class DropReason {
     case DropReason::QueueOverflow: return "queue-overflow";
     case DropReason::LinkDown: return "link-down";
     case DropReason::InFlightCut: return "in-flight-cut";
+    case DropReason::RandomLoss: return "random-loss";
+    case DropReason::Corrupted: return "corrupted";
   }
   return "?";
 }

@@ -39,6 +39,9 @@ void Bgp::start() {
           if (const auto* u = dynamic_cast<const BgpUpdate*>(msg.get())) processUpdate(nb, *u);
         },
         cfg_.transport);
+    // Transport gave up (max retries): both sides must resync, like a BGP
+    // session bounce. Our side re-advertises; the peer reacts to the RST.
+    peer.session->setOnReset([this, nb] { resyncPeer(nb); });
     peer.ribOut.assign(n, {});
     peers_.emplace(nb, std::move(peer));
     ribIn_[nb].assign(n, {});
@@ -57,8 +60,33 @@ const std::vector<NodeId>* Bgp::ribInPath(NodeId neighbor, NodeId dst) const {
 void Bgp::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
   const auto it = peers_.find(from);
   if (it == peers_.end() || !it->second.up) return;
+  if (dynamic_cast<const TransportReset*>(msg.get()) != nullptr) {
+    // Peer's transport gave up and tore the session down; mirror the reset
+    // and re-advertise so both ends rebuild from a clean slate.
+    it->second.session->reset();
+    resyncPeer(from);
+    return;
+  }
   if (auto seg = std::dynamic_pointer_cast<const TransportSegment>(msg)) {
     it->second.session->onSegment(seg);
+  }
+}
+
+RoutingProtocol::TransportCounters Bgp::transportCounters() const {
+  TransportCounters tc;
+  for (const auto& [nb, peer] : peers_) {
+    if (!peer.session) continue;
+    tc.retransmissions += peer.session->retransmissions();
+    tc.sessionResets += peer.session->sessionResets();
+  }
+  return tc;
+}
+
+void Bgp::resyncPeer(NodeId peerId) {
+  auto& peer = peers_.at(peerId);
+  for (auto& out : peer.ribOut) out.clear();
+  for (NodeId d = 0; d < static_cast<NodeId>(bestPath_.size()); ++d) {
+    if (!bestPath_[static_cast<std::size_t>(d)].empty()) scheduleAdvert(peerId, d);
   }
 }
 
@@ -215,7 +243,7 @@ void Bgp::scheduleAdvert(NodeId peerId, NodeId dst) {
   // really goes on the wire (duplicate suppression may swallow the change).
   if (peer.mraiRunning || peer.flushScheduled) return;
   peer.flushScheduled = true;
-  node_.scheduler().scheduleAfter(Time::zero(), [this, peerId] {
+  scheduleGuarded(node_.scheduler(), Time::zero(), [this, peerId] {
     auto& p = peers_.at(peerId);
     p.flushScheduled = false;
     if (p.mraiRunning || !p.up) return;

@@ -64,6 +64,7 @@ class Bgp final : public RoutingProtocol {
   void onLinkUp(NodeId neighbor) override;
   void onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) override;
   [[nodiscard]] std::string name() const override { return "BGP"; }
+  [[nodiscard]] TransportCounters transportCounters() const override;
 
   /// Introspection for tests and forensics.
   [[nodiscard]] const std::vector<NodeId>& bestPath(NodeId dst) const {
@@ -116,6 +117,9 @@ class Bgp final : public RoutingProtocol {
   bool emitRoute(NodeId peerId, NodeId dst);
   /// Returns true if at least one message went out.
   bool flushPeer(NodeId peerId);
+  /// Forget what this peer was told and re-advertise the full table —
+  /// session resynchronization after a transport-level reset.
+  void resyncPeer(NodeId peerId);
   void armMrai(NodeId peerId);
   void armDestMrai(NodeId peerId, NodeId dst);
   [[nodiscard]] double mraiDelay();

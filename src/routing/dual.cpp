@@ -170,7 +170,7 @@ void Dual::sendTo(NodeId neighbor, DualMsgKind kind, NodeId dst, int dist) {
   batch.push_back(DualMessage::Entry{dst, static_cast<std::uint16_t>(dist)});
   if (flushScheduled_) return;
   flushScheduled_ = true;
-  node_.scheduler().scheduleAfter(Time::zero(), [this] { flushOutbox(); });
+  scheduleGuarded(node_.scheduler(), Time::zero(), [this] { flushOutbox(); });
 }
 
 void Dual::flushOutbox() {

@@ -38,7 +38,8 @@ void DvProtocolBase::start() {
   // Seed propagation right away (stands in for the RIP boot-time request/
   // response exchange), then announce the full table periodically with a
   // random phase so nodes do not synchronize.
-  sched.scheduleAfter(Time::seconds(node_.rng().uniform(0.0, 0.1)), [this] { sendFullTables(); });
+  scheduleGuarded(sched, Time::seconds(node_.rng().uniform(0.0, 0.1)),
+                  [this] { sendFullTables(); });
   const double phase = node_.rng().uniform(0.0, cfg_.periodicInterval.toSeconds());
   periodicTimer_ = sched.scheduleAfter(Time::seconds(phase), [this] { periodicTick(); });
 }
@@ -145,7 +146,7 @@ void DvProtocolBase::markChanged(NodeId dst) {
   // "failure information can propagate along the path in a few
   // milliseconds" depends on this batching).
   flushScheduled_ = true;
-  node_.scheduler().scheduleAfter(Time::zero(), [this] {
+  scheduleGuarded(node_.scheduler(), Time::zero(), [this] {
     flushScheduled_ = false;
     if (dampRunning_ || changed_.empty()) return;
     flushTriggered();

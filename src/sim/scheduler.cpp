@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/watchdog.hpp"
+
 namespace rcsim {
 
 std::uint32_t Scheduler::acquireSlot() {
@@ -50,6 +52,9 @@ void Scheduler::run(Time horizon) {
     --live_;
     now_ = Time::nanoseconds(static_cast<std::int64_t>(top.atNs));
     ++executed_;
+    // Wall-clock watchdog: a cheap thread-local check every 4096 events, so
+    // a replica stuck in an event storm still surfaces as a Timeout.
+    if ((executed_ & 0xFFF) == 0) watchdog::poll();
     s.cb();
     s.cb.reset();
     freeSlots_.push_back(static_cast<std::uint32_t>(top.key & kSlotMask));

@@ -1,0 +1,40 @@
+#include "sim/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace rcsim::watchdog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+thread_local bool armed = false;
+thread_local Clock::time_point deadline;
+thread_local double budgetSec = 0.0;
+
+}  // namespace
+
+void arm(double wallSeconds) {
+  if (wallSeconds <= 0.0) {
+    armed = false;
+    return;
+  }
+  budgetSec = wallSeconds;
+  deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(wallSeconds));
+  armed = true;
+}
+
+void disarm() { armed = false; }
+
+void poll() {
+  if (!armed) return;
+  if (Clock::now() < deadline) return;
+  armed = false;  // one throw per arm; unwinding code may run more events
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "watchdog: replica exceeded wall-clock budget of %.1fs",
+                budgetSec);
+  throw Timeout{buf};
+}
+
+}  // namespace rcsim::watchdog

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rcsim::watchdog {
+
+/// Thrown out of Scheduler::run when the armed wall-clock budget is spent.
+/// Sweep executors catch it like any other replica failure and report the
+/// cell instead of hanging the whole sweep on one pathological replica.
+struct Timeout : std::runtime_error {
+  explicit Timeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arm a wall-clock deadline for the calling thread. `wallSeconds <= 0`
+/// disarms. The deadline is thread-local, so replicas on a pool never see
+/// each other's budgets.
+void arm(double wallSeconds);
+void disarm();
+
+/// Throw Timeout if a deadline is armed and has passed. Cheap when
+/// disarmed (one thread-local load); the scheduler polls it every few
+/// thousand events.
+void poll();
+
+/// RAII arm/disarm for one scoped run.
+class Scope {
+ public:
+  explicit Scope(double wallSeconds) { arm(wallSeconds); }
+  ~Scope() { disarm(); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+}  // namespace rcsim::watchdog

@@ -23,6 +23,8 @@ void bump(PacketCounters& c, DropReason reason) {
     case DropReason::QueueOverflow: ++c.dropQueue; break;
     case DropReason::LinkDown: ++c.dropLinkDown; break;
     case DropReason::InFlightCut: ++c.dropInFlightCut; break;
+    case DropReason::RandomLoss: ++c.dropLoss; break;
+    case DropReason::Corrupted: ++c.dropCorrupt; break;
   }
 }
 

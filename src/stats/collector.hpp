@@ -25,9 +25,12 @@ struct PacketCounters {
   std::uint64_t dropQueue = 0;
   std::uint64_t dropLinkDown = 0;
   std::uint64_t dropInFlightCut = 0;
+  std::uint64_t dropLoss = 0;     ///< DropReason::RandomLoss (fault injection)
+  std::uint64_t dropCorrupt = 0;  ///< DropReason::Corrupted (fault injection)
 
   [[nodiscard]] std::uint64_t totalDropped() const {
-    return dropNoRoute + dropTtl + dropQueue + dropLinkDown + dropInFlightCut;
+    return dropNoRoute + dropTtl + dropQueue + dropLinkDown + dropInFlightCut + dropLoss +
+           dropCorrupt;
   }
 };
 

@@ -71,6 +71,58 @@ TEST(Churn, NoNewFailuresAfterStop) {
   EXPECT_EQ(churn.failuresInjected(), churn.repairsInjected());
 }
 
+// Stop boundary: `at >= stop` gates new failures, so a zero-length churn
+// window (stop == start) must inject nothing at all — including a draw
+// landing exactly on the boundary.
+TEST(Churn, ZeroWindowInjectsNothing) {
+  Scenario sc{churnBase(11)};
+  ChurnInjector::Config cfg;
+  cfg.start = 50_sec;
+  cfg.stop = 50_sec;
+  ChurnInjector churn{sc.network(), Rng{17}, cfg};
+  churn.install();
+  sc.run();
+  EXPECT_EQ(churn.failuresInjected(), 0u);
+  EXPECT_EQ(churn.repairsInjected(), 0u);
+}
+
+// Regression: when another fault source (fault plan, scenario failure)
+// touched a link first, churn's already-down / already-up early exits used
+// to return without rescheduling, silently ending churn for that link.
+// With the fix the cycle re-arms, so churn keeps injecting long after the
+// external window closes.
+TEST(Churn, SurvivesExternalInterference) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  const NodeId a = net.addNode();
+  const NodeId b = net.addNode();
+  Link& link = net.addLink(a, b, LinkConfig{});
+  net.finalize();
+
+  ChurnInjector::Config cfg;
+  cfg.meanUpSec = 5.0;
+  cfg.meanDownSec = 1.0;
+  cfg.start = Time::zero();
+  cfg.stop = 300_sec;
+  ChurnInjector churn{net, Rng{42}, cfg};
+  churn.install();
+
+  // Hold the link down externally across a window churn draws will land
+  // in, and recover it externally too — both collision directions.
+  sched.scheduleAt(10_sec, [&link] {
+    if (link.isUp()) link.fail();
+  });
+  sched.scheduleAt(60_sec, [&link] {
+    if (!link.isUp()) link.recover();
+  });
+  sched.run(400_sec);
+
+  // Mean cycle ~6 s over a 300 s window: dozens of failures if churn kept
+  // running past the collisions; pre-fix it died on the first one.
+  EXPECT_GT(churn.failuresInjected(), 10u);
+  EXPECT_EQ(churn.failuresInjected(), churn.repairsInjected());
+}
+
 TEST(Churn, PacketConservationHolds) {
   Scenario sc{churnBase(9)};
   ChurnInjector::Config cfg;

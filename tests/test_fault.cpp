@@ -1,0 +1,331 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "exp/artifact.hpp"
+#include "exp/executor.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "sim/watchdog.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+using fault::FaultPlan;
+
+// ---------------------------------------------------------------- plan DSL
+
+TEST(FaultPlan, RoundTripsEveryKind) {
+  const std::string text =
+      "395:loss:*:0.02;395:corrupt:24-25:0.01;396:reorder:*:0.1:50;"
+      "399:detect:24-25:2000;400:fail:24-25;400:crash:24;400:partition:0,1,2;"
+      "460:heal:0,1,2;460:restart:24;460:recover:24-25";
+  const FaultPlan p = FaultPlan::parse(text);
+  ASSERT_EQ(p.events.size(), 10u);
+  EXPECT_EQ(p.format(), text);               // input was already canonical
+  EXPECT_EQ(FaultPlan::parse(p.format()), p);  // and the form is stable
+}
+
+TEST(FaultPlan, EmptyAndTrailingSemicolon) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_EQ(FaultPlan{}.format(), "");
+  const FaultPlan p = FaultPlan::parse("400:fail:1-2;");
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_EQ(p.format(), "400:fail:1-2");
+}
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  const std::vector<std::string> bad{
+      "400",                    // too few fields
+      "400:fail",               // missing endpoints
+      "400:explode:1-2",        // unknown kind
+      "400:fail:12",            // endpoints need a dash
+      "400:fail:a-b",           // non-numeric node
+      "x:fail:1-2",             // non-numeric time
+      "-1:fail:1-2",            // negative time
+      "400:loss:*:1.5",         // rate out of range
+      "400:loss:*",             // missing rate
+      "400:reorder:*:0.1",      // missing jitter
+      "400:reorder:*:0.1:-5",   // negative jitter
+      "400:detect:1-2:-1",      // negative detect delay
+      "400:partition:",         // empty group
+      "400:fail:1-2:extra",     // too many fields for the kind
+  };
+  for (const auto& text : bad) {
+    EXPECT_THROW((void)FaultPlan::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(FaultPlan, RoundTripsThroughScenarioOptions) {
+  ScenarioConfig cfg;
+  cfg.faultPlan = FaultPlan::parse("400:crash:24;460:restart:24");
+  ScenarioConfig again;
+  again.faultPlan = FaultPlan::parse(cfg.faultPlan.format());
+  EXPECT_EQ(cfg.faultPlan, again.faultPlan);
+}
+
+// ------------------------------------------------------------- injection
+
+ScenarioConfig faultBase(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.injectFailure = false;  // the plan is the whole fault schedule
+  return cfg;
+}
+
+TEST(FaultInjector, CrashAndRestartRecover) {
+  ScenarioConfig cfg = faultBase(2);
+  cfg.faultPlan = FaultPlan::parse("400:crash:24;460:restart:24");
+  Scenario sc{cfg};
+  sc.run();
+
+  const auto* inj = sc.faultInjector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->nodeCrashes(), 1u);
+  EXPECT_EQ(inj->nodeRestarts(), 1u);
+  EXPECT_FALSE(inj->nodeDown(24));
+
+  // The restarted node runs a live protocol again and its links came back.
+  Network& net = sc.network();
+  EXPECT_NE(net.node(24).protocol(), nullptr);
+  for (const NodeId nb : net.node(24).neighbors()) {
+    EXPECT_TRUE(net.findLink(24, nb)->isUp()) << "link 24-" << nb;
+  }
+  // Plenty of post-restart time: the network reconverged to a usable path.
+  bool loop = false;
+  bool blackhole = false;
+  const auto path = net.fibWalk(sc.sender(), sc.receiver(), &loop, &blackhole);
+  EXPECT_FALSE(loop);
+  EXPECT_FALSE(blackhole);
+  EXPECT_GE(path.size(), 2u);
+}
+
+TEST(FaultInjector, PartitionCutsAndHealRestores) {
+  ScenarioConfig cfg = faultBase(3);
+  // Rows 0-2 of the 7x7 mesh vs the rest: sender (row 0) loses the
+  // receiver (row 6) for 60 s.
+  std::string group;
+  for (int n = 0; n <= 20; ++n) {
+    if (n != 0) group += ',';
+    group += std::to_string(n);
+  }
+  cfg.faultPlan = FaultPlan::parse("400:partition:" + group + ";460:heal:" + group);
+  Scenario sc{cfg};
+  sc.run();
+
+  const auto* inj = sc.faultInjector();
+  ASSERT_NE(inj, nullptr);
+  // Degree-4 mesh: exactly the 7 vertical row2-row3 links cross the cut.
+  EXPECT_EQ(inj->linkFailures(), 7u);
+  EXPECT_EQ(inj->linkRecoveries(), 7u);
+  for (const auto& link : sc.network().links()) {
+    EXPECT_TRUE(link->isUp());
+  }
+  // The outage cost real deliveries but traffic resumed after the heal.
+  const auto& d = sc.stats().data();
+  EXPECT_GT(d.delivered, 0u);
+  EXPECT_LT(d.delivered, sc.packetsSent());
+}
+
+TEST(FaultInjector, CorruptionDropsAreAccounted) {
+  ScenarioConfig cfg = faultBase(4);
+  cfg.faultPlan = FaultPlan::parse("395:corrupt:*:0.05;500:corrupt:*:0");
+  Scenario sc{cfg};
+  sc.run();
+
+  const auto& d = sc.stats().data();
+  EXPECT_GT(d.dropCorrupt, 0u);
+  EXPECT_EQ(d.dropLoss, 0u);
+  // Corrupted packets are dropped, not lost from the books.
+  EXPECT_EQ(sc.packetsSent(), d.delivered + d.totalDropped());
+}
+
+TEST(FaultInjector, DanglingLinkReferenceThrowsAtEventTime) {
+  ScenarioConfig cfg = faultBase(5);
+  cfg.faultPlan = FaultPlan::parse("400:fail:0-48");  // not an edge of the mesh
+  Scenario sc{cfg};
+  EXPECT_THROW(sc.run(), std::runtime_error);
+}
+
+// -------------------------------------------------------- invariant checker
+
+TEST(InvariantChecker, CleanOnPaperScenario) {
+  ScenarioConfig cfg;  // default config = the paper's single-failure run
+  cfg.checkInvariants = true;
+  Scenario sc{cfg};
+  sc.run();  // would throw on any violation
+  const auto* checker = sc.invariantChecker();
+  ASSERT_NE(checker, nullptr);
+  EXPECT_TRUE(checker->clean());
+  EXPECT_GT(checker->originated(), 0u);
+  EXPECT_GT(checker->delivered(), 0u);
+}
+
+TEST(InvariantChecker, CleanUnderCrashAndImpairments) {
+  ScenarioConfig cfg = faultBase(6);
+  cfg.checkInvariants = true;
+  cfg.faultPlan = FaultPlan::parse(
+      "395:loss:*:0.02;400:crash:24;460:restart:24;500:loss:*:0");
+  Scenario sc{cfg};
+  sc.run();
+  EXPECT_TRUE(sc.invariantChecker()->clean());
+}
+
+// ---------------------------------------------------------------- watchdog
+
+TEST(Watchdog, PollThrowsOnceAfterDeadline) {
+  EXPECT_NO_THROW(watchdog::poll());  // disarmed: free
+  {
+    watchdog::Scope scope{0.0};  // <= 0 keeps it disarmed
+    EXPECT_NO_THROW(watchdog::poll());
+  }
+  watchdog::arm(1e-9);
+  const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  EXPECT_THROW(watchdog::poll(), watchdog::Timeout);
+  EXPECT_NO_THROW(watchdog::poll());  // the throw disarmed it
+}
+
+// ------------------------------------------------------- hardened executor
+
+/// A quick spec: small traffic window, LinkState (fastest protocol), one
+/// cell per entry in `throwingSeeds` deliberately exploding.
+ScenarioConfig quickConfig() {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::LinkState;
+  cfg.injectFailure = false;
+  cfg.trafficStart = 50_sec;
+  cfg.trafficStop = 80_sec;
+  cfg.failAt = 60_sec;  // watermark only
+  cfg.endAt = 100_sec;
+  return cfg;
+}
+
+exp::ExperimentSpec quickSpec(bool withThrowingCell) {
+  exp::ExperimentSpec spec;
+  spec.name = "test_quick";
+  spec.title = "test";
+  spec.description = "test";
+  for (int i = 0; i < 3; ++i) {
+    exp::CellSpec cell;
+    cell.id = "cell" + std::to_string(i);
+    cell.label = cell.id;
+    cell.config = quickConfig();
+    cell.config.mesh.degree = 4 + i;
+    spec.cells.push_back(std::move(cell));
+  }
+  if (withThrowingCell) {
+    exp::CellSpec cell;
+    cell.id = "bomb";
+    cell.label = "bomb";
+    cell.config = quickConfig();
+    cell.run = [](const ScenarioConfig& cfg) -> RunResult {
+      if (cfg.seed == 2) throw std::runtime_error("deliberate test explosion");
+      return runScenario(cfg);
+    };
+    spec.cells.push_back(std::move(cell));
+  }
+  spec.render = [](const exp::ExperimentSpec&, const exp::ExperimentResult&) {};
+  return spec;
+}
+
+TEST(SweepExecutor, FailedCellIsIsolatedAndReported) {
+  const exp::ExperimentSpec withBomb = quickSpec(true);
+  const exp::ExperimentSpec healthy = quickSpec(false);
+  exp::SweepExecutor executor{2};
+  const exp::ExperimentResult got = executor.execute(withBomb, 3);
+  const exp::ExperimentResult want = executor.execute(healthy, 3);
+
+  ASSERT_EQ(got.cells.size(), 4u);
+  // The bomb cell carries a failure report naming the seed that threw...
+  const exp::CellResult& bomb = got.cells[3];
+  ASSERT_TRUE(bomb.failed());
+  ASSERT_EQ(bomb.failures.size(), 1u);
+  EXPECT_EQ(bomb.failures[0].seed, 2u);
+  EXPECT_EQ(bomb.failures[0].error, "deliberate test explosion");
+  // ...and no misleading partial aggregate.
+  EXPECT_EQ(bomb.totals.sent, 0.0);
+  EXPECT_EQ(bomb.agg.runs, 0);
+
+  // Every healthy cell matches a bomb-free sweep bit for bit.
+  for (std::size_t c = 0; c < 3; ++c) {
+    ASSERT_FALSE(got.cells[c].failed());
+    EXPECT_EQ(got.cells[c].totals.sent, want.cells[c].totals.sent);
+    EXPECT_EQ(got.cells[c].totals.delivered, want.cells[c].totals.delivered);
+    EXPECT_EQ(got.cells[c].totals.dropNoRoute, want.cells[c].totals.dropNoRoute);
+    EXPECT_EQ(got.cells[c].agg.routingConvergenceSec, want.cells[c].agg.routingConvergenceSec);
+    EXPECT_EQ(got.cells[c].agg.delivered, want.cells[c].agg.delivered);
+  }
+}
+
+TEST(SweepExecutor, InvariantViolationEquivalentErrorsFailOnlyTheirCell) {
+  // A dangling fault-plan reference throws inside Scenario::run — the
+  // executor must turn that into a per-cell report, not a sweep abort.
+  exp::ExperimentSpec spec = quickSpec(false);
+  spec.cells[1].config.faultPlan = FaultPlan::parse("60:fail:0-48");
+  exp::SweepExecutor executor{2};
+  const exp::ExperimentResult res = executor.execute(spec, 2);
+  ASSERT_EQ(res.cells.size(), 3u);
+  EXPECT_FALSE(res.cells[0].failed());
+  EXPECT_TRUE(res.cells[1].failed());
+  EXPECT_EQ(res.cells[1].failures.size(), 2u);  // every replica hits it
+  EXPECT_FALSE(res.cells[2].failed());
+}
+
+// ----------------------------------------------------------- artifact I/O
+
+TEST(Artifact, FailedCellsCarryFailureReports) {
+  const exp::ExperimentSpec spec = quickSpec(true);
+  exp::SweepExecutor executor{2};
+  const exp::ExperimentResult res = executor.execute(spec, 3);
+  const std::string json = dumpJson(exp::buildArtifact(spec, res));
+  EXPECT_NE(json.find("\"failed_cells\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("deliberate test explosion"), std::string::npos);
+  // The failed cell has failures instead of totals; healthy cells keep
+  // their aggregates (4 cells, 3 healthy).
+  EXPECT_NE(json.find("\"failures\""), std::string::npos);
+  EXPECT_NE(json.find("\"transport_session_resets\""), std::string::npos);
+}
+
+TEST(Artifact, WritesAtomicallyAndLeavesNoTempFiles) {
+  const exp::ExperimentSpec spec = quickSpec(false);
+  exp::SweepExecutor executor{2};
+  const exp::ExperimentResult res = executor.execute(spec, 1);
+
+  const auto dir = std::filesystem::temp_directory_path() / "rcsim_test_artifacts";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "quick.json").string();
+  exp::writeArtifact(spec, res, path);
+  // Overwrite in place — the rename replaces the old document whole.
+  exp::writeArtifact(spec, res, path);
+
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string().find(".tmp."), std::string::npos)
+        << "leftover temp file " << e.path();
+  }
+  EXPECT_EQ(entries, 1u);
+
+  std::ifstream in{path};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema\": \"rcsim-experiment-v1\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -7,7 +7,9 @@
 //   rcsim-topo [degree]          one regular mesh in detail
 //   rcsim-topo --sweep           summary table for degrees 3..16
 //   rcsim-topo --random N AVG S  a random graph's summary
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -18,6 +20,43 @@
 namespace {
 
 using namespace rcsim;
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: rcsim-topo [degree]          one regular mesh in detail (default 5)\n"
+               "       rcsim-topo --sweep           summary table for degrees 3..16\n"
+               "       rcsim-topo --random N AVG S  random graph: N nodes, average degree\n"
+               "                                    AVG, seed S\n"
+               "       rcsim-topo -h | --help       this message\n");
+}
+
+/// Strict numeric parsing — "--bogus" and "4x" are usage errors, not the
+/// silent zeros atoi would hand the mesh builder.
+long parseLong(const char* text, const char* what, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "rcsim-topo: %s got '%s', expected an integer in [%ld, %ld]\n\n", what,
+                 text, lo, hi);
+    usage(stderr);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parseDouble(const char* text, const char* what, double lo, double hi) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "rcsim-topo: %s got '%s', expected a number in [%g, %g]\n\n", what, text,
+                 lo, hi);
+    usage(stderr);
+    std::exit(2);
+  }
+  return v;
+}
 
 void summarize(const Topology& topo, const char* label) {
   std::map<int, int> histogram;
@@ -77,7 +116,16 @@ void drawMesh(const MeshSpec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "-h") == 0 || std::strcmp(argv[1], "--help") == 0)) {
+    usage(stdout);
+    return 0;
+  }
   if (argc > 1 && std::strcmp(argv[1], "--sweep") == 0) {
+    if (argc > 2) {
+      std::fprintf(stderr, "rcsim-topo: --sweep takes no further arguments\n\n");
+      usage(stderr);
+      return 2;
+    }
     std::printf("the regular mesh family (7x7):\n");
     for (int degree = 3; degree <= 16; ++degree) {
       summarize(makeRegularMesh(MeshSpec{7, 7, degree}),
@@ -86,15 +134,27 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (argc > 1 && std::strcmp(argv[1], "--random") == 0) {
+    if (argc > 5) {
+      std::fprintf(stderr, "rcsim-topo: --random takes at most N AVG S\n\n");
+      usage(stderr);
+      return 2;
+    }
     RandomGraphSpec spec;
-    if (argc > 2) spec.nodes = std::atoi(argv[2]);
-    if (argc > 3) spec.avgDegree = std::atof(argv[3]);
-    if (argc > 4) spec.seed = std::strtoull(argv[4], nullptr, 10);
+    if (argc > 2) spec.nodes = static_cast<int>(parseLong(argv[2], "--random N", 2, 100000));
+    if (argc > 3) spec.avgDegree = parseDouble(argv[3], "--random AVG", 1.0, 1000.0);
+    if (argc > 4) {
+      spec.seed = static_cast<std::uint64_t>(parseLong(argv[4], "--random S", 0, 1000000000L));
+    }
     summarize(makeRandomTopology(spec), "random");
     return 0;
   }
+  if (argc > 2) {
+    std::fprintf(stderr, "rcsim-topo: too many arguments\n\n");
+    usage(stderr);
+    return 2;
+  }
   MeshSpec spec;
-  spec.degree = argc > 1 ? std::atoi(argv[1]) : 5;
+  spec.degree = argc > 1 ? static_cast<int>(parseLong(argv[1], "degree", 3, 16)) : 5;
   drawMesh(spec);
   return 0;
 }
