@@ -11,23 +11,49 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/runner.hpp"
 #include "exp/artifact.hpp"
 #include "exp/executor.hpp"
+#include "exp/journal.hpp"
 #include "exp/registry.hpp"
 
 namespace {
 
 using rcsim::exp::ExperimentResult;
 using rcsim::exp::ExperimentSpec;
+
+/// Exit code for an interrupted-but-drained run: the conventional
+/// 128 + SIGINT. See usage() for the full precedence.
+constexpr int kExitInterrupted = 130;
+
+/// Set from the SIGINT/SIGTERM handler; everything else (cancelling the
+/// executor, flushing, exiting) happens on normal threads — a handler may
+/// only touch a sig_atomic_t.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void onSignal(int sig) { g_signal = sig; }
+
+void installSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 void usage(std::FILE* to) {
   std::fprintf(to,
@@ -53,9 +79,25 @@ void usage(std::FILE* to) {
                "  --watchdog=SEC    wall-clock budget per replica; an overrunning\n"
                "                    replica fails its cell instead of hanging the sweep\n"
                "                    (else env RCSIM_REPLICA_WATCHDOG_SEC)\n"
+               "  --journal=DIR     durable run journal: append one CRC-guarded JSONL\n"
+               "                    record per completed (cell, seed) replica to\n"
+               "                    DIR/journal.jsonl (fsynced, survives SIGKILL/crash)\n"
+               "  --resume=DIR      fold completed replicas from DIR/journal.jsonl\n"
+               "                    instead of re-running them; failed/quarantined\n"
+               "                    replicas re-run. Implies --journal=DIR unless\n"
+               "                    --journal is given separately\n"
+               "  --retries=N       retry a failed replica N more times (exponential\n"
+               "                    backoff) before quarantining it (default 1; 0\n"
+               "                    disables retry)\n"
                "  -h, --help        this message\n"
                "\n"
-               "exit status: 0 ok, 2 usage error, 3 at least one cell failed\n");
+               "exit status (highest precedence first):\n"
+               "  2    usage error (nothing was run)\n"
+               "  130  interrupted (SIGINT/SIGTERM): in-flight replicas drained,\n"
+               "       journal flushed; overrides 3 even when cells already failed\n"
+               "  3    at least one cell failed — replica exceptions, watchdog\n"
+               "       timeouts and invariant violations all land here\n"
+               "  0    ok\n");
 }
 
 /// Strict positive-integer flag parsing — "--runs=banana" and "--runs=0"
@@ -70,6 +112,23 @@ int parsePositiveInt(const std::string& value, const char* flag) {
   const long v = std::strtol(value.c_str(), &end, 10);
   if (errno != 0 || end == value.c_str() || *end != '\0' || v <= 0 || v > 1'000'000'000L) {
     std::fprintf(stderr, "rcsim_bench: %s got '%s', expected a positive integer\n", flag,
+                 value.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+/// Same, but 0 is legal (--retries=0 disables retry).
+int parseNonNegativeInt(const std::string& value, const char* flag) {
+  if (value.empty()) {
+    std::fprintf(stderr, "rcsim_bench: %s needs a non-negative integer\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || v < 0 || v > 1'000'000'000L) {
+    std::fprintf(stderr, "rcsim_bench: %s got '%s', expected a non-negative integer\n", flag,
                  value.c_str());
     std::exit(2);
   }
@@ -114,8 +173,11 @@ int main(int argc, char** argv) {
   bool json = true;
   int runsFlag = 0;
   int threads = 0;
+  int retries = 1;
   double watchdogSec = 0.0;
   std::string outDir = "results";
+  std::string journalDir;
+  std::string resumeDir;
   std::vector<std::string> only;
 
   for (int i = 1; i < argc; ++i) {
@@ -148,14 +210,28 @@ int main(int argc, char** argv) {
       setenv("RCSIM_CHECK_INVARIANTS", "1", 1);
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       const std::string v = value("--watchdog=");
-      char* end = nullptr;
-      errno = 0;
-      watchdogSec = std::strtod(v.c_str(), &end);
-      if (errno != 0 || v.empty() || end == v.c_str() || *end != '\0' || watchdogSec <= 0.0) {
-        std::fprintf(stderr, "rcsim_bench: --watchdog got '%s', expected seconds > 0\n",
+      // parseWallLimitSeconds also rejects "nan"/"inf", which strtod
+      // parses and a plain <= 0 guard lets through.
+      watchdogSec = rcsim::exp::parseWallLimitSeconds(v.c_str());
+      if (watchdogSec <= 0.0) {
+        std::fprintf(stderr, "rcsim_bench: --watchdog got '%s', expected finite seconds > 0\n",
                      v.c_str());
         return 2;
       }
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journalDir = value("--journal=");
+      if (journalDir.empty()) {
+        std::fprintf(stderr, "rcsim_bench: --journal needs a directory\n");
+        return 2;
+      }
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      resumeDir = value("--resume=");
+      if (resumeDir.empty()) {
+        std::fprintf(stderr, "rcsim_bench: --resume needs a directory\n");
+        return 2;
+      }
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = parseNonNegativeInt(value("--retries="), "--retries");
     } else {
       std::fprintf(stderr, "rcsim_bench: unknown argument '%s'\n\n", arg.c_str());
       usage(stderr);
@@ -193,8 +269,53 @@ int main(int argc, char** argv) {
 
   if (toTxt || json) std::filesystem::create_directories(outDir);
 
+  // Durability wiring: --resume loads the journal index up front (and
+  // keeps journaling into the same directory unless --journal points
+  // elsewhere), so a killed run can be continued any number of times.
+  if (!resumeDir.empty() && journalDir.empty()) journalDir = resumeDir;
+  rcsim::exp::JournalIndex resumeIndex;
+  bool haveResume = false;
+  if (!resumeDir.empty()) {
+    rcsim::exp::JournalReadStats stats;
+    resumeIndex = rcsim::exp::JournalIndex::load(resumeDir, &stats);
+    haveResume = true;
+    std::fprintf(stderr,
+                 "rcsim_bench: resume: %zu completed replica(s) from %zu journal record(s)"
+                 " (%zu corrupt line(s) skipped) in %s\n",
+                 resumeIndex.size(), stats.records, stats.corrupt, resumeDir.c_str());
+  }
+  std::unique_ptr<rcsim::exp::JournalWriter> journal;
+  if (!journalDir.empty()) {
+    try {
+      journal = std::make_unique<rcsim::exp::JournalWriter>(journalDir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rcsim_bench: cannot open journal: %s\n", e.what());
+      return 2;
+    }
+  }
+  rcsim::exp::JobOptions jobOptions;
+  jobOptions.retry.maxAttempts = retries + 1;
+  jobOptions.journal = journal.get();
+  jobOptions.resume = haveResume ? &resumeIndex : nullptr;
+
+  installSignalHandlers();
+
   rcsim::exp::SweepExecutor executor{threads};
   if (watchdogSec > 0.0) executor.setReplicaWallLimit(watchdogSec);
+
+  // SIGINT/SIGTERM drain: the handler only sets a flag; this watcher
+  // turns it into a graceful executor cancel (stop claiming replicas,
+  // finish in-flight ones, journal them) from a normal thread.
+  std::atomic<bool> watcherStop{false};
+  std::thread watcher{[&watcherStop, &executor] {
+    while (!watcherStop.load(std::memory_order_relaxed)) {
+      if (g_signal != 0) {
+        executor.requestCancel();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }};
 
   // Submit everything first: later experiments' replicas backfill the pool
   // while earlier ones drain, so the sweep never serializes on one
@@ -209,16 +330,24 @@ int main(int argc, char** argv) {
   for (const ExperimentSpec* spec : selected) {
     const int fallback = paperRuns ? spec->paperRuns : spec->defaultRuns;
     const int runs = runsFlag > 0 ? runsFlag : rcsim::defaultRunCount(fallback);
-    pending.push_back({spec, runs, executor.submit(*spec, runs)});
+    pending.push_back({spec, runs, executor.submit(*spec, runs, jobOptions)});
   }
 
   int failedCells = 0;
+  bool interrupted = false;
   for (auto& p : pending) {
     // The historical bench banner, byte for byte — but on stderr, so
     // piping tables to a file stays clean.
     std::fprintf(stderr, "%s — %d run(s) per data point (set RCSIM_RUNS to change; paper used 100)\n",
                  p.spec->title.c_str(), p.runs);
     const ExperimentResult result = executor.finish(p.job);
+    if (executor.cancelRequested()) {
+      // Drain the remaining jobs (their in-flight replicas finish and
+      // journal) but render nothing partial.
+      interrupted = true;
+      for (auto& rest : pending) (void)executor.finish(rest.job);
+      break;
+    }
     if (toTxt) {
       StdoutToFile redirect{outDir + "/" + p.spec->name + ".txt"};
       p.spec->render(*p.spec, result);
@@ -235,16 +364,36 @@ int main(int argc, char** argv) {
     // Per-experiment failure report: which cells died, on which seed,
     // and why — the healthy cells above rendered normally.
     for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      if (!result.cells[i].retries.empty()) {
+        std::fprintf(stderr, "# RETRIED %s cell '%s': %zu replica(s) succeeded after retry\n",
+                     p.spec->name.c_str(), p.spec->cells[i].id.c_str(),
+                     result.cells[i].retries.size());
+      }
       if (!result.cells[i].failed()) continue;
       ++failedCells;
       const auto& failures = result.cells[i].failures;
-      std::fprintf(stderr, "# FAILED %s cell '%s': %zu replica(s) threw\n", p.spec->name.c_str(),
-                   p.spec->cells[i].id.c_str(), failures.size());
+      std::fprintf(stderr, "# FAILED %s cell '%s': %zu replica(s) quarantined\n",
+                   p.spec->name.c_str(), p.spec->cells[i].id.c_str(), failures.size());
       for (const auto& f : failures) {
-        std::fprintf(stderr, "#   seed %llu: %s\n", static_cast<unsigned long long>(f.seed),
+        std::fprintf(stderr, "#   seed %llu (%zu attempt(s)): %s\n",
+                     static_cast<unsigned long long>(f.seed), f.attempts.size(),
                      f.error.c_str());
       }
     }
+  }
+  watcherStop.store(true, std::memory_order_relaxed);
+  watcher.join();
+
+  // Exit-code precedence (documented in usage()): interrupt beats failed
+  // cells — a drained run is incomplete, and 3 would falsely suggest the
+  // whole sweep ran and some cells were bad.
+  if (interrupted) {
+    std::fprintf(stderr, "rcsim_bench: interrupted — in-flight replicas drained%s\n",
+                 journal ? ", journal flushed" : "");
+    if (journal) {
+      std::fprintf(stderr, "rcsim_bench: continue with --resume=%s\n", journalDir.c_str());
+    }
+    return kExitInterrupted;
   }
   if (failedCells > 0) {
     std::fprintf(stderr, "rcsim_bench: %d cell(s) failed — see reports above\n", failedCells);

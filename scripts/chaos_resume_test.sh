@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Kill-and-resume chaos self-test: SIGKILL a journaled sweep at varying
+# points, resume it from the journal each time, and prove the final
+# artifact is bit-identical (modulo wall-clock fields) to an uninterrupted
+# reference run. This is the end-to-end check of the durability story —
+# CRC-guarded fsynced journal records, torn-tail repair, and exact
+# RunResult round-trip through the resume fold.
+#
+#   scripts/chaos_resume_test.sh build/bench/rcsim_bench
+set -u
+
+BENCH=${1:?usage: chaos_resume_test.sh path/to/rcsim_bench}
+EXPERIMENT=${EXPERIMENT:-headline_table}
+RUNS=${RUNS:-5}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+run_bench() { # out_dir [extra flags...]
+  local out=$1
+  shift
+  "$BENCH" --only="$EXPERIMENT" --runs="$RUNS" --threads=2 --out="$out" "$@"
+}
+
+echo "chaos: reference run ($EXPERIMENT, runs=$RUNS)"
+if ! run_bench "$WORK/ref" >/dev/null 2>&1; then
+  echo "chaos: FAIL — reference run did not exit 0"
+  exit 1
+fi
+
+# SIGKILL the journaled sweep at staggered points. SIGKILL (not SIGINT):
+# no handler runs, nothing drains — the journal alone must carry the
+# state. Each iteration resumes from the same journal, so progress is
+# monotonic; once a run survives its kill window, the sweep is complete.
+J="$WORK/journal"
+kills=0
+completed=0
+for delay in 0.15 0.3 0.45 0.6 0.8 1.0 1.3 1.7 2.2 3.0; do
+  run_bench "$WORK/out" --journal="$J" --resume="$J" >/dev/null 2>&1 &
+  pid=$!
+  sleep "$delay"
+  if kill -KILL "$pid" 2>/dev/null; then
+    kills=$((kills + 1))
+  fi
+  # The stderr redirect silences bash's "Killed" job-control notice.
+  { wait "$pid"; status=$?; } 2>/dev/null
+  if [ "$status" -eq 0 ]; then
+    completed=1
+    break
+  fi
+done
+
+if [ "$completed" -ne 1 ]; then
+  # Every attempt was killed before finishing; one final uninterrupted
+  # resume folds the journal's replicas and runs whatever is left.
+  echo "chaos: final uninterrupted resume after $kills kill(s)"
+  if ! run_bench "$WORK/out" --journal="$J" --resume="$J" >/dev/null 2>&1; then
+    echo "chaos: FAIL — final resume did not exit 0"
+    exit 1
+  fi
+fi
+echo "chaos: sweep completed after $kills SIGKILL(s)"
+
+REF_ART="$WORK/ref/$EXPERIMENT.json"
+OUT_ART="$WORK/out/$EXPERIMENT.json"
+test -s "$REF_ART" || { echo "chaos: FAIL — missing reference artifact"; exit 1; }
+test -s "$OUT_ART" || { echo "chaos: FAIL — missing resumed artifact"; exit 1; }
+
+# Per-cell aggregate digests: the full-precision identity of every fold.
+grep -o '"aggregate_digest": "[0-9a-f]*"' "$REF_ART" > "$WORK/ref.digests"
+grep -o '"aggregate_digest": "[0-9a-f]*"' "$OUT_ART" > "$WORK/out.digests"
+test -s "$WORK/ref.digests" || { echo "chaos: FAIL — reference has no digests"; exit 1; }
+if ! diff -u "$WORK/ref.digests" "$WORK/out.digests"; then
+  echo "chaos: FAIL — aggregate digests diverge after kill/resume"
+  exit 1
+fi
+
+# And the artifacts as a whole, minus the only legitimately varying
+# fields (wall-clock time and thread count).
+if ! diff -u <(grep -vE '"(wall_seconds|threads)":' "$REF_ART") \
+             <(grep -vE '"(wall_seconds|threads)":' "$OUT_ART"); then
+  echo "chaos: FAIL — resumed artifact differs from the reference"
+  exit 1
+fi
+
+echo "chaos: resumed artifact is bit-identical to the uninterrupted reference"

@@ -9,7 +9,9 @@ BUILD=${BUILD:-build}
 
 cmake -S . -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)"
-ctest --test-dir "$BUILD" --output-on-failure
+# --timeout caps each test so a hung replica fails loudly instead of
+# stalling the whole gate (individual tests carry tighter properties).
+ctest --test-dir "$BUILD" --output-on-failure --timeout 600
 
 # Bench smoke: the registry lists, one experiment runs, and its artifact
 # parses back (the test suite covers the schema; this covers the binary).
@@ -19,6 +21,11 @@ trap 'rm -rf "$smoke_out"' EXIT
 RCSIM_RUNS=2 "$BUILD/bench/rcsim_bench" --only=headline_table --out="$smoke_out" > /dev/null
 test -s "$smoke_out/headline_table.json"
 
+# Chaos job: SIGKILL a journaled sweep at random points and prove the
+# resumed artifact is bit-identical to an uninterrupted reference run
+# (docs/experiments.md, "Long runs, crashes, and resume").
+bash scripts/chaos_resume_test.sh "$BUILD/bench/rcsim_bench"
+
 # Sanitizer job: a separate ASan+UBSan build runs a smoke subset of the
 # suite (the memory-heavy paths: events, links, transport, faults). The
 # tier-1 gate above stays plain Release so its timings and golden digests
@@ -26,7 +33,7 @@ test -s "$smoke_out/headline_table.json"
 SAN_BUILD=${SAN_BUILD:-build-asan}
 cmake -S . -B "$SAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=ON
 cmake --build "$SAN_BUILD" -j "$(nproc)"
-ctest --test-dir "$SAN_BUILD" --output-on-failure \
-  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep'
+ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
+  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal'
 
 echo "ci: all gates green"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Exit-status contract of rcsim_bench, as documented in --help (highest
+# precedence first): 2 usage error > 130 interrupted > 3 failed cells > 0.
+# Registered as the `bench_exit_codes` ctest; also runnable by hand:
+#
+#   scripts/exit_codes_test.sh build/bench/rcsim_bench
+set -u
+
+BENCH=${1:?usage: exit_codes_test.sh path/to/rcsim_bench}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fails=0
+expect() {
+  local want=$1 got=$2 what=$3
+  if [ "$got" -eq "$want" ]; then
+    echo "ok   exit $got  $what"
+  else
+    echo "FAIL exit $got (want $want)  $what"
+    fails=$((fails + 1))
+  fi
+}
+
+# --- 2: usage errors (nothing runs) ------------------------------------
+"$BENCH" --no-such-flag >/dev/null 2>&1
+expect 2 $? "unknown flag"
+
+"$BENCH" >/dev/null 2>&1
+expect 2 $? "no experiment selected"
+
+"$BENCH" --only=no_such_experiment >/dev/null 2>&1
+expect 2 $? "unknown experiment name"
+
+"$BENCH" --only=headline_table --watchdog=nan >/dev/null 2>&1
+expect 2 $? "--watchdog=nan rejected"
+
+"$BENCH" --only=headline_table --watchdog=inf >/dev/null 2>&1
+expect 2 $? "--watchdog=inf rejected"
+
+"$BENCH" --only=headline_table --journal= >/dev/null 2>&1
+expect 2 $? "empty --journal value rejected"
+
+"$BENCH" --only=headline_table --retries=-1 >/dev/null 2>&1
+expect 2 $? "negative --retries rejected"
+
+# --- 3: failed cells ---------------------------------------------------
+# A microscopic watchdog budget fails every replica; with --retries=0
+# each quarantines after one attempt, so this stays fast.
+"$BENCH" --only=headline_table --runs=1 --threads=2 --retries=0 \
+  --watchdog=0.000001 --out="$WORK/failed" >/dev/null 2>&1
+expect 3 $? "watchdog timeouts fail the cell"
+
+# --- 130: interrupted --------------------------------------------------
+# SIGINT a journaled sweep mid-run: the bench must drain in-flight
+# replicas, flush the journal, and exit 128+SIGINT even though no cell
+# failed. Background + wait stay in this same shell.
+"$BENCH" --only=headline_table --runs=50 --threads=2 \
+  --journal="$WORK/J" --out="$WORK/int" >/dev/null 2>"$WORK/int.err" &
+pid=$!
+sleep 0.6
+kill -INT "$pid" 2>/dev/null
+wait "$pid"
+expect 130 $? "SIGINT mid-sweep"
+if ! grep -q "continue with --resume=" "$WORK/int.err"; then
+  echo "FAIL interrupted run did not print the --resume hint"
+  fails=$((fails + 1))
+fi
+
+# --- 0: clean run ------------------------------------------------------
+"$BENCH" --only=headline_table --runs=1 --threads=2 --out="$WORK/ok" >/dev/null 2>&1
+expect 0 $? "clean run"
+
+if [ "$fails" -ne 0 ]; then
+  echo "exit_codes_test: $fails check(s) failed"
+  exit 1
+fi
+echo "exit_codes_test: all checks passed"

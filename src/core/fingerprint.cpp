@@ -68,11 +68,9 @@ std::string runResultFingerprint(const RunResult& r) {
   return os.str();
 }
 
-namespace {
-
-std::string fnv1aHex(const std::string& fp) {
+std::string fnv1aHexDigest(std::string_view text) {
   std::uint64_t h = 14695981039346656037ull;
-  for (const unsigned char c : fp) {
+  for (const unsigned char c : text) {
     h ^= c;
     h *= 1099511628211ull;
   }
@@ -80,6 +78,10 @@ std::string fnv1aHex(const std::string& fp) {
   std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
   return std::string{buf};
 }
+
+namespace {
+
+std::string fnv1aHex(const std::string& fp) { return fnv1aHexDigest(fp); }
 
 void putSeries(std::ostringstream& os, const char* key, const std::vector<double>& series) {
   os << key << '=';

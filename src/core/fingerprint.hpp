@@ -1,10 +1,17 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "core/runner.hpp"
 
 namespace rcsim {
+
+/// FNV-1a 64-bit digest of arbitrary text, as 16 lowercase hex chars —
+/// the same hash the result digests use, exposed for callers that need a
+/// compact identity for other canonical strings (e.g. a cell's
+/// describeOptions list in the run journal).
+[[nodiscard]] std::string fnv1aHexDigest(std::string_view text);
 
 /// Canonical text rendering of every RunResult field (doubles at full
 /// precision), for byte-exact determinism comparisons across engine

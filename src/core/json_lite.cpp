@@ -325,4 +325,45 @@ std::string dumpJson(const JsonValue& v, int indent) {
   return out;
 }
 
+namespace {
+
+void writeValueCompact(std::string& out, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::Number: writeNumber(out, v.number); break;
+    case JsonValue::Kind::String: writeString(out, v.str); break;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ',';
+        writeValueCompact(out, v.array[i]);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        writeString(out, key);
+        out += ':';
+        writeValueCompact(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dumpJsonLine(const JsonValue& v) {
+  std::string out;
+  writeValueCompact(out, v);
+  return out;
+}
+
 }  // namespace rcsim

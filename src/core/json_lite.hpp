@@ -52,4 +52,10 @@ class JsonValue {
 /// (JSON has no inf/nan).
 [[nodiscard]] std::string dumpJson(const JsonValue& v, int indent = 2);
 
+/// Compact single-line serialization (no newlines, no padding) with the
+/// same number/string encoding as dumpJson. Deterministic for a given
+/// document (object keys are sorted by std::map), so it doubles as the
+/// canonical byte form that journal CRCs are computed over.
+[[nodiscard]] std::string dumpJsonLine(const JsonValue& v);
+
 }  // namespace rcsim

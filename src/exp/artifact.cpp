@@ -1,15 +1,11 @@
 #include "exp/artifact.hpp"
 
-#include <unistd.h>
-
-#include <filesystem>
-#include <fstream>
-#include <stdexcept>
 #include <string>
-#include <system_error>
 #include <utility>
 
+#include "core/fingerprint.hpp"
 #include "core/options.hpp"
+#include "exp/durable_io.hpp"
 
 namespace rcsim::exp {
 
@@ -59,6 +55,13 @@ JsonValue totalsJson(const CellStats& t) {
   return o;
 }
 
+JsonValue attemptsJson(const std::vector<std::string>& attempts) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(attempts.size());
+  for (const auto& a : attempts) arr.array.push_back(JsonValue::makeString(a));
+  return arr;
+}
+
 JsonValue failuresJson(const std::vector<ReplicaFailure>& failures) {
   JsonValue arr = JsonValue::makeArray();
   arr.array.reserve(failures.size());
@@ -66,6 +69,19 @@ JsonValue failuresJson(const std::vector<ReplicaFailure>& failures) {
     JsonValue o = JsonValue::makeObject();
     o.object["seed"] = JsonValue::makeNumber(static_cast<double>(f.seed));
     o.object["error"] = JsonValue::makeString(f.error);
+    o.object["attempts"] = attemptsJson(f.attempts);
+    arr.array.push_back(std::move(o));
+  }
+  return arr;
+}
+
+JsonValue retriesJson(const std::vector<ReplicaRetry>& retries) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(retries.size());
+  for (const auto& r : retries) {
+    JsonValue o = JsonValue::makeObject();
+    o.object["seed"] = JsonValue::makeNumber(static_cast<double>(r.seed));
+    o.object["attempts"] = attemptsJson(r.attempts);
     arr.array.push_back(std::move(o));
   }
   return arr;
@@ -107,7 +123,15 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
         ++failedCells;
       } else {
         cell.object["aggregate"] = aggregateJson(result.cells[i].agg, spec.jsonSeries);
+        // Full-precision identity of the fold, so a resumed run can be
+        // proven bit-identical to an uninterrupted one by comparing one
+        // string per cell (scripts/chaos_resume_test.sh does exactly that).
+        cell.object["aggregate_digest"] =
+            JsonValue::makeString(aggregateDigest(result.cells[i].agg));
         cell.object["totals"] = totalsJson(result.cells[i].totals);
+      }
+      if (!result.cells[i].retries.empty()) {
+        cell.object["retries"] = retriesJson(result.cells[i].retries);
       }
     }
     cells.array.push_back(std::move(cell));
@@ -119,33 +143,11 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
 
 void writeArtifact(const ExperimentSpec& spec, const ExperimentResult& result,
                    const std::string& path) {
-  const std::filesystem::path p{path};
-  if (p.has_parent_path()) {
-    std::filesystem::create_directories(p.parent_path());
-  }
-  // Write-to-temp + rename so a crash (or a second writer) mid-write can
-  // never leave a truncated document where a previous good artifact was:
-  // readers see either the old file or the complete new one.
-  std::filesystem::path tmp{p};
-  tmp += ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out) throw std::runtime_error("cannot open artifact file: " + tmp.string());
-    out << dumpJson(buildArtifact(spec, result));
-    if (!out.flush()) {
-      out.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      throw std::runtime_error("failed writing artifact file: " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, p, ec);
-  if (ec) {
-    std::error_code rmEc;
-    std::filesystem::remove(tmp, rmEc);
-    throw std::runtime_error("failed renaming artifact into place: " + path + ": " + ec.message());
-  }
+  // Temp + fsync + rename + directory fsync: readers see either the old
+  // document or the complete new one, and a crash right after "success"
+  // cannot roll the artifact back to a truncated or zero-length file
+  // (rename alone orders metadata, not data).
+  atomicWriteFile(path, dumpJson(buildArtifact(spec, result)));
 }
 
 }  // namespace rcsim::exp

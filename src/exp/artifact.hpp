@@ -22,9 +22,11 @@ inline constexpr const char* kArtifactSchema = "rcsim-experiment-v1";
 [[nodiscard]] JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& result);
 
 /// dumpJson(buildArtifact(...)) written to `path`; creates parent
-/// directories. The write is atomic (temp file + rename), so an existing
-/// artifact is never left truncated by a crash mid-write. Throws
-/// std::runtime_error if the file cannot be written.
+/// directories. The write is atomic AND durable (temp file + fsync +
+/// rename + directory fsync), so an existing artifact is never left
+/// truncated by a crash mid-write and a crash right after a reported
+/// success cannot roll it back. Throws std::runtime_error if the file
+/// cannot be written.
 void writeArtifact(const ExperimentSpec& spec, const ExperimentResult& result,
                    const std::string& path);
 

@@ -1,0 +1,85 @@
+#include "exp/durable_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+namespace rcsim::exp {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void fsyncFdOrThrow(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) throwErrno("fsync failed: " + what);
+}
+
+void fsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throwErrno("cannot open for fsync: " + path);
+  try {
+    fsyncFdOrThrow(fd, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+void fsyncParentDir(const std::string& path) {
+  const std::filesystem::path p{path};
+  if (!p.has_parent_path()) return;
+  fsyncPath(p.parent_path().string());
+}
+
+void atomicWriteFile(const std::string& path, const std::string& content) {
+  const std::filesystem::path p{path};
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+
+  std::filesystem::path tmp{p};
+  tmp += ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throwErrno("cannot open temp file: " + tmp.string());
+
+  auto fail = [&](const std::string& what) -> void {
+    ::close(fd);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throwErrno(what);
+  };
+
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("failed writing " + tmp.string());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync BEFORE the rename: rename orders the metadata, not the data —
+  // without this a crash can leave the final name pointing at a
+  // zero-length or partial file.
+  if (::fsync(fd) != 0) fail("fsync failed: " + tmp.string());
+  ::close(fd);
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::error_code rmEc;
+    std::filesystem::remove(tmp, rmEc);
+    throw std::runtime_error("failed renaming into place: " + path + ": " + ec.message());
+  }
+  fsyncParentDir(path);
+}
+
+}  // namespace rcsim::exp

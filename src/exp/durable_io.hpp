@@ -1,0 +1,29 @@
+#pragma once
+
+// Crash-durable file primitives shared by the artifact writer and the run
+// journal. "Atomic" here means rename-based (readers see the old bytes or
+// the complete new ones, never a mix); "durable" means the data AND the
+// directory entry are fsynced, so a power cut right after a reported
+// success cannot roll the file back or truncate it.
+
+#include <string>
+
+namespace rcsim::exp {
+
+/// fsync an open descriptor; throws std::runtime_error on failure.
+void fsyncFdOrThrow(int fd, const std::string& what);
+
+/// Open `path` (file or directory) read-only, fsync it, close it. Used to
+/// persist a directory entry after create/rename. Throws on failure.
+void fsyncPath(const std::string& path);
+
+/// fsync the parent directory of `path`; no-op when it has none.
+void fsyncParentDir(const std::string& path);
+
+/// Write `content` to `path` atomically and durably: temp file in the
+/// same directory, write, fsync the file, rename over `path`, fsync the
+/// directory. Throws std::runtime_error on any failure (the temp file is
+/// removed on the error paths).
+void atomicWriteFile(const std::string& path, const std::string& content);
+
+}  // namespace rcsim::exp

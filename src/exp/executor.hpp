@@ -13,6 +13,7 @@
 // are bit-identical to serial per-cell runMany() no matter how the pool
 // interleaves cells (verified by test_exp.cpp against core/fingerprint).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -24,6 +25,38 @@
 #include "exp/spec.hpp"
 
 namespace rcsim::exp {
+
+class JournalWriter;
+class JournalIndex;
+
+/// Parse a wall-clock limit in seconds from flag/env text. Returns the
+/// parsed value when it is a finite number > 0, else 0 (disabled) — in
+/// particular "nan"/"inf" are rejected, not passed through (strtod parses
+/// them and a NaN slips past any `<= 0` guard).
+[[nodiscard]] double parseWallLimitSeconds(const char* text);
+
+/// Retry policy for failed replicas: a replica gets `maxAttempts` total
+/// tries with exponential backoff between them (backoffBaseSec doubling
+/// per retry, capped at backoffMaxSec); a replica that fails its last
+/// attempt is quarantined into its cell's failure report with the full
+/// per-attempt error trail. maxAttempts <= 1 disables retry.
+struct RetryPolicy {
+  int maxAttempts = 2;
+  double backoffBaseSec = 0.05;
+  double backoffMaxSec = 2.0;
+};
+
+/// Per-job wiring for durability and resume. Both pointers are borrowed
+/// and must outlive the job.
+struct JobOptions {
+  RetryPolicy retry{};
+  /// Append one CRC-guarded record per completed replica (success or
+  /// quarantine) and fsync before the replica counts as done.
+  JournalWriter* journal = nullptr;
+  /// Fold journaled successes instead of re-running them; only missing
+  /// and previously-quarantined replicas execute.
+  const JournalIndex* resume = nullptr;
+};
 
 class SweepExecutor {
  public:
@@ -42,7 +75,10 @@ class SweepExecutor {
   /// several experiments may be in flight at once (FIFO between them), so
   /// a multi-experiment sweep never drains the pool between experiments.
   /// The spec must outlive the job (registry specs are static).
-  [[nodiscard]] std::shared_ptr<Job> submit(const ExperimentSpec& spec, int runs);
+  /// `options` wires the retry policy, the durable journal, and the
+  /// resume index for this job.
+  [[nodiscard]] std::shared_ptr<Job> submit(const ExperimentSpec& spec, int runs,
+                                            JobOptions options = {});
 
   /// Block until `job` finishes and return its aggregated result.
   [[nodiscard]] ExperimentResult finish(const std::shared_ptr<Job>& job);
@@ -61,11 +97,28 @@ class SweepExecutor {
   void setReplicaWallLimit(double seconds) { replicaWallLimitSec_ = seconds; }
   [[nodiscard]] double replicaWallLimit() const { return replicaWallLimitSec_; }
 
+  /// Graceful drain (the SIGINT/SIGTERM path): stop claiming new
+  /// replicas, let in-flight ones finish and journal, then mark every
+  /// unfinished job done so finish() returns its partial result. Safe to
+  /// call from any thread (but NOT from a signal handler — set a flag
+  /// there and call this from a normal thread). Irreversible.
+  void requestCancel();
+  [[nodiscard]] bool cancelRequested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
  private:
   void workerLoop();
   void runReplica(Job& job, std::size_t item);
+  void journalReplica(Job& job, std::size_t cell, std::size_t rep, bool ok);
+  /// Sleep the exponential-backoff delay before retry `attempt` + 1,
+  /// polling for cancellation; returns false when the retry should be
+  /// abandoned because the executor is draining.
+  [[nodiscard]] bool backoffBeforeRetry(const RetryPolicy& policy, int attempt);
+  void markDoneLocked(Job& job);
 
   double replicaWallLimitSec_ = 0.0;
+  std::atomic<bool> cancel_{false};
   std::mutex mu_;
   std::condition_variable work_;
   std::condition_variable done_;

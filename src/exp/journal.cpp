@@ -1,0 +1,321 @@
+#include "exp/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/fingerprint.hpp"
+#include "exp/durable_io.hpp"
+
+namespace rcsim::exp {
+
+namespace {
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+JsonValue countersToJson(const PacketCounters& c) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(9);
+  for (const std::uint64_t v : {c.delivered, c.forwarded, c.dropNoRoute, c.dropTtl, c.dropQueue,
+                                c.dropLinkDown, c.dropInFlightCut, c.dropLoss, c.dropCorrupt}) {
+    arr.array.push_back(JsonValue::makeNumber(static_cast<double>(v)));
+  }
+  return arr;
+}
+
+PacketCounters countersFromJson(const JsonValue& v) {
+  if (v.kind != JsonValue::Kind::Array || v.array.size() != 9) {
+    throw std::runtime_error("journal: counters array must have 9 elements");
+  }
+  auto u = [&](std::size_t i) { return static_cast<std::uint64_t>(v.array[i].number); };
+  PacketCounters c;
+  c.delivered = u(0);
+  c.forwarded = u(1);
+  c.dropNoRoute = u(2);
+  c.dropTtl = u(3);
+  c.dropQueue = u(4);
+  c.dropLinkDown = u(5);
+  c.dropInFlightCut = u(6);
+  c.dropLoss = u(7);
+  c.dropCorrupt = u(8);
+  return c;
+}
+
+JsonValue seriesToJson(const std::vector<double>& values) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(values.size());
+  for (const double v : values) arr.array.push_back(JsonValue::makeNumber(v));
+  return arr;
+}
+
+std::vector<double> seriesFromJson(const JsonValue& v) {
+  std::vector<double> out;
+  out.reserve(v.array.size());
+  for (const auto& e : v.array) out.push_back(e.number);
+  return out;
+}
+
+std::uint64_t u64At(const JsonValue& o, const char* key) {
+  return static_cast<std::uint64_t>(o.numberAt(key));
+}
+
+}  // namespace
+
+std::string crc32Hex(std::string_view text) {
+  const auto& table = crcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const unsigned char c : text) crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  crc ^= 0xFFFFFFFFu;
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return std::string{buf};
+}
+
+JsonValue runResultToJson(const RunResult& r) {
+  JsonValue o = JsonValue::makeObject();
+  o.object["protocol"] = JsonValue::makeNumber(static_cast<int>(r.protocol));
+  o.object["degree"] = JsonValue::makeNumber(r.degree);
+  o.object["seed"] = JsonValue::makeNumber(static_cast<double>(r.seed));
+  o.object["sent"] = JsonValue::makeNumber(static_cast<double>(r.sent));
+  o.object["data"] = countersToJson(r.data);
+  o.object["data_after_failure"] = countersToJson(r.dataAfterFailure);
+  o.object["control"] = countersToJson(r.control);
+  o.object["loop_escaped_deliveries"] =
+      JsonValue::makeNumber(static_cast<double>(r.loopEscapedDeliveries));
+  o.object["control_messages"] = JsonValue::makeNumber(static_cast<double>(r.controlMessages));
+  o.object["control_bytes"] = JsonValue::makeNumber(static_cast<double>(r.controlBytes));
+  o.object["control_messages_after_failure"] =
+      JsonValue::makeNumber(static_cast<double>(r.controlMessagesAfterFailure));
+  o.object["tcp_goodput_packets"] =
+      JsonValue::makeNumber(static_cast<double>(r.tcpGoodputPackets));
+  o.object["tcp_retransmissions"] =
+      JsonValue::makeNumber(static_cast<double>(r.tcpRetransmissions));
+  o.object["transport_retransmissions"] =
+      JsonValue::makeNumber(static_cast<double>(r.transportRetransmissions));
+  o.object["transport_session_resets"] =
+      JsonValue::makeNumber(static_cast<double>(r.transportSessionResets));
+  o.object["routing_convergence_sec"] = JsonValue::makeNumber(r.routingConvergenceSec);
+  o.object["forwarding_convergence_sec"] = JsonValue::makeNumber(r.forwardingConvergenceSec);
+  o.object["transient_paths"] = JsonValue::makeNumber(r.transientPaths);
+  o.object["saw_loop"] = JsonValue::makeBool(r.sawLoop);
+  o.object["saw_blackhole"] = JsonValue::makeBool(r.sawBlackhole);
+  o.object["pre_failure_path_shortest"] = JsonValue::makeBool(r.preFailurePathShortest);
+  o.object["pre_failure_path_hops"] = JsonValue::makeNumber(r.preFailurePathHops);
+  o.object["final_path_shortest"] = JsonValue::makeBool(r.finalPathShortest);
+  o.object["route_changes_after_failure"] =
+      JsonValue::makeNumber(static_cast<double>(r.routeChangesAfterFailure));
+  o.object["throughput"] = seriesToJson(r.throughput);
+  o.object["mean_delay"] = seriesToJson(r.meanDelay);
+  o.object["fail_sec"] = JsonValue::makeNumber(r.failSec);
+  o.object["events_executed"] = JsonValue::makeNumber(static_cast<double>(r.eventsExecuted));
+  return o;
+}
+
+RunResult runResultFromJson(const JsonValue& v) {
+  RunResult r;
+  r.protocol = static_cast<ProtocolKind>(static_cast<int>(v.numberAt("protocol")));
+  r.degree = static_cast<int>(v.numberAt("degree"));
+  r.seed = u64At(v, "seed");
+  r.sent = u64At(v, "sent");
+  r.data = countersFromJson(v.at("data"));
+  r.dataAfterFailure = countersFromJson(v.at("data_after_failure"));
+  r.control = countersFromJson(v.at("control"));
+  r.loopEscapedDeliveries = u64At(v, "loop_escaped_deliveries");
+  r.controlMessages = u64At(v, "control_messages");
+  r.controlBytes = u64At(v, "control_bytes");
+  r.controlMessagesAfterFailure = u64At(v, "control_messages_after_failure");
+  r.tcpGoodputPackets = u64At(v, "tcp_goodput_packets");
+  r.tcpRetransmissions = u64At(v, "tcp_retransmissions");
+  r.transportRetransmissions = u64At(v, "transport_retransmissions");
+  r.transportSessionResets = u64At(v, "transport_session_resets");
+  r.routingConvergenceSec = v.numberAt("routing_convergence_sec");
+  r.forwardingConvergenceSec = v.numberAt("forwarding_convergence_sec");
+  r.transientPaths = static_cast<int>(v.numberAt("transient_paths"));
+  r.sawLoop = v.at("saw_loop").boolean;
+  r.sawBlackhole = v.at("saw_blackhole").boolean;
+  r.preFailurePathShortest = v.at("pre_failure_path_shortest").boolean;
+  r.preFailurePathHops = static_cast<int>(v.numberAt("pre_failure_path_hops"));
+  r.finalPathShortest = v.at("final_path_shortest").boolean;
+  r.routeChangesAfterFailure = u64At(v, "route_changes_after_failure");
+  r.throughput = seriesFromJson(v.at("throughput"));
+  r.meanDelay = seriesFromJson(v.at("mean_delay"));
+  r.failSec = static_cast<int>(v.numberAt("fail_sec"));
+  r.eventsExecuted = u64At(v, "events_executed");
+  return r;
+}
+
+std::string encodeJournalLine(const JournalRecord& rec) {
+  JsonValue body = JsonValue::makeObject();
+  body.object["experiment"] = JsonValue::makeString(rec.experiment);
+  body.object["cell"] = JsonValue::makeString(rec.cell);
+  body.object["config"] = JsonValue::makeString(rec.configDigest);
+  body.object["seed"] = JsonValue::makeNumber(static_cast<double>(rec.seed));
+  body.object["attempt"] = JsonValue::makeNumber(rec.attempt);
+  body.object["ok"] = JsonValue::makeBool(rec.ok);
+  if (rec.ok) {
+    // The digest is belt-and-braces on top of the CRC: it catches a
+    // serializer that drifts from RunResult (schema skew), not just bit
+    // rot, before a stale snapshot is folded into an aggregate.
+    body.object["digest"] = JsonValue::makeString(runResultDigest(rec.result));
+    body.object["result"] = runResultToJson(rec.result);
+  } else {
+    JsonValue errs = JsonValue::makeArray();
+    for (const auto& e : rec.errors) errs.array.push_back(JsonValue::makeString(e));
+    body.object["errors"] = std::move(errs);
+  }
+  const std::string canonical = dumpJsonLine(body);
+
+  JsonValue line = JsonValue::makeObject();
+  line.object["crc"] = JsonValue::makeString(crc32Hex(canonical));
+  line.object["rec"] = std::move(body);
+  return dumpJsonLine(line);
+}
+
+bool decodeJournalLine(const std::string& line, JournalRecord& out) {
+  try {
+    const JsonValue doc = parseJson(line);
+    const JsonValue& rec = doc.at("rec");
+    // Re-serializing the parsed record reproduces the writer's canonical
+    // bytes exactly (numbers are shortest-round-trip, keys are sorted),
+    // so the CRC check needs no raw-substring surgery on the line.
+    if (crc32Hex(dumpJsonLine(rec)) != doc.stringAt("crc")) return false;
+    out = JournalRecord{};
+    out.experiment = rec.stringAt("experiment");
+    out.cell = rec.stringAt("cell");
+    out.configDigest = rec.stringAt("config");
+    out.seed = u64At(rec, "seed");
+    out.attempt = static_cast<int>(rec.numberAt("attempt"));
+    out.ok = rec.at("ok").boolean;
+    if (out.ok) {
+      out.result = runResultFromJson(rec.at("result"));
+      if (runResultDigest(out.result) != rec.stringAt("digest")) return false;
+    } else {
+      for (const auto& e : rec.at("errors").array) out.errors.push_back(e.str);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+JournalWriter::JournalWriter(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  fsyncPath(dir);
+  path_ = (std::filesystem::path{dir} / kJournalFileName).string();
+  // O_RDWR (not O_WRONLY): the torn-tail check below preads the last byte,
+  // which a write-only descriptor refuses with EBADF.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open " + path_ + ": " + std::strerror(errno));
+  }
+  // A SIGKILL mid-append can leave a torn, unterminated tail. Terminate it
+  // now so the next record starts on a fresh line; the torn record itself
+  // fails its CRC on read and only that replica re-runs.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+      if (::write(fd_, "\n", 1) != 1) {
+        const int err = errno;
+        ::close(fd_);
+        throw std::runtime_error("journal: cannot repair " + path_ + ": " +
+                                 std::strerror(err));
+      }
+    }
+  }
+  fsyncParentDir(path_);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const JournalRecord& rec) {
+  const std::string line = encodeJournalLine(rec) + "\n";
+  std::lock_guard lk{mu_};
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal: append failed: " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  fsyncFdOrThrow(fd_, path_);
+}
+
+std::vector<JournalRecord> readJournal(const std::string& dir, JournalReadStats* stats) {
+  std::vector<JournalRecord> out;
+  JournalReadStats local;
+  const std::filesystem::path path = std::filesystem::path{dir} / kJournalFileName;
+  std::ifstream in{path, std::ios::binary};
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      JournalRecord rec;
+      if (decodeJournalLine(line, rec)) {
+        ++local.records;
+        out.push_back(std::move(rec));
+      } else {
+        ++local.corrupt;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+void JournalIndex::add(const JournalRecord& rec) {
+  if (!rec.ok) return;
+  std::string key = rec.experiment;
+  key += '\x1f';
+  key += rec.cell;
+  key += '\x1f';
+  key += rec.configDigest;
+  key += '\x1f';
+  key += std::to_string(rec.seed);
+  map_[std::move(key)] = rec.result;
+}
+
+JournalIndex JournalIndex::load(const std::string& dir, JournalReadStats* stats) {
+  JournalIndex idx;
+  for (const auto& rec : readJournal(dir, stats)) idx.add(rec);
+  return idx;
+}
+
+const RunResult* JournalIndex::find(const std::string& experiment, const std::string& cell,
+                                    const std::string& configDigest, std::uint64_t seed) const {
+  std::string key = experiment;
+  key += '\x1f';
+  key += cell;
+  key += '\x1f';
+  key += configDigest;
+  key += '\x1f';
+  key += std::to_string(seed);
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rcsim::exp

@@ -48,12 +48,23 @@ struct CellStats {
   [[nodiscard]] static CellStats over(const std::vector<RunResult>& results);
 };
 
-/// One replica that threw instead of producing a RunResult: the seed it
-/// simulated and the exception text. Carried in the cell's failure report
-/// so the artifact records exactly which replicas died and why.
+/// One replica that exhausted every retry attempt without producing a
+/// RunResult: the seed it simulated, the final exception text, and the
+/// full per-attempt error trail. Carried in the cell's failure report so
+/// the artifact records exactly which replicas died, how often they were
+/// retried, and why each attempt failed.
 struct ReplicaFailure {
   std::uint64_t seed = 0;
-  std::string error;
+  std::string error;                  ///< last attempt's error
+  std::vector<std::string> attempts;  ///< error per attempt, oldest first
+};
+
+/// A replica that failed at least once but succeeded on a retry. Its
+/// RunResult folds into the aggregate exactly like a first-try success;
+/// only the error trail of the failed attempts is kept for the artifact.
+struct ReplicaRetry {
+  std::uint64_t seed = 0;
+  std::vector<std::string> attempts;  ///< errors of the failed attempts
 };
 
 /// Everything one executed cell produced, aggregated. Raw RunResults are
@@ -68,6 +79,7 @@ struct CellResult {
   Aggregate agg;
   CellStats totals;
   std::vector<ReplicaFailure> failures;  ///< seed order; empty = healthy cell
+  std::vector<ReplicaRetry> retries;     ///< seed order; retried-then-successful replicas
 
   [[nodiscard]] bool failed() const { return !failures.empty(); }
 };

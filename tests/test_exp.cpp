@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/fingerprint.hpp"
@@ -16,6 +18,7 @@
 #include "exp/executor.hpp"
 #include "exp/registry.hpp"
 #include "exp/spec.hpp"
+#include "sim/watchdog.hpp"
 
 namespace rcsim::exp {
 namespace {
@@ -230,6 +233,105 @@ TEST(Artifact, DumpJsonNumbersRoundTripExactly) {
   ASSERT_EQ(parsed.array.size(), arr.array.size());
   for (std::size_t i = 0; i < arr.array.size(); ++i) {
     EXPECT_EQ(parsed.array[i].number, arr.array[i].number) << i;
+  }
+}
+
+TEST(WallLimit, ParserRejectsNonFiniteAndNonPositiveBudgets) {
+  // strtod happily parses "nan"/"inf", and NaN slips past a `<= 0` guard
+  // — the parser must reject non-finite budgets explicitly.
+  EXPECT_EQ(parseWallLimitSeconds("nan"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("-nan"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("inf"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("infinity"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("-1"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("0"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("banana"), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds(""), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds(nullptr), 0.0);
+  EXPECT_EQ(parseWallLimitSeconds("2.5"), 2.5);
+  EXPECT_EQ(parseWallLimitSeconds("1e-3"), 1e-3);
+}
+
+// A replica that blows its wall-clock budget is aborted by the watchdog
+// and lands in the cell's failure report like any other thrown error —
+// the sweep itself survives.
+TEST(SweepExecutor, WatchdogTimeoutQuarantinesTheReplica) {
+  ExperimentSpec spec;
+  spec.name = "watchdog_demo";
+  CellSpec cell;
+  cell.id = "stuck";
+  cell.config = shortConfig(ProtocolKind::Rip, 3);
+  cell.run = [](const ScenarioConfig&) -> RunResult {
+    // Emulate a pathological replica: spin (bounded, in case the watchdog
+    // is broken) polling the deadline exactly like the scheduler does.
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < std::chrono::seconds(10)) {
+      watchdog::poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return RunResult{};
+  };
+  spec.cells.push_back(std::move(cell));
+
+  SweepExecutor executor{1};
+  executor.setReplicaWallLimit(0.05);
+  JobOptions opts;
+  opts.retry.maxAttempts = 1;  // no point re-running a deterministic hang
+  const ExperimentResult result = executor.finish(executor.submit(spec, 1, opts));
+  ASSERT_EQ(result.cells.size(), 1u);
+  ASSERT_TRUE(result.cells[0].failed());
+  ASSERT_EQ(result.cells[0].failures.size(), 1u);
+  EXPECT_NE(result.cells[0].failures[0].error.find("watchdog"), std::string::npos);
+  EXPECT_NE(result.cells[0].failures[0].error.find("wall-clock budget"), std::string::npos);
+  ASSERT_EQ(result.cells[0].failures[0].attempts.size(), 1u);
+}
+
+// A failed cell's artifact entry carries the full failure report — seed,
+// final error, and per-attempt trail — while healthy cells additionally
+// publish their aggregate_digest for resume verification.
+TEST(Artifact, CarriesFailureReportAndAggregateDigest) {
+  ExperimentSpec spec;
+  spec.name = "failure_artifact_demo";
+  CellSpec healthy;
+  healthy.id = "healthy";
+  healthy.config = shortConfig(ProtocolKind::Rip, 3);
+  spec.cells.push_back(std::move(healthy));
+  CellSpec broken;
+  broken.id = "broken";
+  broken.config = shortConfig(ProtocolKind::Rip, 4);
+  broken.run = [](const ScenarioConfig& cfg) -> RunResult {
+    throw std::runtime_error("synthetic fault seed=" + std::to_string(cfg.seed));
+  };
+  spec.cells.push_back(std::move(broken));
+
+  SweepExecutor executor{2};
+  JobOptions opts;
+  opts.retry.maxAttempts = 2;
+  opts.retry.backoffBaseSec = 0.001;
+  const ExperimentResult result = executor.finish(executor.submit(spec, 2, opts));
+
+  const JsonValue parsed = parseJson(dumpJson(buildArtifact(spec, result)));
+  EXPECT_DOUBLE_EQ(parsed.numberAt("failed_cells"), 1.0);
+  ASSERT_EQ(parsed.at("cells").array.size(), 2u);
+
+  const JsonValue& ok = parsed.at("cells").array[0];
+  EXPECT_EQ(ok.stringAt("id"), "healthy");
+  EXPECT_EQ(ok.object.count("failures"), 0u);
+  EXPECT_EQ(ok.stringAt("aggregate_digest"), aggregateDigest(result.cells[0].agg));
+
+  const JsonValue& bad = parsed.at("cells").array[1];
+  EXPECT_EQ(bad.stringAt("id"), "broken");
+  EXPECT_EQ(bad.object.count("aggregate"), 0u) << "failed cells must not publish aggregates";
+  EXPECT_EQ(bad.object.count("aggregate_digest"), 0u);
+  const JsonValue& failures = bad.at("failures");
+  ASSERT_EQ(failures.array.size(), 2u);
+  for (std::size_t i = 0; i < failures.array.size(); ++i) {
+    const JsonValue& f = failures.array[i];
+    EXPECT_DOUBLE_EQ(f.numberAt("seed"), static_cast<double>(i + 1));
+    EXPECT_NE(f.stringAt("error").find("synthetic fault"), std::string::npos);
+    // Both attempts' errors survive into the artifact, newest last.
+    ASSERT_EQ(f.at("attempts").array.size(), 2u);
+    EXPECT_EQ(f.at("attempts").array.back().str, f.stringAt("error"));
   }
 }
 
