@@ -89,6 +89,9 @@ void usage(std::FILE* to) {
                "  --retries=N       retry a failed replica N more times (exponential\n"
                "                    backoff) before quarantining it (default 1; 0\n"
                "                    disables retry)\n"
+               "  --progress=SEC    print a heartbeat line to stderr every SEC seconds\n"
+               "                    with completed/total replicas across all selected\n"
+               "                    experiments (default 0 = no heartbeat)\n"
                "  -h, --help        this message\n"
                "\n"
                "exit status (highest precedence first):\n"
@@ -174,6 +177,7 @@ int main(int argc, char** argv) {
   int runsFlag = 0;
   int threads = 0;
   int retries = 1;
+  int progressSec = 0;
   double watchdogSec = 0.0;
   std::string outDir = "results";
   std::string journalDir;
@@ -232,6 +236,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--retries=", 0) == 0) {
       retries = parseNonNegativeInt(value("--retries="), "--retries");
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      progressSec = parseNonNegativeInt(value("--progress="), "--progress");
     } else {
       std::fprintf(stderr, "rcsim_bench: unknown argument '%s'\n\n", arg.c_str());
       usage(stderr);
@@ -333,6 +339,35 @@ int main(int argc, char** argv) {
     pending.push_back({spec, runs, executor.submit(*spec, runs, jobOptions)});
   }
 
+  // Heartbeat: a polling thread summing SweepExecutor::progress() over
+  // every submitted job — lock-free snapshots, so it never perturbs the
+  // pool. Stderr only, same as the banners.
+  std::atomic<bool> heartbeatStop{false};
+  std::thread heartbeat;
+  if (progressSec > 0) {
+    heartbeat = std::thread{[&heartbeatStop, &pending, progressSec] {
+      const auto period = std::chrono::seconds(progressSec);
+      auto next = std::chrono::steady_clock::now() + period;
+      while (!heartbeatStop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          continue;
+        }
+        next += period;
+        std::size_t done = 0;
+        std::size_t total = 0;
+        for (const auto& p : pending) {
+          const auto prog = rcsim::exp::SweepExecutor::progress(p.job);
+          done += prog.completed;
+          total += prog.total;
+        }
+        std::fprintf(stderr, "rcsim_bench: progress %zu/%zu replica(s) (%.0f%%)\n", done, total,
+                     total > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total)
+                               : 0.0);
+      }
+    }};
+  }
+
   int failedCells = 0;
   bool interrupted = false;
   for (auto& p : pending) {
@@ -383,6 +418,8 @@ int main(int argc, char** argv) {
   }
   watcherStop.store(true, std::memory_order_relaxed);
   watcher.join();
+  heartbeatStop.store(true, std::memory_order_relaxed);
+  if (heartbeat.joinable()) heartbeat.join();
 
   // Exit-code precedence (documented in usage()): interrupt beats failed
   // cells — a drained run is incomplete, and 3 would falsely suggest the

@@ -18,8 +18,24 @@ ctest --test-dir "$BUILD" --output-on-failure --timeout 600
 smoke_out=$(mktemp -d)
 trap 'rm -rf "$smoke_out"' EXIT
 "$BUILD/bench/rcsim_bench" --list > /dev/null
-RCSIM_RUNS=2 "$BUILD/bench/rcsim_bench" --only=headline_table --out="$smoke_out" > /dev/null
+RCSIM_RUNS=2 "$BUILD/bench/rcsim_bench" --only=headline_table --out="$smoke_out" --progress=1 \
+  > /dev/null
 test -s "$smoke_out/headline_table.json"
+# The artifact must carry the executor's sweep-profile metrics block
+# (docs/observability.md): counters plus replica wall-time histogram.
+grep -q '"metrics"' "$smoke_out/headline_table.json"
+grep -q '"replica.wall_sec"' "$smoke_out/headline_table.json"
+grep -q '"sim.events_executed"' "$smoke_out/headline_table.json"
+
+# Observability smoke: the structured tracer's record -> replay round trip
+# must agree bit-for-bit with the live PathTracer (rcsim-trace --selftest),
+# and a recorded rcsim-trace-v1 file must replay cleanly.
+"$BUILD/tools/rcsim-trace" protocol=RIP degree=4 seed=7 --selftest > /dev/null
+"$BUILD/tools/rcsim-trace" protocol=BGP degree=4 seed=11 --selftest > /dev/null
+"$BUILD/tools/rcsim-trace" protocol=RIP degree=4 seed=7 \
+  --record="$smoke_out/smoke.trace.jsonl" > /dev/null
+"$BUILD/tools/rcsim-trace" --replay="$smoke_out/smoke.trace.jsonl" --from=399 --to=401 \
+  | grep -q 'corrupt=0'
 
 # Chaos job: SIGKILL a journaled sweep at random points and prove the
 # resumed artifact is bit-identical to an uninterrupted reference run

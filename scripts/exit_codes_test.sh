@@ -43,6 +43,12 @@ expect 2 $? "empty --journal value rejected"
 "$BENCH" --only=headline_table --retries=-1 >/dev/null 2>&1
 expect 2 $? "negative --retries rejected"
 
+"$BENCH" --only=headline_table --progress=banana >/dev/null 2>&1
+expect 2 $? "--progress=banana rejected"
+
+"$BENCH" --only=headline_table --progress=-1 >/dev/null 2>&1
+expect 2 $? "negative --progress rejected"
+
 # --- 3: failed cells ---------------------------------------------------
 # A microscopic watchdog budget fails every replica; with --retries=0
 # each quarantines after one attempt, so this stays fast.
@@ -69,6 +75,12 @@ fi
 # --- 0: clean run ------------------------------------------------------
 "$BENCH" --only=headline_table --runs=1 --threads=2 --out="$WORK/ok" >/dev/null 2>&1
 expect 0 $? "clean run"
+
+# --progress=SEC is accepted on a clean run (heartbeat may or may not
+# fire before the sweep finishes; only the exit status is contractual).
+"$BENCH" --only=headline_table --runs=1 --threads=2 --progress=1 \
+  --out="$WORK/ok_progress" >/dev/null 2>&1
+expect 0 $? "clean run with --progress=1"
 
 if [ "$fails" -ne 0 ]; then
   echo "exit_codes_test: $fails check(s) failed"

@@ -1,0 +1,21 @@
+#pragma once
+
+// Small content-identity hashes shared across layers: the result/aggregate
+// fingerprints (core/fingerprint), the run journal's CRC framing
+// (exp/journal), and the rcsim-trace-v1 stream (obs/trace_io). Kept in
+// core so obs and exp can both use them without depending on each other.
+
+#include <string>
+#include <string_view>
+
+namespace rcsim {
+
+/// FNV-1a 64-bit digest of arbitrary text, as 16 lowercase hex chars —
+/// compact enough to check golden values into a test.
+[[nodiscard]] std::string fnv1aHexDigest(std::string_view text);
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial) as 8 lowercase hex chars.
+/// Guards each journal and trace line against torn writes and bit rot.
+[[nodiscard]] std::string crc32Hex(std::string_view text);
+
+}  // namespace rcsim

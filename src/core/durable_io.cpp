@@ -1,4 +1,4 @@
-#include "exp/durable_io.hpp"
+#include "core/durable_io.hpp"
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <system_error>
 
-namespace rcsim::exp {
+namespace rcsim {
 
 namespace {
 
@@ -82,4 +82,4 @@ void atomicWriteFile(const std::string& path, const std::string& content) {
   fsyncParentDir(path);
 }
 
-}  // namespace rcsim::exp
+}  // namespace rcsim

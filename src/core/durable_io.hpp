@@ -1,14 +1,15 @@
 #pragma once
 
-// Crash-durable file primitives shared by the artifact writer and the run
-// journal. "Atomic" here means rename-based (readers see the old bytes or
-// the complete new ones, never a mix); "durable" means the data AND the
-// directory entry are fsynced, so a power cut right after a reported
-// success cannot roll the file back or truncate it.
+// Crash-durable file primitives shared by the artifact writer, the run
+// journal, and the structured trace writer. "Atomic" here means
+// rename-based (readers see the old bytes or the complete new ones, never
+// a mix); "durable" means the data AND the directory entry are fsynced, so
+// a power cut right after a reported success cannot roll the file back or
+// truncate it.
 
 #include <string>
 
-namespace rcsim::exp {
+namespace rcsim {
 
 /// fsync an open descriptor; throws std::runtime_error on failure.
 void fsyncFdOrThrow(int fd, const std::string& what);
@@ -26,4 +27,4 @@ void fsyncParentDir(const std::string& path);
 /// removed on the error paths).
 void atomicWriteFile(const std::string& path, const std::string& content);
 
-}  // namespace rcsim::exp
+}  // namespace rcsim

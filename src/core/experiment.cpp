@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace rcsim {
 
 RunResult runScenario(const ScenarioConfig& cfg) {
@@ -75,6 +77,17 @@ RunResult runScenario(const ScenarioConfig& cfg) {
   }
   r.failSec = static_cast<int>(cfg.failAt.toSeconds());
   r.eventsExecuted = scenario.scheduler().executedEvents();
+
+  // Scheduler hot-path totals go to whatever registry the surrounding
+  // executor installed (RunResult's layout is frozen by golden digests, so
+  // this rides the thread-local side channel instead).
+  if (auto* metrics = obs::currentMetrics()) {
+    const auto& sched = scenario.scheduler();
+    metrics->counter("sim.events_executed").add(sched.executedEvents());
+    metrics->counter("sim.events_scheduled").add(sched.scheduledEvents());
+    metrics->counter("sim.events_cancelled").add(sched.cancelledEvents());
+    metrics->histogram("sim.pool_slots").observe(static_cast<double>(sched.poolCapacity()));
+  }
   return r;
 }
 

@@ -1,6 +1,5 @@
 #include "core/fingerprint.hpp"
 
-#include <cinttypes>
 #include <cstdio>
 #include <sstream>
 
@@ -66,17 +65,6 @@ std::string runResultFingerprint(const RunResult& r) {
   }
   os << '\n';
   return os.str();
-}
-
-std::string fnv1aHexDigest(std::string_view text) {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const unsigned char c : text) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-  return std::string{buf};
 }
 
 namespace {

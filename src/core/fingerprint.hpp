@@ -1,17 +1,15 @@
 #pragma once
 
 #include <string>
-#include <string_view>
 
+#include "core/digest.hpp"
 #include "core/runner.hpp"
 
 namespace rcsim {
 
-/// FNV-1a 64-bit digest of arbitrary text, as 16 lowercase hex chars —
-/// the same hash the result digests use, exposed for callers that need a
-/// compact identity for other canonical strings (e.g. a cell's
-/// describeOptions list in the run journal).
-[[nodiscard]] std::string fnv1aHexDigest(std::string_view text);
+// fnv1aHexDigest lives in core/digest.hpp (re-exported by the include
+// above): the same hash the result digests use, shared with the journal's
+// config digests and the structured trace digests.
 
 /// Canonical text rendering of every RunResult field (doubles at full
 /// precision), for byte-exact determinism comparisons across engine

@@ -135,6 +135,10 @@ void Scenario::run() {
   }
   if (injector_) injector_->install();
   sched_.run(cfg_.endAt);
+  net_->trace().emit(sched_.now(), obs::TraceKind::SimSummary, kInvalidNode, kInvalidNode,
+                     static_cast<std::int64_t>(sched_.executedEvents()),
+                     static_cast<std::int64_t>(sched_.scheduledEvents()),
+                     static_cast<std::int64_t>(sched_.poolCapacity()));
   if (checker_) {
     checker_->finalCheck(sched_.now());
     if (!checker_->clean()) {

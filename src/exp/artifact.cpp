@@ -3,9 +3,9 @@
 #include <string>
 #include <utility>
 
+#include "core/durable_io.hpp"
 #include "core/fingerprint.hpp"
 #include "core/options.hpp"
-#include "exp/durable_io.hpp"
 
 namespace rcsim::exp {
 
@@ -98,6 +98,12 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
   doc.object["runs_per_cell"] = JsonValue::makeNumber(result.runs);
   doc.object["threads"] = JsonValue::makeNumber(result.threads);
   doc.object["wall_seconds"] = JsonValue::makeNumber(result.wallSeconds);
+  // Sweep profile from the executor (replica wall time, journal fsync
+  // latency, scheduler totals). Absent when the result did not come from
+  // a SweepExecutor job, so legacy artifact consumers are unaffected.
+  if (result.metrics.kind == JsonValue::Kind::Object && !result.metrics.object.empty()) {
+    doc.object["metrics"] = result.metrics;
+  }
 
   JsonValue cells = JsonValue::makeArray();
   cells.array.reserve(spec.cells.size());

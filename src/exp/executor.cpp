@@ -14,6 +14,7 @@
 #include "core/fingerprint.hpp"
 #include "core/options.hpp"
 #include "exp/journal.hpp"
+#include "obs/metrics.hpp"
 #include "sim/watchdog.hpp"
 
 namespace rcsim::exp {
@@ -123,6 +124,11 @@ class SweepExecutor::Job {
   std::vector<std::vector<std::vector<std::string>>> trails_;
   std::vector<std::string> cellDigest_;            ///< per-cell canonical-config digest
   std::vector<std::vector<std::uint8_t>> prefilled_;  ///< journaled results folded at submit
+  std::atomic<std::size_t> completed_{0};  ///< replicas processed (run or resumed)
+  /// Sweep profile (replica wall time, journal fsync latency, scheduler
+  /// totals via the thread-local scope); serialized into result_.metrics
+  /// when the job finishes. All instruments are thread-safe.
+  obs::MetricsRegistry metrics_;
   ExperimentResult result_;
   bool done_ = false;  ///< guarded by the executor mutex
 };
@@ -183,9 +189,18 @@ void SweepExecutor::requestCancel() {
   work_.notify_all();
 }
 
+JobProgress SweepExecutor::progress(const std::shared_ptr<Job>& job) {
+  JobProgress p;
+  if (job == nullptr) return p;
+  p.total = job->total_;
+  p.completed = std::min(job->completed_.load(std::memory_order_relaxed), job->total_);
+  return p;
+}
+
 void SweepExecutor::markDoneLocked(Job& job) {
   if (job.done_) return;
   job.result_.wallSeconds = nowSec() - job.startedAt_;
+  job.result_.metrics = job.metrics_.toJson();
   job.done_ = true;
   done_.notify_all();
 }
@@ -252,7 +267,9 @@ void SweepExecutor::journalReplica(Job& job, std::size_t cell, std::size_t rep, 
     rec.errors = trail;
   }
   try {
+    const double t0 = nowSec();
     job.opts_.journal->append(rec);
+    job.metrics_.histogram("journal.fsync_sec").observe(nowSec() - t0);
   } catch (const std::exception& e) {
     // A journal write failure must not take down the sweep — the replica
     // itself completed. Durability is degraded, so say so loudly once per
@@ -270,12 +287,18 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
   const CellSpec& cs = job.spec_->cells[cell];
 
   const bool prefilled = !job.prefilled_.empty() && job.prefilled_[cell][rep] != 0;
-  if (!prefilled) {
+  if (prefilled) {
+    job.metrics_.counter("replica.resumed").add();
+  } else {
     ScenarioConfig cfg = cs.config;
     cfg.seed = cs.startSeed + rep;
     const int maxAttempts = std::max(1, job.opts_.retry.maxAttempts);
     std::vector<std::string> trail;
     bool ok = false;
+    // Publish scheduler totals from runScenario into this job's registry
+    // via the thread-local scope, and time the replica end to end.
+    const obs::MetricsScope metricsScope{job.metrics_};
+    const double replicaStart = nowSec();
     for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
       try {
         // A replica whose every attempt throws (scenario bug, invariant
@@ -299,10 +322,14 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
         break;
       }
     }
+    job.metrics_.histogram("replica.wall_sec").observe(nowSec() - replicaStart);
+    job.metrics_.counter(ok ? "replica.ok" : "replica.quarantined").add();
+    if (!trail.empty()) job.metrics_.counter("replica.retry_attempts").add(trail.size());
     if (!ok) job.errors_[cell][rep] = trail.back();
     if (!trail.empty()) job.trails_[cell][rep] = std::move(trail);
     journalReplica(job, cell, rep, ok);
   }
+  job.completed_.fetch_add(1, std::memory_order_relaxed);
 
   if (job.cellLeft_[cell].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
 
@@ -329,6 +356,7 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
     out.agg = Aggregate::over(job.raw_[cell]);
     out.totals = CellStats::over(job.raw_[cell]);
   }
+  job.metrics_.counter(anyFailed ? "cell.failed" : "cell.completed").add();
   std::vector<RunResult>{}.swap(job.raw_[cell]);
   std::vector<std::string>{}.swap(job.errors_[cell]);
   std::vector<std::vector<std::string>>{}.swap(job.trails_[cell]);

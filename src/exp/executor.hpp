@@ -46,6 +46,12 @@ struct RetryPolicy {
   double backoffMaxSec = 2.0;
 };
 
+/// Live progress snapshot of a job, for heartbeat/progress reporting.
+struct JobProgress {
+  std::size_t total = 0;      ///< cells x runs replicas
+  std::size_t completed = 0;  ///< replicas finished (run, resumed or failed)
+};
+
 /// Per-job wiring for durability and resume. Both pointers are borrowed
 /// and must outlive the job.
 struct JobOptions {
@@ -87,6 +93,10 @@ class SweepExecutor {
   [[nodiscard]] ExperimentResult execute(const ExperimentSpec& spec, int runs);
 
   [[nodiscard]] int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  /// Lock-free progress snapshot of an in-flight (or finished) job; safe
+  /// to poll from any thread (the heartbeat in rcsim_bench does).
+  [[nodiscard]] static JobProgress progress(const std::shared_ptr<Job>& job);
 
   /// Wall-clock budget per replica, in seconds (<= 0 disables, the
   /// default). A replica that overruns is aborted via watchdog::Timeout

@@ -12,25 +12,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/durable_io.hpp"
 #include "core/fingerprint.hpp"
-#include "exp/durable_io.hpp"
 
 namespace rcsim::exp {
 
 namespace {
-
-const std::array<std::uint32_t, 256>& crcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 JsonValue countersToJson(const PacketCounters& c) {
   JsonValue arr = JsonValue::makeArray();
@@ -79,16 +66,6 @@ std::uint64_t u64At(const JsonValue& o, const char* key) {
 }
 
 }  // namespace
-
-std::string crc32Hex(std::string_view text) {
-  const auto& table = crcTable();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const unsigned char c : text) crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
-  crc ^= 0xFFFFFFFFu;
-  char buf[9];
-  std::snprintf(buf, sizeof buf, "%08x", crc);
-  return std::string{buf};
-}
 
 JsonValue runResultToJson(const RunResult& r) {
   JsonValue o = JsonValue::makeObject();

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/digest.hpp"
 #include "core/experiment.hpp"
 #include "core/json_lite.hpp"
 
@@ -35,8 +36,10 @@ namespace rcsim::exp {
 /// File appended inside the --journal directory.
 inline constexpr const char* kJournalFileName = "journal.jsonl";
 
-/// CRC-32/ISO-HDLC (the zlib/PNG polynomial) as 8 lowercase hex chars.
-[[nodiscard]] std::string crc32Hex(std::string_view text);
+/// CRC framing hash, shared with the trace stream (core/digest.hpp);
+/// re-exported here because the journal tests and format docs name it as
+/// part of this module's contract.
+using rcsim::crc32Hex;
 
 /// Exact JSON image of a RunResult: every field, counters included, with
 /// shortest-round-trip number formatting so fromJson(toJson(r)) has the

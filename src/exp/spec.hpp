@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/json_lite.hpp"
 #include "core/runner.hpp"
 
 namespace rcsim::exp {
@@ -90,6 +91,10 @@ struct ExperimentResult {
   int threads = 0;
   double wallSeconds = 0.0;
   std::vector<CellResult> cells;
+  /// Sweep profile published by the executor (obs::MetricsRegistry JSON:
+  /// replica wall time, journal fsync latency, scheduler totals). Null
+  /// when the result did not come from a SweepExecutor job.
+  JsonValue metrics;
 };
 
 struct ExperimentSpec {

@@ -40,6 +40,8 @@ void FaultInjector::eachTargetLink(const FaultEvent& ev, const std::function<voi
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
+  net_.trace().emit(net_.scheduler().now(), obs::TraceKind::FaultApply, ev.a, ev.b,
+                    static_cast<std::int64_t>(ev.kind));
   switch (ev.kind) {
     case FaultKind::LinkFail: {
       Link& l = mustFindLink(ev.a, ev.b);

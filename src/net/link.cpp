@@ -91,8 +91,6 @@ void Link::fail() {
   up_ = false;
   ++epoch_;
   auto& sched = net_.scheduler();
-  net_.trace().emit(sched.now(), TraceCategory::Failure,
-                    "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") failed");
   net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/false);
   // Everything sitting in the queues is lost.
   for (int dir = 0; dir < 2; ++dir) {
@@ -116,8 +114,6 @@ void Link::recover() {
   if (up_) return;
   up_ = true;
   auto& sched = net_.scheduler();
-  net_.trace().emit(sched.now(), TraceCategory::Failure,
-                    "link (" + std::to_string(a_) + "," + std::to_string(b_) + ") recovered");
   net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/true);
   sched.scheduleAfter(cfg_.detectDelay, [this] {
     if (!up_) return;

@@ -8,7 +8,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
-#include "sim/logging.hpp"
+#include "obs/trace.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -56,7 +56,8 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] TraceLog& trace() { return trace_; }
+  [[nodiscard]] obs::Tracer& trace() { return trace_; }
+  [[nodiscard]] const obs::Tracer& trace() const { return trace_; }
   [[nodiscard]] NetworkHooks& hooks() { return hooks_; }
 
   /// The network-owned RNG, forked per node at creation; fault injection
@@ -67,36 +68,62 @@ class Network {
   void setObserver(NetworkObserver* obs) { observer_ = obs; }
   [[nodiscard]] NetworkObserver* observer() const { return observer_; }
 
-  // Event fan-out: each call site notifies the stats hooks and the observer
-  // with identical arguments, so the two layers can never disagree.
+  // Event fan-out: each call site notifies the stats hooks, the observer
+  // and the typed tracer with identical arguments, so no two layers can
+  // disagree. Trace payload construction is guarded by wants(), keeping
+  // the disabled path to a null-check.
   void notifyDrop(Time t, NodeId where, const Packet& p, DropReason r) {
     if (hooks_.onDrop) hooks_.onDrop(t, where, p, r);
     if (observer_) observer_->onDrop(t, where, p, r);
+    if (trace_.wants(obs::TraceKind::Drop)) {
+      trace_.emit(t, obs::TraceKind::Drop, where, kInvalidNode, static_cast<std::int64_t>(p.id),
+                  static_cast<std::int64_t>(r), p.kind == PacketKind::Data ? 1 : 0);
+    }
   }
   void notifyDeliver(Time t, NodeId node, const Packet& p) {
     if (hooks_.onDeliver) hooks_.onDeliver(t, node, p);
     if (observer_) observer_->onDeliver(t, node, p);
+    if (trace_.wants(obs::TraceKind::Deliver)) {
+      trace_.emit(t, obs::TraceKind::Deliver, node, p.src, static_cast<std::int64_t>(p.id),
+                  p.sendTime.ns(),
+                  p.trace ? static_cast<std::int64_t>(p.trace->size()) : 0);
+    }
   }
   void notifyForward(Time t, NodeId node, const Packet& p, NodeId nh) {
     if (hooks_.onForward) hooks_.onForward(t, node, p, nh);
     if (observer_) observer_->onForward(t, node, p, nh);
+    if (trace_.wants(obs::TraceKind::Forward)) {
+      trace_.emit(t, obs::TraceKind::Forward, node, nh, static_cast<std::int64_t>(p.id), p.ttl,
+                  p.dst);
+    }
   }
   void notifyOriginate(Time t, NodeId node, const Packet& p) {
     if (observer_) observer_->onOriginate(t, node, p);
+    if (trace_.wants(obs::TraceKind::Originate)) {
+      trace_.emit(t, obs::TraceKind::Originate, node, p.dst, static_cast<std::int64_t>(p.id));
+    }
   }
   void notifyRouteChange(Time t, NodeId node, NodeId dst, NodeId oldNh, NodeId newNh) {
     if (hooks_.onRouteChange) hooks_.onRouteChange(t, node, dst, oldNh, newNh);
     if (observer_) observer_->onRouteChange(t, node, dst, oldNh, newNh);
+    if (trace_.wants(obs::TraceKind::RouteChange)) {
+      trace_.emit(t, obs::TraceKind::RouteChange, node, kInvalidNode, dst, oldNh, newNh);
+    }
   }
   void notifyControlSend(Time t, NodeId from, NodeId to, const ControlPayload& payload) {
     if (hooks_.onControlSend) hooks_.onControlSend(t, from, to, payload);
     if (observer_) observer_->onControlSend(t, from, to, payload);
+    if (trace_.wants(obs::TraceKind::ControlSend)) {
+      trace_.emit(t, obs::TraceKind::ControlSend, from, to,
+                  static_cast<std::int64_t>(payload.sizeBytes()));
+    }
   }
   void notifyLinkTransmit(Time t, NodeId from, NodeId to, bool linkUp) {
     if (observer_) observer_->onLinkTransmit(t, from, to, linkUp);
   }
   void notifyLinkStateChange(Time t, NodeId a, NodeId b, bool up) {
     if (observer_) observer_->onLinkStateChange(t, a, b, up);
+    trace_.emit(t, up ? obs::TraceKind::LinkUp : obs::TraceKind::LinkDown, a, b);
   }
 
   /// Create a node; ids are dense and assigned in creation order.
@@ -133,7 +160,7 @@ class Network {
  private:
   Scheduler& sched_;
   Rng rng_;
-  TraceLog trace_;
+  obs::Tracer trace_;
   NetworkHooks hooks_;
   NetworkObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;

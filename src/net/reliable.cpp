@@ -85,20 +85,17 @@ void ReliableSession::onRtoTimer() {
     // Give up: the peer is unreachable past the detector's patience. Drop
     // the connection, tell the peer (best effort — the RST rides the same
     // broken path), and let the owner resynchronize.
-    node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Transport,
-                                 "node " + std::to_string(node_.id()) + " session -> " +
-                                     std::to_string(peer_) + " reset after " +
-                                     std::to_string(cfg_.maxRetries) + " retries");
+    node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::TransportReset,
+                                 node_.id(), peer_, cfg_.maxRetries);
     ++sessionResets_;
     reset();
     node_.sendControl(peer_, std::make_shared<TransportReset>());
     if (onReset_) onReset_();
     return;
   }
-  node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Transport,
-                               "node " + std::to_string(node_.id()) + " rto -> " +
-                                   std::to_string(peer_) + " (go-back-" +
-                                   std::to_string(inFlight_.size()) + ")");
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::TransportRto, node_.id(),
+                               peer_, static_cast<std::int64_t>(inFlight_.size()),
+                               currentRto_.ns());
   // Go-back-N: retransmit everything outstanding, then back off.
   for (const auto& [seq, msg] : inFlight_) {
     ++retransmissions_;

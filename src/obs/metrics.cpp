@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcsim::obs {
+
+namespace {
+
+std::size_t bucketFor(double v) {
+  if (v <= Histogram::kSmallest) return 0;
+  const double exact = std::log2(v / Histogram::kSmallest);
+  const auto idx = static_cast<std::size_t>(std::max(0.0, std::ceil(exact)));
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+double bucketUpperBound(std::size_t idx) {
+  return Histogram::kSmallest * std::ldexp(1.0, static_cast<int>(idx));
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (!std::isfinite(v)) return;
+  if (v < 0.0) v = 0.0;
+  std::lock_guard lk{mu_};
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucketFor(v)];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lk{mu_};
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lk{mu_};
+  return sum_;
+}
+
+double Histogram::minValue() const {
+  std::lock_guard lk{mu_};
+  return min_;
+}
+
+double Histogram::maxValue() const {
+  std::lock_guard lk{mu_};
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard lk{mu_};
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard lk{mu_};
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp the bucket bound to the observed extremes so a single-sample
+      // histogram reports the sample, not a power of two near it.
+      return std::clamp(bucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+JsonValue Histogram::toJson() const {
+  JsonValue o = JsonValue::makeObject();
+  // Snapshot under one lock so count/sum/min/max are mutually consistent.
+  std::uint64_t count;
+  double sum;
+  double mn;
+  double mx;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  {
+    std::lock_guard lk{mu_};
+    count = count_;
+    sum = sum_;
+    mn = min_;
+    mx = max_;
+    buckets = buckets_;
+  }
+  auto quantileOf = [&](double q) -> double {
+    if (count == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return std::clamp(bucketUpperBound(i), mn, mx);
+    }
+    return mx;
+  };
+  o.object["count"] = JsonValue::makeNumber(static_cast<double>(count));
+  o.object["sum"] = JsonValue::makeNumber(sum);
+  o.object["min"] = JsonValue::makeNumber(mn);
+  o.object["max"] = JsonValue::makeNumber(mx);
+  o.object["mean"] = JsonValue::makeNumber(count == 0 ? 0.0 : sum / static_cast<double>(count));
+  o.object["p50"] = JsonValue::makeNumber(quantileOf(0.5));
+  o.object["p90"] = JsonValue::makeNumber(quantileOf(0.9));
+  o.object["p99"] = JsonValue::makeNumber(quantileOf(0.99));
+  return o;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk{mu_};
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk{mu_};
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lk{mu_};
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+JsonValue MetricsRegistry::toJson() const {
+  JsonValue o = JsonValue::makeObject();
+  std::lock_guard lk{mu_};
+  if (!counters_.empty()) {
+    JsonValue c = JsonValue::makeObject();
+    for (const auto& [name, counter] : counters_) {
+      c.object[name] = JsonValue::makeNumber(static_cast<double>(counter->value()));
+    }
+    o.object["counters"] = std::move(c);
+  }
+  if (!gauges_.empty()) {
+    JsonValue g = JsonValue::makeObject();
+    for (const auto& [name, gauge] : gauges_) {
+      JsonValue one = JsonValue::makeObject();
+      one.object["value"] = JsonValue::makeNumber(gauge->value());
+      one.object["max"] = JsonValue::makeNumber(gauge->maxValue());
+      g.object[name] = std::move(one);
+    }
+    o.object["gauges"] = std::move(g);
+  }
+  if (!histograms_.empty()) {
+    JsonValue h = JsonValue::makeObject();
+    for (const auto& [name, hist] : histograms_) h.object[name] = hist->toJson();
+    o.object["histograms"] = std::move(h);
+  }
+  return o;
+}
+
+namespace {
+thread_local MetricsRegistry* g_currentMetrics = nullptr;
+}  // namespace
+
+MetricsRegistry* currentMetrics() { return g_currentMetrics; }
+
+MetricsScope::MetricsScope(MetricsRegistry& r) : prev_{g_currentMetrics} {
+  g_currentMetrics = &r;
+}
+
+MetricsScope::~MetricsScope() { g_currentMetrics = prev_; }
+
+}  // namespace rcsim::obs

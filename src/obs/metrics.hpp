@@ -1,0 +1,129 @@
+#pragma once
+
+// Process-side metrics (distinct from simulation statistics): counters,
+// gauges and latency histograms describing how the *simulator* behaves —
+// scheduler hot-path totals, per-replica wall time, journal fsync cost.
+// A MetricsRegistry is owned by whoever runs work (the SweepExecutor keeps
+// one per job) and serializes into the `metrics` block of the
+// rcsim-experiment-v1 artifact. All instruments are thread-safe; handles
+// returned by the registry stay valid for the registry's lifetime.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/json_lite.hpp"
+
+namespace rcsim::obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value plus a running maximum (e.g. pool occupancy).
+class Gauge {
+ public:
+  void set(double v) {
+    std::lock_guard lk{mu_};
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  [[nodiscard]] double value() const {
+    std::lock_guard lk{mu_};
+    return value_;
+  }
+  [[nodiscard]] double maxValue() const {
+    std::lock_guard lk{mu_};
+    return max_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Latency/size distribution: exact count/sum/min/max plus power-of-two
+/// buckets (anchored at 1 microsecond when observing seconds) for
+/// approximate quantiles. Good enough to tell "fsync is the bottleneck"
+/// from "replicas are slow", which is all the sweep profiler needs.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+  /// Upper bound of bucket i: kSmallest * 2^i (last bucket is open-ended).
+  static constexpr double kSmallest = 1e-6;
+
+  void observe(double v);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double minValue() const;  ///< 0 when empty
+  [[nodiscard]] double maxValue() const;  ///< 0 when empty
+  [[nodiscard]] double mean() const;      ///< 0 when empty
+
+  /// Approximate quantile (upper bound of the bucket holding rank q).
+  /// q in [0,1]; returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// {"count":N,"sum":s,"min":m,"max":M,"mean":a,"p50":...,"p90":...,"p99":...}
+  [[nodiscard]] JsonValue toJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Named instruments, created on first use. Serialization is sorted by
+/// name (std::map), so two runs that touch the same instruments produce
+/// identical key order in the artifact.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// {"counters":{name:value},"gauges":{name:{value,max}},
+  ///  "histograms":{name:{count,sum,...}}} — empty sections are omitted.
+  [[nodiscard]] JsonValue toJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The thread's active registry, or null. Lets deep call sites (e.g.
+/// runScenario recording scheduler totals) publish into whatever registry
+/// the surrounding executor job installed — without threading a pointer
+/// through every signature or touching the frozen RunResult layout.
+[[nodiscard]] MetricsRegistry* currentMetrics();
+
+/// RAII: install `r` as the calling thread's current registry, restoring
+/// the previous one (usually null) on destruction.
+class MetricsScope {
+ public:
+  explicit MetricsScope(MetricsRegistry& r);
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace rcsim::obs

@@ -1,0 +1,182 @@
+#pragma once
+
+// Typed structured event tracing — the replacement for the old string-sink
+// TraceLog. A TraceEvent is a fixed-size record (time, kind, category, two
+// node ids, three integer payload words); call sites emit it through the
+// Tracer owned by Network, which forwards to an installed TraceSink. With
+// no sink installed the whole path is one pointer null-check — no strings,
+// no allocation, nothing formatted.
+//
+// The categories match the paper's "routing and forwarding trace files"
+// (Section 5) plus the fault-injection and simulator-summary channels that
+// grew since; the kinds enumerate every event the forensic replayer
+// (obs/replay.hpp) and the rcsim-trace CLI understand.
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim::obs {
+
+/// Independent trace channels. Callers can enable any subset via the
+/// Tracer's category mask; a full-fidelity trace keeps all of them.
+enum class TraceCategory : std::uint8_t {
+  Forwarding,  ///< data-plane: forward / drop / deliver / originate
+  Routing,     ///< FIB changes, protocol decisions, update & MRAI machinery
+  Transport,   ///< reliable-session RTO / reset
+  Failure,     ///< link up/down transitions
+  Fault,       ///< fault-plan events as the injector applies them
+  Sim,         ///< per-run scheduler summary
+};
+inline constexpr int kTraceCategoryCount = 6;
+
+[[nodiscard]] constexpr const char* toString(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::Forwarding: return "fwd";
+    case TraceCategory::Routing: return "rt";
+    case TraceCategory::Transport: return "tx";
+    case TraceCategory::Failure: return "fail";
+    case TraceCategory::Fault: return "fault";
+    case TraceCategory::Sim: return "sim";
+  }
+  return "?";
+}
+
+/// Every event the simulator can emit. The numeric values are part of the
+/// rcsim-trace-v1 on-disk format: append new kinds at the end, never
+/// renumber.
+enum class TraceKind : std::uint8_t {
+  LinkDown = 0,
+  LinkUp = 1,
+  RouteChange = 2,   ///< a=node, x=dst, y=old next hop, z=new next hop
+  Forward = 3,       ///< a=node, b=next hop, x=packet id, y=ttl, z=dst
+  Drop = 4,          ///< a=where, x=packet id, y=DropReason, z=1 if data
+  Deliver = 5,       ///< a=node, x=packet id, y=send time ns, z=hops
+  Originate = 6,     ///< a=src, b=dst, x=packet id
+  ControlSend = 7,   ///< a=from, b=to, x=payload bytes
+  TransportRto = 8,  ///< a=node, b=peer, x=in-flight segments, y=rto ns
+  TransportReset = 9,  ///< a=node, b=peer, x=max retries exhausted
+  BgpBest = 10,      ///< a=node, x=dst, y=best via, z=path length (0=unreachable)
+  BgpAdvert = 11,    ///< a=node, b=peer, x=dst, y=advertised path length
+  BgpWithdraw = 12,  ///< a=node, b=peer, x=dst
+  MraiArm = 13,      ///< a=node, b=peer, x=delay ns, z=dst for per-dest mode else -1
+  MraiFire = 14,     ///< a=node, b=peer, x=pending dsts at expiry, z=dst / -1
+  DvPeriodic = 15,   ///< a=node, x=destinations announced
+  DvTriggered = 16,  ///< a=node, x=changed destinations flushed
+  FaultApply = 17,   ///< a,b=target ids, x=FaultKind
+  SimSummary = 18,   ///< x=events executed, y=events scheduled, z=pool slots
+};
+inline constexpr int kTraceKindCount = 19;
+
+[[nodiscard]] constexpr const char* toString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::LinkDown: return "link-down";
+    case TraceKind::LinkUp: return "link-up";
+    case TraceKind::RouteChange: return "route";
+    case TraceKind::Forward: return "forward";
+    case TraceKind::Drop: return "drop";
+    case TraceKind::Deliver: return "deliver";
+    case TraceKind::Originate: return "originate";
+    case TraceKind::ControlSend: return "control";
+    case TraceKind::TransportRto: return "rto";
+    case TraceKind::TransportReset: return "reset";
+    case TraceKind::BgpBest: return "bgp-best";
+    case TraceKind::BgpAdvert: return "bgp-advert";
+    case TraceKind::BgpWithdraw: return "bgp-withdraw";
+    case TraceKind::MraiArm: return "mrai-arm";
+    case TraceKind::MraiFire: return "mrai-fire";
+    case TraceKind::DvPeriodic: return "dv-periodic";
+    case TraceKind::DvTriggered: return "dv-triggered";
+    case TraceKind::FaultApply: return "fault";
+    case TraceKind::SimSummary: return "summary";
+  }
+  return "?";
+}
+
+/// Each kind belongs to exactly one category, fixed here so emitters and
+/// readers can never disagree about which mask bit guards an event.
+[[nodiscard]] constexpr TraceCategory categoryOf(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::LinkDown:
+    case TraceKind::LinkUp: return TraceCategory::Failure;
+    case TraceKind::RouteChange:
+    case TraceKind::ControlSend:
+    case TraceKind::BgpBest:
+    case TraceKind::BgpAdvert:
+    case TraceKind::BgpWithdraw:
+    case TraceKind::MraiArm:
+    case TraceKind::MraiFire:
+    case TraceKind::DvPeriodic:
+    case TraceKind::DvTriggered: return TraceCategory::Routing;
+    case TraceKind::Forward:
+    case TraceKind::Drop:
+    case TraceKind::Deliver:
+    case TraceKind::Originate: return TraceCategory::Forwarding;
+    case TraceKind::TransportRto:
+    case TraceKind::TransportReset: return TraceCategory::Transport;
+    case TraceKind::FaultApply: return TraceCategory::Fault;
+    case TraceKind::SimSummary: return TraceCategory::Sim;
+  }
+  return TraceCategory::Sim;
+}
+
+/// One trace record. 48 bytes, trivially copyable; the x/y/z payload words
+/// are interpreted per kind (see the TraceKind comments).
+struct TraceEvent {
+  Time t{};
+  TraceKind kind{};
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t z = 0;
+
+  [[nodiscard]] TraceCategory category() const { return categoryOf(kind); }
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Abstract consumer. Implementations: MemoryTraceSink and FileTraceSink
+/// in obs/trace_io.hpp, plus ad-hoc sinks in tools/tests.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onTraceEvent(const TraceEvent& ev) = 0;
+};
+
+/// The per-network dispatch point. Near-zero cost when disabled: wants()
+/// is a pointer null-check plus a mask test, and every emitter guards its
+/// payload construction behind it, so a run with no sink builds nothing.
+class Tracer {
+ public:
+  static constexpr std::uint32_t kAllCategories = (1u << kTraceCategoryCount) - 1;
+
+  /// Install/remove the sink (borrowed, not owned). Null disables tracing.
+  void setSink(TraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// Restrict emission to a subset of categories (default: all).
+  void setCategoryMask(std::uint32_t mask) { mask_ = mask; }
+  [[nodiscard]] std::uint32_t categoryMask() const { return mask_; }
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] bool wants(TraceCategory cat) const {
+    return sink_ != nullptr && ((mask_ >> static_cast<unsigned>(cat)) & 1u) != 0;
+  }
+  [[nodiscard]] bool wants(TraceKind kind) const { return wants(categoryOf(kind)); }
+
+  void emit(const TraceEvent& ev) const {
+    if (wants(categoryOf(ev.kind))) sink_->onTraceEvent(ev);
+  }
+  void emit(Time t, TraceKind kind, NodeId a, NodeId b, std::int64_t x = 0, std::int64_t y = 0,
+            std::int64_t z = 0) const {
+    if (wants(categoryOf(kind))) sink_->onTraceEvent(TraceEvent{t, kind, a, b, x, y, z});
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint32_t mask_ = kAllCategories;
+};
+
+}  // namespace rcsim::obs

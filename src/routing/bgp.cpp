@@ -207,9 +207,9 @@ void Bgp::runDecision(NodeId dst) {
   bestPath_[i] = newPath;
   bestVia_[i] = via;
   node_.setRoute(dst, via);
-  node_.network().trace().emit(node_.scheduler().now(), TraceCategory::Routing,
-                               "node " + std::to_string(node_.id()) + " dst " +
-                                   std::to_string(dst) + " best via " + std::to_string(via));
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::BgpBest, node_.id(),
+                               kInvalidNode, dst, via,
+                               static_cast<std::int64_t>(bestPath_[i].size()));
   if (newPath.empty()) {
     if (wasReachable) sendWithdrawalAll(dst);
   } else {
@@ -283,6 +283,8 @@ bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
       cached = std::move(update);
     }
     ++withdrawalsSent_;
+    node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::BgpWithdraw, node_.id(),
+                                 peerId, dst);
     peer.session->send(cached);
     return true;
   }
@@ -304,8 +306,10 @@ bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
     update->advertised.push_back(BgpRoute{dst, path});
     cached = std::move(update);
   }
-  out = std::move(path);
   ++updatesSent_;
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::BgpAdvert, node_.id(),
+                               peerId, dst, static_cast<std::int64_t>(path.size()));
+  out = std::move(path);
   peer.session->send(cached);
   return true;
 }
@@ -323,25 +327,37 @@ double Bgp::mraiDelay() { return node_.rng().uniform(cfg_.mraiMinSec, cfg_.mraiM
 void Bgp::armMrai(NodeId peerId) {
   auto& peer = peers_.at(peerId);
   peer.mraiRunning = true;
-  peer.mraiTimer = node_.scheduler().scheduleAfter(Time::seconds(mraiDelay()), [this, peerId] {
+  // Draw the delay unconditionally: the RNG stream must not depend on
+  // whether tracing is enabled, or traced runs would diverge.
+  const Time delay = Time::seconds(mraiDelay());
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
+                               peerId, delay.ns(), 0, -1);
+  peer.mraiTimer = node_.scheduler().scheduleAfter(delay, [this, peerId] {
     auto& p = peers_.at(peerId);
     p.mraiRunning = false;
     p.mraiTimer = EventId{};
+    node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiFire, node_.id(),
+                                 peerId, static_cast<std::int64_t>(p.pending.size()), 0, -1);
     if (!p.pending.empty() && p.up && flushPeer(peerId)) armMrai(peerId);
   });
 }
 
 void Bgp::armDestMrai(NodeId peerId, NodeId dst) {
   auto& peer = peers_.at(peerId);
-  peer.destTimers[dst] =
-      node_.scheduler().scheduleAfter(Time::seconds(mraiDelay()), [this, peerId, dst] {
-        auto& p = peers_.at(peerId);
-        p.destTimers.erase(dst);
-        if (p.destPending.erase(dst) > 0 && p.up) {
-          emitRoute(peerId, dst);
-          armDestMrai(peerId, dst);
-        }
-      });
+  const Time delay = Time::seconds(mraiDelay());
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
+                               peerId, delay.ns(), 0, dst);
+  peer.destTimers[dst] = node_.scheduler().scheduleAfter(delay, [this, peerId, dst] {
+    auto& p = peers_.at(peerId);
+    p.destTimers.erase(dst);
+    const bool pending = p.destPending.erase(dst) > 0;
+    node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiFire, node_.id(),
+                                 peerId, pending ? 1 : 0, 0, dst);
+    if (pending && p.up) {
+      emitRoute(peerId, dst);
+      armDestMrai(peerId, dst);
+    }
+  });
 }
 
 void Bgp::onLinkDown(NodeId neighbor) {

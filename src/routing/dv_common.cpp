@@ -46,6 +46,12 @@ void DvProtocolBase::start() {
 
 void DvProtocolBase::periodicTick() {
   checkNeighborAging();
+  // knownDestinations() allocates, so only count them when a sink listens.
+  auto& tr = node_.network().trace();
+  if (tr.wants(obs::TraceKind::DvPeriodic)) {
+    tr.emit(node_.scheduler().now(), obs::TraceKind::DvPeriodic, node_.id(), kInvalidNode,
+            static_cast<std::int64_t>(knownDestinations().size()));
+  }
   sendFullTables();
   const double jitter = cfg_.periodicJitter.toSeconds();
   const double next = cfg_.periodicInterval.toSeconds() + node_.rng().uniform(-jitter, jitter);
@@ -158,6 +164,8 @@ void DvProtocolBase::flushTriggered() {
   if (changed_.empty()) return;
   const std::vector<NodeId> dsts(changed_.begin(), changed_.end());
   changed_.clear();
+  node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::DvTriggered, node_.id(),
+                               kInvalidNode, static_cast<std::int64_t>(dsts.size()));
   sendEntriesAll(dsts);
 }
 

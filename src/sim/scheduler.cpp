@@ -29,6 +29,7 @@ void Scheduler::cancel(EventId id) {
   s.key = 0;
   freeSlots_.push_back(slot);
   --live_;
+  ++cancelled_;
 }
 
 void Scheduler::run(Time horizon) {

@@ -144,6 +144,12 @@ class Scheduler {
   /// Total events executed so far (for perf accounting).
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
 
+  /// Total events ever scheduled (sequence numbers start at 1).
+  [[nodiscard]] std::uint64_t scheduledEvents() const { return nextSeq_ - 1; }
+
+  /// Total events cancelled while still pending.
+  [[nodiscard]] std::uint64_t cancelledEvents() const { return cancelled_; }
+
  private:
   /// Slot index occupies the low bits of a key; the rest is the sequence
   /// number. 16M concurrent events, ~1.1e12 total events per scheduler.
@@ -239,6 +245,7 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t nextSeq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
   bool stopped_ = false;
 };
 

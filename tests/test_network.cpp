@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.hpp"
+#include "obs/trace_io.hpp"
 #include "sim/scheduler.hpp"
 #include "topo/topology.hpp"
 
@@ -89,15 +90,33 @@ TEST(Network, TraceSinkReceivesFailureEvents) {
   net.addNode();
   net.addNode();
   Link& l = net.addLink(0, 1, LinkConfig{});
-  std::vector<std::string> lines;
-  net.trace().setSink([&lines](Time, TraceCategory cat, const std::string& msg) {
-    lines.push_back(std::string{toString(cat)} + " " + msg);
-  });
+  obs::MemoryTraceSink sink;
+  net.trace().setSink(&sink);
   l.fail();
   l.recover();
-  ASSERT_EQ(lines.size(), 2u);
-  EXPECT_NE(lines[0].find("failed"), std::string::npos);
-  EXPECT_NE(lines[1].find("recovered"), std::string::npos);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].kind, obs::TraceKind::LinkDown);
+  EXPECT_EQ(sink.events()[1].kind, obs::TraceKind::LinkUp);
+  EXPECT_EQ(sink.events()[0].a, 0);
+  EXPECT_EQ(sink.events()[0].b, 1);
+  EXPECT_EQ(sink.events()[0].category(), obs::TraceCategory::Failure);
+}
+
+TEST(Network, TraceCategoryMaskFiltersEvents) {
+  Scheduler sched;
+  Network net{sched, Rng{1}};
+  net.addNode();
+  net.addNode();
+  Link& l = net.addLink(0, 1, LinkConfig{});
+  obs::MemoryTraceSink sink;
+  net.trace().setSink(&sink);
+  net.trace().setCategoryMask(1u << static_cast<unsigned>(obs::TraceCategory::Routing));
+  l.fail();
+  EXPECT_TRUE(sink.events().empty());  // Failure bit is off
+  net.trace().setCategoryMask(obs::Tracer::kAllCategories);
+  l.recover();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].kind, obs::TraceKind::LinkUp);
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Observability subsystem tests: metrics registry semantics, the
+// rcsim-trace-v1 wire format (encode/decode/CRC/torn tail), trace
+// determinism across identical seeds, replay agreement with the live
+// PathTracer, and the executor's published metrics block.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/scenario.hpp"
+#include "exp/executor.hpp"
+#include "exp/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace_io.hpp"
+#include "stats/collector.hpp"
+
+namespace rcsim::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&reg.counter("x"), &c);
+}
+
+TEST(Metrics, GaugeTracksLastAndMax) {
+  Gauge g;
+  g.set(3.0);
+  g.set(7.5);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.maxValue(), 7.5);
+}
+
+TEST(Metrics, HistogramEmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramStatsAndQuantiles) {
+  Histogram h;
+  for (const double v : {0.001, 0.002, 0.004, 0.008, 1.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.minValue(), 0.001);
+  EXPECT_DOUBLE_EQ(h.maxValue(), 1.0);
+  EXPECT_NEAR(h.mean(), 1.015 / 5.0, 1e-12);
+  // Quantiles are bucket upper bounds (1e-6 * 2^i) clamped to [min, max]:
+  // the median of five power-of-two-spaced samples resolves to at most
+  // 0.004's bucket bound, 0.004096.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 0.002);
+  EXPECT_LE(p50, 0.004096);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.001);
+}
+
+TEST(Metrics, RegistryJsonOmitsEmptySectionsAndSortsNames) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.toJson().object.empty());
+
+  reg.counter("b.two").add(2);
+  reg.counter("a.one").add(1);
+  const JsonValue doc = reg.toJson();
+  ASSERT_TRUE(doc.has("counters"));
+  EXPECT_FALSE(doc.has("gauges"));
+  EXPECT_FALSE(doc.has("histograms"));
+  const auto& counters = doc.at("counters").object;
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters.begin()->first, "a.one");  // std::map iterates sorted
+
+  reg.gauge("g").set(4.0);
+  reg.histogram("h").observe(0.5);
+  const JsonValue full = reg.toJson();
+  EXPECT_DOUBLE_EQ(full.at("gauges").at("g").numberAt("max"), 4.0);
+  EXPECT_DOUBLE_EQ(full.at("histograms").at("h").numberAt("count"), 1.0);
+}
+
+TEST(Metrics, ScopeInstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(currentMetrics(), nullptr);
+  MetricsRegistry outer;
+  {
+    MetricsScope a{outer};
+    EXPECT_EQ(currentMetrics(), &outer);
+    MetricsRegistry inner;
+    {
+      MetricsScope b{inner};
+      EXPECT_EQ(currentMetrics(), &inner);
+    }
+    EXPECT_EQ(currentMetrics(), &outer);
+  }
+  EXPECT_EQ(currentMetrics(), nullptr);
+}
+
+// ------------------------------------------------------------ wire format
+
+TEST(TraceIo, EventLineRoundTrips) {
+  const TraceEvent ev{Time::seconds(400.25), TraceKind::RouteChange, 7, kInvalidNode, 42, 3, -1};
+  const std::string line = encodeTraceLine(ev);
+  TraceEvent back{};
+  ASSERT_TRUE(decodeTraceLine(line, back));
+  EXPECT_EQ(back, ev);
+}
+
+TEST(TraceIo, TamperedLineFailsCrc) {
+  const TraceEvent ev{Time::seconds(1.0), TraceKind::Forward, 1, 2, 100, 64, 48};
+  std::string line = encodeTraceLine(ev);
+  const auto pos = line.find("100");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, 3, "101");
+  TraceEvent back{};
+  EXPECT_FALSE(decodeTraceLine(line, back));
+}
+
+TEST(TraceIo, HeaderAndGarbageLinesAreNotEvents) {
+  TraceEvent back{};
+  EXPECT_FALSE(decodeTraceLine(encodeTraceHeader(JsonValue::makeObject()), back));
+  EXPECT_FALSE(decodeTraceLine("not json", back));
+  EXPECT_FALSE(decodeTraceLine("", back));
+}
+
+TEST(TraceIo, FileRoundTripAndTornTail) {
+  const std::string path = std::filesystem::temp_directory_path() / "rcsim_obs_trace.jsonl";
+  JsonValue meta = JsonValue::makeObject();
+  meta.object["src"] = JsonValue::makeNumber(3);
+  meta.object["dst"] = JsonValue::makeNumber(45);
+  meta.object["nodes"] = JsonValue::makeNumber(49);
+
+  std::vector<TraceEvent> events;
+  {
+    FileTraceSink sink{path, meta};
+    for (int i = 0; i < 100; ++i) {
+      const TraceEvent ev{Time::seconds(i), TraceKind::ControlSend, i % 7, (i + 1) % 7, i, 0, 0};
+      events.push_back(ev);
+      sink.onTraceEvent(ev);
+    }
+    sink.close();
+    EXPECT_EQ(sink.eventsWritten(), 100u);
+  }
+
+  const TraceFile clean = readTraceFile(path);
+  EXPECT_EQ(clean.corrupt, 0u);
+  ASSERT_EQ(clean.events.size(), events.size());
+  EXPECT_EQ(clean.events, events);
+  EXPECT_EQ(clean.meta.numberAt("nodes"), 49.0);
+
+  // A mid-write kill tears the last line; the reader skips and counts it.
+  {
+    std::ofstream torn{path, std::ios::app};
+    torn << R"({"crc":"00000000","ev":[1,2,)";  // truncated record
+  }
+  const TraceFile repaired = readTraceFile(path);
+  EXPECT_EQ(repaired.corrupt, 1u);
+  EXPECT_EQ(repaired.events, events);
+
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingOrHeaderlessFileThrows) {
+  EXPECT_THROW((void)readTraceFile("/nonexistent/rcsim.trace"), std::runtime_error);
+  const std::string path = std::filesystem::temp_directory_path() / "rcsim_obs_headerless.jsonl";
+  {
+    std::ofstream out{path};
+    out << encodeTraceLine(TraceEvent{Time::seconds(1.0), TraceKind::LinkUp, 0, 1, 0, 0, 0})
+        << "\n";
+  }
+  EXPECT_THROW((void)readTraceFile(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------- determinism + replay
+
+ScenarioConfig quickConfig(ProtocolKind kind, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.protocol = kind;
+  cfg.mesh.degree = 4;
+  cfg.seed = seed;
+  cfg.trafficStart = Time::seconds(90.0);
+  cfg.trafficStop = Time::seconds(150.0);
+  cfg.failAt = Time::seconds(100.0);
+  cfg.endAt = Time::seconds(200.0);
+  return cfg;
+}
+
+std::vector<TraceEvent> traceRun(const ScenarioConfig& cfg) {
+  Scenario sc{cfg};
+  MemoryTraceSink sink;
+  sc.network().trace().setSink(&sink);
+  sc.run();
+  return sink.events();
+}
+
+TEST(TraceDeterminism, IdenticalSeedsProduceIdenticalDigests) {
+  const ScenarioConfig cfg = quickConfig(ProtocolKind::Rip, 7);
+  const auto a = traceRun(cfg);
+  const auto b = traceRun(cfg);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(traceDigest(a), traceDigest(b));
+  EXPECT_NE(traceDigest(a), traceDigest(traceRun(quickConfig(ProtocolKind::Rip, 8))));
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheRun) {
+  // The RNG stream must not depend on whether a sink is installed — the
+  // MRAI jitter draw in particular happens unconditionally.
+  const ScenarioConfig cfg = quickConfig(ProtocolKind::Bgp, 11);
+  const RunResult untraced = runScenario(cfg);
+  Scenario sc{cfg};
+  MemoryTraceSink sink;
+  sc.network().trace().setSink(&sink);
+  sc.run();
+  EXPECT_EQ(sc.scheduler().executedEvents(), untraced.eventsExecuted);
+  EXPECT_EQ(sc.stats().data().delivered, untraced.data.delivered);
+  EXPECT_EQ(sc.stats().data().dropNoRoute, untraced.data.dropNoRoute);
+}
+
+void expectReplayMatchesPathTracer(ProtocolKind kind, std::uint64_t seed) {
+  const ScenarioConfig cfg = quickConfig(kind, seed);
+  Scenario sc{cfg};
+  MemoryTraceSink sink;
+  sc.network().trace().setSink(&sink);
+  sc.run();
+
+  ReplayOptions opt;
+  opt.src = sc.sender();
+  opt.dst = sc.receiver();
+  opt.nodeCount = sc.network().nodeCount();
+  const ReplayResult replay = replayTrace(sink.events(), opt);
+
+  const PathTracer* live = sc.stats().tracer();
+  ASSERT_NE(live, nullptr);
+  ASSERT_EQ(replay.pathEvents.size(), live->events().size());
+  for (std::size_t i = 0; i < replay.pathEvents.size(); ++i) {
+    const auto& r = replay.pathEvents[i];
+    const auto& l = live->events()[i];
+    EXPECT_EQ(r.t, l.t) << "path event " << i;
+    EXPECT_EQ(r.path, l.path) << "path event " << i;
+    EXPECT_EQ(r.loop, l.loop) << "path event " << i;
+    EXPECT_EQ(r.blackhole, l.blackhole) << "path event " << i;
+  }
+  // The data-plane tallies must agree with the live collector too
+  // (control packets are consumed before deliverLocally, so Deliver
+  // events are data-only).
+  EXPECT_EQ(replay.delivered, sc.stats().data().delivered);
+}
+
+TEST(TraceReplay, AgreesWithPathTracerRip) { expectReplayMatchesPathTracer(ProtocolKind::Rip, 7); }
+
+TEST(TraceReplay, AgreesWithPathTracerBgp) { expectReplayMatchesPathTracer(ProtocolKind::Bgp, 5); }
+
+TEST(TraceReplay, OptionsFromMetaAndWindows) {
+  JsonValue meta = JsonValue::makeObject();
+  meta.object["src"] = JsonValue::makeNumber(0);
+  meta.object["dst"] = JsonValue::makeNumber(2);
+  meta.object["nodes"] = JsonValue::makeNumber(3);
+  const ReplayOptions opt = replayOptionsFromMeta(meta);
+  EXPECT_EQ(opt.src, 0);
+  EXPECT_EQ(opt.dst, 2);
+  EXPECT_EQ(opt.nodeCount, 3u);
+
+  // Hand-built 3-node line: 0 -> 1 -> 2, then 1 loses its route (black
+  // hole), then 1 points back at 0 (loop), then the path heals.
+  std::vector<TraceEvent> events;
+  auto route = [&events](double t, NodeId node, std::int64_t dst, std::int64_t nh) {
+    events.push_back(TraceEvent{Time::seconds(t), TraceKind::RouteChange, node, kInvalidNode, dst,
+                                kInvalidNode, nh});
+  };
+  route(1.0, 0, 2, 1);
+  route(1.0, 1, 2, 2);
+  route(2.0, 1, 2, kInvalidNode);  // blackhole window opens
+  route(3.0, 1, 2, 0);             // loop 0<->1 window opens
+  route(4.0, 1, 2, 2);             // healed
+  const ReplayResult r = replayTrace(events, opt);
+  // Two blackhole windows: a zero-length one while the FIB is half-built
+  // at t=1 (only 0's route installed yet), then the real 1 s outage.
+  ASSERT_EQ(r.blackholeWindows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.blackholeWindows[0].seconds(), 0.0);
+  EXPECT_FALSE(r.blackholeWindows[1].openAtEnd);
+  EXPECT_DOUBLE_EQ(r.blackholeWindows[1].seconds(), 1.0);
+  ASSERT_EQ(r.loopWindows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.loopWindows[0].seconds(), 1.0);
+  ASSERT_FALSE(r.pathEvents.empty());
+  EXPECT_EQ(r.pathEvents.back().path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(r.kindCounts[static_cast<std::size_t>(TraceKind::RouteChange)], 5u);
+}
+
+// ----------------------------------------------------- executor profiling
+
+TEST(ExecutorMetrics, JobPublishesSweepProfile) {
+  exp::ExperimentSpec spec;
+  spec.name = "obs_metrics_probe";
+  ScenarioConfig cfg = quickConfig(ProtocolKind::Dbf, 3);
+  for (int i = 0; i < 2; ++i) {
+    exp::CellSpec cell;
+    cell.id = "cell" + std::to_string(i);
+    cell.config = cfg;
+    cell.startSeed = 10 + static_cast<std::uint64_t>(i);
+    spec.cells.push_back(cell);
+  }
+  exp::SweepExecutor executor{2};
+  const exp::ExperimentResult result = executor.execute(spec, 3);
+
+  ASSERT_EQ(result.metrics.kind, JsonValue::Kind::Object);
+  const JsonValue& m = result.metrics;
+  ASSERT_TRUE(m.has("counters"));
+  EXPECT_DOUBLE_EQ(m.at("counters").numberAt("replica.ok"), 6.0);
+  EXPECT_DOUBLE_EQ(m.at("counters").numberAt("cell.completed"), 2.0);
+  // Scheduler totals flow in through the thread-local MetricsScope.
+  EXPECT_GT(m.at("counters").numberAt("sim.events_executed"), 0.0);
+  ASSERT_TRUE(m.has("histograms"));
+  EXPECT_DOUBLE_EQ(m.at("histograms").at("replica.wall_sec").numberAt("count"), 6.0);
+}
+
+TEST(ExecutorMetrics, ProgressCountsReplicas) {
+  exp::ExperimentSpec spec;
+  spec.name = "obs_progress_probe";
+  exp::CellSpec cell;
+  cell.id = "only";
+  cell.config = quickConfig(ProtocolKind::Dbf, 3);
+  spec.cells.push_back(cell);
+
+  exp::SweepExecutor executor{2};
+  EXPECT_EQ(exp::SweepExecutor::progress(nullptr).total, 0u);
+  auto job = executor.submit(spec, 4);
+  (void)executor.finish(job);
+  const exp::JobProgress done = exp::SweepExecutor::progress(job);
+  EXPECT_EQ(done.total, 4u);
+  EXPECT_EQ(done.completed, 4u);
+}
+
+}  // namespace
+}  // namespace rcsim::obs
