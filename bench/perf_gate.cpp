@@ -24,6 +24,8 @@
 #include "core/json_lite.hpp"
 #include "reference_scheduler.hpp"
 #include "sim/scheduler.hpp"
+#include "topo/graph_algo.hpp"
+#include "topo/topology.hpp"
 
 namespace {
 
@@ -114,15 +116,67 @@ double peakRssMb() {
   return 0.0;
 }
 
+/// Best-of-`reps` wall milliseconds of `body`.
+double benchMs(int reps, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double start = nowSec();
+    body();
+    const double ms = (nowSec() - start) * 1e3;
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
 struct Metrics {
   double scheduleRunEventsPerSec = 0.0;
   double seedScheduleRunEventsPerSec = 0.0;
   double selfReschedEventsPerSec = 0.0;
   std::vector<std::pair<std::string, double>> scenarioMs;  // stable order
+  std::vector<std::pair<std::string, double>> topologyMs;  // stable order
   double rssMb = 0.0;
 };
 
-Metrics collect(double minTimeSec, int reps) {
+/// The Internet-scale topology rows (docs/topologies.md). The converge row
+/// runs the pinned-digest 100x100 scenario once — it is the one metric too
+/// expensive to repeat, and the smoke run skips it entirely.
+void collectTopology(Metrics& m, int reps, bool includeConverge) {
+  m.topologyMs.emplace_back("mesh100x100_build", benchMs(reps, [] {
+    const Topology topo = makeRegularMesh(MeshSpec{100, 100, 4});
+    if (!topo.isConnected()) std::fprintf(stderr, "warning: 100x100 mesh disconnected?\n");
+  }));
+  m.topologyMs.emplace_back("dense_random_build", benchMs(reps, [] {
+    RandomGraphSpec spec;
+    spec.nodes = 200;
+    spec.avgDegree = 150.0;
+    spec.seed = 7;
+    const Topology topo = makeRandomTopology(spec);
+    if (topo.edges.size() != 15000u) std::fprintf(stderr, "warning: dense build edge count\n");
+  }));
+  m.topologyMs.emplace_back("abilene_sweep", benchMs(reps, [] {
+    for (const ProtocolKind kind :
+         {ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp, ProtocolKind::Bgp3}) {
+      ScenarioConfig cfg;
+      cfg.protocol = kind;
+      cfg.topology = TopologyKind::Named;
+      cfg.seed = 11;
+      const RunResult result = runScenario(cfg);
+      if (result.sent == 0) {
+        std::fprintf(stderr, "warning: abilene %s scenario sent 0 packets\n", toString(kind));
+      }
+    }
+  }));
+  if (includeConverge) {
+    m.topologyMs.emplace_back("mesh100x100_converge", benchMs(1, [] {
+      const RunResult result = runScenario(largeMeshConfig());
+      if (result.data.delivered == 0) {
+        std::fprintf(stderr, "warning: 100x100 converge scenario delivered 0 packets\n");
+      }
+    }));
+  }
+}
+
+Metrics collect(double minTimeSec, int reps, bool includeConverge) {
   Metrics m;
   // The pooled engine and the frozen pre-rewrite engine
   // (bench/reference_scheduler.hpp) run the identical workload back to back
@@ -144,6 +198,7 @@ Metrics collect(double minTimeSec, int reps) {
        {ProtocolKind::Rip, ProtocolKind::Dbf, ProtocolKind::Bgp, ProtocolKind::Bgp3}) {
     m.scenarioMs.emplace_back(toString(kind), benchScenarioMs(kind, reps));
   }
+  collectTopology(m, reps, includeConverge);
   m.rssMb = peakRssMb();
   return m;
 }
@@ -172,6 +227,12 @@ std::string toJson(const Metrics& m) {
   for (std::size_t i = 0; i < m.scenarioMs.size(); ++i) {
     os << "    \"" << m.scenarioMs[i].first << "\": " << num(m.scenarioMs[i].second)
        << (i + 1 < m.scenarioMs.size() ? "," : "") << "\n";
+  }
+  os << "  },\n";
+  os << "  \"topology_ms\": {\n";
+  for (std::size_t i = 0; i < m.topologyMs.size(); ++i) {
+    os << "    \"" << m.topologyMs[i].first << "\": " << num(m.topologyMs[i].second)
+       << (i + 1 < m.topologyMs.size() ? "," : "") << "\n";
   }
   os << "  },\n";
   os << "  \"rss_mb\": " << num(m.rssMb) << "\n";
@@ -228,6 +289,14 @@ int compareAgainstBaseline(const Metrics& m, const std::string& path, double tol
     if (!scen.has(name)) continue;
     checkMetric(("scenario." + name + " (ms)").c_str(), scen.numberAt(name), ms, tolerancePct,
                 /*higherIsBetter=*/false, failures);
+  }
+  if (base.has("topology_ms")) {
+    const JsonValue& topo = base.at("topology_ms");
+    for (const auto& [name, ms] : m.topologyMs) {
+      if (!topo.has(name)) continue;
+      checkMetric(("topology." + name + " (ms)").c_str(), topo.numberAt(name), ms, tolerancePct,
+                  /*higherIsBetter=*/false, failures);
+    }
   }
   if (base.has("rss_mb")) {
     checkMetric("rss_mb", base.numberAt("rss_mb"), m.rssMb, tolerancePct,
@@ -297,7 +366,7 @@ int main(int argc, char** argv) {
     if (minTimeSec > 0.01) minTimeSec = 0.01;
   }
 
-  const Metrics m = collect(minTimeSec, reps);
+  const Metrics m = collect(minTimeSec, reps, /*includeConverge=*/!smoke);
   const std::string json = toJson(m);
   std::printf("%s", json.c_str());
 

@@ -37,6 +37,18 @@ grep -q '"sim.events_executed"' "$smoke_out/headline_table.json"
 "$BUILD/tools/rcsim-trace" --replay="$smoke_out/smoke.trace.jsonl" --from=399 --to=401 \
   | grep -q 'corrupt=0'
 
+# Topology layer smoke: the canonical rcsim-topo-v1 dump must be a fixed
+# point (load -> dump -> load -> dump byte-identical), and the real-topology
+# experiment must sweep every protocol over the loaded backbones cleanly
+# with runtime invariant checking on.
+"$BUILD/tools/rcsim-topo" --named abilene --dump > "$smoke_out/abilene.topo"
+"$BUILD/tools/rcsim-topo" --file "$smoke_out/abilene.topo" --dump > "$smoke_out/abilene2.topo"
+cmp "$smoke_out/abilene.topo" "$smoke_out/abilene2.topo"
+RCSIM_RUNS=1 RCSIM_CHECK_INVARIANTS=1 "$BUILD/bench/rcsim_bench" --only=ext_realtopo \
+  --out="$smoke_out" --progress=1 > /dev/null
+test -s "$smoke_out/ext_realtopo.json"
+grep -q '"topology=named"' "$smoke_out/ext_realtopo.json"
+
 # Chaos job: SIGKILL a journaled sweep at random points and prove the
 # resumed artifact is bit-identical to an uninterrupted reference run
 # (docs/experiments.md, "Long runs, crashes, and resume").

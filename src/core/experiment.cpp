@@ -91,4 +91,26 @@ RunResult runScenario(const ScenarioConfig& cfg) {
   return r;
 }
 
+ScenarioConfig largeMeshConfig() {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Dbf;
+  cfg.mesh = MeshSpec{100, 100, 4};
+  cfg.seed = 1;
+  cfg.ttl = 250;  // the post-failure path can exceed the 198-hop diameter
+  cfg.protoCfg.dv.infinityMetric = 255;
+  cfg.protoCfg.dv.maxEntriesPerMessage = 1000;
+  // Tight damping keeps the convergence wave moving; the huge periodic and
+  // timeout intervals silence background refresh so the run measures the
+  // triggered-update protocol, not 10,000 nodes' idle chatter.
+  cfg.protoCfg.dv.triggerDampMinSec = 0.02;
+  cfg.protoCfg.dv.triggerDampMaxSec = 0.1;
+  cfg.protoCfg.dv.periodicInterval = Time::seconds(10000.0);
+  cfg.protoCfg.dv.timeout = Time::seconds(100000.0);
+  cfg.trafficStart = Time::seconds(20.0);
+  cfg.failAt = Time::seconds(23.0);
+  cfg.trafficStop = Time::seconds(30.0);
+  cfg.endAt = Time::seconds(40.0);
+  return cfg;
+}
+
 }  // namespace rcsim

@@ -52,9 +52,20 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
       cfg.topology = TopologyKind::RegularMesh;
     } else if (value == "random") {
       cfg.topology = TopologyKind::Random;
+    } else if (value == "file") {
+      cfg.topology = TopologyKind::File;
+    } else if (value == "named") {
+      cfg.topology = TopologyKind::Named;
     } else {
-      throw std::invalid_argument("topology must be mesh|random, got '" + value + "'");
+      throw std::invalid_argument("topology must be mesh|random|file|named, got '" + value +
+                                  "'");
     }
+  } else if (key == "file.path") {
+    if (value.empty()) throw std::invalid_argument("option file.path: needs a file path");
+    cfg.file.path = value;
+  } else if (key == "named.graph") {
+    if (value.empty()) throw std::invalid_argument("option named.graph: needs a graph name");
+    cfg.named.graph = value;
   } else if (key == "degree") {
     cfg.mesh.degree = static_cast<int>(parseInt(key, value));
   } else if (key == "rows") {
@@ -197,14 +208,26 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
     return std::string{buf};
   };
   add("protocol", toString(cfg.protocol));
-  add("topology", cfg.topology == TopologyKind::RegularMesh ? "mesh" : "random");
-  if (cfg.topology == TopologyKind::RegularMesh) {
-    add("rows", std::to_string(cfg.mesh.rows));
-    add("cols", std::to_string(cfg.mesh.cols));
-    add("degree", std::to_string(cfg.mesh.degree));
-  } else {
-    add("random.nodes", std::to_string(cfg.random.nodes));
-    add("random.avg-degree", num(cfg.random.avgDegree));
+  switch (cfg.topology) {
+    case TopologyKind::RegularMesh:
+      add("topology", "mesh");
+      add("rows", std::to_string(cfg.mesh.rows));
+      add("cols", std::to_string(cfg.mesh.cols));
+      add("degree", std::to_string(cfg.mesh.degree));
+      break;
+    case TopologyKind::Random:
+      add("topology", "random");
+      add("random.nodes", std::to_string(cfg.random.nodes));
+      add("random.avg-degree", num(cfg.random.avgDegree));
+      break;
+    case TopologyKind::File:
+      add("topology", "file");
+      add("file.path", cfg.file.path);
+      break;
+    case TopologyKind::Named:
+      add("topology", "named");
+      add("named.graph", cfg.named.graph);
+      break;
   }
   add("seed", std::to_string(cfg.seed));
   add("flows", std::to_string(cfg.flows));

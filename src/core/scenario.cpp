@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "topo/loader.hpp"
+
 namespace rcsim {
 namespace {
 
@@ -21,12 +23,22 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
   }
 
   Topology topo;
-  if (cfg_.topology == TopologyKind::RegularMesh) {
-    topo = makeRegularMesh(cfg_.mesh);
-  } else {
-    RandomGraphSpec rnd = cfg_.random;
-    rnd.seed = cfg_.seed;  // one seed drives the whole run
-    topo = makeRandomTopology(rnd);
+  switch (cfg_.topology) {
+    case TopologyKind::RegularMesh:
+      topo = makeRegularMesh(cfg_.mesh);
+      break;
+    case TopologyKind::File:
+      topo = loadTopologyFile(cfg_.file.path).topo;
+      break;
+    case TopologyKind::Named:
+      topo = namedTopology(cfg_.named.graph).topo;
+      break;
+    case TopologyKind::Random: {
+      RandomGraphSpec rnd = cfg_.random;
+      rnd.seed = cfg_.seed;  // one seed drives the whole run
+      topo = makeRandomTopology(rnd);
+      break;
+    }
   }
   net_ = std::make_unique<Network>(sched_, rng_.fork());
 
@@ -47,7 +59,7 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
                              static_cast<int>(rng_.uniformInt(0, cfg_.mesh.cols - 1)),
                              cfg_.mesh.cols);
     } else {
-      // Random graph: any two distinct nodes.
+      // Random graph or loaded real-world topology: any two distinct nodes.
       flow.sender = static_cast<NodeId>(rng_.uniformInt(0, topo.nodeCount - 1));
       do {
         flow.receiver = static_cast<NodeId>(rng_.uniformInt(0, topo.nodeCount - 1));

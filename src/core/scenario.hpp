@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -23,8 +24,20 @@ namespace rcsim {
 /// extension — a window-based reliable transfer riding the data plane.
 enum class TrafficKind { Cbr, Tcp };
 
-/// Which topology family the scenario builds.
-enum class TopologyKind { RegularMesh, Random };
+/// Which topology family the scenario builds: the paper's regular mesh,
+/// a matched-degree random graph, an rcsim-topo-v1 edge-list file, or one
+/// of the embedded named real-world graphs (topo/loader.hpp).
+enum class TopologyKind { RegularMesh, Random, File, Named };
+
+/// Topology file selection, used when topology == File.
+struct FileTopoSpec {
+  std::string path;  ///< rcsim-topo-v1 edge-list file
+};
+
+/// Embedded named-graph selection, used when topology == Named.
+struct NamedTopoSpec {
+  std::string graph = "abilene";  ///< see namedTopologyNames()
+};
 
 /// Full description of one simulation run of the paper's experiment:
 /// a regular mesh, one routing protocol everywhere, one or more flows
@@ -36,6 +49,8 @@ struct ScenarioConfig {
   TopologyKind topology = TopologyKind::RegularMesh;
   MeshSpec mesh{7, 7, 4};          ///< used when topology == RegularMesh
   RandomGraphSpec random{};        ///< used when topology == Random (seed is overridden by `seed`)
+  FileTopoSpec file{};             ///< used when topology == File
+  NamedTopoSpec named{};           ///< used when topology == Named
   LinkConfig link{};
   std::uint64_t seed = 1;
 

@@ -6,7 +6,6 @@
 namespace rcsim {
 
 std::vector<int> bfsDistances(const Topology& topo, NodeId src) {
-  const auto adj = topo.adjacency();
   std::vector<int> dist(static_cast<std::size_t>(topo.nodeCount), -1);
   std::queue<NodeId> q;
   dist[static_cast<std::size_t>(src)] = 0;
@@ -14,7 +13,7 @@ std::vector<int> bfsDistances(const Topology& topo, NodeId src) {
   while (!q.empty()) {
     const NodeId u = q.front();
     q.pop();
-    for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+    for (const NodeId v : topo.neighbors(u)) {
       if (dist[static_cast<std::size_t>(v)] < 0) {
         dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
         q.push(v);
@@ -38,11 +37,10 @@ int graphDiameter(const Topology& topo) {
 
 int shortestFirstHops(const Topology& topo, NodeId src, NodeId dst) {
   const auto distFromDst = bfsDistances(topo, dst);
-  const auto adj = topo.adjacency();
   const int d = distFromDst[static_cast<std::size_t>(src)];
   if (d < 0) return 0;
   int count = 0;
-  for (const NodeId v : adj[static_cast<std::size_t>(src)]) {
+  for (const NodeId v : topo.neighbors(src)) {
     if (distFromDst[static_cast<std::size_t>(v)] == d - 1) ++count;
   }
   return count;

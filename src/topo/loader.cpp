@@ -1,0 +1,263 @@
+#include "topo/loader.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rcsim {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("topology line " + std::to_string(line) + ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Whole-token integer parse; "4x", "", and values outside [lo, hi] are
+/// format errors, not silent truncations.
+long long parseId(const std::string& token, int line, const char* what, long long lo,
+                  long long hi) {
+  if (token.empty()) fail(line, std::string{what} + " is missing");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    fail(line, std::string{what} + " is not an integer: '" + token + "'");
+  }
+  if (v < lo || v > hi) {
+    fail(line, std::string{what} + " " + token + " out of range [" + std::to_string(lo) + ", " +
+                   std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+constexpr std::uint64_t edgeKey(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+// ---------------------------------------------------------------------------
+// Embedded named-graph library. Each graph is rcsim-topo-v1 text — the
+// library goes through the same parser (and the same validation) as user
+// files, so the formats can never drift apart.
+
+/// Abilene — the Internet2 backbone (11 PoPs, 14 OC-192 trunks), the
+/// real-topology suite romam's exp1_protocol_functionality runs. Node ids
+/// follow the usual west-to-east listing.
+constexpr const char* kAbilene = R"(# Abilene (Internet2) backbone, 2004: 11 nodes, 14 links.
+topology abilene
+nodes 11
+node 0 New York
+node 1 Chicago
+node 2 Washington DC
+node 3 Seattle
+node 4 Sunnyvale
+node 5 Los Angeles
+node 6 Denver
+node 7 Kansas City
+node 8 Houston
+node 9 Atlanta
+node 10 Indianapolis
+0 1
+0 2
+1 10
+2 9
+3 4
+3 6
+4 5
+4 6
+5 8
+6 7
+7 8
+7 10
+8 9
+9 10
+)";
+
+/// NSFNET T1 backbone (14 nodes, 21 links) — the other canonical small
+/// real-world benchmark graph.
+constexpr const char* kNsfnet = R"(# NSFNET T1 backbone, 1991: 14 nodes, 21 links.
+topology nsfnet
+nodes 14
+node 0 Seattle
+node 1 Palo Alto
+node 2 San Diego
+node 3 Salt Lake City
+node 4 Boulder
+node 5 Houston
+node 6 Lincoln
+node 7 Champaign
+node 8 Pittsburgh
+node 9 Atlanta
+node 10 Ann Arbor
+node 11 Ithaca
+node 12 Princeton
+node 13 College Park
+0 1
+0 2
+0 7
+1 2
+1 3
+2 5
+3 4
+3 10
+4 5
+4 6
+5 9
+5 12
+6 7
+7 8
+8 9
+8 11
+8 13
+10 11
+10 12
+11 13
+12 13
+)";
+
+struct NamedGraph {
+  const char* name;
+  const char* text;
+};
+
+constexpr NamedGraph kNamedGraphs[] = {
+    {"abilene", kAbilene},
+    {"nsfnet", kNsfnet},
+};
+
+}  // namespace
+
+TopologyDoc parseTopology(const std::string& text) {
+  TopologyDoc doc;
+  std::unordered_set<std::uint64_t> seen;
+  bool haveNodes = false;
+  std::istringstream in{text};
+  std::string raw;
+  int lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    const auto hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    std::istringstream tokens{line};
+    std::string first;
+    tokens >> first;
+
+    if (first == "topology") {
+      if (!doc.name.empty()) fail(lineNo, "duplicate 'topology' header");
+      if (haveNodes) fail(lineNo, "'topology' header must precede 'nodes'");
+      std::string rest;
+      std::getline(tokens, rest);
+      doc.name = trim(rest);
+      if (doc.name.empty()) fail(lineNo, "'topology' header needs a name");
+      continue;
+    }
+    if (first == "nodes") {
+      if (haveNodes) fail(lineNo, "duplicate 'nodes' header");
+      std::string count, extra;
+      tokens >> count;
+      if (tokens >> extra) fail(lineNo, "trailing junk after node count: '" + extra + "'");
+      const long long n =
+          parseId(count, lineNo, "node count", 2, std::numeric_limits<NodeId>::max());
+      doc.topo.nodeCount = static_cast<int>(n);
+      doc.nodeLabels.assign(static_cast<std::size_t>(n), {});
+      haveNodes = true;
+      continue;
+    }
+    if (first == "node") {
+      if (!haveNodes) fail(lineNo, "'node' label before the 'nodes' header");
+      std::string idTok;
+      tokens >> idTok;
+      const auto id = static_cast<std::size_t>(
+          parseId(idTok, lineNo, "node id", 0, doc.topo.nodeCount - 1));
+      std::string rest;
+      std::getline(tokens, rest);
+      const std::string label = trim(rest);
+      if (label.empty()) fail(lineNo, "'node' line needs a label");
+      if (!doc.nodeLabels[id].empty()) {
+        fail(lineNo, "duplicate label for node " + idTok);
+      }
+      doc.nodeLabels[id] = label;
+      continue;
+    }
+
+    // Anything else must be an edge line: "<a> <b>".
+    if (!haveNodes) fail(lineNo, "edge before the 'nodes' header");
+    std::string second, extra;
+    tokens >> second;
+    if (tokens >> extra) fail(lineNo, "trailing junk after edge: '" + extra + "'");
+    NodeId a = static_cast<NodeId>(
+        parseId(first, lineNo, "edge endpoint", 0, doc.topo.nodeCount - 1));
+    NodeId b = static_cast<NodeId>(
+        parseId(second, lineNo, "edge endpoint", 0, doc.topo.nodeCount - 1));
+    if (a == b) fail(lineNo, "self-loop at node " + first);
+    if (a > b) std::swap(a, b);
+    if (!seen.insert(edgeKey(a, b)).second) {
+      fail(lineNo, "duplicate edge " + std::to_string(a) + " " + std::to_string(b));
+    }
+    doc.topo.edges.emplace_back(a, b);
+  }
+  if (!haveNodes) {
+    throw std::invalid_argument("topology: missing 'nodes <N>' header");
+  }
+  doc.topo.normalize();
+  return doc;
+}
+
+TopologyDoc loadTopologyFile(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::invalid_argument("cannot read topology file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parseTopology(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::string dumpTopology(const TopologyDoc& doc) {
+  std::ostringstream out;
+  out << "# rcsim-topo-v1\n";
+  if (!doc.name.empty()) out << "topology " << doc.name << "\n";
+  out << "nodes " << doc.topo.nodeCount << "\n";
+  for (std::size_t i = 0; i < doc.nodeLabels.size(); ++i) {
+    if (!doc.nodeLabels[i].empty()) out << "node " << i << " " << doc.nodeLabels[i] << "\n";
+  }
+  for (const auto& [a, b] : doc.topo.edges) out << a << " " << b << "\n";
+  return out.str();
+}
+
+TopologyDoc namedTopology(const std::string& name) {
+  for (const auto& g : kNamedGraphs) {
+    if (name == g.name) return parseTopology(g.text);
+  }
+  std::string known;
+  for (const auto& g : kNamedGraphs) {
+    if (!known.empty()) known += ", ";
+    known += g.name;
+  }
+  throw std::invalid_argument("unknown named topology '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> namedTopologyNames() {
+  std::vector<std::string> names;
+  for (const auto& g : kNamedGraphs) names.emplace_back(g.name);
+  return names;
+}
+
+}  // namespace rcsim

@@ -1,0 +1,60 @@
+#pragma once
+
+// Topology file loader: a deterministic text format for
+// Topology-Zoo/Rocketfuel-style undirected edge lists, plus a small
+// embedded library of named real-world graphs (Abilene, NSFNET) so every
+// experiment can run the paper's fail/reconverge scenario on a real
+// backbone instead of a synthetic mesh. See docs/topologies.md.
+//
+// Format ("rcsim-topo-v1"):
+//
+//   # comment and blank lines are ignored
+//   topology <name>          optional, at most once, before any edge
+//   nodes <N>                required, exactly once, before any edge
+//   node <id> <label>        optional display label for one node
+//   <a> <b>                  one undirected edge per line, 0-based ids
+//
+// The parser rejects (std::invalid_argument, with the offending line
+// number): a missing/duplicate nodes header, non-integer or out-of-range
+// ids, negative ids, self-loops, duplicate edges (in either orientation),
+// node counts that overflow NodeId, and trailing junk on any line.
+//
+// dumpTopology emits the canonical rendering — sorted labels, sorted
+// canonical edges — so load -> dump -> load is byte-identical (the CI
+// round-trip smoke and test_loader.cpp pin this).
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace rcsim {
+
+/// A parsed topology document: the graph plus its display metadata.
+struct TopologyDoc {
+  Topology topo;
+  std::string name;                     ///< "topology" header; may be empty
+  std::vector<std::string> nodeLabels;  ///< size nodeCount; entries may be empty
+};
+
+/// Parse rcsim-topo-v1 text. Throws std::invalid_argument with a line
+/// number on any malformed or inconsistent input.
+[[nodiscard]] TopologyDoc parseTopology(const std::string& text);
+
+/// Read and parse a topology file. Throws std::invalid_argument when the
+/// file cannot be read or fails to parse (the path is in the message).
+[[nodiscard]] TopologyDoc loadTopologyFile(const std::string& path);
+
+/// Canonical rcsim-topo-v1 rendering of `doc`: parse(dump(doc)) produces
+/// an identical document and dump is a fixed point (byte-identical round
+/// trips).
+[[nodiscard]] std::string dumpTopology(const TopologyDoc& doc);
+
+/// Look up an embedded named graph ("abilene", "nsfnet"). Throws
+/// std::invalid_argument for unknown names, listing the known ones.
+[[nodiscard]] TopologyDoc namedTopology(const std::string& name);
+
+/// Names of the embedded graphs, in listing order.
+[[nodiscard]] std::vector<std::string> namedTopologyNames();
+
+}  // namespace rcsim

@@ -2,40 +2,116 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <queue>
-#include <set>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "sim/random.hpp"
 
 namespace rcsim {
 
-std::vector<std::vector<NodeId>> Topology::adjacency() const {
-  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(nodeCount));
+namespace {
+
+/// Pack a canonical (a < b) edge into one hashable key.
+constexpr std::uint64_t edgeKey(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+void Topology::normalize() {
+  for (auto& [a, b] : edges) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  buildIndex();
+}
+
+void Topology::buildIndex() const {
+  if (nodeCount < 0) throw std::invalid_argument("topology: negative node count");
+  const auto n = static_cast<std::size_t>(nodeCount);
+  offsets_.clear();
+  nbrs_.clear();
+  std::vector<std::int32_t> degree(n, 0);
+  const std::pair<NodeId, NodeId>* prev = nullptr;
+  for (const auto& e : edges) {
+    const auto [a, b] = e;
+    if (a < 0 || b >= nodeCount) {
+      throw std::invalid_argument("topology: edge (" + std::to_string(a) + ", " +
+                                  std::to_string(b) + ") out of range for " +
+                                  std::to_string(nodeCount) + " nodes");
+    }
+    if (a == b) {
+      throw std::invalid_argument("topology: self-loop at node " + std::to_string(a));
+    }
+    if (a > b) {
+      throw std::invalid_argument("topology: edge (" + std::to_string(a) + ", " +
+                                  std::to_string(b) +
+                                  ") is not canonical (a < b); call normalize()");
+    }
+    if (prev != nullptr && !(*prev < e)) {
+      throw std::invalid_argument("topology: edges are not sorted and unique near (" +
+                                  std::to_string(a) + ", " + std::to_string(b) +
+                                  "); call normalize()");
+    }
+    prev = &e;
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] = offsets_[i] + degree[i];
+  nbrs_.resize(2 * edges.size());
+  std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const auto& [a, b] : edges) {
-    adj[static_cast<std::size_t>(a)].push_back(b);
-    adj[static_cast<std::size_t>(b)].push_back(a);
+    nbrs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(a)]++)] = b;
+    nbrs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(b)]++)] = a;
+  }
+  // Neighbor runs come out sorted except for the second endpoints, which
+  // arrive in edge order; sort each run so hasEdge can binary-search.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::sort(nbrs_.begin() + offsets_[i], nbrs_.begin() + offsets_[i + 1]);
+  }
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId n) const {
+  ensureIndex();
+  if (n < 0 || n >= nodeCount) {
+    throw std::invalid_argument("topology: node " + std::to_string(n) + " out of range");
+  }
+  const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n)]);
+  const auto hi = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n) + 1]);
+  return {nbrs_.data() + lo, hi - lo};
+}
+
+std::vector<std::vector<NodeId>> Topology::adjacency() const {
+  ensureIndex();
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(nodeCount));
+  for (NodeId n = 0; n < nodeCount; ++n) {
+    const auto nb = neighbors(n);
+    adj[static_cast<std::size_t>(n)].assign(nb.begin(), nb.end());
   }
   return adj;
 }
 
 int Topology::degreeOf(NodeId n) const {
-  int d = 0;
-  for (const auto& [a, b] : edges) {
-    if (a == n || b == n) ++d;
-  }
-  return d;
+  return static_cast<int>(neighbors(n).size());
 }
 
 bool Topology::hasEdge(NodeId a, NodeId b) const {
-  if (a > b) std::swap(a, b);
-  return std::binary_search(edges.begin(), edges.end(), std::make_pair(a, b));
+  ensureIndex();
+  if (a < 0 || a >= nodeCount || b < 0 || b >= nodeCount) return false;
+  const auto nb = neighbors(a);
+  return std::binary_search(nb.begin(), nb.end(), b);
 }
 
 bool Topology::isConnected() const {
   if (nodeCount == 0) return true;
-  const auto adj = adjacency();
+  ensureIndex();
   std::vector<char> seen(static_cast<std::size_t>(nodeCount), 0);
   std::queue<NodeId> q;
   q.push(0);
@@ -44,7 +120,7 @@ bool Topology::isConnected() const {
   while (!q.empty()) {
     const NodeId u = q.front();
     q.pop();
-    for (const NodeId v : adj[static_cast<std::size_t>(u)]) {
+    for (const NodeId v : neighbors(u)) {
       if (!seen[static_cast<std::size_t>(v)]) {
         seen[static_cast<std::size_t>(v)] = 1;
         ++visited;
@@ -136,6 +212,11 @@ std::vector<LinkRule> rulesForDegree(int degree) {
 
 Topology makeRandomTopology(const RandomGraphSpec& spec) {
   if (spec.nodes < 2) throw std::invalid_argument("random graph needs >= 2 nodes");
+  if (!(spec.avgDegree >= 0.0) || spec.avgDegree > static_cast<double>(spec.nodes)) {
+    // !(x >= 0) also catches NaN, which would otherwise be cast to an
+    // integer edge target (undefined behavior).
+    throw std::invalid_argument("random graph average degree must be in [0, nodes]");
+  }
   const auto maxEdges =
       static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes - 1) / 2;
   auto target = static_cast<std::size_t>(spec.avgDegree * spec.nodes / 2.0 + 0.5);
@@ -156,23 +237,49 @@ Topology makeRandomTopology(const RandomGraphSpec& spec) {
     const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i)));
     std::swap(order[i], order[j]);
   }
-  std::set<std::pair<NodeId, NodeId>> edges;
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(target * 2);
+  topo.edges.reserve(target);
+  auto addEdge = [&](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    if (present.insert(edgeKey(a, b)).second) topo.edges.emplace_back(a, b);
+  };
   for (std::size_t i = 1; i < order.size(); ++i) {
     const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
-    NodeId a = order[i];
-    NodeId b = order[j];
-    if (a > b) std::swap(a, b);
-    edges.emplace(a, b);
+    addEdge(order[i], order[j]);
   }
-  // Fill to the target with uniform random extra edges.
-  while (edges.size() < target) {
-    NodeId a = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
-    NodeId b = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
-    if (a == b) continue;
-    if (a > b) std::swap(a, b);
-    edges.emplace(a, b);
+
+  if (target * 2 <= maxEdges) {
+    // Sparse regime: rejection-sample uniform pairs. The accepted edge set
+    // (and therefore the canonical sorted output) is bit-identical, per
+    // seed, to the historical std::set-based generator.
+    while (topo.edges.size() < target) {
+      const auto a = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
+      const auto b = static_cast<NodeId>(rng.uniformInt(0, spec.nodes - 1));
+      if (a == b) continue;
+      addEdge(a, b);
+    }
+  } else {
+    // Dense regime (more than half of the complete graph): rejection
+    // sampling degenerates toward a coupon-collector near-hang as target
+    // approaches maxEdges. Enumerate the complement of the spanning tree
+    // once and draw the remaining edges by partial Fisher-Yates instead —
+    // O(nodes^2) total, independent of density.
+    std::vector<std::pair<NodeId, NodeId>> pool;
+    pool.reserve(maxEdges - topo.edges.size());
+    for (NodeId a = 0; a < spec.nodes; ++a) {
+      for (NodeId b = a + 1; b < spec.nodes; ++b) {
+        if (present.find(edgeKey(a, b)) == present.end()) pool.emplace_back(a, b);
+      }
+    }
+    for (std::size_t k = 0; topo.edges.size() < target; ++k) {
+      const auto j = k + static_cast<std::size_t>(rng.uniformInt(
+                             0, static_cast<std::int64_t>(pool.size() - k) - 1));
+      std::swap(pool[k], pool[j]);
+      topo.edges.push_back(pool[k]);
+    }
   }
-  topo.edges.assign(edges.begin(), edges.end());
+  topo.normalize();
   return topo;
 }
 
@@ -180,9 +287,20 @@ Topology makeRegularMesh(const MeshSpec& spec) {
   if (spec.rows < 3 || spec.cols < 3) {
     throw std::invalid_argument("mesh requires rows, cols >= 3");
   }
+  const auto nodes = static_cast<std::int64_t>(spec.rows) * spec.cols;
+  if (nodes > std::numeric_limits<NodeId>::max()) {
+    throw std::invalid_argument("mesh " + std::to_string(spec.rows) + "x" +
+                                std::to_string(spec.cols) + " has " + std::to_string(nodes) +
+                                " nodes, which overflows the 32-bit node id space");
+  }
   const auto rules = rulesForDegree(spec.degree);
   Topology topo;
-  topo.nodeCount = spec.rows * spec.cols;
+  topo.nodeCount = static_cast<int>(nodes);
+  // Every rule is emitted with (r2, c2) in-range and r2 >= r, so a < b in
+  // row-major numbering except for same-row negative-dc rules — normalize()
+  // below canonicalizes those and dedupes overlapping parity rules.
+  topo.edges.reserve(static_cast<std::size_t>(nodes) *
+                     static_cast<std::size_t>(spec.degree + 1) / 2);
   for (int r = 0; r < spec.rows; ++r) {
     for (int c = 0; c < spec.cols; ++c) {
       for (const auto& rule : rules) {
@@ -197,8 +315,7 @@ Topology makeRegularMesh(const MeshSpec& spec) {
       }
     }
   }
-  std::sort(topo.edges.begin(), topo.edges.end());
-  topo.edges.erase(std::unique(topo.edges.begin(), topo.edges.end()), topo.edges.end());
+  topo.normalize();
   return topo;
 }
 

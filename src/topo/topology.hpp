@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -10,20 +11,61 @@ namespace rcsim {
 
 /// Pure graph description of a network (no simulation state). Produced by
 /// generators in this library and consumed by the scenario builder.
+///
+/// Invariant: `edges` holds undirected edges in canonical form — a < b,
+/// sorted lexicographically, no duplicates, all endpoints in
+/// [0, nodeCount). Generators and the loader establish it via normalize();
+/// hand-built topologies are verified the first time an indexed accessor
+/// (degreeOf/hasEdge/neighbors/adjacency) runs, so a malformed edge list
+/// throws std::invalid_argument instead of silently answering wrong.
+///
+/// The accessors are backed by a CSR adjacency index built once per edge
+/// list: degreeOf and neighbors are O(1), hasEdge is O(log degree). Do not
+/// mutate `edges` after querying without calling normalize() again.
 struct Topology {
   int nodeCount = 0;
   /// Undirected edges, canonical form (a < b), sorted lexicographically.
   std::vector<std::pair<NodeId, NodeId>> edges;
 
+  /// Enforce the canonical-edge invariant: swap endpoints into a < b
+  /// order, sort, drop duplicates, then validate (throws
+  /// std::invalid_argument on self-loops or out-of-range endpoints) and
+  /// build the CSR index. Generators and the loader call this; call it
+  /// yourself after editing `edges` in place.
+  void normalize();
+
   [[nodiscard]] std::vector<std::vector<NodeId>> adjacency() const;
   [[nodiscard]] int degreeOf(NodeId n) const;
   [[nodiscard]] bool isConnected() const;
   [[nodiscard]] bool hasEdge(NodeId a, NodeId b) const;
+  /// Sorted neighbor ids of `n` (a view into the CSR index).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId n) const;
+
+ private:
+  /// Build the CSR index from `edges`, validating the canonical-form
+  /// invariant (already-canonical input only; normalize() canonicalizes).
+  void buildIndex() const;
+  [[nodiscard]] bool indexFresh() const {
+    return offsets_.size() == static_cast<std::size_t>(nodeCount) + 1 &&
+           nbrs_.size() == 2 * edges.size();
+  }
+  void ensureIndex() const {
+    if (!indexFresh()) buildIndex();
+  }
+
+  // CSR adjacency: neighbors of n are nbrs_[offsets_[n] .. offsets_[n+1]),
+  // sorted. Built lazily on first query (mutable) or eagerly by
+  // normalize(); staleness is detected by size, so edge-list edits that
+  // keep the count need an explicit normalize().
+  mutable std::vector<std::int32_t> offsets_;
+  mutable std::vector<NodeId> nbrs_;
 };
 
 /// Parameters of the regular-mesh family used throughout the paper:
 /// an RxC grid whose interior nodes all have the same degree (3..16),
 /// built with a deterministic Baran-style construction (DESIGN.md §4).
+/// The family scales to internet-sized grids (100x100 and beyond); the
+/// builder rejects node counts that overflow NodeId arithmetic.
 struct MeshSpec {
   int rows = 7;
   int cols = 7;
@@ -32,11 +74,15 @@ struct MeshSpec {
 
 /// Deterministically construct the regular mesh for `spec`.
 /// Node ids are row-major: id = r * cols + c.
+/// Throws std::invalid_argument when rows/cols are out of range or
+/// rows * cols would overflow the NodeId space.
 [[nodiscard]] Topology makeRegularMesh(const MeshSpec& spec);
 
-/// Node id helpers for the row-major grid numbering.
+/// Node id helpers for the row-major grid numbering. Arithmetic is done in
+/// 64 bits; the mesh builder guarantees rows * cols fits a NodeId, so ids
+/// produced for a validated mesh never truncate.
 [[nodiscard]] constexpr NodeId gridId(int r, int c, int cols) {
-  return static_cast<NodeId>(r * cols + c);
+  return static_cast<NodeId>(static_cast<std::int64_t>(r) * cols + c);
 }
 
 /// Parameters of a connected random graph with a target average degree —
@@ -52,6 +98,13 @@ struct RandomGraphSpec {
 /// Deterministically (per seed) construct a connected random graph:
 /// a uniform random spanning tree skeleton plus uniform random extra
 /// edges up to round(nodes * avgDegree / 2) total.
+///
+/// Sampling is density-aware: below half of the complete graph the extra
+/// edges are rejection-sampled (bit-identical, per seed, to the
+/// historical generator); at or above half density the generator switches
+/// to a partial shuffle of the complement, so near-complete graphs
+/// (avgDegree close to nodes-1) build in O(nodes^2) instead of
+/// degenerating toward a coupon-collector near-hang.
 [[nodiscard]] Topology makeRandomTopology(const RandomGraphSpec& spec);
 
 }  // namespace rcsim

@@ -1,0 +1,148 @@
+#include "topo/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "topo/graph_algo.hpp"
+
+namespace rcsim {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the message — parse errors must
+/// carry enough context (line numbers, the offending token) to fix the file.
+void expectParseError(const std::string& text, const std::string& needle) {
+  try {
+    (void)parseTopology(text);
+    FAIL() << "expected parseTopology to reject:\n" << text;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Loader, ParsesMinimalGraph) {
+  const auto doc = parseTopology("nodes 3\n0 1\n1 2\n");
+  EXPECT_EQ(doc.topo.nodeCount, 3);
+  EXPECT_EQ(doc.topo.edges.size(), 2u);
+  EXPECT_TRUE(doc.topo.hasEdge(0, 1));
+  EXPECT_TRUE(doc.topo.hasEdge(1, 2));
+  EXPECT_FALSE(doc.topo.hasEdge(0, 2));
+  EXPECT_TRUE(doc.name.empty());
+}
+
+TEST(Loader, CommentsBlanksAndReversedEdgesAreCanonicalized) {
+  const auto doc = parseTopology(
+      "# leading comment\n"
+      "\n"
+      "topology demo\n"
+      "nodes 4\n"
+      "node 2 Two\n"
+      "  3 0   # edge with surrounding whitespace and trailing comment\n"
+      "2 1\n");
+  EXPECT_EQ(doc.name, "demo");
+  EXPECT_EQ(doc.nodeLabels[2], "Two");
+  // Edges come back canonical (a < b) and sorted regardless of input order.
+  EXPECT_EQ(doc.topo.edges, (std::vector<std::pair<NodeId, NodeId>>{{0, 3}, {1, 2}}));
+}
+
+TEST(Loader, RejectsMalformedInput) {
+  expectParseError("0 1\n", "nodes");                        // edge before header
+  expectParseError("nodes 2\nnodes 2\n", "line 2");          // duplicate header
+  expectParseError("nodes 0\n", "line 1");                   // empty graph
+  expectParseError("nodes 2\n0 1 9\n", "line 2");            // trailing junk
+  expectParseError("nodes 2\n0 x\n", "line 2");              // non-integer id
+  expectParseError("nodes 3\n0 -1\n", "line 2");             // negative id
+  expectParseError("nodes 3\n0 3\n", "line 2");              // out of range
+  expectParseError("nodes 3\n1 1\n", "self-loop");           // self loop
+  expectParseError("nodes 3\n0 1\n1 0\n", "duplicate");      // dup, reversed
+  expectParseError("nodes 3\n0 1\n0 1\n", "duplicate");      // dup, same
+  expectParseError("nodes 3\nnode 5 Label\n", "line 2");     // label out of range
+  expectParseError("node 0 Early\nnodes 2\n0 1\n", "nodes"); // label before header
+  expectParseError("nodes 3000000000\n", "line 1");          // overflows NodeId
+}
+
+TEST(Loader, DumpIsAFixedPoint) {
+  // load -> dump -> load -> dump must be byte-identical: the canonical
+  // rendering is its own parse's canonical rendering.
+  for (const auto& name : namedTopologyNames()) {
+    const TopologyDoc doc = namedTopology(name);
+    const std::string once = dumpTopology(doc);
+    const TopologyDoc redoc = parseTopology(once);
+    EXPECT_EQ(dumpTopology(redoc), once) << name;
+    EXPECT_EQ(redoc.topo.edges, doc.topo.edges) << name;
+    EXPECT_EQ(redoc.name, doc.name) << name;
+    EXPECT_EQ(redoc.nodeLabels, doc.nodeLabels) << name;
+  }
+}
+
+TEST(Loader, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "loader_roundtrip.topo";
+  const std::string dumped = dumpTopology(namedTopology("abilene"));
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << dumped;
+  }
+  const TopologyDoc doc = loadTopologyFile(path);
+  EXPECT_EQ(dumpTopology(doc), dumped);
+  std::remove(path.c_str());
+}
+
+TEST(Loader, MissingFileNamesThePath) {
+  try {
+    (void)loadTopologyFile("/nonexistent/rcsim.topo");
+    FAIL() << "expected loadTopologyFile to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/rcsim.topo"), std::string::npos);
+  }
+}
+
+TEST(Loader, UnknownNamedGraphListsTheLibrary) {
+  try {
+    (void)namedTopology("arpanet");
+    FAIL() << "expected namedTopology to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("abilene"), std::string::npos);
+  }
+}
+
+TEST(Loader, AbileneFacts) {
+  // The 2003-era Abilene research backbone: 11 PoPs, 14 OC-192 trunks.
+  const TopologyDoc doc = namedTopology("abilene");
+  EXPECT_EQ(doc.topo.nodeCount, 11);
+  EXPECT_EQ(doc.topo.edges.size(), 14u);
+  EXPECT_TRUE(doc.topo.isConnected());
+  EXPECT_EQ(graphDiameter(doc.topo), 5);
+  int deg2 = 0;
+  int deg3 = 0;
+  for (NodeId n = 0; n < doc.topo.nodeCount; ++n) {
+    if (doc.topo.degreeOf(n) == 2) ++deg2;
+    if (doc.topo.degreeOf(n) == 3) ++deg3;
+  }
+  EXPECT_EQ(deg2, 5);
+  EXPECT_EQ(deg3, 6);
+  for (const auto& label : doc.nodeLabels) EXPECT_FALSE(label.empty());
+}
+
+TEST(Loader, NsfnetFacts) {
+  // The NSFNET T1 backbone (14 nodes, 21 links) — denser than Abilene.
+  const TopologyDoc doc = namedTopology("nsfnet");
+  EXPECT_EQ(doc.topo.nodeCount, 14);
+  EXPECT_EQ(doc.topo.edges.size(), 21u);
+  EXPECT_TRUE(doc.topo.isConnected());
+  EXPECT_EQ(graphDiameter(doc.topo), 4);
+  for (const auto& label : doc.nodeLabels) EXPECT_FALSE(label.empty());
+}
+
+TEST(Loader, LibraryListsBothGraphs) {
+  const auto names = namedTopologyNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "abilene");
+  EXPECT_EQ(names[1], "nsfnet");
+}
+
+}  // namespace
+}  // namespace rcsim

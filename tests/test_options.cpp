@@ -69,6 +69,43 @@ TEST(Options, TopologySelection) {
   EXPECT_EQ(cfg.topology, TopologyKind::RegularMesh);
 }
 
+TEST(Options, FileAndNamedTopologySelection) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "topology", "named");
+  applyOption(cfg, "named.graph", "nsfnet");
+  EXPECT_EQ(cfg.topology, TopologyKind::Named);
+  EXPECT_EQ(cfg.named.graph, "nsfnet");
+  applyOption(cfg, "topology", "file");
+  applyOption(cfg, "file.path", "graphs/backbone.topo");
+  EXPECT_EQ(cfg.topology, TopologyKind::File);
+  EXPECT_EQ(cfg.file.path, "graphs/backbone.topo");
+  EXPECT_THROW(applyOption(cfg, "topology", "zoo"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "file.path", ""), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "named.graph", ""), std::invalid_argument);
+}
+
+// Artifact configs replay through describeOptions: the active topology
+// kind's keys must survive the describe -> apply cycle verbatim.
+TEST(Options, DescribeRoundTripsFileAndNamedTopologies) {
+  ScenarioConfig named;
+  applyOption(named, "topology", "named");
+  applyOption(named, "named.graph", "abilene");
+  ScenarioConfig rebuiltNamed;
+  for (const auto& opt : describeOptions(named)) applyOptionString(rebuiltNamed, opt);
+  EXPECT_EQ(rebuiltNamed.topology, TopologyKind::Named);
+  EXPECT_EQ(rebuiltNamed.named.graph, "abilene");
+  EXPECT_EQ(describeOptions(rebuiltNamed), describeOptions(named));
+
+  ScenarioConfig file;
+  applyOption(file, "topology", "file");
+  applyOption(file, "file.path", "/tmp/x.topo");
+  ScenarioConfig rebuiltFile;
+  for (const auto& opt : describeOptions(file)) applyOptionString(rebuiltFile, opt);
+  EXPECT_EQ(rebuiltFile.topology, TopologyKind::File);
+  EXPECT_EQ(rebuiltFile.file.path, "/tmp/x.topo");
+  EXPECT_EQ(describeOptions(rebuiltFile), describeOptions(file));
+}
+
 TEST(Options, OptionStringFormats) {
   ScenarioConfig cfg;
   applyOptionString(cfg, "degree=11");

@@ -30,6 +30,12 @@ constexpr const char* kGoldenBench = R"json({
     "BGP": 30.36,
     "BGP3": 30.35
   },
+  "topology_ms": {
+    "mesh100x100_build": 7.41,
+    "dense_random_build": 1.22,
+    "abilene_sweep": 48.93,
+    "mesh100x100_converge": 141000.0
+  },
   "rss_mb": 9.40
 })json";
 
@@ -45,6 +51,12 @@ TEST(PerfGate, GoldenBenchJsonParses) {
   for (const char* proto : {"RIP", "DBF", "BGP", "BGP3"}) {
     ASSERT_TRUE(scen.has(proto)) << proto;
     EXPECT_GT(scen.numberAt(proto), 0.0) << proto;
+  }
+  const JsonValue& topo = v.at("topology_ms");
+  for (const char* row : {"mesh100x100_build", "dense_random_build", "abilene_sweep",
+                          "mesh100x100_converge"}) {
+    ASSERT_TRUE(topo.has(row)) << row;
+    EXPECT_GT(topo.numberAt(row), 0.0) << row;
   }
   EXPECT_DOUBLE_EQ(v.numberAt("rss_mb"), 9.40);
 }
@@ -101,6 +113,25 @@ TEST(PerfGate, PooledSchedulerMatchesSeedEngineBitForBit) {
     EXPECT_EQ(runResultDigest(r), g.digest)
         << toString(g.protocol) << " seed " << g.seed << " diverged from the seed engine";
   }
+}
+
+// The Internet-scale determinism pin: the canonical 100x100 degree-4
+// scenario (core/experiment.hpp largeMeshConfig — 10,000 nodes through one
+// failure to full reconvergence, the perf gate's mesh100x100_converge row)
+// must reproduce this digest bit for bit. It was recorded when the CSR
+// topology index and the density-aware generator landed; any divergence
+// means a topology- or scale-path change altered simulation behavior.
+// This is by far the heaviest test in the suite (~2.5 min) — everything it
+// runs is real convergence work, not slack timeout.
+TEST(PerfGate, LargeMeshScenarioConvergesToPinnedDigest) {
+  const RunResult r = runScenario(largeMeshConfig());
+  EXPECT_EQ(runResultDigest(r), "78d43b0f0b965e27");
+  // The digest already covers these, but assert the headline facts readably:
+  // traffic flows end to end and both planes converge after the failure.
+  EXPECT_GT(r.data.delivered, 0u);
+  EXPECT_EQ(r.data.dropNoRoute, 0u);
+  EXPECT_FALSE(r.sawLoop);
+  EXPECT_GT(r.routingConvergenceSec, 0.0);
 }
 
 TEST(PerfGate, FingerprintIsDeterministicAndSensitive) {

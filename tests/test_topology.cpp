@@ -95,6 +95,100 @@ TEST_P(MeshFamily, NoSelfLoops) {
 
 INSTANTIATE_TEST_SUITE_P(Degrees, MeshFamily, ::testing::Range(3, 17));
 
+/// Internet-scale builds: the whole family at 100x100 (10,000 nodes). The
+/// CSR adjacency makes degreeOf/isConnected O(1)/O(V+E), so this entire
+/// sweep stays well inside the test timeout.
+TEST_P(MeshFamily, HundredByHundredBuildsConnectedWithCorrectInteriorDegree) {
+  const int degree = GetParam();
+  const MeshSpec spec{100, 100, degree};
+  const auto topo = makeRegularMesh(spec);
+  EXPECT_EQ(topo.nodeCount, 10000);
+  EXPECT_TRUE(topo.isConnected());
+  // Construction offsets have magnitude <= 2: every node at grid distance
+  // >= 2 from all borders sees the full rule set.
+  for (int r = 2; r < spec.rows - 2; r += 7) {
+    for (int c = 2; c < spec.cols - 2; c += 7) {
+      ASSERT_EQ(topo.degreeOf(gridId(r, c, spec.cols)), degree)
+          << "node (" << r << "," << c << ") at degree " << degree;
+    }
+  }
+}
+
+TEST(Topology, RejectsMeshesThatOverflowNodeId) {
+  // 66000^2 > INT32_MAX: the node-id space itself overflows.
+  EXPECT_THROW(makeRegularMesh(MeshSpec{66000, 66000, 4}), std::invalid_argument);
+  EXPECT_THROW(makeRegularMesh(MeshSpec{3, 2147483647, 4}), std::invalid_argument);
+}
+
+TEST(RandomTopology, DenseGraphsBuildFastWithExactEdgeCount) {
+  // avgDegree near nodes-1 used to drive the rejection sampler into
+  // quadratic-and-worse retry storms; the complement-sampling path makes
+  // density irrelevant. ctest enforces the suite timeout; this used to hang.
+  RandomGraphSpec spec;
+  spec.nodes = 200;
+  spec.avgDegree = 150.0;
+  spec.seed = 7;
+  const auto topo = makeRandomTopology(spec);
+  EXPECT_EQ(topo.nodeCount, 200);
+  EXPECT_EQ(topo.edges.size(), static_cast<std::size_t>(200 * 150 / 2));
+  EXPECT_TRUE(topo.isConnected());
+  EXPECT_TRUE(std::is_sorted(topo.edges.begin(), topo.edges.end()));
+}
+
+TEST(RandomTopology, NearCompleteGraph) {
+  RandomGraphSpec spec;
+  spec.nodes = 200;
+  spec.avgDegree = 199.0;  // the complete graph: every pair present
+  spec.seed = 3;
+  const auto topo = makeRandomTopology(spec);
+  EXPECT_EQ(topo.edges.size(), static_cast<std::size_t>(200 * 199 / 2));
+  for (NodeId n = 0; n < topo.nodeCount; ++n) EXPECT_EQ(topo.degreeOf(n), 199);
+}
+
+TEST(RandomTopology, DenseBuildIsDeterministicPerSeed) {
+  RandomGraphSpec spec;
+  spec.nodes = 120;
+  spec.avgDegree = 90.0;
+  spec.seed = 11;
+  const auto a = makeRandomTopology(spec);
+  const auto b = makeRandomTopology(spec);
+  EXPECT_EQ(a.edges, b.edges);
+  spec.seed = 12;
+  EXPECT_NE(makeRandomTopology(spec).edges, a.edges);
+}
+
+TEST(Topology, IndexValidationCatchesMalformedEdgeLists) {
+  // Hand-built topologies (as tests and tools do) must either be canonical
+  // or call normalize(); the index build diagnoses the violation instead of
+  // silently answering degree/hasEdge queries wrong.
+  Topology reversed;
+  reversed.nodeCount = 3;
+  reversed.edges = {{2, 1}};
+  EXPECT_THROW((void)reversed.hasEdge(1, 2), std::invalid_argument);
+  reversed.normalize();
+  EXPECT_TRUE(reversed.hasEdge(1, 2));
+
+  Topology selfLoop;
+  selfLoop.nodeCount = 2;
+  selfLoop.edges = {{1, 1}};
+  EXPECT_THROW((void)selfLoop.degreeOf(1), std::invalid_argument);
+
+  Topology outOfRange;
+  outOfRange.nodeCount = 2;
+  outOfRange.edges = {{0, 5}};
+  EXPECT_THROW((void)outOfRange.degreeOf(0), std::invalid_argument);
+}
+
+TEST(Topology, NormalizeSortsAndDeduplicates) {
+  Topology topo;
+  topo.nodeCount = 4;
+  topo.edges = {{3, 0}, {1, 0}, {0, 1}, {2, 3}};
+  topo.normalize();
+  EXPECT_EQ(topo.edges, (std::vector<std::pair<NodeId, NodeId>>{{0, 1}, {0, 3}, {2, 3}}));
+  EXPECT_EQ(topo.degreeOf(0), 2);
+  EXPECT_EQ(topo.degreeOf(3), 2);
+}
+
 TEST(GraphAlgo, BfsDistancesOnGrid) {
   const auto topo = makeRegularMesh(MeshSpec{7, 7, 4});
   const auto dist = bfsDistances(topo, gridId(0, 0, 7));

@@ -7,14 +7,19 @@
 //   rcsim-topo [degree]          one regular mesh in detail
 //   rcsim-topo --sweep           summary table for degrees 3..16
 //   rcsim-topo --random N AVG S  a random graph's summary
+//   rcsim-topo --named NAME      a graph from the embedded library
+//   rcsim-topo --file PATH       a graph loaded from an rcsim-topo-v1 file
+//   rcsim-topo ... --dump        emit canonical rcsim-topo-v1 text instead
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <map>
 #include <string>
 
 #include "topo/graph_algo.hpp"
+#include "topo/loader.hpp"
 #include "topo/topology.hpp"
 
 namespace {
@@ -22,12 +27,22 @@ namespace {
 using namespace rcsim;
 
 void usage(std::FILE* to) {
+  std::string names;
+  for (const auto& n : namedTopologyNames()) {
+    if (!names.empty()) names += ", ";
+    names += n;
+  }
   std::fprintf(to,
                "usage: rcsim-topo [degree]          one regular mesh in detail (default 5)\n"
                "       rcsim-topo --sweep           summary table for degrees 3..16\n"
                "       rcsim-topo --random N AVG S  random graph: N nodes, average degree\n"
                "                                    AVG, seed S\n"
-               "       rcsim-topo -h | --help       this message\n");
+               "       rcsim-topo --named NAME      embedded real-world graph (%s)\n"
+               "       rcsim-topo --file PATH       graph from an rcsim-topo-v1 file\n"
+               "       rcsim-topo ... --dump        print canonical rcsim-topo-v1 text\n"
+               "                                    instead of the summary\n"
+               "       rcsim-topo -h | --help       this message\n",
+               names.c_str());
 }
 
 /// Strict numeric parsing — "--bogus" and "4x" are usage errors, not the
@@ -130,6 +145,28 @@ int main(int argc, char** argv) {
     for (int degree = 3; degree <= 16; ++degree) {
       summarize(makeRegularMesh(MeshSpec{7, 7, degree}),
                 ("degree-" + std::to_string(degree)).c_str());
+    }
+    return 0;
+  }
+  if (argc > 1 && (std::strcmp(argv[1], "--named") == 0 || std::strcmp(argv[1], "--file") == 0)) {
+    const bool fromFile = std::strcmp(argv[1], "--file") == 0;
+    const bool dump = argc == 4 && std::strcmp(argv[3], "--dump") == 0;
+    if (argc < 3 || (argc == 4 && !dump) || argc > 4) {
+      std::fprintf(stderr, "rcsim-topo: %s takes a %s plus an optional --dump\n\n", argv[1],
+                   fromFile ? "path" : "graph name");
+      usage(stderr);
+      return 2;
+    }
+    try {
+      const TopologyDoc doc = fromFile ? loadTopologyFile(argv[2]) : namedTopology(argv[2]);
+      if (dump) {
+        std::fputs(dumpTopology(doc).c_str(), stdout);
+      } else {
+        summarize(doc.topo, doc.name.empty() ? argv[2] : doc.name.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rcsim-topo: %s\n", e.what());
+      return 1;
     }
     return 0;
   }
