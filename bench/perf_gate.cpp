@@ -253,7 +253,8 @@ bool checkMetric(const char* name, double baseline, double current, double toler
   return !regressed;
 }
 
-int compareAgainstBaseline(const Metrics& m, const std::string& path, double tolerancePct) {
+int compareAgainstBaseline(const Metrics& m, const std::string& path, double tolerancePct,
+                           double rssTolerancePct) {
   std::ifstream in{path};
   if (!in) {
     std::fprintf(stderr, "perf_gate: cannot read baseline %s\n", path.c_str());
@@ -298,8 +299,11 @@ int compareAgainstBaseline(const Metrics& m, const std::string& path, double tol
                   /*higherIsBetter=*/false, failures);
     }
   }
-  if (base.has("rss_mb")) {
-    checkMetric("rss_mb", base.numberAt("rss_mb"), m.rssMb, tolerancePct,
+  if (base.has("rss_mb") && m.rssMb > 0.0) {
+    // Peak RSS gates under its own (usually tighter) tolerance: memory is
+    // far less noisy than wall time, so a 10% budget is realistic where a
+    // 15% timing budget is not.
+    checkMetric("rss_mb (peak, MiB)", base.numberAt("rss_mb"), m.rssMb, rssTolerancePct,
                 /*higherIsBetter=*/false, failures);
   }
   if (failures > 0) {
@@ -318,6 +322,7 @@ int main(int argc, char** argv) {
   std::string jsonOut;
   std::string baseline;
   double tolerancePct = 15.0;
+  double rssTolerancePct = -1.0;  // default: follow --tolerance
   double minTimeSec = 0.5;
   int reps = 3;
   bool smoke = false;
@@ -348,6 +353,8 @@ int main(int argc, char** argv) {
       baseline = value();
     } else if (arg == "--tolerance") {
       tolerancePct = number(0.0);
+    } else if (arg == "--rss-tolerance") {
+      rssTolerancePct = number(0.0);
     } else if (arg == "--reps") {
       reps = static_cast<int>(number(1.0));
     } else if (arg == "--smoke") {
@@ -357,7 +364,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_gate [--json PATH] [--baseline PATH] [--tolerance PCT]\n"
-                   "                 [--reps N] [--smoke] [--benchmark_min_time=SEC]\n");
+                   "                 [--rss-tolerance PCT] [--reps N] [--smoke]\n"
+                   "                 [--benchmark_min_time=SEC]\n");
       return 2;
     }
   }
@@ -390,6 +398,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!baseline.empty()) return compareAgainstBaseline(m, baseline, tolerancePct);
+  if (!baseline.empty()) {
+    return compareAgainstBaseline(m, baseline, tolerancePct,
+                                  rssTolerancePct >= 0.0 ? rssTolerancePct : tolerancePct);
+  }
   return 0;
 }

@@ -61,7 +61,10 @@ bash scripts/chaos_resume_test.sh "$BUILD/bench/rcsim_bench"
 SAN_BUILD=${SAN_BUILD:-build-asan}
 cmake -S . -B "$SAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=ON
 cmake --build "$SAN_BUILD" -j "$(nproc)"
-ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
-  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal'
+# RCSIM_SPF_ORACLE=1 makes every LinkState run cross-check the incremental
+# SPF against a full-BFS oracle (src/routing/linkstate.cpp), so the
+# sanitizer job also proves incremental == full element-wise under ASan.
+RCSIM_SPF_ORACLE=1 ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
+  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf'
 
 echo "ci: all gates green"

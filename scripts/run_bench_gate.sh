@@ -30,4 +30,6 @@ if [[ ! -f "$BASELINE" ]]; then
   exit 2
 fi
 
-exec "$GATE" --baseline "$BASELINE" "$@"
+# Peak RSS gets a tighter 10% budget than wall time: memory regressions
+# are low-noise and compound across sweep replicas (docs/routing-state.md).
+exec "$GATE" --baseline "$BASELINE" --rss-tolerance 10 "$@"

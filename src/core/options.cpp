@@ -117,6 +117,8 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.endAt = Time::seconds(parseDouble(key, value));
   } else if (key == "trace-packets") {
     cfg.tracePackets = parseBool(key, value);
+  } else if (key == "ecmp") {
+    cfg.ecmp = parseBool(key, value);
     // Fault injection.
   } else if (key == "fault-plan") {
     cfg.faultPlan = fault::FaultPlan::parse(value);
@@ -179,6 +181,8 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.protoCfg.ls.spfDelay = Time::seconds(parseDouble(key, value) / 1e3);
   } else if (key == "ls.refresh") {
     cfg.protoCfg.ls.refreshInterval = Time::seconds(parseDouble(key, value));
+  } else if (key == "ls.spf-oracle") {
+    cfg.protoCfg.ls.spfOracle = parseBool(key, value);
     // DUAL knobs.
   } else if (key == "dual.sia-timeout") {
     cfg.protoCfg.dual.siaTimeout = Time::seconds(parseDouble(key, value));
@@ -246,6 +250,7 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
                                                           : num(cfg.repairAfter.toSeconds()));
   add("end-at", num(cfg.endAt.toSeconds()));
   add("trace-packets", cfg.tracePackets ? "1" : "0");
+  add("ecmp", cfg.ecmp ? "1" : "0");
   add("fault-plan", cfg.faultPlan.format());
   add("check-invariants", cfg.checkInvariants ? "1" : "0");
   add("bandwidth", num(cfg.link.bandwidthBps));
@@ -273,6 +278,7 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
   add("bgp.rfd-half-life", num(cfg.protoCfg.bgp.rfdHalfLifeSec));
   add("ls.spf-delay-ms", num(cfg.protoCfg.ls.spfDelay.toSeconds() * 1e3));
   add("ls.refresh", num(cfg.protoCfg.ls.refreshInterval.toSeconds()));
+  add("ls.spf-oracle", cfg.protoCfg.ls.spfOracle ? "1" : "0");
   add("dual.sia-timeout", num(cfg.protoCfg.dual.siaTimeout.toSeconds()));
   add("dual.max-distance", std::to_string(cfg.protoCfg.dual.maxDistance));
   return out;

@@ -67,7 +67,7 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
     }
   }
 
-  net_->finalize();
+  net_->finalize(cfg_.ecmp);
 
   for (NodeId id = 0; id < static_cast<NodeId>(net_->nodeCount()); ++id) {
     Node& node = net_->node(id);

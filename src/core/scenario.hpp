@@ -80,6 +80,13 @@ struct ScenarioConfig {
   Time endAt = Time::seconds(800.0);
   bool tracePackets = true;  ///< Per-packet hop recording (loop forensics).
 
+  /// Equal-cost multipath: let protocols install up to Fib::kMaxNextHops
+  /// tied next hops per destination and spread data packets across them
+  /// with a deterministic flow hash (docs/routing-state.md). Off by
+  /// default — the paper's model forwards on a single best hop, and every
+  /// golden digest is pinned with ecmp off.
+  bool ecmp = false;
+
   /// Declarative fault schedule layered on top of (or instead of) the
   /// path-targeted failure above — crashes, partitions, impairments
   /// (fault/plan.hpp). Empty = no injected faults.

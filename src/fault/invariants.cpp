@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "net/fib.hpp"
 #include "net/packet.hpp"
 
 namespace rcsim::fault {
@@ -127,11 +128,15 @@ void InvariantChecker::onLinkStateChange(Time t, NodeId a, NodeId b, bool up) {
 
 void InvariantChecker::finalCheck(Time at) {
   checkConservation(at);
+  // Sweep the full entry set, not just the primary: with ECMP on, a stale
+  // alternate pointing at a detached neighbor is as much a forwarding bug
+  // as a bad primary (the data plane may pick it via the flow hash).
+  NodeId hops[Fib::kMaxNextHops];
   for (NodeId n = 0; n < static_cast<NodeId>(net_.nodeCount()); ++n) {
     const auto& fib = net_.node(n).fib();
     for (NodeId dst = 0; dst < static_cast<NodeId>(fib.size()); ++dst) {
-      const NodeId nh = fib.nextHop(dst);
-      if (nh != kInvalidNode) checkFibEntry(at, n, dst, nh);
+      const int count = fib.nextHops(dst, hops);
+      for (int k = 0; k < count; ++k) checkFibEntry(at, n, dst, hops[k]);
     }
   }
 }

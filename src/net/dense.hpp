@@ -1,0 +1,150 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rcsim {
+
+/// Dense per-node storage for the routing-state layer (docs/routing-state.md).
+/// Node ids are dense [0, nodeCount), so node-keyed protocol state lives in
+/// flat arrays instead of node-keyed std::map/set/unordered_map. Everything
+/// here iterates in ascending NodeId order — the same order the ordered
+/// containers it replaces used — so message emission stays bit-identical.
+
+/// Flat NodeId -> T map. A thin typed wrapper over std::vector that keeps
+/// call sites free of static_cast<std::size_t> noise.
+template <typename T>
+class DenseNodeMap {
+ public:
+  DenseNodeMap() = default;
+
+  void assign(std::size_t nodeCount, const T& value) { v_.assign(nodeCount, value); }
+
+  [[nodiscard]] T& operator[](NodeId id) { return v_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const T& operator[](NodeId id) const { return v_[static_cast<std::size_t>(id)]; }
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+
+  [[nodiscard]] auto begin() { return v_.begin(); }
+  [[nodiscard]] auto end() { return v_.end(); }
+  [[nodiscard]] auto begin() const { return v_.begin(); }
+  [[nodiscard]] auto end() const { return v_.end(); }
+
+ private:
+  std::vector<T> v_;
+};
+
+/// A set of NodeIds as a bitset, with O(1) membership updates and ascending
+/// iteration/drain — the drop-in replacement for the std::set<NodeId>
+/// "changed destinations" / "pending advertisements" batches. ~N/8 bytes
+/// instead of a red-black tree node per member.
+class NodeBitset {
+ public:
+  NodeBitset() = default;
+
+  /// Size for `nodeCount` ids and clear every bit.
+  void assign(std::size_t nodeCount) {
+    words_.assign((nodeCount + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  /// Returns true when the id was newly inserted.
+  bool set(NodeId id) {
+    std::uint64_t& w = words_[word(id)];
+    const std::uint64_t m = mask(id);
+    if ((w & m) != 0) return false;
+    w |= m;
+    ++count_;
+    return true;
+  }
+
+  /// Returns true when the id was present.
+  bool reset(NodeId id) {
+    std::uint64_t& w = words_[word(id)];
+    const std::uint64_t m = mask(id);
+    if ((w & m) == 0) return false;
+    w &= ~m;
+    --count_;
+    return true;
+  }
+
+  [[nodiscard]] bool test(NodeId id) const { return (words_[word(id)] & mask(id)) != 0; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  void clear() {
+    if (count_ == 0) return;
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+  /// Visit members in ascending id order.
+  template <typename F>
+  void forEachSet(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        w &= w - 1;
+        f(static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(bit)));
+      }
+    }
+  }
+
+  /// Move the members (ascending) into `out` and clear the set.
+  void drainSorted(std::vector<NodeId>& out) {
+    out.clear();
+    out.reserve(count_);
+    forEachSet([&out](NodeId id) { out.push_back(id); });
+    clear();
+  }
+
+ private:
+  [[nodiscard]] static std::size_t word(NodeId id) { return static_cast<std::size_t>(id) / 64; }
+  [[nodiscard]] static std::uint64_t mask(NodeId id) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(id) % 64);
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+/// Sorted (neighbor id -> slot) index over a node's neighbor list. Slots are
+/// positions in the attachment-ordered neighbor vector, so per-neighbor
+/// protocol tables can be flat arrays indexed by slot (degree-sized, not
+/// nodeCount-sized) while lookups stay O(log degree) without hashing.
+class NeighborIndex {
+ public:
+  void add(NodeId id, int slot) {
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                                     std::pair<NodeId, int>{id, 0},
+                                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    sorted_.insert(it, {id, slot});
+  }
+
+  /// -1 when the id is not a neighbor.
+  [[nodiscard]] int slotOf(NodeId id) const {
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                                     std::pair<NodeId, int>{id, 0},
+                                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    return (it != sorted_.end() && it->first == id) ? it->second : -1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Visit (id, slot) pairs in ascending id order.
+  template <typename F>
+  void forEachSorted(F&& f) const {
+    for (const auto& [id, slot] : sorted_) f(id, slot);
+  }
+
+ private:
+  std::vector<std::pair<NodeId, int>> sorted_;
+};
+
+}  // namespace rcsim

@@ -31,8 +31,8 @@ Link* Network::findLink(NodeId a, NodeId b) const {
   return nullptr;
 }
 
-void Network::finalize() {
-  for (auto& n : nodes_) n->resizeFib(nodes_.size());
+void Network::finalize(bool ecmp) {
+  for (auto& n : nodes_) n->resizeFib(nodes_.size(), ecmp);
 }
 
 void Network::startProtocols() {
@@ -89,6 +89,9 @@ std::vector<NodeId> Network::fibWalk(NodeId src, NodeId dst, bool* loop, bool* b
       return path;
     }
     visited[static_cast<std::size_t>(cur)] = 1;
+    // Canonical walk: primaries only, even under ECMP — PathTracer and the
+    // obs/replay shadow FIB (rebuilt from RouteChange events, which carry
+    // primaries) must agree on this walk (docs/routing-state.md).
     const NodeId nh = node(cur).fib().nextHop(dst);
     if (nh == kInvalidNode) {
       if (blackhole) *blackhole = true;

@@ -137,8 +137,11 @@ class Network {
   [[nodiscard]] Link* findLink(NodeId a, NodeId b) const;
 
   /// Size every FIB to the final node count. Call after all addNode calls
-  /// and before starting protocols.
-  void finalize();
+  /// and before starting protocols. `ecmp` enables multi-next-hop FIB
+  /// entries (protocols install equal-cost alternates, the data plane
+  /// spreads flows over them); off by default so single-path behavior —
+  /// and every golden digest — is untouched.
+  void finalize(bool ecmp = false);
 
   /// Start every node's routing protocol.
   void startProtocols();

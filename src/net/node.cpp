@@ -14,14 +14,15 @@ Scheduler& Node::scheduler() { return net_.scheduler(); }
 
 void Node::attachLink(Link& link) {
   const NodeId peer = link.peerOf(id_);
-  assert(linkByNeighbor_.find(peer) == linkByNeighbor_.end());
+  assert(nbrIndex_.slotOf(peer) < 0);
+  nbrIndex_.add(peer, static_cast<int>(neighborIds_.size()));
   neighborIds_.push_back(peer);
-  linkByNeighbor_.emplace(peer, &link);
+  linkBySlot_.push_back(&link);
 }
 
 Link* Node::linkTo(NodeId neighbor) const {
-  const auto it = linkByNeighbor_.find(neighbor);
-  return it == linkByNeighbor_.end() ? nullptr : it->second;
+  const int slot = nbrIndex_.slotOf(neighbor);
+  return slot < 0 ? nullptr : linkBySlot_[static_cast<std::size_t>(slot)];
 }
 
 bool Node::neighborReachable(NodeId neighbor) const {
@@ -33,6 +34,13 @@ void Node::setRoute(NodeId dst, NodeId nextHop) {
   const NodeId old = fib_.set(dst, nextHop);
   if (old == nextHop) return;
   net_.notifyRouteChange(scheduler().now(), id_, dst, old, nextHop);
+}
+
+void Node::setRoutes(NodeId dst, const NodeId* nextHops, int count) {
+  const NodeId primary = count > 0 ? nextHops[0] : kInvalidNode;
+  const NodeId old = fib_.setMulti(dst, nextHops, count);
+  if (old == primary) return;
+  net_.notifyRouteChange(scheduler().now(), id_, dst, old, primary);
 }
 
 void Node::clearRoutes() {
@@ -77,7 +85,10 @@ void Node::receive(Packet&& p, NodeId from) {
 }
 
 void Node::route(Packet&& p) {
-  const NodeId nh = fib_.nextHop(p.dst);
+  // With ECMP the flow's deterministic key picks one member of the entry
+  // set; without it (the default) this is exactly the primary lookup.
+  const NodeId nh = fib_.ecmpEnabled() ? fib_.pick(p.dst, fibFlowKey(p.src, p.dst))
+                                       : fib_.nextHop(p.dst);
   if (nh == kInvalidNode) {
     net_.notifyDrop(scheduler().now(), id_, p, DropReason::NoRoute);
     return;

@@ -2,9 +2,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "net/fib.hpp"
 #include "net/packet.hpp"
 #include "net/routing_protocol.hpp"
@@ -41,15 +41,27 @@ class Node {
   /// True when the link to `neighbor` exists and is currently up.
   [[nodiscard]] bool neighborReachable(NodeId neighbor) const;
 
+  /// Slot of `neighbor` in neighbors() order (-1 when not attached). Lets
+  /// protocols keep per-neighbor tables in flat degree-sized arrays.
+  [[nodiscard]] int neighborSlot(NodeId neighbor) const { return nbrIndex_.slotOf(neighbor); }
+  /// The sorted (id -> slot) index over this node's neighbors.
+  [[nodiscard]] const NeighborIndex& neighborIndex() const { return nbrIndex_; }
+
   /// Install/replace the route toward `dst`; kInvalidNode removes it.
   /// Fires the network's route-change hook when the next hop changes.
   void setRoute(NodeId dst, NodeId nextHop);
+
+  /// Install a multi-next-hop entry set toward `dst` (nextHops[0] is the
+  /// primary; count 0 removes the route). The route-change hook fires only
+  /// when the *primary* changes — alternates are a data-plane refinement
+  /// invisible to the RouteChange event stream (docs/routing-state.md).
+  void setRoutes(NodeId dst, const NodeId* nextHops, int count);
 
   /// Remove every installed route (fault injection: a crashed node loses
   /// its FIB). Fires the route-change hook per removed entry.
   void clearRoutes();
   [[nodiscard]] const Fib& fib() const { return fib_; }
-  void resizeFib(std::size_t nodeCount) { fib_.resize(nodeCount); }
+  void resizeFib(std::size_t nodeCount, bool ecmp = false) { fib_.resize(nodeCount, ecmp); }
 
   /// Application-layer origination (TTL already set, not decremented here).
   void originate(Packet&& p);
@@ -82,8 +94,9 @@ class Node {
   Rng rng_;
   Fib fib_;
   std::unique_ptr<RoutingProtocol> proto_;
-  std::vector<NodeId> neighborIds_;
-  std::unordered_map<NodeId, Link*> linkByNeighbor_;
+  std::vector<NodeId> neighborIds_;  ///< attachment order; index = slot
+  std::vector<Link*> linkBySlot_;    ///< parallel to neighborIds_
+  NeighborIndex nbrIndex_;
   std::vector<std::function<void(const Packet&)>> deliveryHandlers_;
 };
 

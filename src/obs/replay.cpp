@@ -8,6 +8,9 @@ namespace {
 
 /// The fibWalk algorithm from Network::fibWalk, verbatim, against the
 /// shadow FIB. Any divergence here breaks the replay == live guarantee.
+/// Like fibWalk, this follows *primary* next hops only: RouteChange trace
+/// events carry the primary, and the canonical path is defined over
+/// primaries even when ECMP spreads data packets across alternates.
 std::vector<NodeId> shadowWalk(const std::vector<std::vector<NodeId>>& fib, NodeId src, NodeId dst,
                                bool* loop, bool* blackhole) {
   *loop = false;

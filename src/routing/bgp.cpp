@@ -14,11 +14,29 @@ Bgp::Bgp(Node& node, BgpConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
 
 Bgp::~Bgp() {
   auto& sched = node_.scheduler();
-  for (auto& [id, peer] : peers_) {
+  for (auto& peer : peers_) {
     sched.cancel(peer.mraiTimer);
     for (auto& [dst, timer] : peer.destTimers) sched.cancel(timer);
     for (auto& [dst, st] : peer.damp) sched.cancel(st.reuseTimer);
   }
+}
+
+Bgp::Peer* Bgp::findPeer(NodeId peerId) {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), peerId,
+                                   [](const Peer& p, NodeId id) { return p.id < id; });
+  return (it != peers_.end() && it->id == peerId) ? &*it : nullptr;
+}
+
+const Bgp::Peer* Bgp::findPeer(NodeId peerId) const {
+  const auto it = std::lower_bound(peers_.begin(), peers_.end(), peerId,
+                                   [](const Peer& p, NodeId id) { return p.id < id; });
+  return (it != peers_.end() && it->id == peerId) ? &*it : nullptr;
+}
+
+Bgp::Peer& Bgp::peerAt(NodeId peerId) {
+  Peer* p = findPeer(peerId);
+  assert(p != nullptr);
+  return *p;
 }
 
 void Bgp::start() {
@@ -31,8 +49,12 @@ void Bgp::start() {
   bestPath_[self] = {node_.id()};
   bestVia_[self] = node_.id();
 
-  for (const NodeId nb : node_.neighbors()) {
+  peers_.reserve(node_.neighbors().size());
+  // Build in ascending id order so the vector is sorted (iteration order of
+  // the node-keyed map this replaces).
+  node_.neighborIndex().forEachSorted([this, n](NodeId nb, int /*slot*/) {
     Peer peer;
+    peer.id = nb;
     peer.session = std::make_unique<ReliableSession>(
         node_, nb,
         [this, nb](std::shared_ptr<const ControlPayload> msg) {
@@ -42,39 +64,41 @@ void Bgp::start() {
     // Transport gave up (max retries): both sides must resync, like a BGP
     // session bounce. Our side re-advertises; the peer reacts to the RST.
     peer.session->setOnReset([this, nb] { resyncPeer(nb); });
+    peer.pending.assign(n);
+    peer.destPending.assign(n);
+    peer.ribIn.assign(n, {});
     peer.ribOut.assign(n, {});
-    peers_.emplace(nb, std::move(peer));
-    ribIn_[nb].assign(n, {});
-  }
+    peers_.push_back(std::move(peer));
+  });
   // Session establishment: announce everything we know (just ourselves).
   scheduleAdvertAll(node_.id());
 }
 
 const std::vector<NodeId>* Bgp::ribInPath(NodeId neighbor, NodeId dst) const {
-  const auto it = ribIn_.find(neighbor);
-  if (it == ribIn_.end()) return nullptr;
-  const auto& p = it->second[static_cast<std::size_t>(dst)];
+  const Peer* peer = findPeer(neighbor);
+  if (peer == nullptr) return nullptr;
+  const auto& p = peer->ribIn[static_cast<std::size_t>(dst)];
   return p.empty() ? nullptr : &p;
 }
 
 void Bgp::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
-  const auto it = peers_.find(from);
-  if (it == peers_.end() || !it->second.up) return;
+  Peer* peer = findPeer(from);
+  if (peer == nullptr || !peer->up) return;
   if (dynamic_cast<const TransportReset*>(msg.get()) != nullptr) {
     // Peer's transport gave up and tore the session down; mirror the reset
     // and re-advertise so both ends rebuild from a clean slate.
-    it->second.session->reset();
+    peer->session->reset();
     resyncPeer(from);
     return;
   }
   if (auto seg = std::dynamic_pointer_cast<const TransportSegment>(msg)) {
-    it->second.session->onSegment(seg);
+    peer->session->onSegment(seg);
   }
 }
 
 RoutingProtocol::TransportCounters Bgp::transportCounters() const {
   TransportCounters tc;
-  for (const auto& [nb, peer] : peers_) {
+  for (const auto& peer : peers_) {
     if (!peer.session) continue;
     tc.retransmissions += peer.session->retransmissions();
     tc.sessionResets += peer.session->sessionResets();
@@ -83,7 +107,7 @@ RoutingProtocol::TransportCounters Bgp::transportCounters() const {
 }
 
 void Bgp::resyncPeer(NodeId peerId) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   for (auto& out : peer.ribOut) out.clear();
   for (NodeId d = 0; d < static_cast<NodeId>(bestPath_.size()); ++d) {
     if (!bestPath_[static_cast<std::size_t>(d)].empty()) scheduleAdvert(peerId, d);
@@ -91,7 +115,7 @@ void Bgp::resyncPeer(NodeId peerId) {
 }
 
 void Bgp::processUpdate(NodeId from, const BgpUpdate& update) {
-  auto& rib = ribIn_[from];
+  auto& rib = peerAt(from).ribIn;
   for (const auto& route : update.advertised) {
     const NodeId d = route.dst;
     if (d == node_.id()) continue;
@@ -124,7 +148,7 @@ void Bgp::decayPenalty(Peer::DampState& st) {
 }
 
 void Bgp::recordFlap(NodeId peerId, NodeId dst) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   auto& st = peer.damp[dst];
   decayPenalty(st);
   st.penalty += cfg_.rfdPenaltyPerFlap;
@@ -138,7 +162,7 @@ void Bgp::recordFlap(NodeId peerId, NodeId dst) {
   node_.scheduler().cancel(st.reuseTimer);
   st.reuseTimer =
       node_.scheduler().scheduleAfter(Time::seconds(waitSec), [this, peerId, dst] {
-        auto& p = peers_.at(peerId);
+        auto& p = peerAt(peerId);
         auto& s2 = p.damp[dst];
         decayPenalty(s2);
         s2.suppressed = false;
@@ -149,10 +173,10 @@ void Bgp::recordFlap(NodeId peerId, NodeId dst) {
 }
 
 bool Bgp::isSuppressed(NodeId neighbor, NodeId dst) const {
-  const auto it = peers_.find(neighbor);
-  if (it == peers_.end()) return false;
-  const auto dit = it->second.damp.find(dst);
-  return dit != it->second.damp.end() && dit->second.suppressed;
+  const Peer* peer = findPeer(neighbor);
+  if (peer == nullptr) return false;
+  const auto dit = peer->damp.find(dst);
+  return dit != peer->damp.end() && dit->second.suppressed;
 }
 
 bool Bgp::pathConsistent(NodeId from, NodeId dst, const std::vector<NodeId>& path) const {
@@ -163,11 +187,9 @@ bool Bgp::pathConsistent(NodeId from, NodeId dst, const std::vector<NodeId>& pat
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {  // skip path[0]==from and the dst itself
     const NodeId m = path[i];
     if (m == from) continue;
-    const auto pit = peers_.find(m);
-    if (pit == peers_.end() || !pit->second.up) continue;
-    const auto rit = ribIn_.find(m);
-    if (rit == ribIn_.end()) continue;
-    const auto& own = rit->second[static_cast<std::size_t>(dst)];
+    const Peer* peer = findPeer(m);
+    if (peer == nullptr || !peer->up) continue;
+    const auto& own = peer->ribIn[static_cast<std::size_t>(dst)];
     const std::vector<NodeId> tail(path.begin() + static_cast<std::ptrdiff_t>(i), path.end());
     if (own != tail) return false;
   }
@@ -179,10 +201,11 @@ void Bgp::runDecision(NodeId dst) {
   const std::vector<NodeId>* best = nullptr;
   NodeId via = kInvalidNode;
   const NodeId incumbent = bestVia_[i];
-  for (auto& [nb, peer] : peers_) {
+  for (auto& peer : peers_) {
+    const NodeId nb = peer.id;
     if (!peer.up) continue;
     if (cfg_.flapDampingEnabled && isSuppressed(nb, dst)) continue;
-    const auto& p = ribIn_[nb][i];
+    const auto& p = peer.ribIn[i];
     if (p.empty()) continue;
     // Strict assertions (as in Pei et al.): a path contradicting a crossing
     // neighbor's own advertisement is infeasible, not merely dispreferred —
@@ -218,23 +241,23 @@ void Bgp::runDecision(NodeId dst) {
 }
 
 void Bgp::scheduleAdvertAll(NodeId dst) {
-  for (auto& [nb, peer] : peers_) {
-    if (peer.up) scheduleAdvert(nb, dst);
+  for (auto& peer : peers_) {
+    if (peer.up) scheduleAdvert(peer.id, dst);
   }
 }
 
 void Bgp::scheduleAdvert(NodeId peerId, NodeId dst) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   if (cfg_.perDestMrai) {
     const auto it = peer.destTimers.find(dst);
     if (it == peer.destTimers.end()) {
       if (emitRoute(peerId, dst)) armDestMrai(peerId, dst);
     } else {
-      peer.destPending.insert(dst);
+      peer.destPending.set(dst);
     }
     return;
   }
-  peer.pending.insert(dst);
+  peer.pending.set(dst);
   // Flush via a zero-delay event: one incoming update / link event may
   // change routes for many destinations, and the paper's model sends all
   // the resulting updates *before* the MRAI turns on ("after a router has
@@ -244,7 +267,7 @@ void Bgp::scheduleAdvert(NodeId peerId, NodeId dst) {
   if (peer.mraiRunning || peer.flushScheduled) return;
   peer.flushScheduled = true;
   scheduleGuarded(node_.scheduler(), Time::zero(), [this, peerId] {
-    auto& p = peers_.at(peerId);
+    auto& p = peerAt(peerId);
     p.flushScheduled = false;
     if (p.mraiRunning || !p.up) return;
     if (flushPeer(peerId)) armMrai(peerId);
@@ -252,22 +275,22 @@ void Bgp::scheduleAdvert(NodeId peerId, NodeId dst) {
 }
 
 void Bgp::sendWithdrawalAll(NodeId dst) {
-  for (auto& [nb, peer] : peers_) {
+  for (auto& peer : peers_) {
     if (!peer.up) continue;
     if (!cfg_.withdrawalsExemptFromMrai) {
       // Ablation mode: unreachability waits in line like any other change.
-      scheduleAdvert(nb, dst);
+      scheduleAdvert(peer.id, dst);
       continue;
     }
     // A withdrawal supersedes any queued advertisement for this dst.
-    peer.pending.erase(dst);
-    peer.destPending.erase(dst);
-    emitRoute(nb, dst);
+    peer.pending.reset(dst);
+    peer.destPending.reset(dst);
+    emitRoute(peer.id, dst);
   }
 }
 
 bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   if (!peer.up) return false;
   const auto i = static_cast<std::size_t>(dst);
   auto& out = peer.ribOut[i];
@@ -315,17 +338,19 @@ bool Bgp::emitRoute(NodeId peerId, NodeId dst) {
 }
 
 bool Bgp::flushPeer(NodeId peerId) {
-  auto& peer = peers_.at(peerId);
-  const std::set<NodeId> pending = std::exchange(peer.pending, {});
+  auto& peer = peerAt(peerId);
+  // Drain ascending — the iteration order of the std::set this bitset
+  // replaces — into a scratch so reentrant marks land in the next round.
+  peer.pending.drainSorted(pendingScratch_);
   bool sent = false;
-  for (const NodeId dst : pending) sent = emitRoute(peerId, dst) || sent;
+  for (const NodeId dst : pendingScratch_) sent = emitRoute(peerId, dst) || sent;
   return sent;
 }
 
 double Bgp::mraiDelay() { return node_.rng().uniform(cfg_.mraiMinSec, cfg_.mraiMaxSec); }
 
 void Bgp::armMrai(NodeId peerId) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   peer.mraiRunning = true;
   // Draw the delay unconditionally: the RNG stream must not depend on
   // whether tracing is enabled, or traced runs would diverge.
@@ -333,24 +358,24 @@ void Bgp::armMrai(NodeId peerId) {
   node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
                                peerId, delay.ns(), 0, -1);
   peer.mraiTimer = node_.scheduler().scheduleAfter(delay, [this, peerId] {
-    auto& p = peers_.at(peerId);
+    auto& p = peerAt(peerId);
     p.mraiRunning = false;
     p.mraiTimer = EventId{};
     node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiFire, node_.id(),
-                                 peerId, static_cast<std::int64_t>(p.pending.size()), 0, -1);
+                                 peerId, static_cast<std::int64_t>(p.pending.count()), 0, -1);
     if (!p.pending.empty() && p.up && flushPeer(peerId)) armMrai(peerId);
   });
 }
 
 void Bgp::armDestMrai(NodeId peerId, NodeId dst) {
-  auto& peer = peers_.at(peerId);
+  auto& peer = peerAt(peerId);
   const Time delay = Time::seconds(mraiDelay());
   node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
                                peerId, delay.ns(), 0, dst);
   peer.destTimers[dst] = node_.scheduler().scheduleAfter(delay, [this, peerId, dst] {
-    auto& p = peers_.at(peerId);
+    auto& p = peerAt(peerId);
     p.destTimers.erase(dst);
-    const bool pending = p.destPending.erase(dst) > 0;
+    const bool pending = p.destPending.reset(dst);
     node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiFire, node_.id(),
                                  peerId, pending ? 1 : 0, 0, dst);
     if (pending && p.up) {
@@ -361,9 +386,9 @@ void Bgp::armDestMrai(NodeId peerId, NodeId dst) {
 }
 
 void Bgp::onLinkDown(NodeId neighbor) {
-  const auto it = peers_.find(neighbor);
-  if (it == peers_.end() || !it->second.up) return;
-  auto& peer = it->second;
+  Peer* found = findPeer(neighbor);
+  if (found == nullptr || !found->up) return;
+  auto& peer = *found;
   peer.up = false;
   peer.session->reset();
   node_.scheduler().cancel(peer.mraiTimer);
@@ -379,7 +404,7 @@ void Bgp::onLinkDown(NodeId neighbor) {
   for (auto& [dst, st] : peer.damp) node_.scheduler().cancel(st.reuseTimer);
   peer.damp.clear();
   // Drop everything learned from this neighbor and re-decide.
-  auto& rib = ribIn_[neighbor];
+  auto& rib = peer.ribIn;
   for (NodeId d = 0; d < static_cast<NodeId>(rib.size()); ++d) {
     if (!rib[static_cast<std::size_t>(d)].empty()) {
       rib[static_cast<std::size_t>(d)].clear();
@@ -389,9 +414,9 @@ void Bgp::onLinkDown(NodeId neighbor) {
 }
 
 void Bgp::onLinkUp(NodeId neighbor) {
-  const auto it = peers_.find(neighbor);
-  if (it == peers_.end() || it->second.up) return;
-  auto& peer = it->second;
+  Peer* found = findPeer(neighbor);
+  if (found == nullptr || found->up) return;
+  auto& peer = *found;
   peer.session->reset();
   peer.up = true;
   // Session re-establishment: advertise the full table to this peer.

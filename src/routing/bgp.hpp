@@ -2,9 +2,9 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "net/reliable.hpp"
 #include "net/routing_protocol.hpp"
 #include "routing/messages.hpp"
@@ -54,6 +54,12 @@ struct BgpConfig {
 /// change, detects loops on the receiver side (a path containing the local
 /// node is treated as a withdrawal) and paces updates with a per-neighbor
 /// MRAI timer from which withdrawals are exempt.
+///
+/// Peer state (including the Adj-RIB-In) lives in one id-sorted vector —
+/// iteration order is ascending id, as with the node-keyed maps it replaces
+/// (docs/routing-state.md) — and the pending-advertisement sets are bitsets.
+/// Only the rarely-populated per-destination MRAI timers and flap-damping
+/// records stay in sparse maps.
 class Bgp final : public RoutingProtocol {
  public:
   Bgp(Node& node, BgpConfig cfg);
@@ -83,16 +89,20 @@ class Bgp final : public RoutingProtocol {
 
  private:
   struct Peer {
+    NodeId id = kInvalidNode;
     std::unique_ptr<ReliableSession> session;
     bool up = true;
     // Per-neighbor MRAI state.
     bool mraiRunning = false;
     bool flushScheduled = false;
     EventId mraiTimer{};
-    std::set<NodeId> pending;  ///< Destinations awaiting (re-)advertisement.
+    NodeBitset pending;  ///< Destinations awaiting (re-)advertisement.
     // Per-(neighbor, destination) MRAI state (ablation mode).
     std::map<NodeId, EventId> destTimers;
-    std::set<NodeId> destPending;
+    NodeBitset destPending;
+    /// Adj-RIB-In: per destination, the path this peer advertised
+    /// ([peer, ..., dst]); empty = none/withdrawn.
+    std::vector<std::vector<NodeId>> ribIn;
     /// Adj-RIB-Out: last path advertised to this peer (empty = withdrawn /
     /// never advertised); used to suppress duplicate updates.
     std::vector<std::vector<NodeId>> ribOut;
@@ -105,6 +115,10 @@ class Bgp final : public RoutingProtocol {
     };
     std::map<NodeId, DampState> damp;
   };
+
+  [[nodiscard]] Peer* findPeer(NodeId peerId);
+  [[nodiscard]] const Peer* findPeer(NodeId peerId) const;
+  [[nodiscard]] Peer& peerAt(NodeId peerId);
 
   void processUpdate(NodeId from, const BgpUpdate& update);
   void runDecision(NodeId dst);
@@ -131,10 +145,7 @@ class Bgp final : public RoutingProtocol {
   void decayPenalty(Peer::DampState& st);
 
   BgpConfig cfg_;
-  std::map<NodeId, Peer> peers_;  // ordered: deterministic iteration across platforms
-  /// Adj-RIB-In: per neighbor, per destination, the advertised path
-  /// ([neighbor, ..., dst]); empty = none/withdrawn.
-  std::map<NodeId, std::vector<std::vector<NodeId>>> ribIn_;
+  std::vector<Peer> peers_;  ///< sorted by id: deterministic ascending iteration
   std::vector<std::vector<NodeId>> bestPath_;  ///< empty = unreachable
   std::vector<NodeId> bestVia_;
   /// Per-destination immutable payload caches shared across peers: an
@@ -144,6 +155,7 @@ class Bgp final : public RoutingProtocol {
   /// when the best path changes; a withdrawal's content is constant.
   std::vector<std::shared_ptr<const BgpUpdate>> advertCache_;
   std::vector<std::shared_ptr<const BgpUpdate>> withdrawCache_;
+  std::vector<NodeId> pendingScratch_;  ///< reused drain buffer for flushPeer
   std::uint64_t updatesSent_ = 0;
   std::uint64_t withdrawalsSent_ = 0;
   std::uint64_t suppressions_ = 0;

@@ -11,34 +11,35 @@ Dbf::Dbf(Node& node, DvConfig cfg) : DvProtocolBase{node, cfg} {}
 
 void Dbf::start() {
   const auto n = node_.network().nodeCount();
-  bestMetric_.assign(n, config().infinityMetric);
-  bestHop_.assign(n, kInvalidNode);
-  known_.assign(n, 0);
-  const auto self = static_cast<std::size_t>(node_.id());
-  bestMetric_[self] = 0;
-  bestHop_[self] = node_.id();
-  known_[self] = 1;
+  cacheBySlot_.assign(node_.neighbors().size(), {});
+  bestMetric_.assign(n, static_cast<std::uint16_t>(config().infinityMetric));
+  known_.assign(n);
+  bestMetric_[static_cast<std::size_t>(node_.id())] = 0;
+  known_.set(node_.id());
   DvProtocolBase::start();
 }
 
 int Dbf::metricFor(NodeId dst) const { return bestMetric_[static_cast<std::size_t>(dst)]; }
 
 NodeId Dbf::nextHopFor(NodeId dst) const {
+  // The FIB primary *is* the best hop: recompute() keeps them identical, so
+  // no separate bestHop_ array is carried (saves a NodeId per destination).
   const auto i = static_cast<std::size_t>(dst);
-  return bestMetric_[i] >= config().infinityMetric ? kInvalidNode : bestHop_[i];
+  return bestMetric_[i] >= config().infinityMetric ? kInvalidNode : node_.fib().nextHop(dst);
 }
 
 int Dbf::cachedMetric(NodeId neighbor, NodeId dst) const {
-  const auto it = cache_.find(neighbor);
-  if (it == cache_.end()) return config().infinityMetric;
-  return it->second[static_cast<std::size_t>(dst)];
+  const int slot = node_.neighborSlot(neighbor);
+  if (slot < 0) return config().infinityMetric;
+  const auto& row = cacheBySlot_[static_cast<std::size_t>(slot)];
+  if (row.empty()) return config().infinityMetric;
+  return row[static_cast<std::size_t>(dst)];
 }
 
 std::vector<NodeId> Dbf::knownDestinations() const {
   std::vector<NodeId> dsts;
-  for (NodeId d = 0; d < static_cast<NodeId>(known_.size()); ++d) {
-    if (known_[static_cast<std::size_t>(d)]) dsts.push_back(d);
-  }
+  dsts.reserve(known_.count());
+  known_.forEachSet([&dsts](NodeId d) { dsts.push_back(d); });
   return dsts;
 }
 
@@ -48,7 +49,7 @@ void Dbf::recompute(NodeId dst) {
   const int inf = config().infinityMetric;
   int best = inf;
   NodeId via = kInvalidNode;
-  const NodeId current = bestHop_[i];
+  const NodeId current = node_.fib().nextHop(dst);
   // Tie-break: keep the incumbent next hop if it stays optimal, otherwise
   // lowest neighbor id — fully deterministic.
   auto beats = [&](int cand, NodeId n) {
@@ -56,20 +57,51 @@ void Dbf::recompute(NodeId dst) {
     if (via == current) return false;
     return n == current || n < via;
   };
-  for (const NodeId n : aliveNeighbors()) {
-    const auto it = cache_.find(n);
-    if (it == cache_.end()) continue;
-    const int cand = std::min<int>(it->second[i] + 1, inf);
-    if (cand < inf && beats(cand, n)) {
+  const auto& alive = aliveNeighbors();
+  const auto& slots = aliveNeighborSlots();
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    const auto& row = cacheBySlot_[static_cast<std::size_t>(slots[k])];
+    if (row.empty()) continue;
+    const int cand = std::min<int>(row[i] + 1, inf);
+    if (cand < inf && beats(cand, alive[k])) {
       best = cand;
-      via = n;
+      via = alive[k];
     }
   }
   if (best >= inf) via = kInvalidNode;
-  if (best == bestMetric_[i] && via == bestHop_[i]) return;
+
+  if (node_.fib().ecmpEnabled()) {
+    // Refresh the full equal-cost entry set on every recompute (alternates
+    // can change even when the primary stays put). Primary first, then the
+    // lowest-id tied neighbors.
+    NodeId hops[Fib::kMaxNextHops];
+    int count = 0;
+    if (via != kInvalidNode) {
+      hops[count++] = via;
+      for (std::size_t k = 0; k < alive.size() && count < Fib::kMaxNextHops; ++k) {
+        const auto& row = cacheBySlot_[static_cast<std::size_t>(slots[k])];
+        if (row.empty() || alive[k] == via) continue;
+        if (std::min<int>(row[i] + 1, inf) != best) continue;
+        // Keep alternates sorted ascending by id (alive_ is attachment
+        // order, not sorted).
+        int pos = count;
+        while (pos > 1 && alive[k] < hops[pos - 1]) --pos;
+        for (int m = count; m > pos; --m) hops[m] = hops[m - 1];
+        hops[pos] = alive[k];
+        ++count;
+      }
+    }
+    node_.setRoutes(dst, hops, count);
+    if (best == bestMetric_[i] && via == current) return;
+    const bool metricChanged = best != bestMetric_[i];
+    bestMetric_[i] = static_cast<std::uint16_t>(best);
+    if (metricChanged) markChanged(dst);
+    return;
+  }
+
+  if (best == bestMetric_[i] && via == current) return;
   const bool metricChanged = best != bestMetric_[i];
-  bestMetric_[i] = best;
-  bestHop_[i] = via;
+  bestMetric_[i] = static_cast<std::uint16_t>(best);
   node_.setRoute(dst, via);
   // Advertise on metric change (next-hop-only changes are invisible to
   // neighbors except through poison reverse, which periodic updates fix).
@@ -77,27 +109,28 @@ void Dbf::recompute(NodeId dst) {
 }
 
 void Dbf::processUpdate(NodeId from, const DvUpdate& update) {
-  auto it = cache_.find(from);
-  if (it == cache_.end()) {
-    it = cache_.emplace(from, std::vector<std::uint8_t>(node_.network().nodeCount(),
-                                                        static_cast<std::uint8_t>(
-                                                            config().infinityMetric)))
-             .first;
+  const int slot = node_.neighborSlot(from);
+  auto& row = cacheBySlot_[static_cast<std::size_t>(slot)];
+  if (row.empty()) {
+    row.assign(node_.network().nodeCount(), static_cast<std::uint8_t>(config().infinityMetric));
   }
   for (const auto& entry : update.entries) {
     const NodeId d = entry.dst;
     if (d == node_.id()) continue;
-    known_[static_cast<std::size_t>(d)] = 1;
-    it->second[static_cast<std::size_t>(d)] =
+    known_.set(d);
+    row[static_cast<std::size_t>(d)] =
         static_cast<std::uint8_t>(std::min<int>(entry.metric, config().infinityMetric));
     recompute(d);
   }
 }
 
 void Dbf::neighborDown(NodeId neighbor) {
-  // The cache entry survives only as history; the neighbor is out of
-  // aliveNeighbors() so recompute() skips it — instant switch-over.
-  cache_.erase(neighbor);
+  // The advertised row only matters while the neighbor is alive; release it
+  // so recompute() skips the neighbor — instant switch-over.
+  const int slot = node_.neighborSlot(neighbor);
+  auto& row = cacheBySlot_[static_cast<std::size_t>(slot)];
+  row.clear();
+  row.shrink_to_fit();
   for (NodeId d = 0; d < static_cast<NodeId>(bestMetric_.size()); ++d) recompute(d);
 }
 

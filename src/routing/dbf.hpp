@@ -1,8 +1,9 @@
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "routing/dv_common.hpp"
 
 namespace rcsim {
@@ -13,6 +14,12 @@ namespace rcsim {
 /// alternate in the cache — a zero-time path switch-over (paper §4.1) — at
 /// the price of possibly choosing an invalid path and "counting to the
 /// next-best path" instead of counting to infinity (paper §6).
+///
+/// State is SoA over dense NodeIds (docs/routing-state.md): per-neighbor
+/// advertised-metric rows indexed by neighbor slot, flat uint16 best
+/// metrics, and a known-destination bitset. The best next hop is not stored
+/// separately — after every recompute it equals the FIB's primary entry,
+/// which recompute reads back as the tie-break incumbent.
 class Dbf final : public DvProtocolBase {
  public:
   Dbf(Node& node, DvConfig cfg);
@@ -37,10 +44,12 @@ class Dbf final : public DvProtocolBase {
   /// Recompute the best route for dst from the per-neighbor cache.
   void recompute(NodeId dst);
 
-  std::unordered_map<NodeId, std::vector<std::uint8_t>> cache_;  ///< neighbor -> advertised metric per dst
-  std::vector<int> bestMetric_;
-  std::vector<NodeId> bestHop_;
-  std::vector<char> known_;
+  /// Advertised metric per dst, indexed by neighbor slot. A row is empty
+  /// until the first update arrives from that neighbor and is released when
+  /// the neighbor goes down (only history while alive matters).
+  std::vector<std::vector<std::uint8_t>> cacheBySlot_;
+  std::vector<std::uint16_t> bestMetric_;
+  NodeBitset known_;
 };
 
 }  // namespace rcsim

@@ -1,6 +1,7 @@
 #include "routing/dual.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <utility>
 
@@ -20,68 +21,110 @@ std::string DualMessage::describe() const {
   return os.str();
 }
 
+namespace {
+
+/// Erase `id` from a sorted vector; returns true when it was present.
+bool sortedErase(std::vector<NodeId>& v, NodeId id) {
+  const auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) return false;
+  v.erase(it);
+  return true;
+}
+
+void sortedInsert(std::vector<NodeId>& v, NodeId id) {
+  const auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) return;
+  v.insert(it, id);
+}
+
+}  // namespace
+
 Dual::Dual(Node& node, DualConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
 
 Dual::~Dual() {
-  for (auto& r : table_) node_.scheduler().cancel(r.siaTimer);
+  for (auto& [dst, st] : activeState_) node_.scheduler().cancel(st.siaTimer);
 }
 
 void Dual::start() {
   initTables();
-  for (const NodeId n : node_.neighbors()) alive_.insert(n);
+  const auto degree = node_.neighbors().size();
+  outboxBySlot_.assign(degree * 3, {});
+  reportedBySlot_.assign(degree, {});
+  // Sorted, with the parallel slot array, so recompute() walks neighbors in
+  // ascending id order (as the std::set did) without per-neighbor lookups.
+  node_.neighborIndex().forEachSorted([this](NodeId id, int slot) {
+    alive_.push_back(id);
+    aliveSlots_.push_back(slot);
+  });
   sendToAll(DualMsgKind::Update, node_.id(), 0);
 }
 
 void Dual::initTables() {
   const auto n = node_.network().nodeCount();
-  table_.assign(n, Route{});
-  for (auto& r : table_) {
-    r.feasibleDistance = cfg_.maxDistance;
-    r.distance = cfg_.maxDistance;
-  }
-  auto& self = table_[static_cast<std::size_t>(node_.id())];
-  self.feasibleDistance = 0;
-  self.distance = 0;
-  self.successor = node_.id();
+  distance_.assign(n, static_cast<std::uint16_t>(cfg_.maxDistance));
+  feasible_.assign(n, static_cast<std::uint16_t>(cfg_.maxDistance));
+  active_.assign(n);
+  distance_[static_cast<std::size_t>(node_.id())] = 0;
+  feasible_[static_cast<std::size_t>(node_.id())] = 0;
 }
 
-int Dual::distance(NodeId dst) const { return table_[static_cast<std::size_t>(dst)].distance; }
+int Dual::distance(NodeId dst) const { return distance_[static_cast<std::size_t>(dst)]; }
+
+int Dual::reportedBySlot(int slot, NodeId dst) const {
+  const auto& row = reportedBySlot_[static_cast<std::size_t>(slot)];
+  if (row.empty()) return cfg_.maxDistance;
+  return row[static_cast<std::size_t>(dst)];
+}
 
 int Dual::reported(NodeId neighbor, NodeId dst) const {
-  const auto it = reported_.find(neighbor);
-  if (it == reported_.end()) return cfg_.maxDistance;
-  return it->second[static_cast<std::size_t>(dst)];
+  const int slot = node_.neighborSlot(neighbor);
+  if (slot < 0) return cfg_.maxDistance;
+  return reportedBySlot(slot, dst);
 }
 
-void Dual::installRoute(NodeId dst, int dist, NodeId successor) {
-  auto& r = table_[static_cast<std::size_t>(dst)];
-  const bool changed = dist != r.distance;
-  r.distance = dist;
-  r.successor = successor;
-  node_.setRoute(dst, dist >= cfg_.maxDistance ? kInvalidNode : successor);
+void Dual::installRoute(NodeId dst, int dist, NodeId successor, const NodeId* alts, int altCount) {
+  const auto i = static_cast<std::size_t>(dst);
+  const bool changed = dist != distance_[i];
+  distance_[i] = static_cast<std::uint16_t>(dist);
+  // The successor is not stored separately: the FIB's primary entry is the
+  // single source of truth (docs/routing-state.md).
+  if (node_.fib().ecmpEnabled()) {
+    NodeId hops[Fib::kMaxNextHops];
+    int count = 0;
+    if (dist < cfg_.maxDistance) {
+      hops[count++] = successor;
+      for (int k = 0; k < altCount && count < Fib::kMaxNextHops; ++k) hops[count++] = alts[k];
+    }
+    node_.setRoutes(dst, hops, count);
+  } else {
+    node_.setRoute(dst, dist >= cfg_.maxDistance ? kInvalidNode : successor);
+  }
   if (changed) sendToAll(DualMsgKind::Update, dst, dist);
 }
 
 void Dual::recompute(NodeId dst) {
   if (dst == node_.id()) return;
-  auto& r = table_[static_cast<std::size_t>(dst)];
-  if (r.active) return;  // frozen until the diffusing computation completes
+  if (active_.test(dst)) return;  // frozen until the diffusing computation completes
+  const auto i = static_cast<std::size_t>(dst);
 
   // Best distance over all live neighbors, and best over *feasible* ones
   // (reported distance strictly below our feasible distance — the loop-
   // freedom invariant).
+  const NodeId incumbent = node_.fib().nextHop(dst);
+  const int fd = feasible_[i];
   int bestAny = cfg_.maxDistance;
   int bestFeasible = cfg_.maxDistance;
   NodeId feasibleVia = kInvalidNode;
-  for (const NodeId n : alive_) {
-    const int rd = reported(n, dst);
+  for (std::size_t k = 0; k < alive_.size(); ++k) {
+    const NodeId n = alive_[k];
+    const int rd = reportedBySlot(aliveSlots_[k], dst);
     const int cand = std::min(rd + 1, cfg_.maxDistance);
     bestAny = std::min(bestAny, cand);
-    if (rd < r.feasibleDistance) {
+    if (rd < fd) {
       // Deterministic tie-break: incumbent first, then lowest id.
       const bool beats = cand < bestFeasible ||
                          (cand == bestFeasible &&
-                          (feasibleVia != r.successor && (n == r.successor || n < feasibleVia)));
+                          (feasibleVia != incumbent && (n == incumbent || n < feasibleVia)));
       if (beats) {
         bestFeasible = cand;
         feasibleVia = n;
@@ -90,14 +133,27 @@ void Dual::recompute(NodeId dst) {
   }
 
   if (feasibleVia != kInvalidNode) {
-    r.feasibleDistance = std::min(r.feasibleDistance, bestFeasible);
-    installRoute(dst, bestFeasible, feasibleVia);
+    feasible_[i] = static_cast<std::uint16_t>(std::min<int>(feasible_[i], bestFeasible));
+    if (node_.fib().ecmpEnabled()) {
+      // Equal-cost feasible successors, ascending (alive_ is sorted).
+      NodeId alts[Fib::kMaxNextHops - 1];
+      int altCount = 0;
+      for (std::size_t k = 0; k < alive_.size() && altCount + 1 < Fib::kMaxNextHops; ++k) {
+        const NodeId n = alive_[k];
+        if (n == feasibleVia) continue;
+        const int rd = reportedBySlot(aliveSlots_[k], dst);
+        if (rd < fd && std::min(rd + 1, cfg_.maxDistance) == bestFeasible) alts[altCount++] = n;
+      }
+      installRoute(dst, bestFeasible, feasibleVia, alts, altCount);
+    } else {
+      installRoute(dst, bestFeasible, feasibleVia);
+    }
     return;
   }
   if (bestAny >= cfg_.maxDistance) {
     // Nothing anywhere: settle on unreachable, no diffusion needed. Keep FD
     // at max so any future finite report is immediately feasible.
-    r.feasibleDistance = cfg_.maxDistance;
+    feasible_[i] = static_cast<std::uint16_t>(cfg_.maxDistance);
     installRoute(dst, cfg_.maxDistance, kInvalidNode);
     return;
   }
@@ -106,49 +162,54 @@ void Dual::recompute(NodeId dst) {
 }
 
 void Dual::goActive(NodeId dst) {
-  auto& r = table_[static_cast<std::size_t>(dst)];
-  if (r.active) return;
-  r.active = true;
+  if (active_.test(dst)) return;
+  active_.set(dst);
   ++diffusions_;
   // The paper's reading of DUAL (§2): "the routing table is frozen and the
   // affected destinations are unreachable until the diffusion process
   // completes" — withdraw the route for the duration.
   installRoute(dst, cfg_.maxDistance, kInvalidNode);
-  r.outstanding = alive_;
+  auto& st = activeState_[dst];
+  st.outstanding = alive_;  // already sorted
   sendToAll(DualMsgKind::Query, dst, cfg_.maxDistance);
-  node_.scheduler().cancel(r.siaTimer);
-  r.siaTimer = node_.scheduler().scheduleAfter(cfg_.siaTimeout, [this, dst] {
-    auto& route = table_[static_cast<std::size_t>(dst)];
-    if (!route.active) return;
+  node_.scheduler().cancel(st.siaTimer);
+  st.siaTimer = node_.scheduler().scheduleAfter(cfg_.siaTimeout, [this, dst] {
+    if (!active_.test(dst)) return;
+    auto& route = activeState_[dst];
     // Stuck-in-active: give up on the laggards, and distrust them — a
     // neighbor that never confirmed its distance must not be adopted on
     // stale information (that would reintroduce transient loops).
     for (const NodeId n : route.outstanding) {
-      const auto it = reported_.find(n);
-      if (it != reported_.end()) {
-        it->second[static_cast<std::size_t>(dst)] =
-            static_cast<std::uint16_t>(cfg_.maxDistance);
+      const int slot = node_.neighborSlot(n);
+      if (slot < 0) continue;
+      auto& row = reportedBySlot_[static_cast<std::size_t>(slot)];
+      if (!row.empty()) {
+        row[static_cast<std::size_t>(dst)] = static_cast<std::uint16_t>(cfg_.maxDistance);
       }
     }
     route.outstanding.clear();
     completeActive(dst);
   });
-  if (r.outstanding.empty()) completeActive(dst);
+  if (st.outstanding.empty()) completeActive(dst);
 }
 
 void Dual::completeActive(NodeId dst) {
-  auto& r = table_[static_cast<std::size_t>(dst)];
-  node_.scheduler().cancel(r.siaTimer);
-  r.siaTimer = EventId{};
-  r.active = false;
+  const auto it = activeState_.find(dst);
+  assert(it != activeState_.end());
+  node_.scheduler().cancel(it->second.siaTimer);
+  it->second.siaTimer = EventId{};
+  active_.reset(dst);
   // Reset the feasibility anchor: after a completed diffusion every
   // currently reported distance is trusted.
-  r.feasibleDistance = cfg_.maxDistance;
-  recompute(dst);
-  const auto pending = std::exchange(r.pendingRepliesTo, {});
+  feasible_[static_cast<std::size_t>(dst)] = static_cast<std::uint16_t>(cfg_.maxDistance);
+  recompute(dst);  // may re-activate; the map entry survives (iterators stable)
+  const auto pending = std::exchange(it->second.pendingRepliesTo, {});
   for (const NodeId q : pending) {
-    if (alive_.count(q) > 0) sendTo(q, DualMsgKind::Reply, dst, r.distance);
+    if (std::binary_search(alive_.begin(), alive_.end(), q)) {
+      sendTo(q, DualMsgKind::Reply, dst, distance_[static_cast<std::size_t>(dst)]);
+    }
   }
+  if (!active_.test(dst)) activeState_.erase(it);
 }
 
 void Dual::sendToAll(DualMsgKind kind, NodeId dst, int dist, NodeId except) {
@@ -158,7 +219,10 @@ void Dual::sendToAll(DualMsgKind kind, NodeId dst, int dist, NodeId except) {
 }
 
 void Dual::sendTo(NodeId neighbor, DualMsgKind kind, NodeId dst, int dist) {
-  auto& batch = outbox_[{neighbor, kind}];
+  const int slot = node_.neighborSlot(neighbor);
+  assert(slot >= 0);
+  auto& batch =
+      outboxBySlot_[static_cast<std::size_t>(slot) * 3 + static_cast<std::size_t>(kind)];
   // Later values for the same destination supersede earlier ones within a
   // batch (the receiver would apply them in order anyway).
   for (auto& e : batch) {
@@ -175,39 +239,44 @@ void Dual::sendTo(NodeId neighbor, DualMsgKind kind, NodeId dst, int dist) {
 
 void Dual::flushOutbox() {
   flushScheduled_ = false;
-  // Deterministic order: per neighbor, updates before queries before
-  // replies (state first, then questions, then answers).
-  auto box = std::exchange(outbox_, {});
-  for (auto& [key, entries] : box) {
-    const auto& [neighbor, kind] = key;
-    if (alive_.count(neighbor) == 0) continue;
-    auto msg = std::make_shared<DualMessage>();
-    msg->msgKind = kind;
-    msg->entries = std::move(entries);
-    node_.sendControl(neighbor, std::move(msg));
-  }
+  // Deterministic order: neighbors ascending by id (slots are attachment
+  // order, so go through the sorted index); per neighbor, updates before
+  // queries before replies (state first, then questions, then answers).
+  node_.neighborIndex().forEachSorted([this](NodeId neighbor, int slot) {
+    const bool isAlive = std::binary_search(alive_.begin(), alive_.end(), neighbor);
+    for (std::size_t kind = 0; kind < 3; ++kind) {
+      auto& batch = outboxBySlot_[static_cast<std::size_t>(slot) * 3 + kind];
+      if (batch.empty()) continue;
+      if (!isAlive) {
+        batch.clear();  // the neighbor died after batching: drop, as before
+        continue;
+      }
+      auto msg = std::make_shared<DualMessage>();
+      msg->msgKind = static_cast<DualMsgKind>(kind);
+      msg->entries = std::move(batch);
+      batch.clear();
+      node_.sendControl(neighbor, std::move(msg));
+    }
+  });
 }
 
 void Dual::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg) {
   const auto* m = dynamic_cast<const DualMessage*>(msg.get());
-  if (m == nullptr || alive_.count(from) == 0) return;
+  if (m == nullptr || !std::binary_search(alive_.begin(), alive_.end(), from)) return;
   for (const auto& e : m->entries) handleEntry(from, m->msgKind, e.dst, e.dist);
 }
 
 void Dual::handleEntry(NodeId from, DualMsgKind kind, NodeId dst, int dist) {
-  auto it = reported_.find(from);
-  if (it == reported_.end()) {
-    it = reported_
-             .emplace(from, std::vector<std::uint16_t>(
-                                node_.network().nodeCount(),
-                                static_cast<std::uint16_t>(cfg_.maxDistance)))
-             .first;
-  }
   if (dst != node_.id()) {
-    it->second[static_cast<std::size_t>(dst)] =
+    const int slot = node_.neighborSlot(from);
+    assert(slot >= 0);
+    auto& row = reportedBySlot_[static_cast<std::size_t>(slot)];
+    if (row.empty()) {
+      row.assign(node_.network().nodeCount(), static_cast<std::uint16_t>(cfg_.maxDistance));
+    }
+    row[static_cast<std::size_t>(dst)] =
         static_cast<std::uint16_t>(std::min(dist, cfg_.maxDistance));
   }
-  auto& r = table_[static_cast<std::size_t>(dst)];
 
   switch (kind) {
     case DualMsgKind::Update:
@@ -218,37 +287,44 @@ void Dual::handleEntry(NodeId from, DualMsgKind kind, NodeId dst, int dist) {
         sendTo(from, DualMsgKind::Reply, dst, 0);
         return;
       }
-      if (r.active) {
+      if (active_.test(dst)) {
         // Simplification (see header): answer nested queries with the
         // frozen (infinite) distance instead of stacking diffusions.
-        sendTo(from, DualMsgKind::Reply, dst, r.distance);
+        sendTo(from, DualMsgKind::Reply, dst, distance_[static_cast<std::size_t>(dst)]);
         return;
       }
       recompute(dst);
-      if (r.active) {
+      if (active_.test(dst)) {
         // The query tipped us into our own diffusion: defer the reply.
-        r.pendingRepliesTo.insert(from);
+        sortedInsert(activeState_[dst].pendingRepliesTo, from);
       } else {
-        sendTo(from, DualMsgKind::Reply, dst, r.distance);
+        sendTo(from, DualMsgKind::Reply, dst, distance_[static_cast<std::size_t>(dst)]);
       }
       break;
     }
     case DualMsgKind::Reply: {
-      if (!r.active) return;
-      if (r.outstanding.erase(from) > 0 && r.outstanding.empty()) completeActive(dst);
+      if (!active_.test(dst)) return;
+      auto& st = activeState_[dst];
+      if (sortedErase(st.outstanding, from) && st.outstanding.empty()) completeActive(dst);
       break;
     }
   }
 }
 
 void Dual::onLinkDown(NodeId neighbor) {
-  if (alive_.erase(neighbor) == 0) return;
-  reported_.erase(neighbor);
-  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
-    auto& r = table_[static_cast<std::size_t>(d)];
-    r.pendingRepliesTo.erase(neighbor);
-    if (r.active) {
-      if (r.outstanding.erase(neighbor) > 0 && r.outstanding.empty()) completeActive(d);
+  const auto it = std::lower_bound(alive_.begin(), alive_.end(), neighbor);
+  if (it == alive_.end() || *it != neighbor) return;
+  aliveSlots_.erase(aliveSlots_.begin() + (it - alive_.begin()));
+  alive_.erase(it);
+  const int slot = node_.neighborSlot(neighbor);
+  auto& row = reportedBySlot_[static_cast<std::size_t>(slot)];
+  row.clear();
+  row.shrink_to_fit();
+  for (NodeId d = 0; d < static_cast<NodeId>(distance_.size()); ++d) {
+    if (active_.test(d)) {
+      auto& st = activeState_[d];
+      sortedErase(st.pendingRepliesTo, neighbor);
+      if (sortedErase(st.outstanding, neighbor) && st.outstanding.empty()) completeActive(d);
     } else {
       recompute(d);
     }
@@ -256,11 +332,14 @@ void Dual::onLinkDown(NodeId neighbor) {
 }
 
 void Dual::onLinkUp(NodeId neighbor) {
-  if (!alive_.insert(neighbor).second) return;
+  const auto it = std::lower_bound(alive_.begin(), alive_.end(), neighbor);
+  if (it != alive_.end() && *it == neighbor) return;
+  aliveSlots_.insert(aliveSlots_.begin() + (it - alive_.begin()), node_.neighborSlot(neighbor));
+  alive_.insert(it, neighbor);
   // Share the full table with the returning neighbor.
-  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
-    const auto& r = table_[static_cast<std::size_t>(d)];
-    if (r.distance < cfg_.maxDistance) sendTo(neighbor, DualMsgKind::Update, d, r.distance);
+  for (NodeId d = 0; d < static_cast<NodeId>(distance_.size()); ++d) {
+    const int dist = distance_[static_cast<std::size_t>(d)];
+    if (dist < cfg_.maxDistance) sendTo(neighbor, DualMsgKind::Update, d, dist);
   }
 }
 

@@ -1,10 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
-#include <set>
-#include <utility>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "net/routing_protocol.hpp"
 #include "routing/messages.hpp"
 #include "sim/scheduler.hpp"
@@ -53,6 +53,12 @@ struct DualConfig {
 /// already Active answers a new query for the same destination immediately
 /// with its (frozen, infinite) distance instead of layering diffusions; an
 /// SIA timer force-completes wedged computations.
+///
+/// State is SoA over dense NodeIds (docs/routing-state.md): flat uint16
+/// distance/feasible-distance arrays, an Active bitset, slot-indexed
+/// per-neighbor reported-distance rows and outbox batches. The successor is
+/// the FIB's primary entry; only the (few) Active destinations carry the
+/// heavyweight diffusion bookkeeping, in a sparse map.
 class Dual final : public RoutingProtocol {
  public:
   Dual(Node& node, DualConfig cfg);
@@ -66,31 +72,29 @@ class Dual final : public RoutingProtocol {
 
   /// Introspection for tests.
   [[nodiscard]] int distance(NodeId dst) const;
-  [[nodiscard]] bool isActive(NodeId dst) const {
-    return table_[static_cast<std::size_t>(dst)].active;
-  }
+  [[nodiscard]] bool isActive(NodeId dst) const { return active_.test(dst); }
   [[nodiscard]] std::uint64_t diffusingComputations() const { return diffusions_; }
 
  private:
-  struct Route {
-    int feasibleDistance = 0;    ///< lowest distance ever achieved (FC anchor)
-    int distance = 0;            ///< current distance (maxDistance = unreachable)
-    NodeId successor = kInvalidNode;
-    bool active = false;
-    std::set<NodeId> outstanding;  ///< neighbors whose REPLY we await
-    std::set<NodeId> pendingRepliesTo;  ///< queriers we answer when Passive again
+  /// Diffusion bookkeeping, carried only while a destination is Active (or
+  /// briefly while queriers drain on completion).
+  struct ActiveState {
+    std::vector<NodeId> outstanding;       ///< sorted; neighbors whose REPLY we await
+    std::vector<NodeId> pendingRepliesTo;  ///< sorted; queriers we answer when Passive
     EventId siaTimer{};
   };
 
   void initTables();
   /// Neighbor's reported distance for dst (maxDistance if none).
   [[nodiscard]] int reported(NodeId neighbor, NodeId dst) const;
+  [[nodiscard]] int reportedBySlot(int slot, NodeId dst) const;
   /// Local computation: try to stay Passive via a feasible successor;
   /// otherwise start (or continue) a diffusing computation.
   void recompute(NodeId dst);
   void goActive(NodeId dst);
   void completeActive(NodeId dst);
-  void installRoute(NodeId dst, int dist, NodeId successor);
+  void installRoute(NodeId dst, int dist, NodeId successor, const NodeId* alts = nullptr,
+                    int altCount = 0);
   void sendToAll(DualMsgKind kind, NodeId dst, int dist, NodeId except = kInvalidNode);
   /// Queue an entry for `neighbor`; entries of one event are batched into a
   /// single message per (neighbor, kind) via a zero-delay flush (keeps a
@@ -100,12 +104,19 @@ class Dual final : public RoutingProtocol {
   void handleEntry(NodeId from, DualMsgKind kind, NodeId dst, int dist);
 
   DualConfig cfg_;
-  std::vector<Route> table_;
-  /// Per-(neighbor, message-kind) outgoing entry batches.
-  std::map<std::pair<NodeId, DualMsgKind>, std::vector<DualMessage::Entry>> outbox_;
+  std::vector<std::uint16_t> distance_;  ///< maxDistance = unreachable
+  std::vector<std::uint16_t> feasible_;  ///< lowest distance ever achieved (FC anchor)
+  NodeBitset active_;
+  std::map<NodeId, ActiveState> activeState_;  ///< keyed by Active destination
+  /// Outgoing entry batches, indexed by neighbor-slot * 3 + kind; flushed in
+  /// (neighbor id, kind) ascending order like the map they replace.
+  std::vector<std::vector<DualMessage::Entry>> outboxBySlot_;
   bool flushScheduled_ = false;
-  std::map<NodeId, std::vector<std::uint16_t>> reported_;  ///< per-neighbor distances
-  std::set<NodeId> alive_;
+  /// Reported distance per dst, indexed by neighbor slot; a row is empty
+  /// until the neighbor first reports and is released when it goes down.
+  std::vector<std::vector<std::uint16_t>> reportedBySlot_;
+  std::vector<NodeId> alive_;    ///< sorted ascending
+  std::vector<int> aliveSlots_;  ///< parallel: Node::neighborSlot of alive_[k]
   std::uint64_t diffusions_ = 0;
 };
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <set>
 
 #include "net/network.hpp"
 #include "net/node.hpp"
@@ -30,9 +29,14 @@ DvProtocolBase::~DvProtocolBase() {
 
 void DvProtocolBase::start() {
   auto& sched = node_.scheduler();
-  for (const NodeId n : node_.neighbors()) {
+  const auto degree = node_.neighbors().size();
+  lastHeardBySlot_.assign(degree, sched.now());
+  rewrittenSlots_.assign(degree, 0);
+  changed_.assign(node_.network().nodeCount());
+  for (std::size_t slot = 0; slot < degree; ++slot) {
+    const NodeId n = node_.neighbors()[slot];
     alive_.push_back(n);
-    lastHeard_[n] = sched.now();
+    aliveSlots_.push_back(static_cast<int>(slot));
     neighborUp(n);
   }
   // Seed propagation right away (stands in for the RIP boot-time request/
@@ -61,9 +65,10 @@ void DvProtocolBase::periodicTick() {
 void DvProtocolBase::checkNeighborAging() {
   const Time now = node_.scheduler().now();
   std::vector<NodeId> expired;
-  for (const NodeId n : alive_) {
-    const auto it = lastHeard_.find(n);
-    if (it != lastHeard_.end() && now - it->second > cfg_.timeout) expired.push_back(n);
+  for (std::size_t k = 0; k < alive_.size(); ++k) {
+    if (now - lastHeardBySlot_[static_cast<std::size_t>(aliveSlots_[k])] > cfg_.timeout) {
+      expired.push_back(alive_[k]);
+    }
   }
   for (const NodeId n : expired) onLinkDown(n);
 }
@@ -120,14 +125,22 @@ void DvProtocolBase::sendEntriesAll(const std::vector<NodeId>& dsts) {
   // Only a neighbor that is the next hop of some advertised destination sees
   // content altered by split horizon / poison reverse; every other neighbor
   // receives byte-identical chunks, so build those once and share them.
-  std::set<NodeId> rewritten;
+  // Tracked as a degree-sized slot mask: membership flips cost one byte
+  // write instead of a std::set insert per destination.
+  std::fill(rewrittenSlots_.begin(), rewrittenSlots_.end(), 0);
   if (cfg_.splitHorizon != SplitHorizonMode::None) {
-    for (const NodeId d : dsts) rewritten.insert(nextHopFor(d));
+    for (const NodeId d : dsts) {
+      const NodeId nh = nextHopFor(d);
+      if (nh == kInvalidNode) continue;
+      const int slot = node_.neighborSlot(nh);
+      if (slot >= 0) rewrittenSlots_[static_cast<std::size_t>(slot)] = 1;
+    }
   }
   std::vector<std::shared_ptr<const DvUpdate>> shared;
   bool built = false;
-  for (const NodeId n : alive_) {
-    if (rewritten.count(n) != 0) {
+  for (std::size_t k = 0; k < alive_.size(); ++k) {
+    const NodeId n = alive_[k];
+    if (rewrittenSlots_[static_cast<std::size_t>(aliveSlots_[k])] != 0) {
       sendEntries(n, dsts);
       continue;
     }
@@ -143,7 +156,7 @@ void DvProtocolBase::sendEntriesAll(const std::vector<NodeId>& dsts) {
 }
 
 void DvProtocolBase::markChanged(NodeId dst) {
-  changed_.insert(dst);
+  changed_.set(dst);
   if (dampRunning_ || flushScheduled_) return;  // batched by the damping timer / pending flush
   // Flush via a zero-delay event rather than synchronously: a single
   // incoming update (or link-down) changes many destinations, and they must
@@ -162,11 +175,12 @@ void DvProtocolBase::markChanged(NodeId dst) {
 
 void DvProtocolBase::flushTriggered() {
   if (changed_.empty()) return;
-  const std::vector<NodeId> dsts(changed_.begin(), changed_.end());
-  changed_.clear();
+  // Drain ascending — the same order the std::set this bitset replaced
+  // iterated in, so triggered-update contents stay bit-identical.
+  changed_.drainSorted(changedScratch_);
   node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::DvTriggered, node_.id(),
-                               kInvalidNode, static_cast<std::int64_t>(dsts.size()));
-  sendEntriesAll(dsts);
+                               kInvalidNode, static_cast<std::int64_t>(changedScratch_.size()));
+  sendEntriesAll(changedScratch_);
 }
 
 void DvProtocolBase::armDampTimer() {
@@ -188,14 +202,18 @@ bool DvProtocolBase::neighborAlive(NodeId neighbor) const {
 void DvProtocolBase::onLinkDown(NodeId neighbor) {
   const auto it = std::find(alive_.begin(), alive_.end(), neighbor);
   if (it == alive_.end()) return;
+  aliveSlots_.erase(aliveSlots_.begin() + (it - alive_.begin()));
   alive_.erase(it);
   neighborDown(neighbor);
 }
 
 void DvProtocolBase::onLinkUp(NodeId neighbor) {
   if (neighborAlive(neighbor)) return;
+  const int slot = node_.neighborSlot(neighbor);
+  assert(slot >= 0);
   alive_.push_back(neighbor);
-  lastHeard_[neighbor] = node_.scheduler().now();
+  aliveSlots_.push_back(slot);
+  lastHeardBySlot_[static_cast<std::size_t>(slot)] = node_.scheduler().now();
   neighborUp(neighbor);
   // Give the returning neighbor our full view immediately.
   sendEntries(neighbor, knownDestinations());
@@ -210,7 +228,7 @@ void DvProtocolBase::onMessage(NodeId from, std::shared_ptr<const ControlPayload
     if (!node_.neighborReachable(from)) return;
     onLinkUp(from);
   }
-  lastHeard_[from] = node_.scheduler().now();
+  lastHeardBySlot_[static_cast<std::size_t>(node_.neighborSlot(from))] = node_.scheduler().now();
   processUpdate(from, *update);
 }
 

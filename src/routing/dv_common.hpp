@@ -1,10 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "net/routing_protocol.hpp"
 #include "routing/messages.hpp"
 #include "sim/scheduler.hpp"
@@ -71,6 +71,10 @@ class DvProtocolBase : public RoutingProtocol {
   /// True when we believe the link to this neighbor is usable.
   [[nodiscard]] bool neighborAlive(NodeId neighbor) const;
   [[nodiscard]] const std::vector<NodeId>& aliveNeighbors() const { return alive_; }
+  /// Node::neighborSlot of each alive neighbor, parallel to aliveNeighbors().
+  /// Lets subclasses index flat per-neighbor tables without a lookup in the
+  /// recompute hot loop.
+  [[nodiscard]] const std::vector<int>& aliveNeighborSlots() const { return aliveSlots_; }
 
   /// Send `dsts` (split-horizon-poisoned per neighbor, chunked at the
   /// message capacity) to one neighbor.
@@ -95,9 +99,12 @@ class DvProtocolBase : public RoutingProtocol {
   void checkNeighborAging();
 
   DvConfig cfg_;
-  std::vector<NodeId> alive_;
-  std::unordered_map<NodeId, Time> lastHeard_;
-  std::set<NodeId> changed_;
+  std::vector<NodeId> alive_;      ///< attachment order (insertion order preserved)
+  std::vector<int> aliveSlots_;    ///< parallel: Node::neighborSlot of alive_[k]
+  std::vector<Time> lastHeardBySlot_;  ///< per neighbor slot (degree-sized)
+  NodeBitset changed_;                 ///< destinations awaiting a triggered update
+  std::vector<NodeId> changedScratch_;     ///< reused drain buffer for flushTriggered
+  std::vector<std::uint8_t> rewrittenSlots_;  ///< reused per-send scratch, degree-sized
   bool flushScheduled_ = false;
   bool dampRunning_ = false;
   EventId dampTimer_{};

@@ -1,14 +1,19 @@
 #include "routing/linkstate.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "net/network.hpp"
 #include "net/node.hpp"
 
 namespace rcsim {
 
-LinkState::LinkState(Node& node, LinkStateConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {}
+LinkState::LinkState(Node& node, LinkStateConfig cfg) : RoutingProtocol{node}, cfg_{cfg} {
+  oracle_ = cfg_.spfOracle || std::getenv("RCSIM_SPF_ORACLE") != nullptr;
+}
 
 LinkState::~LinkState() {
   node_.scheduler().cancel(spfTimer_);
@@ -16,7 +21,16 @@ LinkState::~LinkState() {
 }
 
 void LinkState::start() {
-  for (const NodeId n : node_.neighbors()) aliveNeighbors_.insert(n);
+  const auto n = node_.network().nodeCount();
+  db_.assign(n, {});
+  dist_.assign(n, -1);
+  parent_.assign(n, kInvalidNode);
+  firstHop_.assign(n, kInvalidNode);
+  affectedEpoch_.assign(n, 0);
+  settledEpoch_.assign(n, 0);
+  buckets_.assign(n + 2, {});
+  aliveNeighbors_ = node_.neighbors();
+  std::sort(aliveNeighbors_.begin(), aliveNeighbors_.end());
   originateOwnLsa();
   const double phase = node_.rng().uniform(0.0, cfg_.refreshInterval.toSeconds());
   refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(phase), [this] { refreshTick(); });
@@ -29,14 +43,61 @@ void LinkState::refreshTick() {
   refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), [this] { refreshTick(); });
 }
 
+bool LinkState::aliveContains(NodeId n) const {
+  return std::binary_search(aliveNeighbors_.begin(), aliveNeighbors_.end(), n);
+}
+
+bool LinkState::listsNeighbor(NodeId origin, NodeId nbr) const {
+  if (static_cast<std::size_t>(origin) >= db_.size()) return false;
+  const auto& nbrs = db_[static_cast<std::size_t>(origin)].neighbors;
+  return std::binary_search(nbrs.begin(), nbrs.end(), nbr);
+}
+
+bool LinkState::usableEdge(NodeId u, NodeId v) const {
+  if (!listsNeighbor(u, v) || !listsNeighbor(v, u)) return false;
+  // Self-adjacency must also be alive: the LSDB can briefly trail the local
+  // interface state only in the outward direction, never for self.
+  if (u == node_.id() && !aliveContains(v)) return false;
+  if (v == node_.id() && !aliveContains(u)) return false;
+  return true;
+}
+
+void LinkState::applyDb(NodeId origin, const std::vector<NodeId>& neighbors) {
+  auto& entry = db_[static_cast<std::size_t>(origin)];
+  // Merge-walk both sorted lists; a one-sided edge is unusable, so only
+  // changes whose *reverse* direction is present in the LSDB alter the
+  // usable graph. This also dedups the LSA pair a link event floods: the
+  // second origin's change is recorded against the already-updated first.
+  const auto& old = entry.neighbors;
+  std::size_t i = 0, j = 0;
+  while (i < old.size() || j < neighbors.size()) {
+    if (j == neighbors.size() || (i < old.size() && old[i] < neighbors[j])) {
+      if (listsNeighbor(old[i], origin)) {
+        if (removedEdges_.size() >= kMaxRemovedEdges) {
+          deltaOverflow_ = true;
+        } else {
+          removedEdges_.emplace_back(origin, old[i]);
+        }
+      }
+      ++i;
+    } else if (i == old.size() || neighbors[j] < old[i]) {
+      if (listsNeighbor(neighbors[j], origin)) deltaAdds_ = true;
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  entry.neighbors = neighbors;
+}
+
 void LinkState::originateOwnLsa() {
   auto lsa = std::make_shared<Lsa>();
   lsa->origin = node_.id();
   lsa->seq = ++ownSeq_;
-  lsa->neighbors.assign(aliveNeighbors_.begin(), aliveNeighbors_.end());
-  auto& mine = db_[node_.id()];
-  mine.seq = lsa->seq;
-  mine.neighbors = lsa->neighbors;
+  lsa->neighbors = aliveNeighbors_;  // already sorted
+  db_[static_cast<std::size_t>(node_.id())].seq = lsa->seq;
+  applyDb(node_.id(), lsa->neighbors);
   flood(lsa, kInvalidNode);
   scheduleSpf();
 }
@@ -53,24 +114,31 @@ void LinkState::onMessage(NodeId from, std::shared_ptr<const ControlPayload> msg
   auto lsa = std::dynamic_pointer_cast<const Lsa>(msg);
   if (!lsa) return;
   if (lsa->origin == node_.id()) return;  // our own LSA echoed back
-  auto& entry = db_[lsa->origin];
+  if (static_cast<std::size_t>(lsa->origin) >= db_.size()) return;
+  auto& entry = db_[static_cast<std::size_t>(lsa->origin)];
   if (entry.seq >= lsa->seq) return;  // stale or duplicate
   entry.seq = lsa->seq;
-  entry.neighbors = lsa->neighbors;
+  applyDb(lsa->origin, lsa->neighbors);
   flood(lsa, from);
   scheduleSpf();
 }
 
 void LinkState::onLinkDown(NodeId neighbor) {
-  if (aliveNeighbors_.erase(neighbor) == 0) return;
+  const auto it = std::lower_bound(aliveNeighbors_.begin(), aliveNeighbors_.end(), neighbor);
+  if (it == aliveNeighbors_.end() || *it != neighbor) return;
+  aliveNeighbors_.erase(it);
   originateOwnLsa();
 }
 
 void LinkState::onLinkUp(NodeId neighbor) {
-  if (!aliveNeighbors_.insert(neighbor).second) return;
+  const auto it = std::lower_bound(aliveNeighbors_.begin(), aliveNeighbors_.end(), neighbor);
+  if (it != aliveNeighbors_.end() && *it == neighbor) return;
+  aliveNeighbors_.insert(it, neighbor);
   originateOwnLsa();
   // Database sync on adjacency formation: send our whole DB to the neighbor.
-  for (const auto& [origin, entry] : db_) {
+  for (NodeId origin = 0; origin < static_cast<NodeId>(db_.size()); ++origin) {
+    const auto& entry = db_[static_cast<std::size_t>(origin)];
+    if (entry.seq == 0) continue;
     auto lsa = std::make_shared<Lsa>();
     lsa->origin = origin;
     lsa->seq = entry.seq;
@@ -89,46 +157,238 @@ void LinkState::scheduleSpf() {
   });
 }
 
-void LinkState::runSpf() {
-  ++spfRuns_;
-  // Unit link costs: BFS from self over bidirectionally-confirmed edges.
-  const auto n = node_.network().nodeCount();
-  auto confirmed = [&](NodeId u, NodeId v) {
-    const auto iu = db_.find(u);
-    const auto iv = db_.find(v);
-    if (iu == db_.end() || iv == db_.end()) return false;
-    const bool uv = std::find(iu->second.neighbors.begin(), iu->second.neighbors.end(), v) !=
-                    iu->second.neighbors.end();
-    const bool vu = std::find(iv->second.neighbors.begin(), iv->second.neighbors.end(), u) !=
-                    iv->second.neighbors.end();
-    return uv && vu;
-  };
+void LinkState::clearDelta() {
+  removedEdges_.clear();
+  deltaAdds_ = false;
+  deltaOverflow_ = false;
+}
 
-  std::vector<NodeId> firstHop(n, kInvalidNode);
-  std::vector<int> dist(n, -1);
-  std::queue<NodeId> q;
+void LinkState::runSpf() {
+  if (haveSpf_ && removedEdges_.empty() && !deltaAdds_ && !deltaOverflow_) {
+    // Seq-only refreshes: the usable graph did not change, so neither can
+    // the shortest-path tree.
+    ++spfSkips_;
+    if (oracle_) verifySpf();
+    return;
+  }
+  ++spfRuns_;
+  if (haveSpf_ && !deltaAdds_ && !deltaOverflow_ && incrementalSpf()) {
+    ++spfIncrementals_;
+    clearDelta();
+    if (oracle_) verifySpf();
+    return;
+  }
+  fullSpf();
+  ++spfFulls_;
+  clearDelta();
+}
+
+void LinkState::fullSpf() {
+  const auto n = node_.network().nodeCount();
   const NodeId self = node_.id();
-  dist[static_cast<std::size_t>(self)] = 0;
-  q.push(self);
-  while (!q.empty()) {
-    const NodeId u = q.front();
-    q.pop();
-    const auto it = db_.find(u);
-    if (it == db_.end()) continue;
-    // Deterministic neighbor order: LSA neighbor lists are sorted by origin.
-    for (const NodeId v : it->second.neighbors) {
+  std::fill(dist_.begin(), dist_.end(), -1);
+  std::fill(parent_.begin(), parent_.end(), kInvalidNode);
+  std::fill(firstHop_.begin(), firstHop_.end(), kInvalidNode);
+  // Unit link costs: BFS from self over bidirectionally-confirmed edges.
+  // First discovery (sorted LSA neighbor lists, FIFO queue) selects the
+  // lexicographically-smallest shortest path — the tie-break incrementalSpf
+  // reproduces.
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  dist_[static_cast<std::size_t>(self)] = 0;
+  queue.push_back(self);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const NodeId v : db_[static_cast<std::size_t>(u)].neighbors) {
       if (static_cast<std::size_t>(v) >= n) continue;
-      if (dist[static_cast<std::size_t>(v)] >= 0) continue;
-      if (u == self && aliveNeighbors_.count(v) == 0) continue;
-      if (!confirmed(u, v)) continue;
-      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
-      firstHop[static_cast<std::size_t>(v)] = u == self ? v : firstHop[static_cast<std::size_t>(u)];
-      q.push(v);
+      if (dist_[static_cast<std::size_t>(v)] >= 0) continue;
+      if (u == self && !aliveContains(v)) continue;
+      if (!listsNeighbor(v, u)) continue;  // one-sided edge (u lists v by iteration)
+      dist_[static_cast<std::size_t>(v)] = dist_[static_cast<std::size_t>(u)] + 1;
+      parent_[static_cast<std::size_t>(v)] = u;
+      firstHop_[static_cast<std::size_t>(v)] =
+          u == self ? v : firstHop_[static_cast<std::size_t>(u)];
+      queue.push_back(v);
     }
   }
   for (NodeId d = 0; d < static_cast<NodeId>(n); ++d) {
     if (d == self) continue;
-    node_.setRoute(d, firstHop[static_cast<std::size_t>(d)]);
+    node_.setRoute(d, firstHop_[static_cast<std::size_t>(d)]);
+  }
+  haveSpf_ = true;
+}
+
+bool LinkState::lexPathLess(NodeId a, NodeId b) const {
+  chainA_.clear();
+  chainB_.clear();
+  for (NodeId v = a; v != kInvalidNode; v = parent_[static_cast<std::size_t>(v)])
+    chainA_.push_back(v);
+  for (NodeId v = b; v != kInvalidNode; v = parent_[static_cast<std::size_t>(v)])
+    chainB_.push_back(v);
+  assert(chainA_.size() == chainB_.size() && "lex comparison requires equal depth");
+  // Both chains run node → … → self; compare source-outward.
+  for (std::size_t k = chainA_.size(); k-- > 0;) {
+    if (chainA_[k] != chainB_[k]) return chainA_[k] < chainB_[k];
+  }
+  return false;
+}
+
+bool LinkState::incrementalSpf() {
+  const auto n = node_.network().nodeCount();
+  const NodeId self = node_.id();
+
+  // 1. Roots: children of removed tree edges. A removed edge that is not a
+  // tree edge cannot change any distance (deletions only lengthen paths and
+  // the tree is intact) nor any parent (the chosen parent is still present
+  // and still lex-minimal), so an empty root set means the result is
+  // provably unchanged.
+  std::vector<NodeId> roots;
+  for (const auto& [a, b] : removedEdges_) {
+    if (static_cast<std::size_t>(a) < n && parent_[static_cast<std::size_t>(a)] == b)
+      roots.push_back(a);
+    if (static_cast<std::size_t>(b) < n && parent_[static_cast<std::size_t>(b)] == a)
+      roots.push_back(b);
+  }
+  if (roots.empty()) return true;
+
+  // 2. Mark the detached subtrees (CSR child lists over parent_).
+  std::vector<int> childOff(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] != kInvalidNode) ++childOff[static_cast<std::size_t>(parent_[v]) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) childOff[v + 1] += childOff[v];
+  std::vector<NodeId> childOf(static_cast<std::size_t>(childOff[n]));
+  {
+    std::vector<int> cursor(childOff.begin(), childOff.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent_[v] != kInvalidNode) {
+        childOf[static_cast<std::size_t>(cursor[static_cast<std::size_t>(parent_[v])]++)] =
+            static_cast<NodeId>(v);
+      }
+    }
+  }
+  ++epoch_;
+  std::vector<NodeId> affected;
+  for (const NodeId r : roots) {
+    if (affectedEpoch_[static_cast<std::size_t>(r)] != epoch_) {
+      affectedEpoch_[static_cast<std::size_t>(r)] = epoch_;
+      affected.push_back(r);
+    }
+  }
+  for (std::size_t head = 0; head < affected.size(); ++head) {
+    const auto u = static_cast<std::size_t>(affected[head]);
+    for (int k = childOff[u]; k < childOff[u + 1]; ++k) {
+      const NodeId c = childOf[static_cast<std::size_t>(k)];
+      if (affectedEpoch_[static_cast<std::size_t>(c)] != epoch_) {
+        affectedEpoch_[static_cast<std::size_t>(c)] = epoch_;
+        affected.push_back(c);
+      }
+    }
+  }
+  if (affected.size() * 2 > n) return false;  // repair would cost more than a full pass
+
+  // 3. Seed tentative distances from the unaffected boundary. Unaffected
+  // distances/parents are provably unchanged, so every shortest path into
+  // the affected region crosses exactly one boundary edge, captured here.
+  const int unreached = static_cast<int>(n) + 1;
+  auto isAffected = [&](NodeId v) {
+    return affectedEpoch_[static_cast<std::size_t>(v)] == epoch_;
+  };
+  auto isSettled = [&](NodeId v) {
+    return settledEpoch_[static_cast<std::size_t>(v)] == epoch_;
+  };
+  for (const NodeId v : affected) {
+    int best = unreached;
+    for (const NodeId u : db_[static_cast<std::size_t>(v)].neighbors) {
+      if (static_cast<std::size_t>(u) >= n || isAffected(u)) continue;
+      if (dist_[static_cast<std::size_t>(u)] < 0) continue;
+      if (!usableEdge(u, v)) continue;
+      best = std::min(best, dist_[static_cast<std::size_t>(u)] + 1);
+    }
+    dist_[static_cast<std::size_t>(v)] = best;  // old value is no longer needed
+    if (best < unreached) buckets_[static_cast<std::size_t>(best)].push_back(v);
+  }
+
+  // 4. Settle in increasing distance (bucket queue). On settlement pick the
+  // parent with the lex-smallest path among *all* finalized predecessors at
+  // depth d-1 — exactly full-BFS first-discovery order.
+  for (int d = 0; d <= static_cast<int>(n); ++d) {
+    auto& bucket = buckets_[static_cast<std::size_t>(d)];
+    for (std::size_t idx = 0; idx < bucket.size(); ++idx) {
+      const NodeId v = bucket[idx];
+      if (isSettled(v) || dist_[static_cast<std::size_t>(v)] != d) continue;  // stale entry
+      settledEpoch_[static_cast<std::size_t>(v)] = epoch_;
+      NodeId bestParent = kInvalidNode;
+      for (const NodeId u : db_[static_cast<std::size_t>(v)].neighbors) {
+        if (static_cast<std::size_t>(u) >= n) continue;
+        if (isAffected(u) && !isSettled(u)) continue;  // not finalized yet
+        if (dist_[static_cast<std::size_t>(u)] != d - 1) continue;
+        if (!usableEdge(u, v)) continue;
+        if (bestParent == kInvalidNode || lexPathLess(u, bestParent)) bestParent = u;
+      }
+      assert(bestParent != kInvalidNode && "settled node must have a finalized predecessor");
+      parent_[static_cast<std::size_t>(v)] = bestParent;
+      firstHop_[static_cast<std::size_t>(v)] =
+          bestParent == self ? v : firstHop_[static_cast<std::size_t>(bestParent)];
+      for (const NodeId w : db_[static_cast<std::size_t>(v)].neighbors) {
+        if (static_cast<std::size_t>(w) >= n) continue;
+        if (!isAffected(w) || isSettled(w)) continue;
+        if (!usableEdge(v, w)) continue;
+        if (d + 1 < dist_[static_cast<std::size_t>(w)]) {
+          dist_[static_cast<std::size_t>(w)] = d + 1;
+          buckets_[static_cast<std::size_t>(d) + 1].push_back(w);
+        }
+      }
+    }
+    bucket.clear();
+  }
+
+  // 5. Install only the affected destinations, ascending — unaffected
+  // entries are untouched, so the RouteChange event stream matches a full
+  // recomputation bit for bit.
+  std::sort(affected.begin(), affected.end());
+  for (const NodeId v : affected) {
+    if (!isSettled(v)) {
+      dist_[static_cast<std::size_t>(v)] = -1;
+      parent_[static_cast<std::size_t>(v)] = kInvalidNode;
+      firstHop_[static_cast<std::size_t>(v)] = kInvalidNode;
+    }
+    node_.setRoute(v, firstHop_[static_cast<std::size_t>(v)]);
+  }
+  return true;
+}
+
+void LinkState::verifySpf() const {
+  const auto n = node_.network().nodeCount();
+  const NodeId self = node_.id();
+  std::vector<int> dist(n, -1);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<NodeId> firstHop(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  dist[static_cast<std::size_t>(self)] = 0;
+  queue.push_back(self);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const NodeId v : db_[static_cast<std::size_t>(u)].neighbors) {
+      if (static_cast<std::size_t>(v) >= n) continue;
+      if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+      if (u == self && !aliveContains(v)) continue;
+      if (!listsNeighbor(v, u)) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      parent[static_cast<std::size_t>(v)] = u;
+      firstHop[static_cast<std::size_t>(v)] = u == self ? v : firstHop[static_cast<std::size_t>(u)];
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dist[v] == dist_[v] && parent[v] == parent_[v] && firstHop[v] == firstHop_[v]) continue;
+    throw std::logic_error(
+        "LS incremental SPF diverged from full BFS at node " + std::to_string(node_.id()) +
+        " dst " + std::to_string(v) + ": dist " + std::to_string(dist_[v]) + " vs " +
+        std::to_string(dist[v]) + ", parent " + std::to_string(parent_[v]) + " vs " +
+        std::to_string(parent[v]) + ", firstHop " + std::to_string(firstHop_[v]) + " vs " +
+        std::to_string(firstHop[v]));
   }
 }
 

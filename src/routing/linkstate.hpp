@@ -1,7 +1,7 @@
 #pragma once
 
-#include <map>
-#include <set>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/routing_protocol.hpp"
@@ -19,11 +19,24 @@ struct LinkStateConfig {
   /// 30 min; we keep minutes-scale so a refresh still lands inside a run.
   Time refreshInterval = Time::seconds(300.0);
   Time refreshJitter = Time::seconds(30.0);
+  /// Run the full-SPF oracle after every skipped/incremental SPF and throw
+  /// on any divergence (also enabled by the RCSIM_SPF_ORACLE env var).
+  bool spfOracle = false;
 };
 
 /// Flooding link-state protocol with BFS shortest-path-first computation —
 /// the paper's "future work" comparison point (§6), implemented as an
 /// extension so the packet-delivery study can include an SPF datapoint.
+///
+/// The LSDB is a dense origin-indexed array (seq 0 = never heard), and SPF
+/// is *incremental*: applying an LSA records the confirmed-edge delta it
+/// caused, and the SPF pass then (a) skips outright when the usable graph
+/// did not change (seq-only refreshes), (b) repairs just the detached
+/// subtree for deletion-only deltas, or (c) falls back to a full BFS for
+/// additions or large deltas. Incremental repair reproduces full-BFS output
+/// *exactly* — including the first-discovery tie-break, which equals the
+/// lexicographically-smallest shortest path — so route installs and hence
+/// trace digests are bit-identical (docs/routing-state.md).
 class LinkState final : public RoutingProtocol {
  public:
   LinkState(Node& node, LinkStateConfig cfg);
@@ -36,13 +49,21 @@ class LinkState final : public RoutingProtocol {
   [[nodiscard]] std::string name() const override { return "LS"; }
 
   [[nodiscard]] std::uint64_t lsasSent() const { return lsasSent_; }
+  /// SPF passes that actually recomputed something (incremental or full).
   [[nodiscard]] std::uint64_t spfRuns() const { return spfRuns_; }
+  /// SPF passes skipped because the usable graph was unchanged.
+  [[nodiscard]] std::uint64_t spfSkips() const { return spfSkips_; }
+  [[nodiscard]] std::uint64_t spfIncrementals() const { return spfIncrementals_; }
+  [[nodiscard]] std::uint64_t spfFulls() const { return spfFulls_; }
 
  private:
   struct DbEntry {
-    std::uint32_t seq = 0;
-    std::vector<NodeId> neighbors;
+    std::uint32_t seq = 0;  ///< 0 = origin never heard from
+    std::vector<NodeId> neighbors;  ///< sorted ascending (LSAs are built sorted)
   };
+
+  /// Deltas beyond this fall back to a full SPF.
+  static constexpr std::size_t kMaxRemovedEdges = 64;
 
   void originateOwnLsa();
   void flood(const std::shared_ptr<const Lsa>& lsa, NodeId except);
@@ -50,15 +71,59 @@ class LinkState final : public RoutingProtocol {
   void runSpf();
   void refreshTick();
 
+  /// Store `neighbors` as origin's LSA content, recording the usable-edge
+  /// delta versus the previous content.
+  void applyDb(NodeId origin, const std::vector<NodeId>& neighbors);
+  [[nodiscard]] bool listsNeighbor(NodeId origin, NodeId nbr) const;
+  [[nodiscard]] bool aliveContains(NodeId n) const;
+  /// Edge (u,v) exists in both directions in the LSDB and passes the
+  /// self-adjacency liveness guard.
+  [[nodiscard]] bool usableEdge(NodeId u, NodeId v) const;
+
+  /// Full BFS into dist_/parent_/firstHop_, installing every route.
+  void fullSpf();
+  /// Deletion-only repair; false = delta too large, caller runs fullSpf().
+  bool incrementalSpf();
+  /// Lex-smallest-path comparison of two equal-depth nodes via their
+  /// (current) parent chains.
+  [[nodiscard]] bool lexPathLess(NodeId a, NodeId b) const;
+  /// Full-BFS oracle: recompute into scratch and throw std::logic_error on
+  /// any element-wise mismatch with dist_/parent_/firstHop_.
+  void verifySpf() const;
+  void clearDelta();
+
   LinkStateConfig cfg_;
-  std::map<NodeId, DbEntry> db_;
-  std::set<NodeId> aliveNeighbors_;
+  bool oracle_ = false;
+  std::vector<DbEntry> db_;            ///< dense, indexed by origin
+  std::vector<NodeId> aliveNeighbors_;  ///< sorted ascending
   std::uint32_t ownSeq_ = 0;
   bool spfPending_ = false;
   EventId spfTimer_{};
   EventId refreshTimer_{};
   std::uint64_t lsasSent_ = 0;
   std::uint64_t spfRuns_ = 0;
+  std::uint64_t spfSkips_ = 0;
+  std::uint64_t spfIncrementals_ = 0;
+  std::uint64_t spfFulls_ = 0;
+
+  // Last-SPF shortest-path tree (valid once haveSpf_).
+  bool haveSpf_ = false;
+  std::vector<int> dist_;       ///< hops from self, -1 = unreachable
+  std::vector<NodeId> parent_;  ///< BFS-tree (lex-smallest-path) predecessor
+  std::vector<NodeId> firstHop_;
+
+  // Usable-edge delta accumulated since the last SPF pass.
+  std::vector<std::pair<NodeId, NodeId>> removedEdges_;
+  bool deltaAdds_ = false;
+  bool deltaOverflow_ = false;
+
+  // Reused incremental-SPF scratch (epoch-stamped so no O(n) clears).
+  int epoch_ = 0;
+  std::vector<int> affectedEpoch_;
+  std::vector<int> settledEpoch_;
+  std::vector<std::vector<NodeId>> buckets_;
+  mutable std::vector<NodeId> chainA_;
+  mutable std::vector<NodeId> chainB_;
 };
 
 }  // namespace rcsim

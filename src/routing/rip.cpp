@@ -10,42 +10,43 @@ namespace rcsim {
 Rip::Rip(Node& node, DvConfig cfg) : DvProtocolBase{node, cfg} {}
 
 void Rip::start() {
-  table_.assign(node_.network().nodeCount(), Route{});
-  auto& self = table_[static_cast<std::size_t>(node_.id())];
-  self.metric = 0;
-  self.nextHop = node_.id();
-  self.known = true;
-  self.lastRefresh = node_.scheduler().now();
+  const auto n = node_.network().nodeCount();
+  metric_.assign(n, 0);
+  lastRefresh_.assign(n, node_.scheduler().now());
+  known_.assign(n);
+  metric_[static_cast<std::size_t>(node_.id())] = 0;
+  known_.set(node_.id());
   DvProtocolBase::start();
 }
 
 int Rip::metricFor(NodeId dst) const {
-  const auto& e = table_[static_cast<std::size_t>(dst)];
-  return e.known ? e.metric : config().infinityMetric;
+  return known_.test(dst) ? metric_[static_cast<std::size_t>(dst)] : config().infinityMetric;
 }
 
 NodeId Rip::nextHopFor(NodeId dst) const {
-  const auto& e = table_[static_cast<std::size_t>(dst)];
-  if (!e.known || e.metric >= config().infinityMetric) return kInvalidNode;
-  return e.nextHop;
+  if (dst == node_.id()) return node_.id();
+  if (!known_.test(dst) || metric_[static_cast<std::size_t>(dst)] >= config().infinityMetric) {
+    return kInvalidNode;
+  }
+  // adopt() keeps the FIB primary in lockstep with the table, so the hop is
+  // not duplicated here (docs/routing-state.md).
+  return node_.fib().nextHop(dst);
 }
 
 std::vector<NodeId> Rip::knownDestinations() const {
   std::vector<NodeId> dsts;
-  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
-    if (table_[static_cast<std::size_t>(d)].known) dsts.push_back(d);
-  }
+  dsts.reserve(known_.count());
+  known_.forEachSet([&dsts](NodeId d) { dsts.push_back(d); });
   return dsts;
 }
 
 void Rip::adopt(NodeId dst, int metric, NodeId nextHop) {
-  auto& e = table_[static_cast<std::size_t>(dst)];
-  const bool metricChanged = !e.known || e.metric != metric;
-  e.known = true;
-  e.metric = metric;
-  e.nextHop = metric >= config().infinityMetric ? kInvalidNode : nextHop;
-  e.lastRefresh = node_.scheduler().now();
-  node_.setRoute(dst, e.nextHop);
+  const auto i = static_cast<std::size_t>(dst);
+  const bool metricChanged = !known_.test(dst) || metric_[i] != metric;
+  known_.set(dst);
+  metric_[i] = static_cast<std::uint16_t>(metric);
+  lastRefresh_[i] = node_.scheduler().now();
+  node_.setRoute(dst, metric >= config().infinityMetric ? kInvalidNode : nextHop);
   if (metricChanged) markChanged(dst);
 }
 
@@ -54,17 +55,18 @@ void Rip::processUpdate(NodeId from, const DvUpdate& update) {
   for (const auto& entry : update.entries) {
     const NodeId d = entry.dst;
     if (d == node_.id()) continue;
+    const auto i = static_cast<std::size_t>(d);
     const int metric = std::min<int>(entry.metric + 1, config().infinityMetric);
-    auto& e = table_[static_cast<std::size_t>(d)];
-    if (e.known && e.nextHop == from) {
+    const bool known = known_.test(d);
+    if (known && node_.fib().nextHop(d) == from) {
       // Updates from the current next hop are authoritative, better or worse
       // (RFC 2453 §3.9.2) — this is what erases the route on poison.
-      if (metric != e.metric) {
+      if (metric != metric_[i]) {
         adopt(d, metric, from);
       } else if (metric < config().infinityMetric) {
-        e.lastRefresh = node_.scheduler().now();
+        lastRefresh_[i] = node_.scheduler().now();
       }
-    } else if (metric < (e.known ? e.metric : config().infinityMetric)) {
+    } else if (metric < (known ? metric_[i] : config().infinityMetric)) {
       adopt(d, metric, from);
     }
   }
@@ -72,19 +74,20 @@ void Rip::processUpdate(NodeId from, const DvUpdate& update) {
 
 void Rip::expireStale() {
   const Time now = node_.scheduler().now();
-  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
-    auto& e = table_[static_cast<std::size_t>(d)];
-    if (d == node_.id() || !e.known || e.metric >= config().infinityMetric) continue;
-    if (now - e.lastRefresh > config().timeout) adopt(d, config().infinityMetric, kInvalidNode);
+  for (NodeId d = 0; d < static_cast<NodeId>(metric_.size()); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    if (d == node_.id() || !known_.test(d) || metric_[i] >= config().infinityMetric) continue;
+    if (now - lastRefresh_[i] > config().timeout) adopt(d, config().infinityMetric, kInvalidNode);
   }
 }
 
 void Rip::neighborDown(NodeId neighbor) {
   // All routes through the dead neighbor become unreachable at once; RIP has
   // nothing cached to fall back on (paper §4.1).
-  for (NodeId d = 0; d < static_cast<NodeId>(table_.size()); ++d) {
-    auto& e = table_[static_cast<std::size_t>(d)];
-    if (e.known && e.metric < config().infinityMetric && e.nextHop == neighbor) {
+  for (NodeId d = 0; d < static_cast<NodeId>(metric_.size()); ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    if (known_.test(d) && metric_[i] < config().infinityMetric &&
+        node_.fib().nextHop(d) == neighbor) {
       adopt(d, config().infinityMetric, kInvalidNode);
     }
   }

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "net/dense.hpp"
 #include "routing/dv_common.hpp"
 
 namespace rcsim {
@@ -11,6 +13,11 @@ namespace rcsim {
 /// neighbors. When the next hop fails, the router has *no* alternate and
 /// must wait for another neighbor's (periodic or triggered) announcement —
 /// the source of RIP's long path switch-over period (paper §4.1).
+///
+/// State is SoA over dense NodeIds (docs/routing-state.md): flat uint16
+/// metrics, per-destination refresh times, and a known-destination bitset.
+/// The next hop is not stored separately — adopt() installs it into the FIB,
+/// whose primary entry stays the single source of truth.
 class Rip final : public DvProtocolBase {
  public:
   Rip(Node& node, DvConfig cfg);
@@ -29,17 +36,12 @@ class Rip final : public DvProtocolBase {
   void start() override;
 
  private:
-  struct Route {
-    int metric = 0;
-    NodeId nextHop = kInvalidNode;
-    Time lastRefresh;
-    bool known = false;  ///< Destination ever heard of (stays true once dead).
-  };
-
   void adopt(NodeId dst, int metric, NodeId nextHop);
   void expireStale();
 
-  std::vector<Route> table_;
+  std::vector<std::uint16_t> metric_;
+  std::vector<Time> lastRefresh_;
+  NodeBitset known_;  ///< destination ever heard of (stays set once dead)
 };
 
 }  // namespace rcsim

@@ -9,6 +9,9 @@ PathTracer::PathTracer(Network& net, NodeId src, NodeId dst) : net_{net}, src_{s
 void PathTracer::snapshot(Time t) {
   bool loop = false;
   bool blackhole = false;
+  // fibWalk follows primary next hops only — the canonical forwarding path
+  // stays well defined (and digest-stable) even when ECMP is spreading
+  // individual flows across alternates.
   auto path = net_.fibWalk(src_, dst_, &loop, &blackhole);
   if (!events_.empty() && events_.back().path == path) return;
   events_.push_back(PathEvent{t, std::move(path), loop, blackhole});

@@ -146,6 +146,7 @@ TEST(Options, DescribeCoversEveryKnob) {
   cfg.trafficStop = Time::seconds(140.0);
   cfg.endAt = Time::seconds(222.0);
   cfg.tracePackets = false;
+  cfg.ecmp = true;
   cfg.link.bandwidthBps = 2e6;
   cfg.link.propDelay = Time::milliseconds(3);
   cfg.link.queueCapacity = 33;
@@ -163,6 +164,7 @@ TEST(Options, DescribeCoversEveryKnob) {
   cfg.protoCfg.bgp.flapDampingEnabled = true;
   cfg.protoCfg.bgp.rfdPenaltyPerFlap = 1999.0;
   cfg.protoCfg.ls.spfDelay = Time::milliseconds(25);
+  cfg.protoCfg.ls.spfOracle = true;
   cfg.protoCfg.dual.siaTimeout = Time::seconds(20.0);
 
   ScenarioConfig rebuilt;
@@ -173,6 +175,8 @@ TEST(Options, DescribeCoversEveryKnob) {
   EXPECT_EQ(rebuilt.protoCfg.dv.splitHorizon, SplitHorizonMode::SplitHorizon);
   EXPECT_DOUBLE_EQ(rebuilt.protoCfg.bgp.rfdPenaltyPerFlap, 1999.0);
   EXPECT_FALSE(rebuilt.tracePackets);
+  EXPECT_TRUE(rebuilt.ecmp);
+  EXPECT_TRUE(rebuilt.protoCfg.ls.spfOracle);
 }
 
 // An infinite repair time must describe as "inf" and re-apply cleanly

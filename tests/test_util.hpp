@@ -17,11 +17,11 @@ class TestNet {
  public:
   explicit TestNet(const Topology& topo, ProtocolKind kind,
                    ProtocolConfig protoCfg = {}, LinkConfig linkCfg = {},
-                   std::uint64_t seed = 1)
+                   std::uint64_t seed = 1, bool ecmp = false)
       : net_{sched_, Rng{seed}} {
     for (int i = 0; i < topo.nodeCount; ++i) net_.addNode();
     for (const auto& [a, b] : topo.edges) net_.addLink(a, b, linkCfg);
-    net_.finalize();
+    net_.finalize(ecmp);
     for (NodeId id = 0; id < static_cast<NodeId>(net_.nodeCount()); ++id) {
       Node& node = net_.node(id);
       node.setProtocol(makeProtocol(kind, node, protoCfg));
