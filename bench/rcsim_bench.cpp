@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cli.hpp"
 #include "core/runner.hpp"
 #include "exp/artifact.hpp"
 #include "exp/executor.hpp"
@@ -103,39 +104,25 @@ void usage(std::FILE* to) {
                "  0    ok\n");
 }
 
-/// Strict positive-integer flag parsing — "--runs=banana" and "--runs=0"
-/// are errors, not silently zero like atoi.
+/// Strict flag parsing lives in core/cli.hpp now (shared with rcsim,
+/// rcsim-trace and rcsim_fuzz); these thin wrappers keep rcsim_bench's
+/// historical print-and-exit-2 behavior.
 int parsePositiveInt(const std::string& value, const char* flag) {
-  if (value.empty()) {
-    std::fprintf(stderr, "rcsim_bench: %s needs a positive integer\n", flag);
+  try {
+    return rcsim::cli::parsePositiveInt(value, flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcsim_bench: %s\n", e.what());
     std::exit(2);
   }
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(value.c_str(), &end, 10);
-  if (errno != 0 || end == value.c_str() || *end != '\0' || v <= 0 || v > 1'000'000'000L) {
-    std::fprintf(stderr, "rcsim_bench: %s got '%s', expected a positive integer\n", flag,
-                 value.c_str());
-    std::exit(2);
-  }
-  return static_cast<int>(v);
 }
 
-/// Same, but 0 is legal (--retries=0 disables retry).
 int parseNonNegativeInt(const std::string& value, const char* flag) {
-  if (value.empty()) {
-    std::fprintf(stderr, "rcsim_bench: %s needs a non-negative integer\n", flag);
+  try {
+    return rcsim::cli::parseNonNegativeInt(value, flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcsim_bench: %s\n", e.what());
     std::exit(2);
   }
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(value.c_str(), &end, 10);
-  if (errno != 0 || end == value.c_str() || *end != '\0' || v < 0 || v > 1'000'000'000L) {
-    std::fprintf(stderr, "rcsim_bench: %s got '%s', expected a non-negative integer\n", flag,
-                 value.c_str());
-    std::exit(2);
-  }
-  return static_cast<int>(v);
 }
 
 /// Redirect stdout to a file for one experiment's tables; restores the

@@ -49,6 +49,16 @@ RCSIM_RUNS=1 RCSIM_CHECK_INVARIANTS=1 "$BUILD/bench/rcsim_bench" --only=ext_real
 test -s "$smoke_out/ext_realtopo.json"
 grep -q '"topology=named"' "$smoke_out/ext_realtopo.json"
 
+# Fuzz smoke: a fixed-seed coverage-guided campaign must complete its
+# budget without findings and with a stable corpus digest (the digest is
+# printed for the log; determinism itself is covered by FuzzCampaign.*
+# tests). Then every banked reproducer replays against its recorded
+# '# expect:' outcome (docs/fuzzing.md).
+"$BUILD/tools/rcsim_fuzz" --seed=1 --budget=200 --quiet
+for scenario in tests/fuzz_corpus/*.scenario; do
+  "$BUILD/tools/rcsim_fuzz" --replay="$scenario" > /dev/null
+done
+
 # Chaos job: SIGKILL a journaled sweep at random points and prove the
 # resumed artifact is bit-identical to an uninterrupted reference run
 # (docs/experiments.md, "Long runs, crashes, and resume").
@@ -66,5 +76,15 @@ cmake --build "$SAN_BUILD" -j "$(nproc)"
 # sanitizer job also proves incremental == full element-wise under ASan.
 RCSIM_SPF_ORACLE=1 ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
   -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf'
+
+# TSan job: a -fsanitize=thread build runs the concurrency-heavy suites
+# (SweepExecutor's work queue, the lock-free metrics registry, journaled
+# sweeps) to catch data races ASan cannot see. TSan and ASan cannot share
+# a build, hence the third tree.
+TSAN_BUILD=${TSAN_BUILD:-build-tsan}
+cmake -S . -B "$TSAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j "$(nproc)"
+ctest --test-dir "$TSAN_BUILD" --output-on-failure --timeout 600 \
+  -R 'Executor|Sweep|Journal|Metrics'
 
 echo "ci: all gates green"

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Exit-status contract of rcsim_bench, as documented in --help (highest
-# precedence first): 2 usage error > 130 interrupted > 3 failed cells > 0.
+# Exit-status contracts of rcsim_bench and rcsim_fuzz, as documented in
+# their --help (highest precedence first): 2 usage error > 130
+# interrupted > 3 failed cells (bench) / 4 findings (fuzz) > 0.
 # Registered as the `bench_exit_codes` ctest; also runnable by hand:
 #
-#   scripts/exit_codes_test.sh build/bench/rcsim_bench
+#   scripts/exit_codes_test.sh build/bench/rcsim_bench [build/tools/rcsim_fuzz]
 set -u
 
-BENCH=${1:?usage: exit_codes_test.sh path/to/rcsim_bench}
+BENCH=${1:?usage: exit_codes_test.sh path/to/rcsim_bench [path/to/rcsim_fuzz]}
+FUZZ=${2:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -81,6 +83,63 @@ expect 0 $? "clean run"
 "$BENCH" --only=headline_table --runs=1 --threads=2 --progress=1 \
   --out="$WORK/ok_progress" >/dev/null 2>&1
 expect 0 $? "clean run with --progress=1"
+
+# ======================================================================
+# rcsim_fuzz: 2 usage > 130 interrupted > 4 findings/replay mismatch > 0
+# (section skipped when no fuzz binary is given).
+if [ -n "$FUZZ" ]; then
+  # --- 2: usage errors (nothing runs) ----------------------------------
+  "$FUZZ" --no-such-flag >/dev/null 2>&1
+  expect 2 $? "fuzz: unknown flag"
+
+  "$FUZZ" --budget=0 >/dev/null 2>&1
+  expect 2 $? "fuzz: --budget=0 rejected"
+
+  "$FUZZ" --watchdog=nan >/dev/null 2>&1
+  expect 2 $? "fuzz: --watchdog=nan rejected"
+
+  "$FUZZ" --seed=banana >/dev/null 2>&1
+  expect 2 $? "fuzz: --seed=banana rejected"
+
+  "$FUZZ" --replay=/nonexistent/path.scenario >/dev/null 2>&1
+  expect 2 $? "fuzz: unreadable --replay file"
+
+  # --- 130: interrupted ------------------------------------------------
+  # SIGINT an oversized campaign: the in-flight scenario finishes, the
+  # summary still prints, and the exit is 128+SIGINT.
+  "$FUZZ" --seed=3 --budget=100000 --quiet >/dev/null 2>&1 &
+  pid=$!
+  sleep 0.6
+  kill -INT "$pid" 2>/dev/null
+  wait "$pid"
+  expect 130 $? "fuzz: SIGINT mid-campaign"
+
+  # --- 4: findings / replay mismatch -----------------------------------
+  # A microscopic watchdog makes every execution a Timeout finding;
+  # --no-minimize keeps this fast.
+  "$FUZZ" --seed=5 --budget=3 --watchdog=0.000001 --no-minimize --quiet \
+    >/dev/null 2>&1
+  expect 4 $? "fuzz: watchdog findings"
+
+  # A banked reproducer whose '# expect:' line is doctored must mismatch.
+  corpus_dir=$(dirname "$0")/../tests/fuzz_corpus
+  sample=$(ls "$corpus_dir"/*.scenario 2>/dev/null | head -1)
+  if [ -n "$sample" ]; then
+    sed 's/^# expect: .*/# expect: timeout/' "$sample" >"$WORK/doctored.scenario"
+    "$FUZZ" --replay="$WORK/doctored.scenario" >/dev/null 2>&1
+    expect 4 $? "fuzz: replay expectation mismatch"
+
+    "$FUZZ" --replay="$sample" >/dev/null 2>&1
+    expect 0 $? "fuzz: replay of banked reproducer"
+  else
+    echo "FAIL no banked .scenario files found in $corpus_dir"
+    fails=$((fails + 1))
+  fi
+
+  # --- 0: clean campaign -----------------------------------------------
+  "$FUZZ" --seed=1 --budget=2 --quiet >/dev/null 2>&1
+  expect 0 $? "fuzz: clean campaign"
+fi
 
 if [ "$fails" -ne 0 ]; then
   echo "exit_codes_test: $fails check(s) failed"

@@ -1,0 +1,79 @@
+#include "core/cli.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rcsim::cli {
+
+namespace {
+
+[[noreturn]] void bad(const char* flag, const std::string& value, const char* expected) {
+  throw std::invalid_argument(std::string{flag} + " got '" + value + "', expected " + expected);
+}
+
+long parseLong(const std::string& value, const char* flag, long lo, long hi,
+               const char* expected) {
+  if (value.empty()) bad(flag, value, expected);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || v < lo || v > hi) {
+    bad(flag, value, expected);
+  }
+  return v;
+}
+
+}  // namespace
+
+int parsePositiveInt(const std::string& value, const char* flag) {
+  return static_cast<int>(parseLong(value, flag, 1, 1'000'000'000L, "a positive integer"));
+}
+
+int parseNonNegativeInt(const std::string& value, const char* flag) {
+  return static_cast<int>(parseLong(value, flag, 0, 1'000'000'000L, "a non-negative integer"));
+}
+
+double parseFiniteDouble(const std::string& value, const char* flag) {
+  if (value.empty()) bad(flag, value, "a finite number");
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || !std::isfinite(v)) {
+    bad(flag, value, "a finite number");
+  }
+  return v;
+}
+
+double parsePositiveSeconds(const std::string& value, const char* flag) {
+  const double v = parseFiniteDouble(value, flag);
+  if (v <= 0.0) bad(flag, value, "a positive number of seconds");
+  return v;
+}
+
+std::uint64_t parseSeed(const std::string& value, const char* flag) {
+  if (value.empty()) bad(flag, value, "an unsigned 64-bit seed");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0' || value[0] == '-') {
+    bad(flag, value, "an unsigned 64-bit seed");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parseWallLimitSeconds(const char* text) {
+  if (text == nullptr || *text == '\0') return 0.0;
+  char* end = nullptr;
+  errno = 0;
+  const double sec = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return 0.0;
+  // strtod happily parses "nan" and "inf"; NaN additionally slips past a
+  // plain `<= 0` guard, so require a finite positive budget explicitly.
+  if (!std::isfinite(sec) || sec <= 0.0) return 0.0;
+  return sec;
+}
+
+}  // namespace rcsim::cli

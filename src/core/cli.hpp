@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rcsim::cli {
+
+// Strict command-line value parsing shared by every rcsim binary (rcsim,
+// rcsim_bench, rcsim-trace, rcsim_fuzz). All helpers throw
+// std::invalid_argument with a "<flag> got '<value>', expected ..."
+// message on malformed input — "--runs=banana" and "--runs=0" are errors,
+// never atoi's silent 0. Each CLI catches, prints the message and exits 2.
+
+/// Positive integer in [1, 1e9].
+[[nodiscard]] int parsePositiveInt(const std::string& value, const char* flag);
+
+/// Non-negative integer in [0, 1e9] (--retries=0 disables retry).
+[[nodiscard]] int parseNonNegativeInt(const std::string& value, const char* flag);
+
+/// Finite double (any sign) — time-window flags like --from/--to.
+[[nodiscard]] double parseFiniteDouble(const std::string& value, const char* flag);
+
+/// Positive finite seconds — watchdog/budget flags. Rejects "nan"/"inf",
+/// which strtod parses and a plain `<= 0` guard lets through.
+[[nodiscard]] double parsePositiveSeconds(const std::string& value, const char* flag);
+
+/// Unsigned 64-bit value — seed flags.
+[[nodiscard]] std::uint64_t parseSeed(const std::string& value, const char* flag);
+
+/// Lenient environment-variable variant of parsePositiveSeconds: returns
+/// 0.0 ("no limit") for null/empty/malformed/non-positive text instead of
+/// throwing, so a stray RCSIM_REPLICA_WATCHDOG_SEC never aborts a run.
+[[nodiscard]] double parseWallLimitSeconds(const char* text);
+
+}  // namespace rcsim::cli

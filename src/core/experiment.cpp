@@ -9,7 +9,11 @@ namespace rcsim {
 RunResult runScenario(const ScenarioConfig& cfg) {
   Scenario scenario{cfg};
   scenario.run();
+  return summarizeRun(scenario);
+}
 
+RunResult summarizeRun(Scenario& scenario) {
+  const ScenarioConfig& cfg = scenario.config();
   auto& net = scenario.network();
   auto& stats = scenario.stats();
 

@@ -58,6 +58,12 @@ struct RunResult {
 /// Build, run and squeeze one scenario into a RunResult.
 [[nodiscard]] RunResult runScenario(const ScenarioConfig& cfg);
 
+/// Squeeze an already-run Scenario into a RunResult. Split out of
+/// runScenario for harnesses (the fuzzer) that own the Scenario instance
+/// — to attach trace sinks or watchdogs around run() — but still want the
+/// canonical summary that digests and sweeps are built on.
+[[nodiscard]] RunResult summarizeRun(Scenario& scenario);
+
 /// The canonical Internet-scale scenario: a 100x100 degree-4 mesh (10,000
 /// nodes) brought to full convergence through one on-path link failure.
 /// Shared by the perf gate's mesh100x100_converge row and the pinned

@@ -41,6 +41,42 @@ bool parseBool(const std::string& key, const std::string& value) {
   throw std::invalid_argument("option " + key + ": not a boolean: '" + value + "'");
 }
 
+/// "0-1,1-2,2-5" into an edge vector ("" = no edges). Endpoints keep their
+/// given order; Topology::normalize() canonicalizes at build time.
+std::vector<std::pair<NodeId, NodeId>> parseEdgeList(const std::string& key,
+                                                     const std::string& value) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  if (value.empty()) return edges;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const auto comma = value.find(',', pos);
+    const std::string part =
+        value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const auto dash = part.find('-');
+    if (dash == std::string::npos || dash == 0 || dash + 1 >= part.size()) {
+      throw std::invalid_argument("option " + key + ": expected 'A-B' edge, got '" + part + "'");
+    }
+    const long a = parseInt(key, part.substr(0, dash));
+    const long b = parseInt(key, part.substr(dash + 1));
+    if (a < 0 || b < 0) {
+      throw std::invalid_argument("option " + key + ": negative node id in '" + part + "'");
+    }
+    edges.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return edges;
+}
+
+std::string formatEdgeList(const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  std::string out;
+  for (const auto& [a, b] : edges) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(a) + "-" + std::to_string(b);
+  }
+  return out;
+}
+
 }  // namespace
 
 void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string& value) {
@@ -56,9 +92,11 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
       cfg.topology = TopologyKind::File;
     } else if (value == "named") {
       cfg.topology = TopologyKind::Named;
+    } else if (value == "inline") {
+      cfg.topology = TopologyKind::Inline;
     } else {
-      throw std::invalid_argument("topology must be mesh|random|file|named, got '" + value +
-                                  "'");
+      throw std::invalid_argument("topology must be mesh|random|file|named|inline, got '" +
+                                  value + "'");
     }
   } else if (key == "file.path") {
     if (value.empty()) throw std::invalid_argument("option file.path: needs a file path");
@@ -76,6 +114,20 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.random.nodes = static_cast<int>(parseInt(key, value));
   } else if (key == "random.avg-degree") {
     cfg.random.avgDegree = parseDouble(key, value);
+  } else if (key == "random.tree") {
+    cfg.random.spanningTree = parseBool(key, value);
+  } else if (key == "random.ensure-connected") {
+    cfg.random.ensureConnected = parseBool(key, value);
+  } else if (key == "inline.nodes") {
+    cfg.inlineTopo.nodes = static_cast<int>(parseInt(key, value));
+  } else if (key == "inline.edges") {
+    cfg.inlineTopo.edges = parseEdgeList(key, value);
+  } else if (key == "pin.src" || key == "pin.dst") {
+    const auto node = static_cast<NodeId>(parseInt(key, value));
+    if (node < kInvalidNode) {
+      throw std::invalid_argument(key + " must be a node id or -1 (unset)");
+    }
+    (key == "pin.src" ? cfg.pinSrc : cfg.pinDst) = node;
   } else if (key == "seed") {
     cfg.seed = static_cast<std::uint64_t>(parseInt(key, value));
   } else if (key == "flows") {
@@ -223,6 +275,8 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
       add("topology", "random");
       add("random.nodes", std::to_string(cfg.random.nodes));
       add("random.avg-degree", num(cfg.random.avgDegree));
+      add("random.tree", cfg.random.spanningTree ? "1" : "0");
+      add("random.ensure-connected", cfg.random.ensureConnected ? "1" : "0");
       break;
     case TopologyKind::File:
       add("topology", "file");
@@ -232,9 +286,18 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
       add("topology", "named");
       add("named.graph", cfg.named.graph);
       break;
+    case TopologyKind::Inline:
+      add("topology", "inline");
+      add("inline.nodes", std::to_string(cfg.inlineTopo.nodes));
+      add("inline.edges", formatEdgeList(cfg.inlineTopo.edges));
+      break;
   }
   add("seed", std::to_string(cfg.seed));
   add("flows", std::to_string(cfg.flows));
+  if (cfg.pinSrc != kInvalidNode || cfg.pinDst != kInvalidNode) {
+    add("pin.src", std::to_string(cfg.pinSrc));
+    add("pin.dst", std::to_string(cfg.pinDst));
+  }
   add("traffic", cfg.traffic == TrafficKind::Cbr ? "cbr" : "tcp");
   add("rate", num(cfg.packetsPerSecond));
   add("bytes", std::to_string(cfg.packetBytes));

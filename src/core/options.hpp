@@ -10,9 +10,12 @@ namespace rcsim {
 /// Key=value configuration layer over ScenarioConfig, shared by the CLI
 /// tool and scriptable sweeps. Keys mirror the struct fields:
 ///
-///   protocol=RIP|DBF|BGP|BGP3|LS     topology=mesh|random|file|named
+///   protocol=RIP|DBF|BGP|BGP3|LS     topology=mesh|random|file|named|inline
 ///   degree=4 rows=7 cols=7           random.nodes=49 random.avg-degree=4
+///   random.tree=1 random.ensure-connected=0
 ///   file.path=abilene.topo           named.graph=abilene
+///   inline.nodes=4 inline.edges=0-1,1-2,2-3
+///   pin.src=-1 pin.dst=-1
 ///   seed=1 flows=1 traffic=cbr|tcp   rate=20 bytes=1000 ttl=127 window=8
 ///   traffic-start=390 traffic-stop=550
 ///   failures=1 fail-at=400 fail-spacing=5 repair-after=60 no-failure=1

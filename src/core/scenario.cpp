@@ -39,6 +39,18 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
       topo = makeRandomTopology(rnd);
       break;
     }
+    case TopologyKind::Inline:
+      topo.nodeCount = cfg_.inlineTopo.nodes;
+      topo.edges = cfg_.inlineTopo.edges;
+      topo.normalize();  // validates ids, self-loops, duplicates
+      break;
+  }
+  // A flow needs two distinct endpoints; with fewer nodes the endpoint
+  // draw below would call uniformInt with an empty range (UB). Inline
+  // topologies (hand-written or minimizer-shrunk) can legitimately get
+  // this small, so reject them with a diagnosis instead.
+  if (topo.nodeCount < 2) {
+    throw std::invalid_argument("scenario topology needs at least two nodes");
   }
   net_ = std::make_unique<Network>(sched_, rng_.fork());
 
@@ -50,9 +62,20 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
   // as directly connected, so routing-wise the host is an alias of its
   // router. We therefore source/sink traffic at the routers themselves
   // (DESIGN.md §4), keeping metric distances equal to router distances.
+  const bool pinned = cfg_.pinSrc != kInvalidNode && cfg_.pinDst != kInvalidNode;
+  if (pinned && (cfg_.pinSrc >= topo.nodeCount || cfg_.pinDst >= topo.nodeCount ||
+                 cfg_.pinSrc == cfg_.pinDst)) {
+    throw std::invalid_argument("pinned flow endpoints must be distinct nodes in range");
+  }
   flows_.resize(static_cast<std::size_t>(cfg_.flows));
-  for (auto& flow : flows_) {
-    if (cfg_.topology == TopologyKind::RegularMesh) {
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    auto& flow = flows_[f];
+    if (pinned && f == 0) {
+      // Pinned endpoints bypass the RNG draw entirely, so a reproducer's
+      // flow 0 survives topology edits that would reshuffle random picks.
+      flow.sender = cfg_.pinSrc;
+      flow.receiver = cfg_.pinDst;
+    } else if (cfg_.topology == TopologyKind::RegularMesh) {
       flow.sender = gridId(0, static_cast<int>(rng_.uniformInt(0, cfg_.mesh.cols - 1)),
                            cfg_.mesh.cols);
       flow.receiver = gridId(cfg_.mesh.rows - 1,

@@ -25,9 +25,10 @@ namespace rcsim {
 enum class TrafficKind { Cbr, Tcp };
 
 /// Which topology family the scenario builds: the paper's regular mesh,
-/// a matched-degree random graph, an rcsim-topo-v1 edge-list file, or one
-/// of the embedded named real-world graphs (topo/loader.hpp).
-enum class TopologyKind { RegularMesh, Random, File, Named };
+/// a matched-degree random graph, an rcsim-topo-v1 edge-list file, one of
+/// the embedded named real-world graphs (topo/loader.hpp), or an explicit
+/// inline edge list carried in the config itself.
+enum class TopologyKind { RegularMesh, Random, File, Named, Inline };
 
 /// Topology file selection, used when topology == File.
 struct FileTopoSpec {
@@ -37,6 +38,19 @@ struct FileTopoSpec {
 /// Embedded named-graph selection, used when topology == Named.
 struct NamedTopoSpec {
   std::string graph = "abilene";  ///< see namedTopologyNames()
+};
+
+/// Explicit edge list carried inside the config (topology == Inline), so a
+/// scenario is fully self-contained — no file on disk, no generator seed.
+/// This is what the fuzzer's minimizer emits: it freezes whatever family a
+/// finding used into concrete edges and then deletes nodes/edges one at a
+/// time (src/fuzz/minimize.hpp). Round-trips through the `inline.nodes` /
+/// `inline.edges` options.
+struct InlineTopoSpec {
+  int nodes = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;  ///< canonical a < b order
+
+  bool operator==(const InlineTopoSpec&) const = default;
 };
 
 /// Full description of one simulation run of the paper's experiment:
@@ -51,6 +65,7 @@ struct ScenarioConfig {
   RandomGraphSpec random{};        ///< used when topology == Random (seed is overridden by `seed`)
   FileTopoSpec file{};             ///< used when topology == File
   NamedTopoSpec named{};           ///< used when topology == Named
+  InlineTopoSpec inlineTopo{};     ///< used when topology == Inline
   LinkConfig link{};
   std::uint64_t seed = 1;
 
@@ -58,6 +73,11 @@ struct ScenarioConfig {
   // TrafficKind::Tcp exercise the paper's §6 future-work extensions.
   TrafficKind traffic = TrafficKind::Cbr;
   int flows = 1;
+  /// Pin flow 0's endpoints instead of drawing them from the run RNG
+  /// (minimized reproducers must not have their endpoints reshuffled by a
+  /// topology edit). -1 = draw as usual; both must be set to take effect.
+  NodeId pinSrc = kInvalidNode;
+  NodeId pinDst = kInvalidNode;
   double packetsPerSecond = 20.0;  ///< per flow (CBR)
   std::uint32_t packetBytes = 1000;
   int ttl = 127;

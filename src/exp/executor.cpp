@@ -41,18 +41,6 @@ std::string configDigestOf(const ScenarioConfig& cfg) {
 
 }  // namespace
 
-double parseWallLimitSeconds(const char* text) {
-  if (text == nullptr || *text == '\0') return 0.0;
-  char* end = nullptr;
-  errno = 0;
-  const double sec = std::strtod(text, &end);
-  if (errno != 0 || end == text || *end != '\0') return 0.0;
-  // strtod happily parses "nan" and "inf"; NaN additionally slips past a
-  // plain `<= 0` guard, so require a finite positive budget explicitly.
-  if (!std::isfinite(sec) || sec <= 0.0) return 0.0;
-  return sec;
-}
-
 /// In-flight experiment state. Replica claims and completion counts are
 /// lock-free; the executor mutex only guards the job queue and the done
 /// flag.

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cli.hpp"
 #include "exp/spec.hpp"
 
 namespace rcsim::exp {
@@ -29,11 +30,9 @@ namespace rcsim::exp {
 class JournalWriter;
 class JournalIndex;
 
-/// Parse a wall-clock limit in seconds from flag/env text. Returns the
-/// parsed value when it is a finite number > 0, else 0 (disabled) — in
-/// particular "nan"/"inf" are rejected, not passed through (strtod parses
-/// them and a NaN slips past any `<= 0` guard).
-[[nodiscard]] double parseWallLimitSeconds(const char* text);
+/// Wall-clock limit parsing moved to core/cli.hpp (shared by every CLI);
+/// re-exported here so existing exp:: callers keep compiling.
+using rcsim::cli::parseWallLimitSeconds;
 
 /// Retry policy for failed replicas: a replica gets `maxAttempts` total
 /// tries with exponential backoff between them (backoffBaseSec doubling

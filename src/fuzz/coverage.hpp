@@ -1,0 +1,62 @@
+#pragma once
+
+// Coverage signal for the scenario fuzzer. A run's behavior is abstracted
+// into small integer features:
+//
+//   - TraceEvent-kind bigrams: each adjacent (prev kind, kind) pair in the
+//     structured trace, with its occurrence count squashed into AFL-style
+//     log2 buckets (1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+). A scenario
+//     that merely repeats known transitions more often only earns credit
+//     when it crosses a bucket boundary.
+//   - Outcome features: the RunStatus plus (for violations) a hash of the
+//     violated invariant's name — reaching a new checker state is coverage
+//     even when the trace shape is familiar.
+//
+// The map is a plain bitset over a fixed feature space, so campaign
+// behavior is bit-deterministic: same seed, same runs, same corpus.
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+#include "obs/trace.hpp"
+
+namespace rcsim::fuzz {
+
+/// Extract the feature ids of one run (bigrams + outcome). Sorted and
+/// deduplicated; every id is < CoverageMap::kFeatureSpace.
+[[nodiscard]] std::vector<std::uint32_t> runFeatures(const RunOutcome& outcome);
+
+class CoverageMap {
+ public:
+  /// 19 kinds squared bigrams x 8 count buckets, plus a reserved tail for
+  /// outcome features.
+  static constexpr std::uint32_t kBigramSpace =
+      static_cast<std::uint32_t>(obs::kTraceKindCount * obs::kTraceKindCount * 8);
+  static constexpr std::uint32_t kOutcomeSpace = 256;
+  static constexpr std::uint32_t kFeatureSpace = kBigramSpace + kOutcomeSpace;
+
+  CoverageMap() : seen_(kFeatureSpace, false) {}
+
+  /// Merge a run's features; returns how many were previously unseen
+  /// (0 = the run exercised nothing new).
+  std::size_t add(const std::vector<std::uint32_t>& features) {
+    std::size_t fresh = 0;
+    for (const auto f : features) {
+      if (!seen_[f]) {
+        seen_[f] = true;
+        ++fresh;
+      }
+    }
+    count_ += fresh;
+    return fresh;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::vector<bool> seen_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rcsim::fuzz

@@ -1,0 +1,61 @@
+#pragma once
+
+// The coverage-guided campaign loop. Deterministic end to end: one seed
+// drives generation, mutation and corpus scheduling, and every scenario
+// runs in-process under the invariant checker and watchdog, so two
+// campaigns with the same seed and budget produce identical corpora,
+// identical findings and identical digests.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "fuzz/harness.hpp"
+
+namespace rcsim::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int budget = 100;           ///< total scenario executions
+  double wallLimitSec = 5.0;  ///< per-execution watchdog (<= 0 disarms)
+  std::string bankDir;        ///< write minimized reproducers here ("" = off)
+  bool minimize = true;
+  int maxFindings = 16;       ///< stop banking new finding keys after this
+  int minimizeRunBudget = 250;
+  /// Polled between executions; returning true stops the campaign after
+  /// the in-flight scenario (SIGINT drain). Null = never stop early.
+  std::function<bool()> shouldStop;
+};
+
+/// One deduplicated finding (first scenario to hit its key).
+struct FuzzFinding {
+  RunStatus status = RunStatus::Clean;
+  std::string key;     ///< findingKey dedup identity
+  std::string detail;  ///< full violation/exception report
+  ScenarioConfig config{};  ///< minimized when options.minimize
+  std::string digest;       ///< scenarioDigest(config)
+  int foundAtExecution = 0;
+  bool minimized = false;
+  std::string bankedPath;  ///< "" unless written to bankDir
+};
+
+struct FuzzReport {
+  bool interrupted = false;  ///< shouldStop fired before the budget ran out
+  int executions = 0;
+  int corpusEntries = 0;
+  std::size_t coverageFeatures = 0;
+  std::vector<FuzzFinding> findings;
+  /// Digest over the ordered corpus entry digests — the campaign's
+  /// determinism fingerprint (two same-seed runs must match).
+  std::string corpusDigest;
+};
+
+/// Run a campaign. Progress lines go to `log` when non-null. Throws only
+/// for environment problems (unwritable bank dir) — scenario failures are
+/// findings, not errors.
+[[nodiscard]] FuzzReport runFuzzCampaign(const FuzzOptions& options, std::ostream* log);
+
+}  // namespace rcsim::fuzz

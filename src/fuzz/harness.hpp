@@ -1,0 +1,57 @@
+#pragma once
+
+// In-process execution harness for one fuzzed scenario: build + run under
+// the invariant checker, a wall-clock watchdog and a memory trace sink,
+// with every failure mode caught and classified instead of propagating.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "obs/trace.hpp"
+
+namespace rcsim::fuzz {
+
+/// How one execution ended, in decreasing order of severity. Everything
+/// except Clean is a finding when it escapes the campaign.
+enum class RunStatus {
+  Clean,              ///< ran to completion, invariants hold
+  InvariantViolation, ///< the runtime checker flagged a simulator bug
+  Exception,          ///< an uncaught exception other than the two below
+  Timeout,            ///< the watchdog killed a wedged/pathological run
+  Nondeterministic,   ///< same config, two runs, different digests
+};
+
+[[nodiscard]] const char* toString(RunStatus status);
+/// Inverse of toString; throws std::invalid_argument on unknown names.
+[[nodiscard]] RunStatus runStatusFromString(const std::string& name);
+
+/// Everything one execution produced that the fuzzer cares about.
+struct RunOutcome {
+  RunStatus status = RunStatus::Clean;
+  /// Violation summary / exception what() / "" when clean. The first line
+  /// is the stable dedup key (invariant name, exception text).
+  std::string detail;
+  std::string resultDigest;  ///< runResultDigest, "" unless Clean
+  std::string traceDigest;   ///< digest over the structured trace
+  std::vector<obs::TraceEvent> trace;  ///< for the coverage map
+  std::uint64_t eventsExecuted = 0;
+};
+
+/// Execute `cfg` once, invariants forced on, under `wallLimitSec` of wall
+/// clock (<= 0 disarms). Never throws for scenario-level failures — they
+/// come back classified in the outcome. Nondeterminism is NOT detected
+/// here (one run sees one digest); use checkDeterminism.
+[[nodiscard]] RunOutcome runScenarioOnce(const ScenarioConfig& cfg, double wallLimitSec);
+
+/// Run `cfg` twice and compare digests. Returns the first run's outcome,
+/// with status upgraded to Nondeterministic (and detail explaining the
+/// digest mismatch) when the two executions disagree.
+[[nodiscard]] RunOutcome checkDeterminism(const ScenarioConfig& cfg, double wallLimitSec);
+
+/// Stable dedup key for a finding: the status name plus the first line of
+/// the detail (e.g. "invariant-violation/packet-conservation").
+[[nodiscard]] std::string findingKey(const RunOutcome& outcome);
+
+}  // namespace rcsim::fuzz

@@ -1,0 +1,34 @@
+#pragma once
+
+// Delta-debugging minimizer. Given a config that produced a finding, it
+// greedily applies simplifying transforms — drop fault events, round
+// their timestamps, shorten the run, collapse to one flow, freeze the
+// topology to an explicit inline edge list with pinned endpoints, then
+// delete edges and nodes — keeping each candidate only if it still
+// reproduces the same finding key (status + invariant/exception). Every
+// step is a full harness execution, so the whole process is deterministic
+// and bounded by an explicit run budget.
+
+#include "core/scenario.hpp"
+#include "fuzz/harness.hpp"
+
+namespace rcsim::fuzz {
+
+struct MinimizeOptions {
+  double wallLimitSec = 5.0;  ///< per candidate execution
+  int maxRuns = 250;          ///< total verification executions
+};
+
+struct MinimizeResult {
+  ScenarioConfig config{};  ///< smallest reproducer found
+  int runsUsed = 0;
+  bool changed = false;  ///< false = nothing could be simplified
+};
+
+/// Shrink `cfg`, preserving findingKey(original). `original` must be the
+/// outcome runScenarioOnce/checkDeterminism produced for `cfg`.
+[[nodiscard]] MinimizeResult minimizeFinding(const ScenarioConfig& cfg,
+                                             const RunOutcome& original,
+                                             const MinimizeOptions& opts);
+
+}  // namespace rcsim::fuzz

@@ -1,0 +1,15 @@
+#pragma once
+
+// Corpus mutation: perturb exactly one aspect of a parent scenario —
+// fault plan, timing, topology shape, protocol, or a traffic/link scalar
+// — keeping the result valid (fault references are remapped whenever the
+// topology may have changed). One Rng in, deterministic child out.
+
+#include "core/scenario.hpp"
+#include "sim/random.hpp"
+
+namespace rcsim::fuzz {
+
+[[nodiscard]] ScenarioConfig mutateScenario(const ScenarioConfig& base, Rng& rng);
+
+}  // namespace rcsim::fuzz

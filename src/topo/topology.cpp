@@ -210,7 +210,11 @@ std::vector<LinkRule> rulesForDegree(int degree) {
 
 }  // namespace
 
-Topology makeRandomTopology(const RandomGraphSpec& spec) {
+namespace {
+
+/// One draw of the random-graph family for a concrete seed (the retry loop
+/// in makeRandomTopology feeds derived seeds through here).
+Topology drawRandomTopology(const RandomGraphSpec& spec, std::uint64_t seed) {
   if (spec.nodes < 2) throw std::invalid_argument("random graph needs >= 2 nodes");
   if (!(spec.avgDegree >= 0.0) || spec.avgDegree > static_cast<double>(spec.nodes)) {
     // !(x >= 0) also catches NaN, which would otherwise be cast to an
@@ -220,23 +224,19 @@ Topology makeRandomTopology(const RandomGraphSpec& spec) {
   const auto maxEdges =
       static_cast<std::size_t>(spec.nodes) * static_cast<std::size_t>(spec.nodes - 1) / 2;
   auto target = static_cast<std::size_t>(spec.avgDegree * spec.nodes / 2.0 + 0.5);
-  target = std::max<std::size_t>(target, static_cast<std::size_t>(spec.nodes - 1));
+  // The tree skeleton needs its n-1 edges; a pure G(n, m) draw may be as
+  // sparse as requested (that is the point of turning the tree off).
+  if (spec.spanningTree) {
+    target = std::max<std::size_t>(target, static_cast<std::size_t>(spec.nodes - 1));
+  }
   if (target > maxEdges) {
     throw std::invalid_argument("average degree too high for node count");
   }
 
-  Rng rng{spec.seed};
+  Rng rng{seed};
   Topology topo;
   topo.nodeCount = spec.nodes;
 
-  // Random spanning tree: attach each node (in a random order) to a
-  // uniformly chosen, already-attached node. Guarantees connectivity.
-  std::vector<NodeId> order(static_cast<std::size_t>(spec.nodes));
-  for (NodeId i = 0; i < spec.nodes; ++i) order[static_cast<std::size_t>(i)] = i;
-  for (std::size_t i = order.size() - 1; i > 0; --i) {
-    const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i)));
-    std::swap(order[i], order[j]);
-  }
   std::unordered_set<std::uint64_t> present;
   present.reserve(target * 2);
   topo.edges.reserve(target);
@@ -244,9 +244,20 @@ Topology makeRandomTopology(const RandomGraphSpec& spec) {
     if (a > b) std::swap(a, b);
     if (present.insert(edgeKey(a, b)).second) topo.edges.emplace_back(a, b);
   };
-  for (std::size_t i = 1; i < order.size(); ++i) {
-    const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
-    addEdge(order[i], order[j]);
+  if (spec.spanningTree) {
+    // Random spanning tree: attach each node (in a random order) to a
+    // uniformly chosen, already-attached node. Guarantees connectivity.
+    std::vector<NodeId> order(static_cast<std::size_t>(spec.nodes));
+    for (NodeId i = 0; i < spec.nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      addEdge(order[i], order[j]);
+    }
   }
 
   if (target * 2 <= maxEdges) {
@@ -278,6 +289,53 @@ Topology makeRandomTopology(const RandomGraphSpec& spec) {
       std::swap(pool[k], pool[j]);
       topo.edges.push_back(pool[k]);
     }
+  }
+  topo.normalize();
+  return topo;
+}
+
+/// Connected components in ascending order of their smallest node id.
+std::vector<std::vector<NodeId>> components(const Topology& topo) {
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<char> seen(static_cast<std::size_t>(topo.nodeCount), 0);
+  for (NodeId start = 0; start < topo.nodeCount; ++start) {
+    if (seen[static_cast<std::size_t>(start)]) continue;
+    std::vector<NodeId> comp{start};
+    seen[static_cast<std::size_t>(start)] = 1;
+    for (std::size_t i = 0; i < comp.size(); ++i) {
+      for (const NodeId v : topo.neighbors(comp[i])) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          comp.push_back(v);
+        }
+      }
+    }
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+}  // namespace
+
+Topology makeRandomTopology(const RandomGraphSpec& spec) {
+  Topology topo = drawRandomTopology(spec, spec.seed);
+  if (!spec.ensureConnected || topo.isConnected()) return topo;
+
+  // Retry: a handful of derived sub-seeds (odd golden-ratio increments so
+  // distinct attempts never collide), each a fresh independent draw.
+  constexpr int kRetries = 8;
+  for (int k = 1; k <= kRetries; ++k) {
+    topo = drawRandomTopology(spec, spec.seed + 0x9E3779B97F4A7C15ULL * static_cast<unsigned>(k));
+    if (topo.isConnected()) return topo;
+  }
+
+  // Repair: still split (sparse draws essentially always are) — chain the
+  // components together by their smallest node ids. Deterministic, keeps
+  // every drawn edge, and adds exactly components-1 bridges.
+  const auto comps = components(topo);
+  for (std::size_t c = 1; c < comps.size(); ++c) {
+    topo.edges.emplace_back(std::min(comps[c - 1][0], comps[c][0]),
+                            std::max(comps[c - 1][0], comps[c][0]));
   }
   topo.normalize();
   return topo;

@@ -93,11 +93,23 @@ struct RandomGraphSpec {
   int nodes = 49;
   double avgDegree = 4.0;
   std::uint64_t seed = 1;
+  /// Start from a uniform random spanning tree (the historical generator,
+  /// connected by construction). When false the draw is a pure G(n, m)
+  /// edge sample — sparse draws can come out disconnected, which is what
+  /// the scenario fuzzer wants to explore (and repair, below).
+  bool spanningTree = true;
+  /// Deterministically guarantee a connected result even without the tree
+  /// skeleton: redraw a few times from derived sub-seeds, then repair any
+  /// remaining split by bridging components (smallest node ids first).
+  /// Without this, a fuzzed sparse draw trivially black-holes all traffic
+  /// and every scenario "finding" is just a disconnected graph.
+  bool ensureConnected = false;
 };
 
-/// Deterministically (per seed) construct a connected random graph:
-/// a uniform random spanning tree skeleton plus uniform random extra
-/// edges up to round(nodes * avgDegree / 2) total.
+/// Deterministically (per seed) construct a random graph with a target
+/// average degree: a uniform random spanning tree skeleton (unless
+/// spec.spanningTree is off) plus uniform random extra edges up to
+/// round(nodes * avgDegree / 2) total.
 ///
 /// Sampling is density-aware: below half of the complete graph the extra
 /// edges are rejection-sampled (bit-identical, per seed, to the

@@ -16,6 +16,7 @@
 #include "exp/executor.hpp"
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
+#include "sim/random.hpp"
 #include "sim/watchdog.hpp"
 
 namespace rcsim {
@@ -64,6 +65,118 @@ TEST(FaultPlan, RejectsMalformedEvents) {
   };
   for (const auto& text : bad) {
     EXPECT_THROW((void)FaultPlan::parse(text), std::invalid_argument) << text;
+  }
+}
+
+// ------------------------------------------------- plan DSL property fuzz
+
+/// Draw one random-but-valid fault event. Rates and times are raw random
+/// doubles, so the round-trip property below covers the printer's full
+/// precision, not just pretty values.
+fault::FaultEvent randomFaultEvent(Rng& rng) {
+  fault::FaultEvent ev;
+  ev.at = Time::nanoseconds(rng.uniformInt(0, 2'000'000'000'000LL));
+  switch (rng.uniformInt(0, 9)) {
+    case 0: ev.kind = fault::FaultKind::LinkFail; break;
+    case 1: ev.kind = fault::FaultKind::LinkRecover; break;
+    case 2: ev.kind = fault::FaultKind::NodeCrash; break;
+    case 3: ev.kind = fault::FaultKind::NodeRestart; break;
+    case 4: ev.kind = fault::FaultKind::LinkLoss; break;
+    case 5: ev.kind = fault::FaultKind::LinkCorrupt; break;
+    case 6: ev.kind = fault::FaultKind::LinkReorder; break;
+    case 7: ev.kind = fault::FaultKind::DetectDelay; break;
+    case 8: ev.kind = fault::FaultKind::Partition; break;
+    default: ev.kind = fault::FaultKind::Heal; break;
+  }
+  switch (ev.kind) {
+    case fault::FaultKind::LinkFail:
+    case fault::FaultKind::LinkRecover:
+    case fault::FaultKind::DetectDelay:
+      ev.a = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      ev.b = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      if (ev.kind == fault::FaultKind::DetectDelay) {
+        ev.detect = Time::milliseconds(rng.uniformInt(0, 100000));
+      }
+      break;
+    case fault::FaultKind::NodeCrash:
+    case fault::FaultKind::NodeRestart:
+      ev.a = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      break;
+    case fault::FaultKind::LinkLoss:
+    case fault::FaultKind::LinkCorrupt:
+    case fault::FaultKind::LinkReorder:
+      ev.allLinks = rng.uniform01() < 0.5;
+      if (!ev.allLinks) {
+        ev.a = static_cast<NodeId>(rng.uniformInt(0, 9999));
+        ev.b = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      }
+      ev.rate = rng.uniform01();
+      if (ev.kind == fault::FaultKind::LinkReorder) {
+        ev.jitter = Time::milliseconds(rng.uniformInt(0, 100000));
+      }
+      break;
+    case fault::FaultKind::Partition:
+    case fault::FaultKind::Heal: {
+      const auto size = rng.uniformInt(1, 12);
+      for (std::int64_t i = 0; i < size; ++i) {
+        ev.group.push_back(static_cast<NodeId>(rng.uniformInt(0, 9999)));
+      }
+      break;
+    }
+  }
+  return ev;
+}
+
+TEST(FaultPlan, PropertyRandomValidPlansRoundTripByteIdentically) {
+  Rng rng{0xFA17'F1A9ULL};
+  for (int round = 0; round < 200; ++round) {
+    FaultPlan plan;
+    const auto count = rng.uniformInt(1, 8);
+    for (std::int64_t i = 0; i < count; ++i) plan.events.push_back(randomFaultEvent(rng));
+    const std::string text = plan.format();
+    const FaultPlan back = FaultPlan::parse(text);
+    EXPECT_EQ(back, plan) << "round " << round << ": " << text;
+    EXPECT_EQ(back.format(), text) << "round " << round;
+  }
+}
+
+TEST(FaultPlan, PropertyRandomBytesNeverCrashTheParser) {
+  // Random strings over the DSL's own alphabet (plus junk) must either
+  // parse or throw invalid_argument — nothing else, and no UB for the
+  // sanitizer job to find. Seeded, so a failure replays exactly.
+  static constexpr char kAlphabet[] = "0123456789:;-*,.eE+ \tabchlrfpxz\\\"\x01\x7f";
+  Rng rng{0xDEAD'BEEFULL};
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    const auto len = rng.uniformInt(0, 48);
+    for (std::int64_t i = 0; i < len; ++i) {
+      text += kAlphabet[rng.uniformInt(0, static_cast<std::int64_t>(sizeof(kAlphabet)) - 2)];
+    }
+    try {
+      (void)FaultPlan::parse(text);
+    } catch (const std::invalid_argument&) {
+      // the only contract-approved escape
+    }
+  }
+}
+
+TEST(FaultPlan, PropertyMutatedValidPlansThrowCleanlyOrParse) {
+  // Single-character corruptions of a canonical plan: the parser must
+  // accept or reject each one cleanly, never crash or loop.
+  const std::string canon =
+      "395:loss:*:0.02;399:detect:24-25:2000;400:partition:0,1,2;460:recover:24-25";
+  Rng rng{77};
+  static constexpr char kReplacements[] = "0:;-*,.x ";
+  for (int round = 0; round < 500; ++round) {
+    std::string text = canon;
+    const auto pos = rng.uniformInt(0, static_cast<std::int64_t>(text.size()) - 1);
+    text[static_cast<std::size_t>(pos)] =
+        kReplacements[rng.uniformInt(0, static_cast<std::int64_t>(sizeof(kReplacements)) - 2)];
+    try {
+      const FaultPlan p = FaultPlan::parse(text);
+      EXPECT_EQ(FaultPlan::parse(p.format()), p) << text;  // survivors still round-trip
+    } catch (const std::invalid_argument&) {
+    }
   }
 }
 

@@ -1,0 +1,67 @@
+// Table-driven replay of every banked fuzz reproducer. Each
+// tests/fuzz_corpus/*.scenario file records what its run must produce
+// (`# expect:` — usually clean, because the bug it once triggered was
+// fixed); replaying them here keeps fixed bugs fixed and known-hard
+// scenarios exercised on every CI run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/harness.hpp"
+
+namespace rcsim::fuzz {
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir{RCSIM_FUZZ_CORPUS_DIR};
+  if (std::filesystem::exists(dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".scenario") files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class FuzzCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpus, ReplayMatchesBankedExpectation) {
+  const ScenarioDoc doc = loadScenarioFile(GetParam());
+  const RunOutcome outcome = doc.expect == RunStatus::Nondeterministic
+                                 ? checkDeterminism(doc.config, 120.0)
+                                 : runScenarioOnce(doc.config, 120.0);
+  EXPECT_EQ(outcome.status, doc.expect)
+      << "replay status drifted; detail:\n"
+      << outcome.detail << "\nnote: " << doc.note;
+  if (!doc.expectDetail.empty()) {
+    EXPECT_NE(outcome.detail.find(doc.expectDetail), std::string::npos)
+        << "outcome detail no longer mentions '" << doc.expectDetail << "':\n"
+        << outcome.detail;
+  }
+}
+
+std::string nameOf(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path{info.param}.stem().string();
+  for (auto& c : stem) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Banked, FuzzCorpus, ::testing::ValuesIn(corpusFiles()), nameOf);
+
+// The bank must never silently go empty (a bad glob or a renamed
+// directory would otherwise skip every replay and stay green).
+TEST(FuzzCorpusBank, HasAtLeastThreeReproducers) {
+  EXPECT_GE(corpusFiles().size(), 3u) << "looked in: " << RCSIM_FUZZ_CORPUS_DIR;
+}
+
+}  // namespace
+}  // namespace rcsim::fuzz

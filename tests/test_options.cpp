@@ -106,6 +106,57 @@ TEST(Options, DescribeRoundTripsFileAndNamedTopologies) {
   EXPECT_EQ(describeOptions(rebuiltFile), describeOptions(file));
 }
 
+TEST(Options, InlineTopologyAndPinnedEndpoints) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "topology", "inline");
+  applyOption(cfg, "inline.nodes", "4");
+  applyOption(cfg, "inline.edges", "0-1,1-2,2-3,3-0");
+  applyOption(cfg, "pin.src", "0");
+  applyOption(cfg, "pin.dst", "2");
+  EXPECT_EQ(cfg.topology, TopologyKind::Inline);
+  EXPECT_EQ(cfg.inlineTopo.nodes, 4);
+  ASSERT_EQ(cfg.inlineTopo.edges.size(), 4u);
+  EXPECT_EQ(cfg.inlineTopo.edges[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(cfg.pinSrc, 0);
+  EXPECT_EQ(cfg.pinDst, 2);
+
+  ScenarioConfig rebuilt;
+  for (const auto& opt : describeOptions(cfg)) applyOptionString(rebuilt, opt);
+  EXPECT_EQ(rebuilt.inlineTopo, cfg.inlineTopo);
+  EXPECT_EQ(rebuilt.pinSrc, 0);
+  EXPECT_EQ(rebuilt.pinDst, 2);
+  EXPECT_EQ(describeOptions(rebuilt), describeOptions(cfg));
+
+  // pin.src/pin.dst default to -1 (unset) and then stay out of describe
+  // output so existing config digests are untouched.
+  ScenarioConfig plain;
+  for (const auto& opt : describeOptions(plain)) {
+    EXPECT_EQ(opt.find("pin."), std::string::npos) << opt;
+  }
+  applyOption(plain, "pin.src", "-1");
+  EXPECT_EQ(plain.pinSrc, kInvalidNode);
+
+  EXPECT_THROW(applyOption(cfg, "inline.edges", "0-"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "inline.edges", "0:1"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "inline.edges", "a-b"), std::invalid_argument);
+  EXPECT_THROW(applyOption(cfg, "pin.src", "-2"), std::invalid_argument);
+}
+
+TEST(Options, RandomUniformModeKnobs) {
+  ScenarioConfig cfg;
+  applyOption(cfg, "topology", "random");
+  applyOption(cfg, "random.tree", "0");
+  applyOption(cfg, "random.ensure-connected", "1");
+  EXPECT_FALSE(cfg.random.spanningTree);
+  EXPECT_TRUE(cfg.random.ensureConnected);
+
+  ScenarioConfig rebuilt;
+  for (const auto& opt : describeOptions(cfg)) applyOptionString(rebuilt, opt);
+  EXPECT_FALSE(rebuilt.random.spanningTree);
+  EXPECT_TRUE(rebuilt.random.ensureConnected);
+  EXPECT_EQ(describeOptions(rebuilt), describeOptions(cfg));
+}
+
 TEST(Options, OptionStringFormats) {
   ScenarioConfig cfg;
   applyOptionString(cfg, "degree=11");

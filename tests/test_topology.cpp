@@ -157,6 +157,64 @@ TEST(RandomTopology, DenseBuildIsDeterministicPerSeed) {
   EXPECT_NE(makeRandomTopology(spec).edges, a.edges);
 }
 
+TEST(RandomTopology, UniformModeCanDisconnectAtSparseDensity) {
+  // Without the spanning-tree skeleton a sparse G(n, m) draw is usually
+  // split; this pins that the uniform mode really is a pure edge sample.
+  RandomGraphSpec spec;
+  spec.nodes = 40;
+  spec.avgDegree = 1.2;
+  spec.spanningTree = false;
+  int disconnected = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    spec.seed = seed;
+    if (!makeRandomTopology(spec).isConnected()) ++disconnected;
+  }
+  EXPECT_GT(disconnected, 0);
+}
+
+TEST(RandomTopology, EnsureConnectedRepairsSparseUniformDraws) {
+  RandomGraphSpec spec;
+  spec.nodes = 40;
+  spec.avgDegree = 1.2;
+  spec.spanningTree = false;
+  spec.ensureConnected = true;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    spec.seed = seed;
+    const auto topo = makeRandomTopology(spec);
+    EXPECT_TRUE(topo.isConnected()) << "seed " << seed;
+    EXPECT_EQ(topo.nodeCount, 40);
+    EXPECT_TRUE(std::is_sorted(topo.edges.begin(), topo.edges.end()));
+    // Repair is deterministic: same spec, same graph.
+    EXPECT_EQ(makeRandomTopology(spec).edges, topo.edges) << "seed " << seed;
+  }
+}
+
+TEST(RandomTopology, EnsureConnectedRepairsEdgelessDraw) {
+  // avgDegree=0 yields zero edges, so every retry fails and the bridging
+  // fallback must chain all the singleton components into a path.
+  RandomGraphSpec spec;
+  spec.nodes = 8;
+  spec.avgDegree = 0.0;
+  spec.spanningTree = false;
+  spec.ensureConnected = true;
+  spec.seed = 5;
+  const auto topo = makeRandomTopology(spec);
+  EXPECT_TRUE(topo.isConnected());
+  EXPECT_EQ(topo.edges.size(), 7u);
+}
+
+TEST(RandomTopology, EnsureConnectedLeavesConnectedDrawsUntouched) {
+  // The historical default (tree skeleton) is connected by construction;
+  // flipping ensureConnected on must not change the drawn edges.
+  RandomGraphSpec spec;
+  spec.nodes = 49;
+  spec.avgDegree = 4.0;
+  spec.seed = 1;
+  const auto baseline = makeRandomTopology(spec);
+  spec.ensureConnected = true;
+  EXPECT_EQ(makeRandomTopology(spec).edges, baseline.edges);
+}
+
 TEST(Topology, IndexValidationCatchesMalformedEdgeLists) {
   // Hand-built topologies (as tests and tools do) must either be canonical
   // or call normalize(); the index build diagnoses the violation instead of

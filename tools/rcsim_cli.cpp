@@ -18,23 +18,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/cli.hpp"
 #include "core/options.hpp"
 #include "core/runner.hpp"
 
 namespace {
 
-/// Strict flag parsing: "--runs=abc" is an error, not atoi's silent 0.
-int parsePositiveInt(const std::string& value, const char* flag) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(value.c_str(), &end, 10);
-  if (value.empty() || errno != 0 || end == value.c_str() || *end != '\0' || v <= 0 ||
-      v > 1'000'000'000L) {
-    throw std::invalid_argument(std::string{flag} + " got '" + value +
-                                "', expected a positive integer");
-  }
-  return static_cast<int>(v);
-}
+using rcsim::cli::parsePositiveInt;  // strict: "--runs=abc" throws, no silent atoi 0
 
 void printUsage() {
   std::printf(

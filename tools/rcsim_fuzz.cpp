@@ -1,0 +1,174 @@
+// rcsim_fuzz: coverage-guided scenario fuzzing for the convergence
+// simulator. Generates random-but-valid scenarios (topology x protocol x
+// traffic x multi-event fault plan), runs each in-process under the
+// runtime invariant checker and a wall-clock watchdog, keeps a corpus of
+// coverage-novel scenarios to mutate, and delta-minimizes every finding
+// into a small replayable .scenario reproducer.
+//
+// Fully deterministic: the same --seed and --budget produce the same
+// corpus digest and the same findings, byte for byte.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/harness.hpp"
+
+namespace {
+
+/// Exit-code precedence (strongest wins): 2 usage > 130 interrupted >
+/// 4 findings banked > 0 clean. See usage() for the contract.
+constexpr int kExitUsage = 2;
+constexpr int kExitInterrupted = 130;
+constexpr int kExitFindings = 4;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void onSignal(int sig) { g_signal = sig; }
+
+void installSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = onSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: rcsim_fuzz [options]\n"
+               "       rcsim_fuzz --replay=FILE [--replay=FILE ...]\n"
+               "\n"
+               "Coverage-guided scenario fuzzing (docs/fuzzing.md).\n"
+               "\n"
+               "campaign options:\n"
+               "  --seed=N          campaign seed (default 1); same seed + budget =>\n"
+               "                    identical corpus digest and findings\n"
+               "  --budget=N        scenario executions to spend (default 100)\n"
+               "  --watchdog=SEC    wall-clock budget per execution (default 5)\n"
+               "  --bank=DIR        write minimized reproducers to DIR/*.scenario\n"
+               "  --max-findings=N  stop collecting new finding keys after N (default 16)\n"
+               "  --no-minimize     bank raw findings without delta-minimization\n"
+               "  --quiet           suppress per-execution progress lines\n"
+               "\n"
+               "replay mode:\n"
+               "  --replay=FILE     replay a banked .scenario file and check the\n"
+               "                    recorded '# expect:' outcome still holds\n"
+               "\n"
+               "exit codes (strongest wins):\n"
+               "  2    usage error (nothing was run)\n"
+               "  130  interrupted (SIGINT/SIGTERM): in-flight scenario finished,\n"
+               "       findings so far are already banked\n"
+               "  4    the campaign found (or a replay mismatched) at least one\n"
+               "       finding\n"
+               "  0    clean: budget exhausted / all replays matched\n");
+}
+
+int replayFiles(const std::vector<std::string>& files, double watchdogSec) {
+  int mismatches = 0;
+  for (const auto& path : files) {
+    rcsim::fuzz::ScenarioDoc doc;
+    try {
+      doc = rcsim::fuzz::loadScenarioFile(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rcsim_fuzz: %s\n", e.what());
+      return kExitUsage;
+    }
+    const auto outcome = doc.expect == rcsim::fuzz::RunStatus::Nondeterministic
+                             ? rcsim::fuzz::checkDeterminism(doc.config, watchdogSec)
+                             : rcsim::fuzz::runScenarioOnce(doc.config, watchdogSec);
+    const bool statusOk = outcome.status == doc.expect;
+    const bool detailOk =
+        doc.expectDetail.empty() || outcome.detail.find(doc.expectDetail) != std::string::npos;
+    if (statusOk && detailOk) {
+      std::printf("%s: ok (%s)\n", path.c_str(), toString(outcome.status));
+    } else {
+      ++mismatches;
+      std::printf("%s: MISMATCH expected %s%s%s, got %s\n", path.c_str(),
+                  toString(doc.expect), doc.expectDetail.empty() ? "" : " ",
+                  doc.expectDetail.c_str(), toString(outcome.status));
+      if (!outcome.detail.empty()) std::printf("  %s\n", outcome.detail.c_str());
+    }
+    if (g_signal != 0) return kExitInterrupted;
+  }
+  return mismatches > 0 ? kExitFindings : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  installSignalHandlers();
+
+  rcsim::fuzz::FuzzOptions opts;
+  bool quiet = false;
+  std::vector<std::string> replays;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) { return arg.substr(std::strlen(prefix)); };
+    try {
+      if (arg == "-h" || arg == "--help") {
+        usage(stdout);
+        return 0;
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        opts.seed = rcsim::cli::parseSeed(value("--seed="), "--seed");
+      } else if (arg.rfind("--budget=", 0) == 0) {
+        opts.budget = rcsim::cli::parsePositiveInt(value("--budget="), "--budget");
+      } else if (arg.rfind("--watchdog=", 0) == 0) {
+        opts.wallLimitSec = rcsim::cli::parsePositiveSeconds(value("--watchdog="), "--watchdog");
+      } else if (arg.rfind("--bank=", 0) == 0) {
+        opts.bankDir = value("--bank=");
+        if (opts.bankDir.empty()) throw std::invalid_argument("--bank needs a directory");
+      } else if (arg.rfind("--max-findings=", 0) == 0) {
+        opts.maxFindings =
+            rcsim::cli::parsePositiveInt(value("--max-findings="), "--max-findings");
+      } else if (arg == "--no-minimize") {
+        opts.minimize = false;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg.rfind("--replay=", 0) == 0) {
+        replays.push_back(value("--replay="));
+        if (replays.back().empty()) throw std::invalid_argument("--replay needs a file");
+      } else {
+        std::fprintf(stderr, "rcsim_fuzz: unknown argument '%s'\n\n", arg.c_str());
+        usage(stderr);
+        return kExitUsage;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rcsim_fuzz: %s\n", e.what());
+      return kExitUsage;
+    }
+  }
+
+  if (!replays.empty()) return replayFiles(replays, opts.wallLimitSec);
+
+  opts.shouldStop = [] { return g_signal != 0; };
+  rcsim::fuzz::FuzzReport report;
+  try {
+    report = rcsim::fuzz::runFuzzCampaign(opts, quiet ? nullptr : &std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcsim_fuzz: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  std::printf("executions:      %d\n", report.executions);
+  std::printf("corpus entries:  %d\n", report.corpusEntries);
+  std::printf("coverage:        %zu features\n", report.coverageFeatures);
+  std::printf("corpus digest:   %s\n", report.corpusDigest.c_str());
+  std::printf("findings:        %zu\n", report.findings.size());
+  for (const auto& f : report.findings) {
+    std::printf("  [%s] exec=%d digest=%s%s%s\n", f.key.c_str(), f.foundAtExecution,
+                f.digest.c_str(), f.bankedPath.empty() ? "" : " -> ",
+                f.bankedPath.c_str());
+  }
+
+  if (report.interrupted) return kExitInterrupted;
+  return report.findings.empty() ? 0 : kExitFindings;
+}

@@ -31,6 +31,7 @@
 #include <set>
 #include <string>
 
+#include "core/cli.hpp"
 #include "core/options.hpp"
 #include "core/scenario.hpp"
 #include "obs/replay.hpp"
@@ -177,9 +178,9 @@ int main(int argc, char** argv) {
         return 0;
       }
       if (arg.rfind("--from=", 0) == 0) {
-        fromSec = std::atof(arg.c_str() + 7);
+        fromSec = cli::parseFiniteDouble(arg.substr(7), "--from");
       } else if (arg.rfind("--to=", 0) == 0) {
-        toSec = std::atof(arg.c_str() + 5);
+        toSec = cli::parseFiniteDouble(arg.substr(5), "--to");
       } else if (arg.rfind("--record=", 0) == 0) {
         recordPath = arg.substr(9);
         if (recordPath.empty()) throw std::runtime_error("--record needs a file path");
