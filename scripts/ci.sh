@@ -55,6 +55,9 @@ grep -q '"topology=named"' "$smoke_out/ext_realtopo.json"
 # tests). Then every banked reproducer replays against its recorded
 # '# expect:' outcome (docs/fuzzing.md).
 "$BUILD/tools/rcsim_fuzz" --seed=1 --budget=200 --quiet
+# A second campaign with hello-based failure detection forced on, so the
+# detector paths (docs/failure-detection.md) get fuzz coverage every run.
+"$BUILD/tools/rcsim_fuzz" --seed=2 --budget=200 --quiet --hello
 for scenario in tests/fuzz_corpus/*.scenario; do
   "$BUILD/tools/rcsim_fuzz" --replay="$scenario" > /dev/null
 done
@@ -75,7 +78,7 @@ cmake --build "$SAN_BUILD" -j "$(nproc)"
 # SPF against a full-BFS oracle (src/routing/linkstate.cpp), so the
 # sanitizer job also proves incremental == full element-wise under ASan.
 RCSIM_SPF_ORACLE=1 ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
-  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf'
+  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf|Detector|Damping'
 
 # TSan job: a -fsanitize=thread build runs the concurrency-heavy suites
 # (SweepExecutor's work queue, the lock-free metrics registry, journaled
@@ -85,6 +88,6 @@ TSAN_BUILD=${TSAN_BUILD:-build-tsan}
 cmake -S . -B "$TSAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure --timeout 600 \
-  -R 'Executor|Sweep|Journal|Metrics'
+  -R 'Executor|Sweep|Journal|Metrics|Detector|Damping'
 
 echo "ci: all gates green"

@@ -81,6 +81,8 @@ RunResult summarizeRun(Scenario& scenario) {
   }
   r.failSec = static_cast<int>(cfg.failAt.toSeconds());
   r.eventsExecuted = scenario.scheduler().executedEvents();
+  r.fibDigestBefore = scenario.fibDigestBefore();
+  r.fibDigestAfter = scenario.fibDigestAfter();
 
   // Scheduler hot-path totals go to whatever registry the surrounding
   // executor installed (RunResult's layout is frozen by golden digests, so

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -46,6 +47,13 @@ struct RunResult {
   int failSec = 0;  ///< failure injection second, for time normalization
 
   std::uint64_t eventsExecuted = 0;
+
+  /// Per-node route-table snapshot digests around the first fault (hex
+  /// FNV-1a; see Scenario::captureFibSnapshot). `before` is empty on
+  /// fault-free runs. Deliberately NOT part of runResultFingerprint — the
+  /// pinned golden digests enumerate fields explicitly and predate these.
+  std::string fibDigestBefore;
+  std::string fibDigestAfter;
 
   [[nodiscard]] std::uint64_t deliveredTotal() const { return data.delivered; }
   /// Conservation residual: packets unaccounted for at simulation end.

@@ -185,6 +185,15 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.link.queueCapacity = static_cast<std::size_t>(parseInt(key, value));
   } else if (key == "detect-ms") {
     cfg.link.detectDelay = Time::seconds(parseDouble(key, value) / 1e3);
+    // Hello-based failure detection (docs/failure-detection.md).
+  } else if (key == "hello.enabled") {
+    cfg.hello.enabled = parseBool(key, value);
+  } else if (key == "hello.interval") {
+    cfg.hello.interval = Time::seconds(parseDouble(key, value));
+  } else if (key == "hello.dead") {
+    cfg.hello.dead = Time::seconds(parseDouble(key, value));
+  } else if (key == "hello.jitter") {
+    cfg.hello.jitter = parseDouble(key, value);
     // Distance-vector knobs.
   } else if (key == "dv.periodic") {
     cfg.protoCfg.dv.periodicInterval = Time::seconds(parseDouble(key, value));
@@ -194,6 +203,10 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.protoCfg.dv.triggerDampMinSec = parseDouble(key, value);
   } else if (key == "dv.damp-max") {
     cfg.protoCfg.dv.triggerDampMaxSec = parseDouble(key, value);
+  } else if (key == "dv.holddown") {
+    cfg.protoCfg.dv.holdDownSec = parseDouble(key, value);
+  } else if (key == "dv.trigger-min-gap") {
+    cfg.protoCfg.dv.triggerMinGapSec = parseDouble(key, value);
   } else if (key == "dv.infinity") {
     cfg.protoCfg.dv.infinityMetric = static_cast<int>(parseInt(key, value));
   } else if (key == "dv.max-entries") {
@@ -228,6 +241,10 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.protoCfg.bgp.rfdPenaltyPerFlap = parseDouble(key, value);
   } else if (key == "bgp.rfd-half-life") {
     cfg.protoCfg.bgp.rfdHalfLifeSec = parseDouble(key, value);
+  } else if (key == "bgp.rfd-suppress") {
+    cfg.protoCfg.bgp.rfdSuppressThreshold = parseDouble(key, value);
+  } else if (key == "bgp.rfd-reuse") {
+    cfg.protoCfg.bgp.rfdReuseThreshold = parseDouble(key, value);
     // Link-state knobs.
   } else if (key == "ls.spf-delay-ms") {
     cfg.protoCfg.ls.spfDelay = Time::seconds(parseDouble(key, value) / 1e3);
@@ -320,10 +337,16 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
   add("prop-delay-ms", num(cfg.link.propDelay.toSeconds() * 1e3));
   add("queue", std::to_string(cfg.link.queueCapacity));
   add("detect-ms", num(cfg.link.detectDelay.toSeconds() * 1e3));
+  add("hello.enabled", cfg.hello.enabled ? "1" : "0");
+  add("hello.interval", num(cfg.hello.interval.toSeconds()));
+  add("hello.dead", num(cfg.hello.dead.toSeconds()));
+  add("hello.jitter", num(cfg.hello.jitter));
   add("dv.periodic", num(cfg.protoCfg.dv.periodicInterval.toSeconds()));
   add("dv.timeout", num(cfg.protoCfg.dv.timeout.toSeconds()));
   add("dv.damp-min", num(cfg.protoCfg.dv.triggerDampMinSec));
   add("dv.damp-max", num(cfg.protoCfg.dv.triggerDampMaxSec));
+  add("dv.holddown", num(cfg.protoCfg.dv.holdDownSec));
+  add("dv.trigger-min-gap", num(cfg.protoCfg.dv.triggerMinGapSec));
   add("dv.infinity", std::to_string(cfg.protoCfg.dv.infinityMetric));
   add("dv.max-entries", std::to_string(cfg.protoCfg.dv.maxEntriesPerMessage));
   switch (cfg.protoCfg.dv.splitHorizon) {
@@ -339,6 +362,8 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
   add("bgp.rfd", cfg.protoCfg.bgp.flapDampingEnabled ? "1" : "0");
   add("bgp.rfd-penalty", num(cfg.protoCfg.bgp.rfdPenaltyPerFlap));
   add("bgp.rfd-half-life", num(cfg.protoCfg.bgp.rfdHalfLifeSec));
+  add("bgp.rfd-suppress", num(cfg.protoCfg.bgp.rfdSuppressThreshold));
+  add("bgp.rfd-reuse", num(cfg.protoCfg.bgp.rfdReuseThreshold));
   add("ls.spf-delay-ms", num(cfg.protoCfg.ls.spfDelay.toSeconds() * 1e3));
   add("ls.refresh", num(cfg.protoCfg.ls.refreshInterval.toSeconds()));
   add("ls.spf-oracle", cfg.protoCfg.ls.spfOracle ? "1" : "0");

@@ -21,11 +21,13 @@ namespace rcsim {
 ///   failures=1 fail-at=400 fail-spacing=5 repair-after=60 no-failure=1
 ///   end-at=800
 ///   bandwidth=10e6 prop-delay-ms=1 queue=20 detect-ms=50
+///   hello.enabled=0 hello.interval=1 hello.dead=3.5 hello.jitter=0.2
 ///   dv.periodic=30 dv.timeout=180 dv.damp-min=1 dv.damp-max=5
+///   dv.holddown=0 dv.trigger-min-gap=0
 ///   dv.infinity=16 dv.max-entries=25 dv.poison=1
 ///   bgp.mrai-min=22.5 bgp.mrai-max=30 bgp.per-dest-mrai=0
 ///   bgp.wd-exempt=1 bgp.assertions=0 bgp.rfd=0 bgp.rfd-penalty=1000
-///   bgp.rfd-half-life=15
+///   bgp.rfd-half-life=15 bgp.rfd-suppress=2000 bgp.rfd-reuse=750
 ///   ls.spf-delay-ms=10 ls.refresh=300
 ///   dual.sia-timeout=10 dual.max-distance=512
 ///

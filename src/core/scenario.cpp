@@ -1,6 +1,7 @@
 #include "core/scenario.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -97,6 +98,14 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
     node.setProtocol(makeProtocol(cfg_.protocol, node, cfg_.protoCfg));
   }
 
+  // Hello-based failure detection: once registered, the oracle detection
+  // path inside Link::fail/recover stands down and adjacency loss is
+  // discovered by missed hellos (net/detector.hpp).
+  if (cfg_.hello.enabled) {
+    detector_ = std::make_unique<HelloDetector>(*net_, cfg_.hello);
+    net_->setDetector(detector_.get());
+  }
+
   // Instrumentation watches flow 0 (the paper's single pair).
   stats_ = std::make_unique<StatsCollector>(
       *net_, StatsCollector::Config{flows_[0].sender, flows_[0].receiver, /*trackPath=*/true});
@@ -116,6 +125,12 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
         *net_, cfg_.faultPlan, [this](Node& node) {
           return makeProtocol(cfg_.protocol, node, cfg_.protoCfg);
         });
+    // Route-table snapshot just before the first plan event fires. The
+    // callback is synchronous (no scheduler event), so event counts — and
+    // with them every pinned digest — stay untouched.
+    injector_->setOnFirstFault([this] {
+      if (fibDigestBefore_.empty()) fibDigestBefore_ = captureFibSnapshot();
+    });
   }
 
   std::int32_t flowId = 0;
@@ -159,6 +174,7 @@ std::uint64_t Scenario::packetsSent() const {
 
 void Scenario::run() {
   net_->startProtocols();
+  if (detector_) detector_->start();
   for (auto& flow : flows_) {
     if (flow.cbr) flow.cbr->install();
     if (flow.tcp) flow.tcp->install();
@@ -170,6 +186,7 @@ void Scenario::run() {
   }
   if (injector_) injector_->install();
   sched_.run(cfg_.endAt);
+  fibDigestAfter_ = captureFibSnapshot();
   net_->trace().emit(sched_.now(), obs::TraceKind::SimSummary, kInvalidNode, kInvalidNode,
                      static_cast<std::int64_t>(sched_.executedEvents()),
                      static_cast<std::int64_t>(sched_.scheduledEvents()),
@@ -226,11 +243,41 @@ void Scenario::injectFailure(int index) {
     throw std::runtime_error("no usable sender->receiver path at failure time");
   }
   if (link == nullptr) return;  // overlapping failure found nothing to cut
+  // First-disruption snapshot (a fault-plan event may already have taken it).
+  if (fibDigestBefore_.empty()) fibDigestBefore_ = captureFibSnapshot();
   failedLinks_.push_back(link);
   link->fail();
   if (cfg_.repairAfter < Time::infinity()) {
     sched_.scheduleAfter(cfg_.repairAfter, [link] { link->recover(); });
   }
+}
+
+std::string Scenario::captureFibSnapshot() const {
+  // FNV-1a over (node, dst, nextHop) triples in dense scan order. Only
+  // installed routes contribute, so the digest is insensitive to node count
+  // padding but pins every primary next hop in the network.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto n = static_cast<NodeId>(net_->nodeCount());
+  for (NodeId id = 0; id < n; ++id) {
+    const auto& fib = net_->node(id).fib();
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == id) continue;
+      const NodeId nh = fib.nextHop(dst);
+      if (nh == kInvalidNode) continue;
+      mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 40) ^
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 20) ^
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(nh)));
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string{buf};
 }
 
 }  // namespace rcsim

@@ -9,6 +9,7 @@
 #include "fault/injector.hpp"
 #include "fault/invariants.hpp"
 #include "fault/plan.hpp"
+#include "net/detector.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
 #include "routing/factory.hpp"
@@ -67,6 +68,11 @@ struct ScenarioConfig {
   NamedTopoSpec named{};           ///< used when topology == Named
   InlineTopoSpec inlineTopo{};     ///< used when topology == Inline
   LinkConfig link{};
+  /// Hello-based failure detection (net/detector.hpp). Off by default: the
+  /// paper's model — and every pinned golden digest — uses the oracle
+  /// detection path (link detectDelay). When enabled, adjacency loss is
+  /// discovered by missed hellos instead.
+  HelloConfig hello{};
   std::uint64_t seed = 1;
 
   // Traffic. The paper uses a single CBR pair; `flows` > 1 and
@@ -146,6 +152,20 @@ class Scenario {
   [[nodiscard]] fault::FaultInjector* faultInjector() { return injector_.get(); }
   /// Null unless invariant checking is enabled.
   [[nodiscard]] fault::InvariantChecker* invariantChecker() { return checker_.get(); }
+  /// Null unless hello-based failure detection is enabled.
+  [[nodiscard]] HelloDetector* helloDetector() { return detector_.get(); }
+
+  /// Per-node route-table digests around the first fault (docs/
+  /// failure-detection.md). `before` is captured synchronously at the
+  /// instant the first disruption fires (path-targeted failure or first
+  /// fault-plan event); `after` at end of run. Empty until captured —
+  /// fault-free runs only ever fill `after`.
+  [[nodiscard]] const std::string& fibDigestBefore() const { return fibDigestBefore_; }
+  [[nodiscard]] const std::string& fibDigestAfter() const { return fibDigestAfter_; }
+
+  /// FNV-1a digest over every node's full FIB (primary next hops), hex
+  /// encoded — a cheap stand-in for dumping all route tables.
+  [[nodiscard]] std::string captureFibSnapshot() const;
 
   struct Flow {
     NodeId sender = kInvalidNode;
@@ -184,10 +204,13 @@ class Scenario {
   std::unique_ptr<StatsCollector> stats_;
   std::unique_ptr<fault::InvariantChecker> checker_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<HelloDetector> detector_;
   std::vector<Flow> flows_;
   std::vector<Link*> failedLinks_;
   bool preFailShortest_ = false;
   int preFailHops_ = 0;
+  std::string fibDigestBefore_;
+  std::string fibDigestAfter_;
 };
 
 }  // namespace rcsim

@@ -75,6 +75,19 @@ JsonValue failuresJson(const std::vector<ReplicaFailure>& failures) {
   return arr;
 }
 
+JsonValue snapshotsJson(const std::vector<SnapshotDigests>& snapshots) {
+  JsonValue arr = JsonValue::makeArray();
+  arr.array.reserve(snapshots.size());
+  for (const auto& s : snapshots) {
+    JsonValue o = JsonValue::makeObject();
+    o.object["seed"] = JsonValue::makeNumber(static_cast<double>(s.seed));
+    o.object["fib_before"] = JsonValue::makeString(s.before);
+    o.object["fib_after"] = JsonValue::makeString(s.after);
+    arr.array.push_back(std::move(o));
+  }
+  return arr;
+}
+
 JsonValue retriesJson(const std::vector<ReplicaRetry>& retries) {
   JsonValue arr = JsonValue::makeArray();
   arr.array.reserve(retries.size());
@@ -135,6 +148,11 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
         cell.object["aggregate_digest"] =
             JsonValue::makeString(aggregateDigest(result.cells[i].agg));
         cell.object["totals"] = totalsJson(result.cells[i].totals);
+        // Per-replica route-table digests around the first fault; proves
+        // whether reconvergence restored the pre-fault tables.
+        if (!result.cells[i].snapshots.empty()) {
+          cell.object["snapshots"] = snapshotsJson(result.cells[i].snapshots);
+        }
       }
       if (!result.cells[i].retries.empty()) {
         cell.object["retries"] = retriesJson(result.cells[i].retries);

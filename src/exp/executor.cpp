@@ -343,6 +343,12 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
   if (!anyFailed) {
     out.agg = Aggregate::over(job.raw_[cell]);
     out.totals = CellStats::over(job.raw_[cell]);
+    out.snapshots.reserve(job.raw_[cell].size());
+    for (std::size_t r = 0; r < job.raw_[cell].size(); ++r) {
+      out.snapshots.push_back(SnapshotDigests{cs.startSeed + r,
+                                              std::move(job.raw_[cell][r].fibDigestBefore),
+                                              std::move(job.raw_[cell][r].fibDigestAfter)});
+    }
   }
   job.metrics_.counter(anyFailed ? "cell.failed" : "cell.completed").add();
   std::vector<RunResult>{}.swap(job.raw_[cell]);

@@ -104,6 +104,8 @@ JsonValue runResultToJson(const RunResult& r) {
   o.object["mean_delay"] = seriesToJson(r.meanDelay);
   o.object["fail_sec"] = JsonValue::makeNumber(r.failSec);
   o.object["events_executed"] = JsonValue::makeNumber(static_cast<double>(r.eventsExecuted));
+  o.object["fib_digest_before"] = JsonValue::makeString(r.fibDigestBefore);
+  o.object["fib_digest_after"] = JsonValue::makeString(r.fibDigestAfter);
   return o;
 }
 
@@ -137,6 +139,10 @@ RunResult runResultFromJson(const JsonValue& v) {
   r.meanDelay = seriesFromJson(v.at("mean_delay"));
   r.failSec = static_cast<int>(v.numberAt("fail_sec"));
   r.eventsExecuted = u64At(v, "events_executed");
+  // Snapshot digests postdate the first journal format; journals written
+  // before them decode with the fields empty.
+  if (v.has("fib_digest_before")) r.fibDigestBefore = v.stringAt("fib_digest_before");
+  if (v.has("fib_digest_after")) r.fibDigestAfter = v.stringAt("fib_digest_after");
   return r;
 }
 

@@ -60,6 +60,15 @@ struct ReplicaFailure {
   std::vector<std::string> attempts;  ///< error per attempt, oldest first
 };
 
+/// Route-table snapshot digests of one replica (RunResult::fibDigestBefore/
+/// After), kept per seed so the artifact can show whether the network
+/// reconverged to the pre-fault tables or settled on different routes.
+struct SnapshotDigests {
+  std::uint64_t seed = 0;
+  std::string before;  ///< empty on fault-free runs
+  std::string after;
+};
+
 /// A replica that failed at least once but succeeded on a retry. Its
 /// RunResult folds into the aggregate exactly like a first-try success;
 /// only the error trail of the failed attempts is kept for the artifact.
@@ -81,6 +90,7 @@ struct CellResult {
   CellStats totals;
   std::vector<ReplicaFailure> failures;  ///< seed order; empty = healthy cell
   std::vector<ReplicaRetry> retries;     ///< seed order; retried-then-successful replicas
+  std::vector<SnapshotDigests> snapshots;  ///< seed order; per-replica FIB digests
 
   [[nodiscard]] bool failed() const { return !failures.empty(); }
 };

@@ -4,6 +4,7 @@
 // is plain declarative grid.
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "core/churn.hpp"
@@ -504,6 +505,177 @@ void registerRealTopo() {
   registerExperiment(std::move(spec));
 }
 
+// E9 — hello-based failure detection and route-flap damping
+// (docs/failure-detection.md). Part A sweeps the hello interval against
+// the oracle detector: delivery degrades and reconvergence stretches as
+// hellos slow down, because the dead interval *is* the black-hole window
+// every protocol shares before its own convergence even starts. Part B
+// drives a dense link-flap burst through damped and undamped
+// configurations on topologies where each mechanism's real effect is
+// visible: RFD suppressing a flapping ring link (the win), hold-down
+// blocking a legitimate alternate (the cost), and hold-down smothering
+// counting episodes on an alternate-free bridge (the loop-suppression
+// payoff).
+void registerDetection() {
+  ExperimentSpec spec;
+  spec.name = "ext_detection";
+  spec.title = "Extension E9: failure detection latency and route-flap damping";
+  spec.description = "delivery vs hello interval (vs oracle); flap burst with damping on/off";
+  spec.defaultRuns = 5;
+  spec.paperRuns = 15;
+
+  const std::vector<ProtocolKind> kinds{ProtocolKind::Rip, ProtocolKind::Dbf,
+                                        ProtocolKind::Bgp, ProtocolKind::LinkState,
+                                        ProtocolKind::Dual};
+  // 0 = oracle (hello off, 50 ms detect); otherwise the hello interval in
+  // seconds with the dead interval at the conventional 3.5x.
+  const std::vector<double> intervals{0.0, 0.5, 1.0, 2.0, 4.0};
+  for (const auto kind : kinds) {
+    for (const double iv : intervals) {
+      CellSpec cell;
+      const std::string ivName = iv == 0.0 ? "oracle" : "hello=" + std::to_string(iv).substr(0, 3);
+      cell.id = std::string{toString(kind)} + "/" + ivName;
+      cell.label = toString(kind);
+      cell.config = baseConfig();
+      cell.config.protocol = kind;
+      if (iv > 0.0) {
+        cell.config.hello.enabled = true;
+        cell.config.hello.interval = Time::seconds(iv);
+        cell.config.hello.dead = Time::seconds(3.5 * iv);
+      }
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+
+  // Part B: a dense link-flap burst (12 flaps, 6 s period: 3 s down,
+  // 3 s up) through damped and undamped configurations, on topologies
+  // chosen so each damping mechanism's actual effect shows:
+  //   - BGP3 on an 8-ring whose pinned flow crosses the flapping link.
+  //     RFD suppresses the flapping path after two flaps, parking the
+  //     flow on the stable long way around — the clean damping win.
+  //   - RIP on the same ring: hold-down refuses the legitimate alternate
+  //     too, so the stability/availability trade's cost side shows.
+  //   - RIP on a bridge (no alternate path) with split horizon off: every
+  //     flap ignites a counting episode; hold-down suppresses the loops
+  //     entirely (TTL losses go to zero).
+  struct FlapPair {
+    const char* name;
+    ProtocolKind kind;
+    std::function<void(ScenarioConfig&)> tweakBase;    ///< topology + protocol knobs
+    std::function<void(ScenarioConfig&)> tweakDamped;  ///< damping on top
+  };
+  auto ring = [](ScenarioConfig& cfg) {
+    cfg.topology = TopologyKind::Inline;
+    cfg.inlineTopo.nodes = 8;
+    cfg.inlineTopo.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {0, 7}};
+    cfg.pinSrc = 0;
+    cfg.pinDst = 3;
+    cfg.faultPlan = fault::FaultPlan::parse("400:flapburst:1-2:12:6");
+  };
+  auto bridge = [](ScenarioConfig& cfg) {
+    cfg.topology = TopologyKind::Inline;
+    cfg.inlineTopo.nodes = 4;
+    cfg.inlineTopo.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+    cfg.pinSrc = 0;
+    cfg.pinDst = 3;
+    cfg.protoCfg.dv.splitHorizon = SplitHorizonMode::None;
+    cfg.faultPlan = fault::FaultPlan::parse("400:flapburst:2-3:12:6");
+  };
+  const std::vector<FlapPair> flapPairs{
+      {"BGP3/ring", ProtocolKind::Bgp3, ring,
+       [](ScenarioConfig& cfg) { cfg.protoCfg.bgp.flapDampingEnabled = true; }},
+      {"RIP/ring", ProtocolKind::Rip, ring,
+       [](ScenarioConfig& cfg) { cfg.protoCfg.dv.holdDownSec = 2.0; }},
+      {"RIP/bridge", ProtocolKind::Rip, bridge,
+       [](ScenarioConfig& cfg) { cfg.protoCfg.dv.holdDownSec = 2.0; }},
+  };
+  for (const auto& pair : flapPairs) {
+    for (const bool damped : {false, true}) {
+      CellSpec cell;
+      cell.id = std::string{"flap/"} + pair.name + (damped ? "/damped" : "/raw");
+      cell.label = pair.name;
+      cell.config = baseConfig();
+      cell.config.protocol = pair.kind;
+      cell.config.injectFailure = false;  // the flap burst is the whole schedule
+      pair.tweakBase(cell.config);
+      if (damped) pair.tweakDamped(cell.config);
+      spec.cells.push_back(std::move(cell));
+    }
+  }
+
+  std::vector<std::string> flapNames;
+  flapNames.reserve(flapPairs.size());
+  for (const auto& pair : flapPairs) flapNames.emplace_back(pair.name);
+
+  spec.render = [kinds, intervals, flapNames](const ExperimentSpec&,
+                                              const ExperimentResult& res) {
+    const std::size_t cols = intervals.size();
+    report::header("Extension E9, part A", "delivery ratio (%) vs hello interval");
+    std::printf("%-6s", "proto");
+    for (const double iv : intervals) {
+      if (iv == 0.0) {
+        std::printf("   %11s", "oracle");
+      } else {
+        std::printf("   hello=%4.1fs", iv);
+      }
+    }
+    std::printf("\n");
+    for (std::size_t p = 0; p < kinds.size(); ++p) {
+      std::printf("%-6s", toString(kinds[p]));
+      for (std::size_t c = 0; c < cols; ++c) {
+        const CellStats& t = res.cells[p * cols + c].totals;
+        std::printf("   %11.2f", t.sent > 0 ? 100.0 * t.delivered / t.sent : 0.0);
+      }
+      std::printf("\n");
+    }
+    report::header("Extension E9, part A", "forwarding reconvergence after failure (s)");
+    std::printf("%-6s", "proto");
+    for (const double iv : intervals) {
+      if (iv == 0.0) {
+        std::printf("   %11s", "oracle");
+      } else {
+        std::printf("   hello=%4.1fs", iv);
+      }
+    }
+    std::printf("\n");
+    for (std::size_t p = 0; p < kinds.size(); ++p) {
+      std::printf("%-6s", toString(kinds[p]));
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::printf("   %11.2f", res.cells[p * cols + c].agg.forwardingConvergenceSec);
+      }
+      std::printf("\n");
+    }
+    const std::size_t flapBase = kinds.size() * cols;
+    report::header("Extension E9, part B",
+                   "12-flap burst (3s down/3s up) of one pinned-path link; damping off vs on");
+    std::printf("%-12s %11s %11s %11s %11s %9s %9s\n", "cell", "raw-deliv%", "dmp-deliv%",
+                "raw-norte", "dmp-norte", "raw-ttl", "dmp-ttl");
+    for (std::size_t p = 0; p < flapNames.size(); ++p) {
+      const CellResult& raw = res.cells[flapBase + p * 2];
+      const CellResult& damped = res.cells[flapBase + p * 2 + 1];
+      std::printf("%-12s %11.2f %11.2f %11.2f %11.2f %9.2f %9.2f\n", flapNames[p].c_str(),
+                  raw.totals.sent > 0 ? 100.0 * raw.totals.delivered / raw.totals.sent : 0.0,
+                  damped.totals.sent > 0 ? 100.0 * damped.totals.delivered / damped.totals.sent
+                                         : 0.0,
+                  raw.agg.dropsNoRoute, damped.agg.dropsNoRoute, raw.agg.dropsTtl,
+                  damped.agg.dropsTtl);
+    }
+    std::printf("\nReading: part A's delivery columns are monotone in the hello interval —\n"
+                "before any protocol can converge it must first *notice*, and with a dead\n"
+                "interval of 3.5x the hello period the notice time dwarfs the millisecond\n"
+                "oracle. Part B shows both sides of the damping trade. BGP3/ring: RFD\n"
+                "suppresses the flapping route after two flaps and parks the flow on the\n"
+                "stable long path, delivering more with fewer no-route and loop drops —\n"
+                "damping measurably suppresses flap-driven loss. RIP/ring: hold-down also\n"
+                "refuses the *legitimate* alternate during the window, so where an\n"
+                "alternate exists damping costs availability. RIP/bridge (no alternate,\n"
+                "split horizon off): every flap re-ignites counting; hold-down converts\n"
+                "all TTL (loop) losses into clean no-route drops — loop suppression is\n"
+                "exactly what the mechanism buys.\n");
+  };
+  registerExperiment(std::move(spec));
+}
+
 }  // namespace
 
 void registerExtensionExperiments() {
@@ -515,6 +687,7 @@ void registerExtensionExperiments() {
   registerChurn();
   registerFaultplan();
   registerRealTopo();
+  registerDetection();
 }
 
 }  // namespace rcsim::exp

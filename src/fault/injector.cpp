@@ -40,6 +40,13 @@ void FaultInjector::eachTargetLink(const FaultEvent& ev, const std::function<voi
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
+  // Fires exactly once, before the first plan event mutates anything — the
+  // scenario layer snapshots pre-fault routing state here.
+  if (onFirstFault_) {
+    auto cb = std::move(onFirstFault_);
+    onFirstFault_ = nullptr;
+    cb();
+  }
   net_.trace().emit(net_.scheduler().now(), obs::TraceKind::FaultApply, ev.a, ev.b,
                     static_cast<std::int64_t>(ev.kind));
   switch (ev.kind) {
@@ -79,6 +86,41 @@ void FaultInjector::apply(const FaultEvent& ev) {
     case FaultKind::Heal:
       heal(ev.group);
       break;
+    case FaultKind::CtrlLoss:
+      eachTargetLink(ev, [&](Link& l) { l.setCtrlLossRate(ev.rate); });
+      break;
+    case FaultKind::CtrlDelay:
+      eachTargetLink(ev, [&](Link& l) { l.setCtrlDelay(ev.jitter); });
+      break;
+    case FaultKind::CtrlDup:
+      eachTargetLink(ev, [&](Link& l) { l.setCtrlDupRate(ev.rate); });
+      break;
+    case FaultKind::FlapBurst:
+      flapBurst(ev);
+      break;
+  }
+}
+
+void FaultInjector::flapBurst(const FaultEvent& ev) {
+  Link& l = mustFindLink(ev.a, ev.b);  // validate the reference up front
+  auto& sched = net_.scheduler();
+  const double period = ev.period.toSeconds();
+  // Cycle k: fail at k*period, recover half a period later. Failing a link
+  // someone else already took down (or recovering one independently failed)
+  // is a no-op, mirroring the LinkFail/LinkRecover event semantics.
+  for (int k = 0; k < ev.count; ++k) {
+    sched.scheduleAfter(Time::seconds(period * k), [this, &l] {
+      if (l.isUp()) {
+        ++linkFailures_;
+        l.fail();
+      }
+    });
+    sched.scheduleAfter(Time::seconds(period * k + period / 2.0), [this, &l] {
+      if (!l.isUp()) {
+        ++linkRecoveries_;
+        l.recover();
+      }
+    });
   }
 }
 

@@ -33,6 +33,11 @@ class FaultInjector {
   /// surface as std::runtime_error at the event's simulation time.
   void install();
 
+  /// Invoked once, immediately before the first plan event is applied (at
+  /// its simulation time). Lets the scenario snapshot pre-fault state
+  /// without scheduling any event of its own.
+  void setOnFirstFault(std::function<void()> cb) { onFirstFault_ = std::move(cb); }
+
   [[nodiscard]] bool nodeDown(NodeId n) const { return downNodes_.count(n) != 0; }
 
   [[nodiscard]] std::uint64_t linkFailures() const { return linkFailures_; }
@@ -52,6 +57,7 @@ class FaultInjector {
   void restart(NodeId n);
   void partition(const std::vector<NodeId>& group);
   void heal(const std::vector<NodeId>& group);
+  void flapBurst(const FaultEvent& ev);
   /// Apply `fn` to the event's target link(s); throws on a dangling ref.
   void eachTargetLink(const FaultEvent& ev, const std::function<void(Link&)>& fn);
   [[nodiscard]] Link& mustFindLink(NodeId a, NodeId b) const;
@@ -61,6 +67,7 @@ class FaultInjector {
   Network& net_;
   FaultPlan plan_;
   ProtocolFactory factory_;
+  std::function<void()> onFirstFault_;
   std::set<NodeId> downNodes_;
   /// Links this injector took down when crashing a node, to recover on
   /// restart (and only those — independently failed links stay down).

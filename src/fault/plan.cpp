@@ -1,6 +1,7 @@
 #include "fault/plan.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -8,6 +9,12 @@
 
 namespace rcsim::fault {
 namespace {
+
+/// Seconds-to-Time with round-to-nearest nanosecond. Time::seconds
+/// truncates, which loses 1 ns whenever toSeconds()*1e9 lands just below
+/// the tick count it came from — and parse(format(p)) must restore
+/// arbitrary tick counts exactly, not just whole-second ones.
+Time secondsExact(double s) { return Time::nanoseconds(std::llround(s * 1e9)); }
 
 /// Shortest decimal rendering that still round-trips the double exactly —
 /// plans embedded in artifacts must replay bit-for-bit.
@@ -24,7 +31,7 @@ std::string num(double v) {
 std::string secs(Time t) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%g", t.toSeconds());
-  if (Time::seconds(std::strtod(buf, nullptr)) != t) {
+  if (secondsExact(std::strtod(buf, nullptr)) != t) {
     std::snprintf(buf, sizeof buf, "%.17g", t.toSeconds());
   }
   return buf;
@@ -33,7 +40,7 @@ std::string secs(Time t) {
 std::string millis(Time t) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%g", t.toSeconds() * 1000.0);
-  if (Time::seconds(std::strtod(buf, nullptr) / 1000.0) != t) {
+  if (secondsExact(std::strtod(buf, nullptr) / 1000.0) != t) {
     std::snprintf(buf, sizeof buf, "%.17g", t.toSeconds() * 1000.0);
   }
   return buf;
@@ -88,7 +95,7 @@ FaultEvent parseEvent(const std::string& text) {
   const auto fields = split(text, ':');
   if (fields.size() < 3) bad(text, "expected '<sec>:<kind>:<args>'");
   FaultEvent ev;
-  ev.at = Time::seconds(parseNum(fields[0], text));
+  ev.at = secondsExact(parseNum(fields[0], text));
   const std::string& kind = fields[1];
   const auto want = [&](std::size_t n) {
     if (fields.size() != n) bad(text, "wrong number of ':' fields for this kind");
@@ -113,14 +120,37 @@ FaultEvent parseEvent(const std::string& text) {
     parseEndpoints(fields[2], ev, /*starOk=*/true, text);
     ev.rate = parseNum(fields[3], text);
     if (ev.rate < 0.0 || ev.rate > 1.0) bad(text, "rate must be in [0, 1]");
-    ev.jitter = Time::seconds(parseNum(fields[4], text) / 1000.0);
+    ev.jitter = secondsExact(parseNum(fields[4], text) / 1000.0);
     if (ev.jitter < Time::zero()) bad(text, "jitter must be >= 0 ms");
   } else if (kind == "detect") {
     want(4);
     ev.kind = FaultKind::DetectDelay;
     parseEndpoints(fields[2], ev, /*starOk=*/false, text);
-    ev.detect = Time::seconds(parseNum(fields[3], text) / 1000.0);
+    ev.detect = secondsExact(parseNum(fields[3], text) / 1000.0);
     if (ev.detect < Time::zero()) bad(text, "detect delay must be >= 0 ms");
+  } else if (kind == "ctrl-loss" || kind == "ctrl-dup") {
+    want(4);
+    ev.kind = kind == "ctrl-loss" ? FaultKind::CtrlLoss : FaultKind::CtrlDup;
+    parseEndpoints(fields[2], ev, /*starOk=*/true, text);
+    ev.rate = parseNum(fields[3], text);
+    if (ev.rate < 0.0 || ev.rate > 1.0) bad(text, "rate must be in [0, 1]");
+  } else if (kind == "ctrl-delay") {
+    want(4);
+    ev.kind = FaultKind::CtrlDelay;
+    parseEndpoints(fields[2], ev, /*starOk=*/true, text);
+    ev.jitter = secondsExact(parseNum(fields[3], text) / 1000.0);
+    if (ev.jitter < Time::zero()) bad(text, "delay must be >= 0 ms");
+  } else if (kind == "flapburst") {
+    want(5);
+    ev.kind = FaultKind::FlapBurst;
+    parseEndpoints(fields[2], ev, /*starOk=*/false, text);
+    const double n = parseNum(fields[3], text);
+    if (n < 1.0 || n > 1000.0 || n != static_cast<double>(static_cast<int>(n))) {
+      bad(text, "count must be an integer in [1, 1000]");
+    }
+    ev.count = static_cast<int>(n);
+    ev.period = secondsExact(parseNum(fields[4], text));
+    if (ev.period <= Time::zero()) bad(text, "period must be > 0 s");
   } else if (kind == "partition" || kind == "heal") {
     want(3);
     ev.kind = kind == "partition" ? FaultKind::Partition : FaultKind::Heal;
@@ -165,6 +195,20 @@ std::string FaultPlan::format() const {
       case FaultKind::DetectDelay:
         out += std::to_string(ev.a) + "-" + std::to_string(ev.b);
         out += ':' + millis(ev.detect);
+        break;
+      case FaultKind::CtrlLoss:
+      case FaultKind::CtrlDup:
+        out += ev.allLinks ? "*" : std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + num(ev.rate);
+        break;
+      case FaultKind::CtrlDelay:
+        out += ev.allLinks ? "*" : std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + millis(ev.jitter);
+        break;
+      case FaultKind::FlapBurst:
+        out += std::to_string(ev.a) + "-" + std::to_string(ev.b);
+        out += ':' + std::to_string(ev.count);
+        out += ':' + secs(ev.period);
         break;
       case FaultKind::Partition:
       case FaultKind::Heal:

@@ -20,6 +20,10 @@ enum class FaultKind {
   DetectDelay,    ///< Override the failure-detection delay on a link.
   Partition,      ///< Fail every up link crossing a node-group boundary.
   Heal,           ///< Recover the links cut by the matching Partition.
+  CtrlLoss,       ///< Set a control-packet-only loss rate on a link (or all).
+  CtrlDelay,      ///< Add a fixed delay to control packets on a link (or all).
+  CtrlDup,        ///< Set a control-packet duplication rate on a link (or all).
+  FlapBurst,      ///< Flap one link n times with the given period.
 };
 
 [[nodiscard]] constexpr const char* toString(FaultKind k) {
@@ -34,6 +38,10 @@ enum class FaultKind {
     case FaultKind::DetectDelay: return "detect";
     case FaultKind::Partition: return "partition";
     case FaultKind::Heal: return "heal";
+    case FaultKind::CtrlLoss: return "ctrl-loss";
+    case FaultKind::CtrlDelay: return "ctrl-delay";
+    case FaultKind::CtrlDup: return "ctrl-dup";
+    case FaultKind::FlapBurst: return "flapburst";
   }
   return "?";
 }
@@ -45,6 +53,9 @@ enum class FaultKind {
 ///   LinkReorder                    a-b (or allLinks) + rate + jitter
 ///   DetectDelay                    a-b + detect
 ///   Partition/Heal                 group
+///   CtrlLoss/CtrlDup               a-b (or allLinks) + rate
+///   CtrlDelay                      a-b (or allLinks) + jitter (the delay)
+///   FlapBurst                      a-b + count + period
 struct FaultEvent {
   Time at = Time::zero();
   FaultKind kind = FaultKind::LinkFail;
@@ -55,6 +66,8 @@ struct FaultEvent {
   Time jitter = Time::zero();  ///< Extra delay bound for LinkReorder.
   Time detect = Time::zero();  ///< New detection delay for DetectDelay.
   std::vector<NodeId> group;   ///< Partition/Heal node set.
+  int count = 0;               ///< FlapBurst: number of fail/recover cycles.
+  Time period = Time::zero();  ///< FlapBurst: cycle period (down half, up half).
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -75,6 +88,10 @@ struct FaultEvent {
 ///   399:detect:24-25:2000   detection delay becomes 2000ms (silent failure)
 ///   400:partition:0,1,2     cut the group {0,1,2} off from the rest
 ///   460:heal:0,1,2          recover exactly the links that cut made
+///   395:ctrl-loss:24-25:0.5    half of all control packets lost (data OK)
+///   395:ctrl-delay:*:250       control packets gain 250ms everywhere
+///   395:ctrl-dup:24-25:0.2     20% of control packets delivered twice
+///   400:flapburst:24-25:6:10   flap 24-25 six times: 5s down, 5s up, ...
 ///
 /// parse(format(p)) == p for every valid plan, so plans round-trip through
 /// describeOptions and the rcsim-experiment-v1 JSON artifacts bit-for-bit.

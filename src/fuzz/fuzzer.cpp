@@ -63,6 +63,9 @@ FuzzReport runFuzzCampaign(const FuzzOptions& options, std::ostream* log) {
           rng.uniformInt(0, static_cast<std::int64_t>(corpus.size()) - 1);
       cfg = mutateScenario(corpus[static_cast<std::size_t>(pick)].cfg, rng);
     }
+    // Hello-focused campaigns: the drawn timers (when the generator rolled
+    // them) survive; only the enable bit is forced.
+    if (options.forceHello) cfg.hello.enabled = true;
 
     RunOutcome out = runScenarioOnce(cfg, options.wallLimitSec);
     ++report.executions;

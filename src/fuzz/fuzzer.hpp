@@ -23,6 +23,10 @@ struct FuzzOptions {
   double wallLimitSec = 5.0;  ///< per-execution watchdog (<= 0 disarms)
   std::string bankDir;        ///< write minimized reproducers here ("" = off)
   bool minimize = true;
+  /// Force hello-based failure detection on for every generated and
+  /// mutated scenario (configs that already drew hello keep their drawn
+  /// timers). Lets a campaign concentrate on the detector code paths.
+  bool forceHello = false;
   int maxFindings = 16;       ///< stop banking new finding keys after this
   int minimizeRunBudget = 250;
   /// Polled between executions; returning true stops the campaign after

@@ -99,10 +99,29 @@ fault::FaultPlan generateFaultPlan(Rng& rng, const Topology& topo, double window
       if (ev.kind == fault::FaultKind::LinkReorder) {
         ev.jitter = Time::milliseconds(rng.uniformInt(1, 100));
       }
-    } else if (pick < 70) {
+    } else if (pick < 66) {
       ev.kind = fault::FaultKind::DetectDelay;
       std::tie(ev.a, ev.b) = drawEdge(rng, topo);
       ev.detect = Time::milliseconds(rng.uniformInt(10, 2000));
+    } else if (pick < 76) {
+      // Adversarial control-plane impairments: the data plane keeps
+      // flowing while routing messages are lost, delayed or duplicated.
+      const auto ctrl = rng.uniformInt(0, 2);
+      ev.kind = ctrl == 0   ? fault::FaultKind::CtrlLoss
+                : ctrl == 1 ? fault::FaultKind::CtrlDelay
+                            : fault::FaultKind::CtrlDup;
+      ev.allLinks = rng.uniform01() < 0.3;
+      if (!ev.allLinks) std::tie(ev.a, ev.b) = drawEdge(rng, topo);
+      if (ev.kind == fault::FaultKind::CtrlDelay) {
+        ev.jitter = Time::milliseconds(rng.uniformInt(1, 500));
+      } else {
+        ev.rate = std::round(rng.uniform(0.01, 0.5) * 100.0) / 100.0;
+      }
+    } else if (pick < 82) {
+      ev.kind = fault::FaultKind::FlapBurst;
+      std::tie(ev.a, ev.b) = drawEdge(rng, topo);
+      ev.count = static_cast<int>(rng.uniformInt(1, 5));
+      ev.period = Time::seconds(static_cast<double>(rng.uniformInt(2, 20)));
     } else if (pick < 90) {
       ev.kind = fault::FaultKind::Partition;
       ev.group = drawGroup(rng, topo);
@@ -192,6 +211,30 @@ ScenarioConfig generateScenario(Rng& rng) {
   cfg.link.bandwidthBps = static_cast<double>(rng.uniformInt(1, 10)) * 1e6;
   cfg.ecmp = rng.uniform01() < 0.25;
 
+  // Hello-based detection in a quarter of the scenarios: the detector
+  // replaces the oracle path wholesale, so its interaction with every
+  // fault kind (especially control-plane impairments eating the hellos)
+  // is prime fuzzing surface.
+  if (rng.uniform01() < 0.25) {
+    cfg.hello.enabled = true;
+    cfg.hello.interval = Time::milliseconds(rng.uniformInt(250, 2000));
+    cfg.hello.dead = Time::milliseconds(
+        static_cast<std::int64_t>(cfg.hello.interval.toSeconds() * 1000.0 *
+                                  rng.uniform(2.5, 4.0)));
+    cfg.hello.jitter = std::round(rng.uniform(0.0, 0.3) * 100.0) / 100.0;
+  }
+  // Protocol hardening knobs, drawn independently so damped and undamped
+  // variants of otherwise-identical scenarios both appear.
+  if (rng.uniform01() < 0.25) {
+    cfg.protoCfg.dv.holdDownSec = static_cast<double>(rng.uniformInt(5, 30));
+  }
+  if (rng.uniform01() < 0.2) {
+    cfg.protoCfg.dv.triggerMinGapSec = std::round(rng.uniform(0.2, 2.0) * 10.0) / 10.0;
+  }
+  if (rng.uniform01() < 0.2) {
+    cfg.protoCfg.bgp.flapDampingEnabled = true;
+  }
+
   const Topology topo = scenarioTopology(cfg);
   cfg.faultPlan = generateFaultPlan(rng, topo, start, stop);
   return cfg;
@@ -203,9 +246,10 @@ fault::FaultPlan remapPlanToTopology(const fault::FaultPlan& plan, const Topolog
   for (auto& ev : out.events) {
     const bool isLinkEvent =
         ev.kind == fault::FaultKind::LinkFail || ev.kind == fault::FaultKind::LinkRecover ||
-        ev.kind == fault::FaultKind::DetectDelay ||
+        ev.kind == fault::FaultKind::DetectDelay || ev.kind == fault::FaultKind::FlapBurst ||
         ((ev.kind == fault::FaultKind::LinkLoss || ev.kind == fault::FaultKind::LinkCorrupt ||
-          ev.kind == fault::FaultKind::LinkReorder) &&
+          ev.kind == fault::FaultKind::LinkReorder || ev.kind == fault::FaultKind::CtrlLoss ||
+          ev.kind == fault::FaultKind::CtrlDelay || ev.kind == fault::FaultKind::CtrlDup) &&
          !ev.allLinks);
     if (isLinkEvent && !topo.hasEdge(ev.a, ev.b)) {
       std::tie(ev.a, ev.b) = drawEdge(rng, topo);

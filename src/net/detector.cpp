@@ -1,0 +1,121 @@
+#include "net/detector.hpp"
+
+#include <cassert>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+
+namespace rcsim {
+
+HelloDetector::HelloDetector(Network& net, HelloConfig cfg)
+    : net_{net}, cfg_{cfg}, hello_{std::make_shared<const HelloPayload>()} {
+  assert(cfg_.interval > Time::zero());
+  assert(cfg_.dead > cfg_.interval);
+  assert(cfg_.jitter >= 0.0 && cfg_.jitter < 1.0);
+}
+
+void HelloDetector::start() {
+  const Time now = net_.scheduler().now();
+  adjByNode_.resize(net_.nodeCount());
+  for (NodeId n = 0; n < static_cast<NodeId>(net_.nodeCount()); ++n) {
+    Node& node = net_.node(n);
+    auto& adjs = adjByNode_[static_cast<std::size_t>(n)];
+    adjs.assign(node.neighbors().size(), Adj{});
+    // Adjacencies start Up with a full dead interval of grace, matching the
+    // protocols' assumption that every neighbor is alive at t=0.
+    for (int slot = 0; slot < static_cast<int>(adjs.size()); ++slot) {
+      adjs[static_cast<std::size_t>(slot)].lastHeard = now;
+      armDeadCheck(n, slot, now + cfg_.dead);
+    }
+    // Random initial phase so the fleet's hellos do not fire in lockstep.
+    const Time phase = Time::seconds(node.rng().uniform(0.0, cfg_.interval.toSeconds()));
+    net_.scheduler().scheduleAfter(phase, [this, n] { sendHellos(n); });
+  }
+}
+
+void HelloDetector::sendHellos(NodeId n) {
+  Node& node = net_.node(n);
+  // A crashed node (protocol detached by the fault injector) stays silent;
+  // the chain keeps ticking so hellos resume the moment it restarts.
+  if (node.protocol() != nullptr) {
+    auto& tracer = net_.trace();
+    for (const NodeId nbr : node.neighbors()) {
+      if (tracer.wants(obs::TraceKind::HelloSend)) {
+        tracer.emit(net_.scheduler().now(), obs::TraceKind::HelloSend, n, nbr,
+                    static_cast<std::int64_t>(hello_->sizeBytes()));
+      }
+      ++hellosSent_;
+      node.sendControl(nbr, hello_);
+    }
+  }
+  const double spread =
+      cfg_.jitter > 0.0 ? node.rng().uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter) : 1.0;
+  net_.scheduler().scheduleAfter(Time::seconds(cfg_.interval.toSeconds() * spread),
+                                 [this, n] { sendHellos(n); });
+}
+
+void HelloDetector::armDeadCheck(NodeId n, int slot, Time at) {
+  auto& adj = adjByNode_[static_cast<std::size_t>(n)][static_cast<std::size_t>(slot)];
+  if (adj.checkArmed) return;
+  adj.checkArmed = true;
+  net_.scheduler().scheduleAt(at, [this, n, slot] { deadCheck(n, slot); });
+}
+
+void HelloDetector::deadCheck(NodeId n, int slot) {
+  auto& adj = adjByNode_[static_cast<std::size_t>(n)][static_cast<std::size_t>(slot)];
+  adj.checkArmed = false;
+  if (adj.state == AdjState::Down) return;  // revived markHeard restarts the chain
+  const Time now = net_.scheduler().now();
+  const Time suspectAt = adj.lastHeard + Time::seconds(cfg_.dead.toSeconds() / 2.0);
+  const Time downAt = adj.lastHeard + cfg_.dead;
+  if (now >= downAt) {
+    adj.state = AdjState::Down;
+    Node& node = net_.node(n);
+    const NodeId nbr = node.neighbors()[static_cast<std::size_t>(slot)];
+    const Link* l = node.linkTo(nbr);
+    const bool falsePositive = l != nullptr && l->isUp();
+    ++adjDowns_;
+    if (falsePositive) ++falsePositives_;
+    net_.trace().emit(now, obs::TraceKind::AdjDown, n, nbr, falsePositive ? 1 : 0);
+    node.handleLinkDown(nbr);
+    return;  // chain parks until the next hello revives the adjacency
+  }
+  if (now >= suspectAt) {
+    if (adj.state == AdjState::Up) adj.state = AdjState::Suspect;
+    armDeadCheck(n, slot, downAt);
+  } else {
+    adj.state = AdjState::Up;
+    armDeadCheck(n, slot, suspectAt);
+  }
+}
+
+void HelloDetector::markHeard(Node& at, NodeId from) {
+  const int slot = at.neighborSlot(from);
+  assert(slot >= 0);
+  auto& adj = adjByNode_[static_cast<std::size_t>(at.id())][static_cast<std::size_t>(slot)];
+  const Time now = net_.scheduler().now();
+  adj.lastHeard = now;
+  if (adj.state == AdjState::Down) {
+    adj.state = AdjState::Up;
+    ++adjUps_;
+    net_.trace().emit(now, obs::TraceKind::AdjUp, at.id(), from);
+    at.handleLinkUp(from);
+    armDeadCheck(at.id(), slot, now + cfg_.dead);
+  } else {
+    adj.state = AdjState::Up;
+  }
+}
+
+bool HelloDetector::onControl(Node& at, NodeId from, const ControlPayload& payload) {
+  markHeard(at, from);
+  return dynamic_cast<const HelloPayload*>(&payload) != nullptr;
+}
+
+HelloDetector::AdjState HelloDetector::state(NodeId node, NodeId neighbor) const {
+  const int slot = net_.node(node).neighborSlot(neighbor);
+  assert(slot >= 0);
+  return adjByNode_[static_cast<std::size_t>(node)][static_cast<std::size_t>(slot)].state;
+}
+
+}  // namespace rcsim

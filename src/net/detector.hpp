@@ -1,0 +1,102 @@
+#pragma once
+
+// Hello-based failure detection (docs/failure-detection.md). Instead of the
+// oracle detection Link::fail performs after a fixed detectDelay, each node
+// periodically sends tiny hello packets to every neighbor and declares an
+// adjacency dead when nothing has been heard for a dead interval — the
+// OSPF/EIGRP hello protocol reduced to its timing essentials. Hellos are
+// real control packets: they ride the same queues, suffer the same loss and
+// control-plane impairments (ctrl-loss/ctrl-delay fault kinds), and so the
+// detector can both miss real failures for a while and declare false
+// positives on lossy links — exactly the behavior the paper's detection-
+// delay discussion abstracts away.
+//
+// Off by default. When disabled no detector object exists at all: no
+// timers, no RNG draws, no per-packet checks beyond one null pointer test,
+// so every golden digest of the oracle-detection configuration holds.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace rcsim {
+
+class Network;
+class Node;
+
+/// Timer knobs, exposed as hello.* scenario options (core/options.cpp).
+struct HelloConfig {
+  bool enabled = false;
+  Time interval = Time::seconds(1.0);  ///< hello.interval: nominal send period
+  Time dead = Time::seconds(3.5);      ///< hello.dead: silence before AdjDown
+  double jitter = 0.2;                 ///< hello.jitter: +-fraction on each period
+};
+
+/// The on-the-wire hello. 16 bytes models an OSPF hello stripped of the
+/// neighbor list (the detector keeps that state locally).
+class HelloPayload final : public ControlPayload {
+ public:
+  [[nodiscard]] std::uint32_t sizeBytes() const override { return 16; }
+  [[nodiscard]] std::string describe() const override { return "hello"; }
+};
+
+/// Per-adjacency hello/dead state machine for every node of one network.
+/// Owned by Scenario, borrowed by Network so Node::receive can feed it.
+class HelloDetector {
+ public:
+  enum class AdjState : std::uint8_t {
+    Up,       ///< heard from the neighbor within dead/2
+    Suspect,  ///< silent for dead/2..dead — no external effect yet
+    Down,     ///< silent for >= dead; the node was told handleLinkDown
+  };
+
+  HelloDetector(Network& net, HelloConfig cfg);
+
+  /// Arm every node's hello sender (random initial phase) and dead-interval
+  /// chains. Call once, after Network::finalize and protocol start.
+  void start();
+
+  /// Every control packet arriving at `at` from neighbor `from` counts as
+  /// proof of life (updates are implicit hellos, as in RIP/EIGRP). Returns
+  /// true when the payload was a pure hello the protocol must not see.
+  bool onControl(Node& at, NodeId from, const ControlPayload& payload);
+
+  [[nodiscard]] AdjState state(NodeId node, NodeId neighbor) const;
+
+  [[nodiscard]] std::uint64_t hellosSent() const { return hellosSent_; }
+  [[nodiscard]] std::uint64_t adjDowns() const { return adjDowns_; }
+  [[nodiscard]] std::uint64_t adjUps() const { return adjUps_; }
+  /// AdjDown transitions declared while the physical link was still up.
+  [[nodiscard]] std::uint64_t falsePositives() const { return falsePositives_; }
+
+  [[nodiscard]] const HelloConfig& config() const { return cfg_; }
+
+ private:
+  struct Adj {
+    Time lastHeard{};
+    AdjState state = AdjState::Up;
+    bool checkArmed = false;  ///< a dead-check chain event is pending
+  };
+
+  void sendHellos(NodeId n);
+  void armDeadCheck(NodeId n, int slot, Time at);
+  void deadCheck(NodeId n, int slot);
+  void markHeard(Node& at, NodeId from);
+
+  Network& net_;
+  HelloConfig cfg_;
+  std::shared_ptr<const HelloPayload> hello_;
+  std::vector<std::vector<Adj>> adjByNode_;  ///< [node][neighbor slot]
+
+  std::uint64_t hellosSent_ = 0;
+  std::uint64_t adjDowns_ = 0;
+  std::uint64_t adjUps_ = 0;
+  std::uint64_t falsePositives_ = 0;
+};
+
+}  // namespace rcsim

@@ -58,17 +58,33 @@ void Link::startTransmission(int dir) {
       if (reorderRate_ > 0.0 && net_.rng().uniform01() < reorderRate_) {
         prop = prop + Time::seconds(net_.rng().uniform(0.0, reorderJitter_.toSeconds()));
       }
+      // Control-plane delay impairment: fixed extra propagation for control
+      // packets only (hellos, routing updates). No randomness involved.
+      if (p.kind == PacketKind::Control && ctrlDelay_ > Time::zero()) {
+        prop = prop + ctrlDelay_;
+      }
       net_.scheduler().scheduleAfter(prop, [this, to, from, epoch,
                                             p2 = std::move(p)]() mutable {
         if (up_ && epoch == epoch_) {
+          const bool ctrl = p2.kind == PacketKind::Control;
           // Loss/corruption are decided at arrival, after the wire survived
           // the trip. Corrupted frames fail the checksum and are dropped —
-          // same fate as random loss, but accounted separately.
-          if (lossRate_ > 0.0 && net_.rng().uniform01() < lossRate_) {
+          // same fate as random loss, but accounted separately. Control
+          // packets additionally face the control-plane-only loss draw.
+          if (ctrl && ctrlLossRate_ > 0.0 && net_.rng().uniform01() < ctrlLossRate_) {
+            net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::RandomLoss);
+          } else if (lossRate_ > 0.0 && net_.rng().uniform01() < lossRate_) {
             net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::RandomLoss);
           } else if (corruptRate_ > 0.0 && net_.rng().uniform01() < corruptRate_) {
             net_.notifyDrop(net_.scheduler().now(), from, p2, DropReason::Corrupted);
           } else {
+            // Duplication impairment: the receiver sees the same control
+            // packet twice back to back (e.g. a misbehaving relay). Dup
+            // state in protocols and the detector must stay idempotent.
+            if (ctrl && ctrlDupRate_ > 0.0 && net_.rng().uniform01() < ctrlDupRate_) {
+              Packet copy = p2;
+              net_.node(to).receive(std::move(copy), from);
+            }
             net_.node(to).receive(std::move(p2), from);
           }
         } else {
@@ -102,8 +118,13 @@ void Link::fail() {
     d.queue.clear();
   }
   // Both attached nodes detect the failure after the detection delay
-  // (paper §5: "detected by the two nodes attached to it within 50 ms").
-  sched.scheduleAfter(cfg_.detectDelay, [this] {
+  // (paper §5: "detected by the two nodes attached to it within 50 ms") —
+  // unless a hello detector is installed, in which case the only signal the
+  // nodes get is the hellos that stop arriving.
+  if (net_.detector() != nullptr) return;
+  failedAt_ = sched.now();
+  pendingDetect_ = sched.scheduleAfter(cfg_.detectDelay, [this] {
+    pendingDetect_ = EventId{};
     if (up_) return;  // recovered before detection fired
     net_.node(a_).handleLinkDown(b_);
     net_.node(b_).handleLinkDown(a_);
@@ -115,10 +136,27 @@ void Link::recover() {
   up_ = true;
   auto& sched = net_.scheduler();
   net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/true);
+  if (net_.detector() != nullptr) return;
   sched.scheduleAfter(cfg_.detectDelay, [this] {
     if (!up_) return;
     net_.node(a_).handleLinkUp(b_);
     net_.node(b_).handleLinkUp(a_);
+  });
+}
+
+void Link::setDetectDelay(Time d) {
+  cfg_.detectDelay = d;
+  // A pending down-detection (link already failed, nodes not yet notified)
+  // must follow the new delay: cancel and re-time it against the original
+  // failure instant, clamping to "now" when the new deadline already passed.
+  if (up_ || !pendingDetect_.valid()) return;
+  auto& sched = net_.scheduler();
+  sched.cancel(pendingDetect_);
+  pendingDetect_ = sched.scheduleAt(failedAt_ + d, [this] {
+    pendingDetect_ = EventId{};
+    if (up_) return;
+    net_.node(a_).handleLinkDown(b_);
+    net_.node(b_).handleLinkDown(a_);
   });
 }
 

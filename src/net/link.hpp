@@ -59,9 +59,21 @@ class Link {
   [[nodiscard]] double lossRate() const { return lossRate_; }
   [[nodiscard]] double corruptRate() const { return corruptRate_; }
 
+  /// Control-plane-only impairments (fault kinds ctrl-loss / ctrl-delay /
+  /// ctrl-dup): applied solely to PacketKind::Control, so hellos and
+  /// routing updates can be attacked while data traffic flows untouched.
+  void setCtrlLossRate(double rate) { ctrlLossRate_ = rate; }
+  void setCtrlDelay(Time d) { ctrlDelay_ = d; }
+  void setCtrlDupRate(double rate) { ctrlDupRate_ = rate; }
+  [[nodiscard]] double ctrlLossRate() const { return ctrlLossRate_; }
+  [[nodiscard]] Time ctrlDelay() const { return ctrlDelay_; }
+  [[nodiscard]] double ctrlDupRate() const { return ctrlDupRate_; }
+
   /// Override the failure-detection delay, e.g. to model silent failures
-  /// that routing only notices long after the data plane went dark.
-  void setDetectDelay(Time d) { cfg_.detectDelay = d; }
+  /// that routing only notices long after the data plane went dark. If a
+  /// failure detection is already pending (the link is down but the nodes
+  /// have not been notified yet), it is rescheduled against the new delay.
+  void setDetectDelay(Time d);
 
  private:
   struct Direction {
@@ -84,6 +96,12 @@ class Link {
   double corruptRate_ = 0.0;  ///< P(packet corrupted at arrival), DropReason::Corrupted.
   double reorderRate_ = 0.0;  ///< P(extra propagation delay added).
   Time reorderJitter_ = Time::zero();  ///< Upper bound of that extra delay.
+  double ctrlLossRate_ = 0.0;      ///< P(control packet lost at arrival).
+  Time ctrlDelay_ = Time::zero();  ///< Fixed extra propagation for control packets.
+  double ctrlDupRate_ = 0.0;       ///< P(control packet delivered twice).
+  Time failedAt_{};                ///< When the current down period began.
+  EventId pendingDetect_{};        ///< Down-detection event, rescheduled by
+                                   ///< setDetectDelay while still pending.
   /// Bumped on every failure; in-flight delivery events check it so that
   /// packets "on the wire" at failure time are lost.
   std::uint64_t epoch_ = 0;

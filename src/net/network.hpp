@@ -14,6 +14,8 @@
 
 namespace rcsim {
 
+class HelloDetector;
+
 /// Observation points used by the stats layer. All hooks are optional.
 struct NetworkHooks {
   std::function<void(Time, NodeId where, const Packet&, DropReason)> onDrop;
@@ -67,6 +69,12 @@ class Network {
   /// Attach/detach the secondary observer (invariant checker). Not owned.
   void setObserver(NetworkObserver* obs) { observer_ = obs; }
   [[nodiscard]] NetworkObserver* observer() const { return observer_; }
+
+  /// Attach the hello-based failure detector (owned by Scenario). While one
+  /// is installed, links stop scheduling their oracle handleLinkDown/Up
+  /// notifications — missed/resumed hellos are the only detection signal.
+  void setDetector(HelloDetector* det) { detector_ = det; }
+  [[nodiscard]] HelloDetector* detector() const { return detector_; }
 
   // Event fan-out: each call site notifies the stats hooks, the observer
   // and the typed tracer with identical arguments, so no two layers can
@@ -166,6 +174,7 @@ class Network {
   obs::Tracer trace_;
   NetworkHooks hooks_;
   NetworkObserver* observer_ = nullptr;
+  HelloDetector* detector_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::uint64_t nextPacketId_ = 1;

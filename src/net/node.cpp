@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "net/detector.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
 
@@ -68,6 +69,12 @@ void Node::receive(Packet&& p, NodeId from) {
   if (p.trace) p.trace->push_back(id_);
   if (p.kind == PacketKind::Control) {
     assert(p.payload);
+    // With hello detection active, every control packet from a neighbor is
+    // proof of life; pure hellos stop here, real updates fall through.
+    if (HelloDetector* det = net_.detector();
+        det != nullptr && det->onControl(*this, from, *p.payload)) {
+      return;
+    }
     if (proto_) proto_->onMessage(from, std::move(p.payload));
     return;
   }

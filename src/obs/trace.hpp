@@ -66,8 +66,11 @@ enum class TraceKind : std::uint8_t {
   DvTriggered = 16,  ///< a=node, x=changed destinations flushed
   FaultApply = 17,   ///< a,b=target ids, x=FaultKind
   SimSummary = 18,   ///< x=events executed, y=events scheduled, z=pool slots
+  HelloSend = 19,    ///< a=from, b=to, x=hello bytes on the wire
+  AdjDown = 20,      ///< a=node, b=neighbor, x=1 if the link is actually up (false positive)
+  AdjUp = 21,        ///< a=node, b=neighbor
 };
-inline constexpr int kTraceKindCount = 19;
+inline constexpr int kTraceKindCount = 22;
 
 [[nodiscard]] constexpr const char* toString(TraceKind kind) {
   switch (kind) {
@@ -90,6 +93,9 @@ inline constexpr int kTraceKindCount = 19;
     case TraceKind::DvTriggered: return "dv-triggered";
     case TraceKind::FaultApply: return "fault";
     case TraceKind::SimSummary: return "summary";
+    case TraceKind::HelloSend: return "hello";
+    case TraceKind::AdjDown: return "adj-down";
+    case TraceKind::AdjUp: return "adj-up";
   }
   return "?";
 }
@@ -99,9 +105,12 @@ inline constexpr int kTraceKindCount = 19;
 [[nodiscard]] constexpr TraceCategory categoryOf(TraceKind kind) {
   switch (kind) {
     case TraceKind::LinkDown:
-    case TraceKind::LinkUp: return TraceCategory::Failure;
+    case TraceKind::LinkUp:
+    case TraceKind::AdjDown:
+    case TraceKind::AdjUp: return TraceCategory::Failure;
     case TraceKind::RouteChange:
     case TraceKind::ControlSend:
+    case TraceKind::HelloSend:
     case TraceKind::BgpBest:
     case TraceKind::BgpAdvert:
     case TraceKind::BgpWithdraw:

@@ -70,6 +70,17 @@ void Dbf::recompute(NodeId dst) {
   }
   if (best >= inf) via = kInvalidNode;
 
+  // Hold-down (no-op unless dv.holddown is configured): a destination whose
+  // best route hit infinity may not be resurrected from the cache until the
+  // window lapses — the cached rows are exactly the stale news hold-down
+  // exists to distrust. Note the instant switch-over path (finite -> finite
+  // via an alternate) never passes through infinity and stays untouched.
+  if (best < inf && bestMetric_[i] >= inf && inHoldDown(dst)) {
+    best = inf;
+    via = kInvalidNode;
+  }
+  if (best >= inf && bestMetric_[i] < inf) startHoldDown(dst);
+
   if (node_.fib().ecmpEnabled()) {
     // Refresh the full equal-cost entry set on every recompute (alternates
     // can change even when the primary stays put). Primary first, then the
@@ -135,5 +146,10 @@ void Dbf::neighborDown(NodeId neighbor) {
 }
 
 void Dbf::neighborUp(NodeId /*neighbor*/) {}
+
+void Dbf::holdDownExpired(NodeId dst) {
+  // Whatever the cache accumulated during the window becomes eligible now.
+  recompute(dst);
+}
 
 }  // namespace rcsim

@@ -37,6 +37,7 @@ class Dbf final : public DvProtocolBase {
   void processUpdate(NodeId from, const DvUpdate& update) override;
   void neighborDown(NodeId neighbor) override;
   void neighborUp(NodeId neighbor) override;
+  void holdDownExpired(NodeId dst) override;
   [[nodiscard]] std::vector<NodeId> knownDestinations() const override;
   void start() override;
 

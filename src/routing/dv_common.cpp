@@ -168,9 +168,29 @@ void DvProtocolBase::markChanged(NodeId dst) {
   scheduleGuarded(node_.scheduler(), Time::zero(), [this] {
     flushScheduled_ = false;
     if (dampRunning_ || changed_.empty()) return;
-    flushTriggered();
-    armDampTimer();
+    maybeFlushNow();
   });
+}
+
+void DvProtocolBase::maybeFlushNow() {
+  if (changed_.empty()) return;
+  const Time now = node_.scheduler().now();
+  if (cfg_.triggerMinGapSec > 0.0 && now < nextTriggerAllowed_) {
+    // Rate limit: too soon after the previous triggered update. Park the
+    // pending changes behind the damp machinery until the gap opens; any
+    // changes arriving meanwhile join the same batch.
+    dampRunning_ = true;
+    dampTimer_ = node_.scheduler().scheduleAt(nextTriggerAllowed_, [this] {
+      dampRunning_ = false;
+      maybeFlushNow();
+    });
+    return;
+  }
+  flushTriggered();
+  if (cfg_.triggerMinGapSec > 0.0) {
+    nextTriggerAllowed_ = now + Time::seconds(cfg_.triggerMinGapSec);
+  }
+  armDampTimer();
 }
 
 void DvProtocolBase::flushTriggered() {
@@ -188,11 +208,30 @@ void DvProtocolBase::armDampTimer() {
   const double delay = node_.rng().uniform(cfg_.triggerDampMinSec, cfg_.triggerDampMaxSec);
   dampTimer_ = node_.scheduler().scheduleAfter(Time::seconds(delay), [this] {
     dampRunning_ = false;
-    if (!changed_.empty()) {
-      flushTriggered();
-      armDampTimer();  // an update went out, so space out the next one too
+    // An update going out here re-arms the damp timer (via maybeFlushNow),
+    // so consecutive triggered updates stay spaced out.
+    maybeFlushNow();
+  });
+}
+
+void DvProtocolBase::startHoldDown(NodeId dst) {
+  if (cfg_.holdDownSec <= 0.0) return;
+  if (holdUntil_.empty()) holdUntil_.assign(node_.network().nodeCount(), Time{});
+  holdUntil_[static_cast<std::size_t>(dst)] =
+      node_.scheduler().now() + Time::seconds(cfg_.holdDownSec);
+  // Guarded: a crash destroying this protocol orphans the expiry safely.
+  scheduleGuarded(node_.scheduler(), Time::seconds(cfg_.holdDownSec), [this, dst] {
+    // A later loss may have pushed the deadline out; only the final expiry
+    // re-evaluates.
+    if (node_.scheduler().now() >= holdUntil_[static_cast<std::size_t>(dst)]) {
+      holdDownExpired(dst);
     }
   });
+}
+
+bool DvProtocolBase::inHoldDown(NodeId dst) const {
+  return !holdUntil_.empty() &&
+         node_.scheduler().now() < holdUntil_[static_cast<std::size_t>(dst)];
 }
 
 bool DvProtocolBase::neighborAlive(NodeId neighbor) const {

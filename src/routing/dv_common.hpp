@@ -26,6 +26,15 @@ struct DvConfig {
   Time timeout = Time::seconds(180.0);       ///< route/neighbor expiry
   double triggerDampMinSec = 1.0;  ///< triggered-update damping timer lower bound
   double triggerDampMaxSec = 5.0;  ///< ... upper bound ("randomly chosen between 1 and 5 s")
+  /// Hold-down (docs/failure-detection.md): after a route is lost, refuse
+  /// alternate-source claims of reachability for this long, so stale news
+  /// of the old path cannot restart a counting episode. 0 disables (the
+  /// default — RFC 2453 RIP has no hold-down).
+  double holdDownSec = 0.0;
+  /// Minimum spacing between triggered-update flushes, enforced on top of
+  /// the random damping timer (flap storms otherwise emit one triggered
+  /// update per damp expiry). 0 disables.
+  double triggerMinGapSec = 0.0;
   int infinityMetric = 16;
   int maxEntriesPerMessage = 25;  ///< RFC 2453 message capacity
   SplitHorizonMode splitHorizon = SplitHorizonMode::PoisonReverse;
@@ -68,6 +77,16 @@ class DvProtocolBase : public RoutingProtocol {
   /// Record a route change; drives the triggered-update engine.
   void markChanged(NodeId dst);
 
+  /// Hold-down service. startHoldDown is called by subclasses when a route
+  /// to `dst` transitions reachable -> unreachable; while inHoldDown(dst),
+  /// they must refuse to adopt reachability claims from alternate sources.
+  /// No-ops (and allocates nothing) when cfg_.holdDownSec is 0.
+  void startHoldDown(NodeId dst);
+  [[nodiscard]] bool inHoldDown(NodeId dst) const;
+  /// Fired once the hold-down for `dst` has lapsed (only when holdDownSec
+  /// is active). Subclasses with cached alternates re-evaluate here.
+  virtual void holdDownExpired(NodeId /*dst*/) {}
+
   /// True when we believe the link to this neighbor is usable.
   [[nodiscard]] bool neighborAlive(NodeId neighbor) const;
   [[nodiscard]] const std::vector<NodeId>& aliveNeighbors() const { return alive_; }
@@ -95,6 +114,8 @@ class DvProtocolBase : public RoutingProtocol {
   void periodicTick();
   void sendFullTables();
   void flushTriggered();
+  /// Flush the pending triggered update unless the rate limit defers it.
+  void maybeFlushNow();
   void armDampTimer();
   void checkNeighborAging();
 
@@ -110,6 +131,10 @@ class DvProtocolBase : public RoutingProtocol {
   EventId dampTimer_{};
   EventId periodicTimer_{};
   std::uint64_t updatesSent_ = 0;
+  /// Per-destination hold-down deadlines; allocated lazily, only when
+  /// holdDownSec is configured (stays empty — zero bytes — otherwise).
+  std::vector<Time> holdUntil_;
+  Time nextTriggerAllowed_{};  ///< triggerMinGapSec rate-limit watermark
 };
 
 }  // namespace rcsim

@@ -42,7 +42,13 @@ std::vector<NodeId> Rip::knownDestinations() const {
 
 void Rip::adopt(NodeId dst, int metric, NodeId nextHop) {
   const auto i = static_cast<std::size_t>(dst);
-  const bool metricChanged = !known_.test(dst) || metric_[i] != metric;
+  const bool known = known_.test(dst);
+  const bool metricChanged = !known || metric_[i] != metric;
+  // A reachable route hitting infinity starts the hold-down window (no-op
+  // unless dv.holddown is configured).
+  if (known && metric_[i] < config().infinityMetric && metric >= config().infinityMetric) {
+    startHoldDown(dst);
+  }
   known_.set(dst);
   metric_[i] = static_cast<std::uint16_t>(metric);
   lastRefresh_[i] = node_.scheduler().now();
@@ -67,7 +73,11 @@ void Rip::processUpdate(NodeId from, const DvUpdate& update) {
         lastRefresh_[i] = node_.scheduler().now();
       }
     } else if (metric < (known ? metric_[i] : config().infinityMetric)) {
-      adopt(d, metric, from);
+      // Hold-down: after losing the route, distrust alternate sources for a
+      // while — their "better" news is usually our own stale reachability
+      // echoing back. Updates from the installed next hop (above) are
+      // exempt, and RIP re-adopts automatically once the window lapses.
+      if (!inHoldDown(d)) adopt(d, metric, from);
     }
   }
 }

@@ -1,0 +1,301 @@
+#include "net/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/fingerprint.hpp"
+#include "core/scenario.hpp"
+#include "fault/plan.hpp"
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/routing_protocol.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rcsim {
+namespace {
+
+using namespace rcsim::literals;
+using fault::FaultPlan;
+
+// ------------------------------------------------- direct state machine
+
+/// Records every link-up/down notification with its timestamp; never
+/// originates control traffic, so only pure hellos keep adjacencies alive.
+class ProbeProtocol final : public RoutingProtocol {
+ public:
+  struct Event {
+    Time at;
+    NodeId neighbor;
+    bool up;
+  };
+
+  ProbeProtocol(Node& node, std::vector<Event>& sink) : RoutingProtocol{node}, sink_{sink} {}
+
+  void start() override {}
+  void onLinkDown(NodeId neighbor) override {
+    sink_.push_back({node_.scheduler().now(), neighbor, false});
+  }
+  void onLinkUp(NodeId neighbor) override {
+    sink_.push_back({node_.scheduler().now(), neighbor, true});
+  }
+  void onMessage(NodeId, std::shared_ptr<const ControlPayload>) override {}
+  [[nodiscard]] std::string name() const override { return "probe"; }
+
+ private:
+  std::vector<Event>& sink_;
+};
+
+struct DetectorFixture : ::testing::Test {
+  DetectorFixture() : net{sched, Rng{7}} {
+    a = net.addNode();
+    b = net.addNode();
+    LinkConfig lc;
+    lc.detectDelay = Time::seconds(1000.0);  // oracle would fire way late
+    link = &net.addLink(a, b, lc);
+    net.finalize();
+    net.node(a).setProtocol(std::make_unique<ProbeProtocol>(net.node(a), events));
+    net.node(b).setProtocol(std::make_unique<ProbeProtocol>(net.node(b), events));
+  }
+
+  Scheduler sched;
+  Network net;
+  NodeId a{}, b{};
+  Link* link = nullptr;
+  std::vector<ProbeProtocol::Event> events;
+};
+
+TEST_F(DetectorFixture, DeclaresDownWithinDeadIntervalNotOracleDelay) {
+  HelloConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = Time::seconds(0.5);
+  cfg.dead = Time::seconds(1.75);
+  cfg.jitter = 0.0;
+  HelloDetector det{net, cfg};
+  net.setDetector(&det);
+  det.start();
+
+  sched.scheduleAt(Time::seconds(10.0), [this] { link->fail(); });
+  sched.scheduleAt(Time::seconds(30.0), [this] { sched.stop(); });
+  sched.run();
+
+  // Both ends noticed, via hellos: well before the 1000 s oracle delay.
+  // Silence is measured from the last hello heard (up to one interval
+  // before the failure), so the notification lands inside
+  // [fail + dead - interval, fail + dead + check slack].
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& ev : events) {
+    EXPECT_FALSE(ev.up);
+    EXPECT_GE(ev.at, Time::seconds(10.0) + cfg.dead - cfg.interval);
+    EXPECT_LE(ev.at, Time::seconds(10.0) + cfg.dead + Time::seconds(1.0));
+  }
+  EXPECT_EQ(det.adjDowns(), 2u);
+  EXPECT_EQ(det.falsePositives(), 0u);
+  EXPECT_EQ(det.state(a, b), HelloDetector::AdjState::Down);
+  EXPECT_EQ(det.state(b, a), HelloDetector::AdjState::Down);
+}
+
+TEST_F(DetectorFixture, RecoveredLinkComesBackUpOnNextHello) {
+  HelloConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = Time::seconds(0.5);
+  cfg.dead = Time::seconds(1.75);
+  cfg.jitter = 0.0;
+  HelloDetector det{net, cfg};
+  net.setDetector(&det);
+  det.start();
+
+  sched.scheduleAt(Time::seconds(10.0), [this] { link->fail(); });
+  sched.scheduleAt(Time::seconds(20.0), [this] { link->recover(); });
+  sched.scheduleAt(Time::seconds(40.0), [this] { sched.stop(); });
+  sched.run();
+
+  ASSERT_EQ(events.size(), 4u);  // two downs, then two ups
+  EXPECT_TRUE(events[2].up);
+  EXPECT_TRUE(events[3].up);
+  // Up again within roughly one hello period of the repair.
+  EXPECT_LE(events[3].at, Time::seconds(20.0) + cfg.interval + Time::seconds(0.5));
+  EXPECT_EQ(det.adjUps(), 2u);
+  EXPECT_EQ(det.state(a, b), HelloDetector::AdjState::Up);
+}
+
+TEST_F(DetectorFixture, QuietHealthyLinkStaysUp) {
+  HelloConfig cfg;
+  cfg.enabled = true;
+  cfg.interval = Time::seconds(0.5);
+  cfg.dead = Time::seconds(1.75);
+  HelloDetector det{net, cfg};
+  net.setDetector(&det);
+  det.start();
+
+  sched.scheduleAt(Time::seconds(60.0), [this] { sched.stop(); });
+  sched.run();
+
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(det.adjDowns(), 0u);
+  EXPECT_EQ(det.falsePositives(), 0u);
+  EXPECT_GT(det.hellosSent(), 100u);  // ~2/s/direction for 60 s
+}
+
+// ---------------------------------------------------- scenario integration
+
+TEST(Detector, AbsentUnlessEnabled) {
+  ScenarioConfig cfg;
+  cfg.endAt = 1_sec;
+  cfg.trafficStart = 2_sec;  // no traffic needed
+  cfg.trafficStop = 2_sec;
+  cfg.injectFailure = false;
+  Scenario sc{cfg};
+  EXPECT_EQ(sc.helloDetector(), nullptr);
+}
+
+TEST(Detector, SurvivesFailureAndReconvergesUnderInvariants) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::LinkState;
+  cfg.hello.enabled = true;
+  cfg.hello.interval = Time::seconds(0.5);
+  cfg.hello.dead = Time::seconds(1.75);
+  cfg.checkInvariants = true;
+  cfg.trafficStart = 390_sec;
+  cfg.trafficStop = 450_sec;
+  cfg.endAt = 470_sec;
+  Scenario sc{cfg};
+  sc.run();  // throws on any invariant violation
+
+  const auto* det = sc.helloDetector();
+  ASSERT_NE(det, nullptr);
+  EXPECT_GE(det->adjDowns(), 2u);  // both ends of the failed link
+  EXPECT_EQ(det->falsePositives(), 0u);
+  const auto& d = sc.stats().data();
+  EXPECT_GT(d.delivered, 0u);
+  // Detection costs a dead interval of black-holing, then LS reconverges.
+  EXPECT_LT(d.dropNoRoute + d.dropLinkDown, sc.packetsSent() / 4);
+}
+
+TEST(Detector, ControlLossCausesFalsePositivesAndRecovery) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::LinkState;
+  cfg.hello.enabled = true;
+  cfg.hello.interval = Time::seconds(0.5);
+  cfg.hello.dead = Time::seconds(1.25);  // tight: 2-3 losses kill the adjacency
+  cfg.injectFailure = false;
+  cfg.trafficStart = 30_sec;
+  cfg.trafficStop = 200_sec;
+  cfg.endAt = 220_sec;
+  cfg.faultPlan = FaultPlan::parse("30:ctrl-loss:*:0.75;200:ctrl-loss:*:0");
+  Scenario sc{cfg};
+  sc.run();
+
+  const auto* det = sc.helloDetector();
+  ASSERT_NE(det, nullptr);
+  // A 75% control-plane loss starves hellos somewhere in 170 s of mesh...
+  EXPECT_GT(det->falsePositives(), 0u);
+  // ...and survivors come back once hellos get through again.
+  EXPECT_GT(det->adjUps(), 0u);
+}
+
+TEST(Detector, DeterministicAcrossRuns) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::Rip;
+  cfg.hello.enabled = true;
+  cfg.trafficStart = 390_sec;
+  cfg.trafficStop = 430_sec;
+  cfg.endAt = 450_sec;
+  const RunResult r1 = runScenario(cfg);
+  const RunResult r2 = runScenario(cfg);
+  EXPECT_EQ(runResultFingerprint(r1), runResultFingerprint(r2));
+}
+
+// ------------------------------------------------------------- damping
+
+/// 8-ring with the pinned flow crossing a flapping link: the topology the
+/// ext_detection experiment uses to expose each damping mechanism.
+ScenarioConfig ringConfig(ProtocolKind kind) {
+  ScenarioConfig cfg;
+  cfg.protocol = kind;
+  cfg.topology = TopologyKind::Inline;
+  cfg.inlineTopo.nodes = 8;
+  cfg.inlineTopo.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {0, 7}};
+  cfg.pinSrc = 0;
+  cfg.pinDst = 3;
+  cfg.injectFailure = false;
+  cfg.trafficStart = 390_sec;
+  cfg.trafficStop = 550_sec;
+  cfg.endAt = 600_sec;
+  cfg.faultPlan = FaultPlan::parse("400:flapburst:1-2:12:6");
+  return cfg;
+}
+
+TEST(Damping, RfdSuppressesFlapDrivenLoss) {
+  ScenarioConfig raw = ringConfig(ProtocolKind::Bgp3);
+  ScenarioConfig damped = raw;
+  damped.protoCfg.bgp.flapDampingEnabled = true;
+
+  Scenario rawSc{raw};
+  rawSc.run();
+  Scenario dampedSc{damped};
+  dampedSc.run();
+
+  const auto& rd = rawSc.stats().data();
+  const auto& dd = dampedSc.stats().data();
+  // RFD parks the flow on the stable long path: more delivered, fewer
+  // loops and black holes across the burst.
+  EXPECT_GT(dd.delivered, rd.delivered);
+  EXPECT_LT(dd.dropTtl, rd.dropTtl);
+}
+
+TEST(Damping, HoldDownEliminatesCountingLoops) {
+  // Bridge with no alternate path and split horizon off: every flap of
+  // 2-3 re-ignites counting between 0, 1 and 2 unless hold-down refuses
+  // the stale resurrection.
+  ScenarioConfig raw;
+  raw.protocol = ProtocolKind::Rip;
+  raw.topology = TopologyKind::Inline;
+  raw.inlineTopo.nodes = 4;
+  raw.inlineTopo.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  raw.pinSrc = 0;
+  raw.pinDst = 3;
+  raw.protoCfg.dv.splitHorizon = SplitHorizonMode::None;
+  raw.injectFailure = false;
+  raw.trafficStart = 390_sec;
+  raw.trafficStop = 550_sec;
+  raw.endAt = 600_sec;
+  raw.faultPlan = FaultPlan::parse("400:flapburst:2-3:12:6");
+  ScenarioConfig damped = raw;
+  damped.protoCfg.dv.holdDownSec = 2.0;
+
+  Scenario rawSc{raw};
+  rawSc.run();
+  Scenario dampedSc{damped};
+  dampedSc.run();
+
+  EXPECT_GT(rawSc.stats().data().dropTtl, 0u);
+  EXPECT_EQ(dampedSc.stats().data().dropTtl, 0u);
+}
+
+TEST(Damping, SnapshotDigestsBracketTheFirstFault) {
+  // The flap burst tears the pinned path down and the run ends with the
+  // link up again: before/after snapshots exist and the restored tables
+  // match the pre-fault ones. A 7-ring (odd cycle) so every shortest path
+  // is unique — the converged FIB is history-independent.
+  ScenarioConfig cfg = ringConfig(ProtocolKind::Bgp3);
+  cfg.inlineTopo.nodes = 7;
+  cfg.inlineTopo.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {0, 6}};
+  Scenario sc{cfg};
+  sc.run();
+  EXPECT_FALSE(sc.fibDigestBefore().empty());
+  EXPECT_FALSE(sc.fibDigestAfter().empty());
+  EXPECT_EQ(sc.fibDigestBefore(), sc.fibDigestAfter());
+
+  // And the pair rides through RunResult for the artifact's snapshots block.
+  const RunResult r = runScenario(cfg);
+  EXPECT_EQ(r.fibDigestBefore, sc.fibDigestBefore());
+  EXPECT_EQ(r.fibDigestAfter, sc.fibDigestAfter());
+}
+
+}  // namespace
+}  // namespace rcsim

@@ -45,8 +45,8 @@ TEST(ExperimentRegistry, HasEveryBuiltinInRegenerationOrder) {
       "ablation_flap_damping", "ablation_infinity", "ablation_splithorizon",
       "ext_tcp",           "ext_multifailure",  "ext_random_topo",
       "ext_assertions",    "ext_dual",          "ext_churn",
-      "ext_faultplan",     "ext_realtopo",      "appendix_overhead",
-      "appendix_load",
+      "ext_faultplan",     "ext_realtopo",      "ext_detection",
+      "appendix_overhead", "appendix_load",
   };
   const auto& all = allExperiments();
   ASSERT_EQ(all.size(), expected.size());

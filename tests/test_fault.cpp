@@ -30,10 +30,12 @@ using fault::FaultPlan;
 TEST(FaultPlan, RoundTripsEveryKind) {
   const std::string text =
       "395:loss:*:0.02;395:corrupt:24-25:0.01;396:reorder:*:0.1:50;"
+      "397:ctrl-loss:*:0.2;397:ctrl-delay:24-25:250;398:ctrl-dup:*:0.5;"
       "399:detect:24-25:2000;400:fail:24-25;400:crash:24;400:partition:0,1,2;"
+      "420:flapburst:24-25:3:10;"
       "460:heal:0,1,2;460:restart:24;460:recover:24-25";
   const FaultPlan p = FaultPlan::parse(text);
-  ASSERT_EQ(p.events.size(), 10u);
+  ASSERT_EQ(p.events.size(), 14u);
   EXPECT_EQ(p.format(), text);               // input was already canonical
   EXPECT_EQ(FaultPlan::parse(p.format()), p);  // and the form is stable
 }
@@ -62,6 +64,15 @@ TEST(FaultPlan, RejectsMalformedEvents) {
       "400:detect:1-2:-1",      // negative detect delay
       "400:partition:",         // empty group
       "400:fail:1-2:extra",     // too many fields for the kind
+      "400:ctrl-loss:*",        // missing rate
+      "400:ctrl-loss:*:1.5",    // rate out of range
+      "400:ctrl-dup:1-2:-0.1",  // rate out of range
+      "400:ctrl-delay:1-2:-5",  // negative delay
+      "400:flapburst:*:3:10",   // star endpoints not allowed
+      "400:flapburst:1-2:0:10", // count < 1
+      "400:flapburst:1-2:2.5:10",  // non-integer count
+      "400:flapburst:1-2:3:0",  // period must be > 0
+      "400:flapburst:1-2:3",    // missing period
   };
   for (const auto& text : bad) {
     EXPECT_THROW((void)FaultPlan::parse(text), std::invalid_argument) << text;
@@ -76,7 +87,7 @@ TEST(FaultPlan, RejectsMalformedEvents) {
 fault::FaultEvent randomFaultEvent(Rng& rng) {
   fault::FaultEvent ev;
   ev.at = Time::nanoseconds(rng.uniformInt(0, 2'000'000'000'000LL));
-  switch (rng.uniformInt(0, 9)) {
+  switch (rng.uniformInt(0, 13)) {
     case 0: ev.kind = fault::FaultKind::LinkFail; break;
     case 1: ev.kind = fault::FaultKind::LinkRecover; break;
     case 2: ev.kind = fault::FaultKind::NodeCrash; break;
@@ -86,6 +97,10 @@ fault::FaultEvent randomFaultEvent(Rng& rng) {
     case 6: ev.kind = fault::FaultKind::LinkReorder; break;
     case 7: ev.kind = fault::FaultKind::DetectDelay; break;
     case 8: ev.kind = fault::FaultKind::Partition; break;
+    case 9: ev.kind = fault::FaultKind::CtrlLoss; break;
+    case 10: ev.kind = fault::FaultKind::CtrlDelay; break;
+    case 11: ev.kind = fault::FaultKind::CtrlDup; break;
+    case 12: ev.kind = fault::FaultKind::FlapBurst; break;
     default: ev.kind = fault::FaultKind::Heal; break;
   }
   switch (ev.kind) {
@@ -105,15 +120,28 @@ fault::FaultEvent randomFaultEvent(Rng& rng) {
     case fault::FaultKind::LinkLoss:
     case fault::FaultKind::LinkCorrupt:
     case fault::FaultKind::LinkReorder:
+    case fault::FaultKind::CtrlLoss:
+    case fault::FaultKind::CtrlDup:
+    case fault::FaultKind::CtrlDelay:
       ev.allLinks = rng.uniform01() < 0.5;
       if (!ev.allLinks) {
         ev.a = static_cast<NodeId>(rng.uniformInt(0, 9999));
         ev.b = static_cast<NodeId>(rng.uniformInt(0, 9999));
       }
-      ev.rate = rng.uniform01();
+      if (ev.kind == fault::FaultKind::CtrlDelay) {
+        ev.jitter = Time::milliseconds(rng.uniformInt(0, 100000));
+      } else {
+        ev.rate = rng.uniform01();
+      }
       if (ev.kind == fault::FaultKind::LinkReorder) {
         ev.jitter = Time::milliseconds(rng.uniformInt(0, 100000));
       }
+      break;
+    case fault::FaultKind::FlapBurst:
+      ev.a = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      ev.b = static_cast<NodeId>(rng.uniformInt(0, 9999));
+      ev.count = static_cast<int>(rng.uniformInt(1, 1000));
+      ev.period = Time::seconds(static_cast<double>(rng.uniformInt(1, 3600)));
       break;
     case fault::FaultKind::Partition:
     case fault::FaultKind::Heal: {
@@ -262,6 +290,54 @@ TEST(FaultInjector, CorruptionDropsAreAccounted) {
   EXPECT_EQ(d.dropLoss, 0u);
   // Corrupted packets are dropped, not lost from the books.
   EXPECT_EQ(sc.packetsSent(), d.delivered + d.totalDropped());
+}
+
+TEST(FaultInjector, DetectDelayReschedulesPendingDetection) {
+  // Regression: a detect event landing while the link is already down (and
+  // its detection pending) used to only update the config — the in-flight
+  // notification kept its old deadline. Shortening the delay after the
+  // failure must pull detection (and thus reconvergence) forward.
+  ScenarioConfig slow = faultBase(8);
+  slow.protocol = ProtocolKind::LinkState;
+  // Pin the flow across the link the plan fails, so detection timing is
+  // on the forwarding path (faultBase draws random endpoints otherwise).
+  slow.pinSrc = 24;
+  slow.pinDst = 25;
+  slow.trafficStart = 390_sec;
+  slow.trafficStop = 460_sec;
+  slow.endAt = 480_sec;
+  slow.faultPlan =
+      FaultPlan::parse("399:detect:24-25:30000;400:fail:24-25");  // notice at 430
+  ScenarioConfig quick = slow;
+  quick.faultPlan = FaultPlan::parse(
+      "399:detect:24-25:30000;400:fail:24-25;405:detect:24-25:100");  // pulled to 405.0001
+
+  Scenario slowSc{slow};
+  slowSc.run();
+  Scenario quickSc{quick};
+  quickSc.run();
+
+  // ~25 s less black-holing at 20 pps: the rescheduled run delivers
+  // hundreds more packets. Far more than noise for one seed.
+  const auto& sd = slowSc.stats().data();
+  const auto& qd = quickSc.stats().data();
+  EXPECT_GT(qd.delivered, sd.delivered + 200);
+  EXPECT_LT(qd.dropLinkDown, sd.dropLinkDown);
+}
+
+TEST(FaultInjector, FlapBurstCountsFailuresAndRecoveries) {
+  ScenarioConfig cfg = faultBase(9);
+  cfg.trafficStart = 390_sec;
+  cfg.trafficStop = 440_sec;
+  cfg.endAt = 460_sec;
+  cfg.faultPlan = FaultPlan::parse("400:flapburst:24-25:4:8");
+  Scenario sc{cfg};
+  sc.run();
+  const auto* inj = sc.faultInjector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->linkFailures(), 4u);
+  EXPECT_EQ(inj->linkRecoveries(), 4u);
+  EXPECT_TRUE(sc.network().findLink(24, 25)->isUp());
 }
 
 TEST(FaultInjector, DanglingLinkReferenceThrowsAtEventTime) {

@@ -56,6 +56,31 @@ struct ReliableFixture : ::testing::Test {
     return dynamic_cast<const Msg&>(*m).value;
   }
 
+  /// Re-create both sessions with a custom transport config (backoff edge
+  /// tests need their own RTO ladder). The adapter protocols keep raw
+  /// pointers, so they are re-installed too.
+  void rebuild(const ReliableSession::Config& scfg) {
+    sessA = std::make_unique<ReliableSession>(
+        net.node(a), b, [this](std::shared_ptr<const ControlPayload> m) { recvAtA.push_back(value(m)); },
+        scfg);
+    sessB = std::make_unique<ReliableSession>(
+        net.node(b), a, [this](std::shared_ptr<const ControlPayload> m) { recvAtB.push_back(value(m)); },
+        scfg);
+    struct Adapter final : RoutingProtocol {
+      ReliableSession* sess;
+      Adapter(Node& n, ReliableSession* s) : RoutingProtocol{n}, sess{s} {}
+      void start() override {}
+      void onLinkDown(NodeId) override {}
+      void onLinkUp(NodeId) override {}
+      void onMessage(NodeId, std::shared_ptr<const ControlPayload> msg) override {
+        if (auto seg = std::dynamic_pointer_cast<const TransportSegment>(msg)) sess->onSegment(seg);
+      }
+      std::string name() const override { return "adapter"; }
+    };
+    net.node(a).setProtocol(std::make_unique<Adapter>(net.node(a), sessA.get()));
+    net.node(b).setProtocol(std::make_unique<Adapter>(net.node(b), sessB.get()));
+  }
+
   Scheduler sched;
   Network net;
   LinkConfig cfg;
@@ -153,6 +178,71 @@ TEST_F(ReliableFixture, ResetAcrossOutageRestartsCleanly) {
   sched.run(sched.now() + 2_sec);
   EXPECT_EQ(recvAtB, (std::vector<int>{999}));  // sequence space restarted
   EXPECT_EQ(sessA->unackedCount(), 0u);
+}
+
+TEST_F(ReliableFixture, BackoffClampsAtRtoMaxAndRewindsOnProgress) {
+  ReliableSession::Config scfg;
+  scfg.rto = 100_ms;
+  scfg.backoffFactor = 2.0;
+  scfg.rtoMax = 400_ms;
+  scfg.maxRetries = 50;  // never give up within this test
+  rebuild(scfg);
+
+  sessA->send(std::make_shared<Msg>(1));
+  sched.scheduleAt(Time::microseconds(10), [this] { link->fail(); });
+  sched.run(5_sec);
+
+  // The ladder is 100 -> 200 -> 400 -> 400 -> ... : saturated at the cap,
+  // never past it, still retrying.
+  EXPECT_EQ(sessA->currentRto(), 400_ms);
+  // 100+200+400*k <= 5000 ms allows k = 11 clamped retries; with scheduling
+  // slack, at least 8 fired and nothing beyond the exact ladder count.
+  EXPECT_GE(sessA->retransmissions(), 8u);
+  EXPECT_LE(sessA->retransmissions(), 13u);
+  EXPECT_EQ(sessA->sessionResets(), 0u);
+
+  // Repair the link: the pending retransmission gets through, ack progress
+  // rewinds the backoff to the base RTO.
+  link->recover();
+  sched.run(sched.now() + 2_sec);
+  EXPECT_EQ(recvAtB, (std::vector<int>{1}));
+  EXPECT_EQ(sessA->currentRto(), 100_ms);
+  EXPECT_EQ(sessA->unackedCount(), 0u);
+}
+
+TEST_F(ReliableFixture, GivesUpAfterMaxRetriesUnderTotalCtrlLoss) {
+  // A 100% control-loss window (the ctrl-loss fault, applied directly):
+  // the link is up, so nothing tears the session down from outside — only
+  // the transport's own 8-retry give-up path can end the stall.
+  ReliableSession::Config scfg;
+  scfg.rto = 100_ms;
+  scfg.backoffFactor = 2.0;
+  scfg.rtoMax = 400_ms;
+  scfg.maxRetries = 8;
+  rebuild(scfg);
+
+  bool resetFired = false;
+  sessA->setOnReset([&resetFired] { resetFired = true; });
+  link->setCtrlLossRate(1.0);
+  sessA->send(std::make_shared<Msg>(42));
+  sched.run(10_sec);
+
+  // 9th consecutive RTO (past maxRetries=8) drops the connection: counters
+  // reflect a transport failure, state is gone, the owner was told.
+  EXPECT_EQ(sessA->sessionResets(), 1u);
+  EXPECT_EQ(sessA->retransmissions(), 8u);
+  EXPECT_EQ(sessA->unackedCount(), 0u);
+  EXPECT_TRUE(resetFired);
+  EXPECT_TRUE(recvAtB.empty());
+
+  // The loss window ends; a fresh send restarts the sequence space and
+  // delivers (the peer never saw the lost RST, but seq 0 is what it
+  // expects anyway).
+  link->setCtrlLossRate(0.0);
+  sessA->send(std::make_shared<Msg>(43));
+  sched.run(sched.now() + 2_sec);
+  EXPECT_EQ(recvAtB, (std::vector<int>{43}));
+  EXPECT_EQ(sessA->currentRto(), 100_ms);
 }
 
 }  // namespace

@@ -56,6 +56,8 @@ void usage(std::FILE* to) {
                "  --bank=DIR        write minimized reproducers to DIR/*.scenario\n"
                "  --max-findings=N  stop collecting new finding keys after N (default 16)\n"
                "  --no-minimize     bank raw findings without delta-minimization\n"
+               "  --hello           force hello-based failure detection on in every\n"
+               "                    generated scenario (focuses the detector paths)\n"
                "  --quiet           suppress per-execution progress lines\n"
                "\n"
                "replay mode:\n"
@@ -131,6 +133,8 @@ int main(int argc, char** argv) {
             rcsim::cli::parsePositiveInt(value("--max-findings="), "--max-findings");
       } else if (arg == "--no-minimize") {
         opts.minimize = false;
+      } else if (arg == "--hello") {
+        opts.forceHello = true;
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg.rfind("--replay=", 0) == 0) {
