@@ -100,6 +100,44 @@ double benchScenarioMs(ProtocolKind kind, int reps) {
   return best;
 }
 
+/// The online convergence-anatomy profiler must be cheap enough to stay on
+/// by default: its events/sec cost on a full scenario is gated absolutely
+/// at this bound, independent of the baseline file.
+constexpr double kMaxAnatomyOverheadPct = 3.0;
+
+/// Best observed events/sec of the full DBF scenario with the anatomy
+/// profiler on or off. The two variants execute the identical event
+/// sequence (the golden digests pin that), so the rate ratio isolates the
+/// analyzer's per-event cost.
+struct AnatomyBench {
+  double onEventsPerSec = 0.0;
+  double offEventsPerSec = 0.0;
+};
+
+// The on/off reps are interleaved pairwise so machine drift (thermal,
+// load, allocator state — this runs right after the 100x100 converge) hits
+// both sides equally; like pooled_speedup_vs_seed, the *ratio* is the
+// load-immune number the gate holds to its absolute budget.
+AnatomyBench benchAnatomy(int reps) {
+  AnatomyBench b;
+  for (int r = 0; r < reps; ++r) {
+    for (const bool anatomy : {true, false}) {
+      ScenarioConfig cfg;
+      cfg.protocol = ProtocolKind::Dbf;
+      cfg.mesh.degree = 4;
+      cfg.seed = 11;
+      cfg.anatomy = anatomy;
+      const double start = nowSec();
+      const RunResult result = runScenario(cfg);
+      const double sec = nowSec() - start;
+      if (sec <= 0.0) continue;
+      double& best = anatomy ? b.onEventsPerSec : b.offEventsPerSec;
+      best = std::max(best, static_cast<double>(result.eventsExecuted) / sec);
+    }
+  }
+  return b;
+}
+
 /// Peak resident set size in MiB (VmHWM); 0 when /proc is unavailable.
 double peakRssMb() {
 #ifdef __linux__
@@ -134,7 +172,14 @@ struct Metrics {
   double selfReschedEventsPerSec = 0.0;
   std::vector<std::pair<std::string, double>> scenarioMs;  // stable order
   std::vector<std::pair<std::string, double>> topologyMs;  // stable order
+  double anatomyOnEventsPerSec = 0.0;
+  double anatomyOffEventsPerSec = 0.0;
   double rssMb = 0.0;
+
+  [[nodiscard]] double anatomyOverheadPct() const {
+    if (anatomyOffEventsPerSec <= 0.0 || anatomyOnEventsPerSec <= 0.0) return 0.0;
+    return (1.0 - anatomyOnEventsPerSec / anatomyOffEventsPerSec) * 100.0;
+  }
 };
 
 /// The Internet-scale topology rows (docs/topologies.md). The converge row
@@ -199,6 +244,12 @@ Metrics collect(double minTimeSec, int reps, bool includeConverge) {
     m.scenarioMs.emplace_back(toString(kind), benchScenarioMs(kind, reps));
   }
   collectTopology(m, reps, includeConverge);
+  // Interleave-free back-to-back measurement under the same load, like the
+  // pooled-vs-seed scheduler pair above; extra reps because a 3% bound
+  // needs less noise than a 15% one.
+  const AnatomyBench anat = benchAnatomy(reps * 2);
+  m.anatomyOnEventsPerSec = anat.onEventsPerSec;
+  m.anatomyOffEventsPerSec = anat.offEventsPerSec;
   m.rssMb = peakRssMb();
   return m;
 }
@@ -234,6 +285,11 @@ std::string toJson(const Metrics& m) {
     os << "    \"" << m.topologyMs[i].first << "\": " << num(m.topologyMs[i].second)
        << (i + 1 < m.topologyMs.size() ? "," : "") << "\n";
   }
+  os << "  },\n";
+  os << "  \"anatomy_overhead\": {\n";
+  os << "    \"events_per_sec_on\": " << num(m.anatomyOnEventsPerSec) << ",\n";
+  os << "    \"events_per_sec_off\": " << num(m.anatomyOffEventsPerSec) << ",\n";
+  os << "    \"overhead_pct\": " << num(m.anatomyOverheadPct()) << "\n";
   os << "  },\n";
   os << "  \"rss_mb\": " << num(m.rssMb) << "\n";
   os << "}\n";
@@ -298,6 +354,16 @@ int compareAgainstBaseline(const Metrics& m, const std::string& path, double tol
       checkMetric(("topology." + name + " (ms)").c_str(), topo.numberAt(name), ms, tolerancePct,
                   /*higherIsBetter=*/false, failures);
     }
+  }
+  if (m.anatomyOffEventsPerSec > 0.0 && m.anatomyOnEventsPerSec > 0.0) {
+    // The profiler's cost gates against an absolute budget, not the
+    // baseline: it must never eat more than kMaxAnatomyOverheadPct of the
+    // event rate, or on-by-default anatomy stops being free.
+    const double pct = m.anatomyOverheadPct();
+    const bool over = pct > kMaxAnatomyOverheadPct;
+    std::printf("  %-34s budget   %9.2f%%  current   %+9.2f%%%s\n", "anatomy_overhead_pct",
+                kMaxAnatomyOverheadPct, pct, over ? "  << REGRESSION" : "");
+    if (over) ++failures;
   }
   if (base.has("rss_mb") && m.rssMb > 0.0) {
     // Peak RSS gates under its own (usually tighter) tolerance: memory is

@@ -60,6 +60,10 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: rcsim_bench [--list] [--all | --only=NAME ...] [options]\n"
                "\n"
+               "Each experiment's tables include a convergence-anatomy section\n"
+               "(episodes, detection/convergence latency, loop/black-hole windows,\n"
+               "per-cause drops) when any cell recorded a convergence episode.\n"
+               "\n"
                "selection:\n"
                "  --list            list registered experiments and exit\n"
                "  --all             run every registered experiment\n"
@@ -91,8 +95,10 @@ void usage(std::FILE* to) {
                "                    backoff) before quarantining it (default 1; 0\n"
                "                    disables retry)\n"
                "  --progress=SEC    print a heartbeat line to stderr every SEC seconds\n"
-               "                    with completed/total replicas across all selected\n"
-               "                    experiments (default 0 = no heartbeat)\n"
+               "                    with completed/total replicas plus live convergence\n"
+               "                    episode and drop-attribution counters across all\n"
+               "                    selected experiments; a final line prints at sweep\n"
+               "                    end regardless of SEC (default 0 = no heartbeat)\n"
                "  -h, --help        this message\n"
                "\n"
                "exit status (highest precedence first):\n"
@@ -150,6 +156,58 @@ class StdoutToFile {
  private:
   int saved_ = -1;
 };
+
+/// Cross-protocol convergence-anatomy table: one row per healthy cell,
+/// summed over that cell's replicas — the artifact's `convergence` block
+/// rendered human-readable next to the experiment's own tables. Silent
+/// when no cell recorded an episode (e.g. fault-free sweeps).
+void renderConvergenceTable(const ExperimentResult& result,
+                            const std::vector<rcsim::exp::CellSpec>& cells) {
+  bool any = false;
+  for (const auto& cell : result.cells) {
+    if (!cell.failed() && cell.convergence.episodes > 0) any = true;
+  }
+  if (!any) return;
+  std::printf("\nConvergence anatomy (summed over %d run(s) per cell)\n", result.runs);
+  std::printf("%-24s %8s %9s %10s %7s %11s %11s %20s %10s\n", "cell", "episodes", "detect_s",
+              "converge_s", "churn", "loop n/s", "bhole n/s", "drops l/bh/ttl/q", "ctrl msgs");
+  for (std::size_t i = 0; i < result.cells.size() && i < cells.size(); ++i) {
+    const auto& cr = result.cells[i];
+    if (cr.failed() || cr.convergence.episodes == 0) continue;
+    const auto& s = cr.convergence;
+    // Mean per detected/converged episode; "-" when nothing was detected.
+    char detect[32];
+    char converge[32];
+    if (s.detectedEpisodes > 0) {
+      std::snprintf(detect, sizeof detect, "%.3f",
+                    s.detectionSecTotal / static_cast<double>(s.detectedEpisodes));
+    } else {
+      std::snprintf(detect, sizeof detect, "-");
+    }
+    if (s.convergedEpisodes > 0) {
+      std::snprintf(converge, sizeof converge, "%.3f",
+                    s.convergenceSecTotal / static_cast<double>(s.convergedEpisodes));
+    } else {
+      std::snprintf(converge, sizeof converge, "-");
+    }
+    char windows[32];
+    char bhWindows[32];
+    std::snprintf(windows, sizeof windows, "%llu/%.3f",
+                  static_cast<unsigned long long>(s.loopWindows), s.loopSeconds);
+    std::snprintf(bhWindows, sizeof bhWindows, "%llu/%.3f",
+                  static_cast<unsigned long long>(s.blackholeWindows), s.blackholeSeconds);
+    char drops[64];
+    std::snprintf(drops, sizeof drops, "%llu/%llu/%llu/%llu",
+                  static_cast<unsigned long long>(s.dropsLoop),
+                  static_cast<unsigned long long>(s.dropsBlackhole),
+                  static_cast<unsigned long long>(s.dropsTtl),
+                  static_cast<unsigned long long>(s.dropsQueue));
+    std::printf("%-24s %8llu %9s %10s %7llu %11s %11s %20s %10llu\n", cells[i].id.c_str(),
+                static_cast<unsigned long long>(s.episodes), detect, converge,
+                static_cast<unsigned long long>(s.fibChurn), windows, bhWindows, drops,
+                static_cast<unsigned long long>(s.controlMessages));
+  }
+}
 
 }  // namespace
 
@@ -333,6 +391,35 @@ int main(int argc, char** argv) {
   std::thread heartbeat;
   if (progressSec > 0) {
     heartbeat = std::thread{[&heartbeatStop, &pending, progressSec] {
+      // One line: replica progress plus the live convergence-anatomy
+      // counters the executor accumulates as replicas complete. The format
+      // is pinned by scripts/exit_codes_test.sh.
+      const auto beat = [&pending] {
+        rcsim::exp::JobProgress sum;
+        for (const auto& p : pending) {
+          const auto prog = rcsim::exp::SweepExecutor::progress(p.job);
+          sum.completed += prog.completed;
+          sum.total += prog.total;
+          sum.episodes += prog.episodes;
+          sum.dropsLoop += prog.dropsLoop;
+          sum.dropsBlackhole += prog.dropsBlackhole;
+          sum.dropsTtl += prog.dropsTtl;
+          sum.dropsQueue += prog.dropsQueue;
+        }
+        std::fprintf(stderr,
+                     "rcsim_bench: progress %zu/%zu replica(s) (%.0f%%) | episodes %llu | "
+                     "drops loop=%llu bh=%llu ttl=%llu queue=%llu\n",
+                     sum.completed, sum.total,
+                     sum.total > 0
+                         ? 100.0 * static_cast<double>(sum.completed) /
+                               static_cast<double>(sum.total)
+                         : 0.0,
+                     static_cast<unsigned long long>(sum.episodes),
+                     static_cast<unsigned long long>(sum.dropsLoop),
+                     static_cast<unsigned long long>(sum.dropsBlackhole),
+                     static_cast<unsigned long long>(sum.dropsTtl),
+                     static_cast<unsigned long long>(sum.dropsQueue));
+      };
       const auto period = std::chrono::seconds(progressSec);
       auto next = std::chrono::steady_clock::now() + period;
       while (!heartbeatStop.load(std::memory_order_relaxed)) {
@@ -341,17 +428,11 @@ int main(int argc, char** argv) {
           continue;
         }
         next += period;
-        std::size_t done = 0;
-        std::size_t total = 0;
-        for (const auto& p : pending) {
-          const auto prog = rcsim::exp::SweepExecutor::progress(p.job);
-          done += prog.completed;
-          total += prog.total;
-        }
-        std::fprintf(stderr, "rcsim_bench: progress %zu/%zu replica(s) (%.0f%%)\n", done, total,
-                     total > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total)
-                               : 0.0);
+        beat();
       }
+      // Final beat at sweep end, so a run shorter than SEC still reports
+      // its totals (and the pinned format is always observable).
+      beat();
     }};
   }
 
@@ -373,8 +454,10 @@ int main(int argc, char** argv) {
     if (toTxt) {
       StdoutToFile redirect{outDir + "/" + p.spec->name + ".txt"};
       p.spec->render(*p.spec, result);
+      renderConvergenceTable(result, p.spec->cells);
     } else {
       p.spec->render(*p.spec, result);
+      renderConvergenceTable(result, p.spec->cells);
       std::fflush(stdout);
     }
     if (json) {

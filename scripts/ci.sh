@@ -37,6 +37,21 @@ grep -q '"sim.events_executed"' "$smoke_out/headline_table.json"
 "$BUILD/tools/rcsim-trace" --replay="$smoke_out/smoke.trace.jsonl" --from=399 --to=401 \
   | grep -q 'corrupt=0'
 
+# Inspect smoke: the convergence-anatomy query CLI must find at least one
+# episode in the recorded trace, and two runs over the same file must agree
+# byte-for-byte (the analyzer is deterministic, not sampled).
+"$BUILD/tools/rcsim-inspect" --trace="$smoke_out/smoke.trace.jsonl" --episodes \
+  > "$smoke_out/episodes1.txt"
+grep -q '^episode' "$smoke_out/episodes1.txt"
+"$BUILD/tools/rcsim-inspect" --trace="$smoke_out/smoke.trace.jsonl" --episodes \
+  > "$smoke_out/episodes2.txt"
+cmp "$smoke_out/episodes1.txt" "$smoke_out/episodes2.txt"
+# Artifacts carry the convergence block (schema: exp/journal.hpp
+# anatomySummaryToJson) plus its digest pinning the serial == pooled fold.
+grep -q '"convergence"' "$smoke_out/headline_table.json"
+grep -q '"convergence_digest"' "$smoke_out/headline_table.json"
+grep -q '"detection_sec_total"' "$smoke_out/headline_table.json"
+
 # Topology layer smoke: the canonical rcsim-topo-v1 dump must be a fixed
 # point (load -> dump -> load -> dump byte-identical), and the real-topology
 # experiment must sweep every protocol over the loaded backbones cleanly
@@ -78,7 +93,7 @@ cmake --build "$SAN_BUILD" -j "$(nproc)"
 # SPF against a full-BFS oracle (src/routing/linkstate.cpp), so the
 # sanitizer job also proves incremental == full element-wise under ASan.
 RCSIM_SPF_ORACLE=1 ctest --test-dir "$SAN_BUILD" --output-on-failure --timeout 600 \
-  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf|Detector|Damping'
+  -R 'Scheduler|Link|Reliable|Churn|Fault|Invariant|Executor|Sweep|Journal|LinkState|RoutingState|Spf|Detector|Damping|Anatomy|Inspect|inspect|trace_record'
 
 # TSan job: a -fsanitize=thread build runs the concurrency-heavy suites
 # (SweepExecutor's work queue, the lock-free metrics registry, journaled
@@ -88,6 +103,6 @@ TSAN_BUILD=${TSAN_BUILD:-build-tsan}
 cmake -S . -B "$TSAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRCSIM_SANITIZE=thread
 cmake --build "$TSAN_BUILD" -j "$(nproc)"
 ctest --test-dir "$TSAN_BUILD" --output-on-failure --timeout 600 \
-  -R 'Executor|Sweep|Journal|Metrics|Detector|Damping'
+  -R 'Executor|Sweep|Journal|Metrics|Detector|Damping|Anatomy|Inspect|inspect|trace_record'
 
 echo "ci: all gates green"

@@ -78,11 +78,17 @@ fi
 "$BENCH" --only=headline_table --runs=1 --threads=2 --out="$WORK/ok" >/dev/null 2>&1
 expect 0 $? "clean run"
 
-# --progress=SEC is accepted on a clean run (heartbeat may or may not
-# fire before the sweep finishes; only the exit status is contractual).
+# --progress=SEC: a final heartbeat always prints at sweep end, in the
+# extended format carrying live convergence-episode and drop-attribution
+# counters. The line format is contractual (pinned here).
 "$BENCH" --only=headline_table --runs=1 --threads=2 --progress=1 \
-  --out="$WORK/ok_progress" >/dev/null 2>&1
+  --out="$WORK/ok_progress" >/dev/null 2>"$WORK/progress.err"
 expect 0 $? "clean run with --progress=1"
+progress_re='rcsim_bench: progress [0-9]+/[0-9]+ replica\(s\) \([0-9]+%\) \| episodes [0-9]+ \| drops loop=[0-9]+ bh=[0-9]+ ttl=[0-9]+ queue=[0-9]+'
+if ! grep -Eq "$progress_re" "$WORK/progress.err"; then
+  echo "FAIL --progress heartbeat missing or not in the pinned extended format"
+  fails=$((fails + 1))
+fi
 
 # ======================================================================
 # rcsim_fuzz: 2 usage > 130 interrupted > 4 findings/replay mismatch > 0

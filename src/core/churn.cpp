@@ -14,7 +14,7 @@ void ChurnInjector::install() {
 void ChurnInjector::scheduleFailure(std::size_t linkIndex, Time notBefore) {
   const Time at = notBefore + Time::seconds(rng_.exponential(cfg_.meanUpSec));
   if (at >= cfg_.stop) return;
-  net_.scheduler().scheduleAt(at, [this, linkIndex] {
+  net_.scheduler().scheduleAt(at, EventKind::Fault, [this, linkIndex] {
     Link& link = *net_.links()[linkIndex];
     if (!link.isUp()) {
       // Down through some other mechanism (fault plan, scenario failure).
@@ -29,7 +29,7 @@ void ChurnInjector::scheduleFailure(std::size_t linkIndex, Time notBefore) {
     ++failures_;
     const Time repairAt =
         net_.scheduler().now() + Time::seconds(rng_.exponential(cfg_.meanDownSec));
-    net_.scheduler().scheduleAt(repairAt, [this, linkIndex] {
+    net_.scheduler().scheduleAt(repairAt, EventKind::Fault, [this, linkIndex] {
       Link& l = *net_.links()[linkIndex];
       if (l.isUp()) {
         // Recovered externally before our repair fired: skip the double

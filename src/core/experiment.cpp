@@ -83,6 +83,10 @@ RunResult summarizeRun(Scenario& scenario) {
   r.eventsExecuted = scenario.scheduler().executedEvents();
   r.fibDigestBefore = scenario.fibDigestBefore();
   r.fibDigestAfter = scenario.fibDigestAfter();
+  if (auto* anatomy = scenario.convergenceAnalyzer()) {
+    if (!anatomy->finished()) anatomy->finish();  // summarizing a partial run
+    r.anatomy = anatomy->report().summary();
+  }
 
   // Scheduler hot-path totals go to whatever registry the surrounding
   // executor installed (RunResult's layout is frozen by golden digests, so
@@ -93,6 +97,37 @@ RunResult summarizeRun(Scenario& scenario) {
     metrics->counter("sim.events_scheduled").add(sched.scheduledEvents());
     metrics->counter("sim.events_cancelled").add(sched.cancelledEvents());
     metrics->histogram("sim.pool_slots").observe(static_cast<double>(sched.poolCapacity()));
+    // Per-event-kind scheduler timing profile (docs/observability.md).
+    for (int k = 0; k < kEventKindCount; ++k) {
+      const auto kind = static_cast<EventKind>(k);
+      const auto& ks = sched.kindStats(kind);
+      if (ks.scheduled == 0) continue;
+      const std::string prefix = std::string{"sim.kind."} + toString(kind);
+      metrics->counter(prefix + ".scheduled").add(ks.scheduled);
+      metrics->counter(prefix + ".executed").add(ks.executed);
+    }
+    // Convergence-anatomy rollup, so sweeps expose episode counts and drop
+    // attribution without widening the frozen Aggregate layout.
+    if (r.anatomy.episodes > 0 || r.anatomy.delivered > 0 || r.anatomy.controlMessages > 0) {
+      metrics->counter("anatomy.episodes").add(r.anatomy.episodes);
+      metrics->counter("anatomy.fib_churn").add(r.anatomy.fibChurn);
+      metrics->counter("anatomy.drops.loop").add(r.anatomy.dropsLoop);
+      metrics->counter("anatomy.drops.blackhole").add(r.anatomy.dropsBlackhole);
+      metrics->counter("anatomy.drops.ttl").add(r.anatomy.dropsTtl);
+      metrics->counter("anatomy.drops.queue").add(r.anatomy.dropsQueue);
+      metrics->counter("anatomy.control.messages").add(r.anatomy.controlMessages);
+      metrics->counter("anatomy.control.bytes").add(r.anatomy.controlBytes);
+      if (r.anatomy.detectedEpisodes > 0) {
+        metrics->histogram("anatomy.detection_sec")
+            .observe(r.anatomy.detectionSecTotal /
+                     static_cast<double>(r.anatomy.detectedEpisodes));
+      }
+      if (r.anatomy.convergedEpisodes > 0) {
+        metrics->histogram("anatomy.convergence_sec")
+            .observe(r.anatomy.convergenceSecTotal /
+                     static_cast<double>(r.anatomy.convergedEpisodes));
+      }
+    }
   }
   return r;
 }

@@ -55,6 +55,13 @@ struct RunResult {
   std::string fibDigestBefore;
   std::string fibDigestAfter;
 
+  /// Convergence-anatomy rollup from the streaming analyzer (episodes,
+  /// detection/convergence latency, window seconds, per-cause drops,
+  /// control-plane accounting). All-zero when cfg.anatomy is off. Like the
+  /// FIB digests, deliberately NOT part of runResultFingerprint — it has
+  /// its own anatomyFingerprint for the serial == pooled check.
+  obs::AnatomySummary anatomy;
+
   [[nodiscard]] std::uint64_t deliveredTotal() const { return data.delivered; }
   /// Conservation residual: packets unaccounted for at simulation end.
   [[nodiscard]] std::int64_t residual() const {

@@ -106,4 +106,36 @@ std::string aggregateFingerprint(const Aggregate& a) {
 
 std::string aggregateDigest(const Aggregate& a) { return fnv1aHex(aggregateFingerprint(a)); }
 
+std::string anatomyFingerprint(const obs::AnatomySummary& s) {
+  std::ostringstream os;
+  put(os, "episodes", s.episodes);
+  put(os, "triggers", s.triggers);
+  put(os, "detectedEpisodes", s.detectedEpisodes);
+  put(os, "detectionSecTotal", s.detectionSecTotal);
+  put(os, "convergedEpisodes", s.convergedEpisodes);
+  put(os, "convergenceSecTotal", s.convergenceSecTotal);
+  put(os, "fibChurn", s.fibChurn);
+  put(os, "loopWindows", s.loopWindows);
+  put(os, "loopSeconds", s.loopSeconds);
+  put(os, "blackholeWindows", s.blackholeWindows);
+  put(os, "blackholeSeconds", s.blackholeSeconds);
+  put(os, "dropsLoop", s.dropsLoop);
+  put(os, "dropsBlackhole", s.dropsBlackhole);
+  put(os, "dropsTtl", s.dropsTtl);
+  put(os, "dropsQueue", s.dropsQueue);
+  put(os, "dropsOther", s.dropsOther);
+  put(os, "delivered", s.delivered);
+  put(os, "controlMessages", s.controlMessages);
+  put(os, "controlBytes", s.controlBytes);
+  put(os, "helloMessages", s.helloMessages);
+  put(os, "helloBytes", s.helloBytes);
+  put(os, "dvTriggered", s.dvTriggered);
+  put(os, "dvPeriodic", s.dvPeriodic);
+  put(os, "mraiArmed", s.mraiArmed);
+  put(os, "mraiFired", s.mraiFired);
+  return os.str();
+}
+
+std::string anatomyDigest(const obs::AnatomySummary& s) { return fnv1aHex(anatomyFingerprint(s)); }
+
 }  // namespace rcsim

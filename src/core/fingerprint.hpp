@@ -27,4 +27,11 @@ namespace rcsim {
 [[nodiscard]] std::string aggregateFingerprint(const Aggregate& a);
 [[nodiscard]] std::string aggregateDigest(const Aggregate& a);
 
+/// Same idea for a convergence-anatomy rollup (obs/anatomy.hpp). Kept
+/// separate from runResultFingerprint — whose golden digests predate the
+/// analyzer — so the serial == pooled convergence check can be exact
+/// without disturbing a single pinned value.
+[[nodiscard]] std::string anatomyFingerprint(const obs::AnatomySummary& s);
+[[nodiscard]] std::string anatomyDigest(const obs::AnatomySummary& s);
+
 }  // namespace rcsim

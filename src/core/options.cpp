@@ -176,6 +176,8 @@ void applyOption(ScenarioConfig& cfg, const std::string& key, const std::string&
     cfg.faultPlan = fault::FaultPlan::parse(value);
   } else if (key == "check-invariants") {
     cfg.checkInvariants = parseBool(key, value);
+  } else if (key == "anatomy") {
+    cfg.anatomy = parseBool(key, value);
     // Link layer.
   } else if (key == "bandwidth") {
     cfg.link.bandwidthBps = parseDouble(key, value);
@@ -333,6 +335,7 @@ std::vector<std::string> describeOptions(const ScenarioConfig& cfg) {
   add("ecmp", cfg.ecmp ? "1" : "0");
   add("fault-plan", cfg.faultPlan.format());
   add("check-invariants", cfg.checkInvariants ? "1" : "0");
+  add("anatomy", cfg.anatomy ? "1" : "0");
   add("bandwidth", num(cfg.link.bandwidthBps));
   add("prop-delay-ms", num(cfg.link.propDelay.toSeconds() * 1e3));
   add("queue", std::to_string(cfg.link.queueCapacity));

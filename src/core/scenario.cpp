@@ -161,6 +161,20 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_{cfg}, rng_{cfg.seed} {
     }
     ++flowId;
   }
+
+  // Streaming convergence anatomy: installed as the Tracer's sink so it sees
+  // the live event stream zero-copy. External sinks chain behind it through
+  // attachTraceSink(), keeping recorded traces bit-identical.
+  if (cfg_.anatomy) {
+    anatomy_ = std::make_unique<obs::ConvergenceAnalyzer>(
+        obs::ReplayOptions{flows_[0].sender, flows_[0].receiver, net_->nodeCount()});
+    net_->trace().setSink(anatomy_.get());
+    // Until something records downstream, only emit the kinds the analyzer
+    // consumes: the per-hop forward/originate flood (~70% of a trace by
+    // volume) never leaves the emitters, which is what keeps the
+    // on-by-default profiler inside the perf gate's 3% overhead budget.
+    net_->trace().setKindMask(obs::ConvergenceAnalyzer::kConsumedKinds);
+  }
 }
 
 std::uint64_t Scenario::packetsSent() const {
@@ -181,7 +195,8 @@ void Scenario::run() {
   }
   if (cfg_.injectFailure) {
     for (int k = 0; k < cfg_.failureCount; ++k) {
-      sched_.scheduleAt(cfg_.failAt + cfg_.failureSpacing * k, [this, k] { injectFailure(k); });
+      sched_.scheduleAt(cfg_.failAt + cfg_.failureSpacing * k, EventKind::Fault,
+                        [this, k] { injectFailure(k); });
     }
   }
   if (injector_) injector_->install();
@@ -191,6 +206,7 @@ void Scenario::run() {
                      static_cast<std::int64_t>(sched_.executedEvents()),
                      static_cast<std::int64_t>(sched_.scheduledEvents()),
                      static_cast<std::int64_t>(sched_.poolCapacity()));
+  if (anatomy_) anatomy_->finish();
   if (checker_) {
     checker_->finalCheck(sched_.now());
     if (!checker_->clean()) {
@@ -248,7 +264,7 @@ void Scenario::injectFailure(int index) {
   failedLinks_.push_back(link);
   link->fail();
   if (cfg_.repairAfter < Time::infinity()) {
-    sched_.scheduleAfter(cfg_.repairAfter, [link] { link->recover(); });
+    sched_.scheduleAfter(cfg_.repairAfter, EventKind::Fault, [link] { link->recover(); });
   }
 }
 

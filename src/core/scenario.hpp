@@ -12,6 +12,7 @@
 #include "net/detector.hpp"
 #include "net/link.hpp"
 #include "net/network.hpp"
+#include "obs/anatomy.hpp"
 #include "routing/factory.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/collector.hpp"
@@ -122,6 +123,13 @@ struct ScenarioConfig {
   /// Also enabled by the RCSIM_CHECK_INVARIANTS environment variable.
   bool checkInvariants = false;
 
+  /// Streaming convergence-anatomy profiler (obs/anatomy.hpp): one episode
+  /// per fault event with detection/convergence latency, FIB churn, loop and
+  /// black-hole windows, and per-cause drop attribution, plus control-plane
+  /// accounting. Purely observational — it never schedules events or draws
+  /// from the RNG, so every pinned digest is identical with it on or off.
+  bool anatomy = true;
+
   ProtocolConfig protoCfg{};
 
   /// When the first disruption hits — the path-targeted failure or the
@@ -154,6 +162,29 @@ class Scenario {
   [[nodiscard]] fault::InvariantChecker* invariantChecker() { return checker_.get(); }
   /// Null unless hello-based failure detection is enabled.
   [[nodiscard]] HelloDetector* helloDetector() { return detector_.get(); }
+
+  /// Null unless cfg.anatomy is on (the default).
+  [[nodiscard]] obs::ConvergenceAnalyzer* convergenceAnalyzer() { return anatomy_.get(); }
+  [[nodiscard]] const obs::ConvergenceAnalyzer* convergenceAnalyzer() const {
+    return anatomy_.get();
+  }
+
+  /// Install an external trace sink without disturbing the anatomy profiler:
+  /// when the analyzer is active it stays first in line and forwards every
+  /// event verbatim to `sink`, so recorded traces (and their digests) are
+  /// byte-identical to a direct Tracer::setSink. With anatomy off this *is*
+  /// a direct setSink. Pass nullptr to detach.
+  void attachTraceSink(obs::TraceSink* sink) {
+    if (anatomy_) {
+      anatomy_->setDownstream(sink);
+      // A recorder needs the full stream; analyzer-only runs keep the
+      // narrowed mask set at construction (see scenario.cpp).
+      net_->trace().setKindMask(sink != nullptr ? obs::Tracer::kAllKinds
+                                                : obs::ConvergenceAnalyzer::kConsumedKinds);
+    } else {
+      net_->trace().setSink(sink);
+    }
+  }
 
   /// Per-node route-table digests around the first fault (docs/
   /// failure-detection.md). `before` is captured synchronously at the
@@ -205,6 +236,7 @@ class Scenario {
   std::unique_ptr<fault::InvariantChecker> checker_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<HelloDetector> detector_;
+  std::unique_ptr<obs::ConvergenceAnalyzer> anatomy_;
   std::vector<Flow> flows_;
   std::vector<Link*> failedLinks_;
   bool preFailShortest_ = false;

@@ -6,6 +6,7 @@
 #include "core/durable_io.hpp"
 #include "core/fingerprint.hpp"
 #include "core/options.hpp"
+#include "exp/journal.hpp"
 
 namespace rcsim::exp {
 
@@ -153,6 +154,13 @@ JsonValue buildArtifact(const ExperimentSpec& spec, const ExperimentResult& resu
         if (!result.cells[i].snapshots.empty()) {
           cell.object["snapshots"] = snapshotsJson(result.cells[i].snapshots);
         }
+        // Convergence-anatomy rollup (episodes, detection/convergence
+        // latency, window seconds, per-cause drops, control accounting),
+        // summed over replicas in seed order. The digest pins the exact
+        // fold the same way aggregate_digest pins the aggregate.
+        cell.object["convergence"] = anatomySummaryToJson(result.cells[i].convergence);
+        cell.object["convergence_digest"] =
+            JsonValue::makeString(anatomyDigest(result.cells[i].convergence));
       }
       if (!result.cells[i].retries.empty()) {
         cell.object["retries"] = retriesJson(result.cells[i].retries);

@@ -113,6 +113,13 @@ class SweepExecutor::Job {
   std::vector<std::string> cellDigest_;            ///< per-cell canonical-config digest
   std::vector<std::vector<std::uint8_t>> prefilled_;  ///< journaled results folded at submit
   std::atomic<std::size_t> completed_{0};  ///< replicas processed (run or resumed)
+  /// Live anatomy rollup for heartbeats, accumulated per successful
+  /// replica. Relaxed atomics: heartbeat readers tolerate slight skew.
+  std::atomic<std::uint64_t> episodes_{0};
+  std::atomic<std::uint64_t> dropsLoop_{0};
+  std::atomic<std::uint64_t> dropsBlackhole_{0};
+  std::atomic<std::uint64_t> dropsTtl_{0};
+  std::atomic<std::uint64_t> dropsQueue_{0};
   /// Sweep profile (replica wall time, journal fsync latency, scheduler
   /// totals via the thread-local scope); serialized into result_.metrics
   /// when the job finishes. All instruments are thread-safe.
@@ -182,6 +189,11 @@ JobProgress SweepExecutor::progress(const std::shared_ptr<Job>& job) {
   if (job == nullptr) return p;
   p.total = job->total_;
   p.completed = std::min(job->completed_.load(std::memory_order_relaxed), job->total_);
+  p.episodes = job->episodes_.load(std::memory_order_relaxed);
+  p.dropsLoop = job->dropsLoop_.load(std::memory_order_relaxed);
+  p.dropsBlackhole = job->dropsBlackhole_.load(std::memory_order_relaxed);
+  p.dropsTtl = job->dropsTtl_.load(std::memory_order_relaxed);
+  p.dropsQueue = job->dropsQueue_.load(std::memory_order_relaxed);
   return p;
 }
 
@@ -316,6 +328,14 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
     if (!ok) job.errors_[cell][rep] = trail.back();
     if (!trail.empty()) job.trails_[cell][rep] = std::move(trail);
     journalReplica(job, cell, rep, ok);
+    if (ok) {
+      const auto& an = job.raw_[cell][rep].anatomy;
+      job.episodes_.fetch_add(an.episodes, std::memory_order_relaxed);
+      job.dropsLoop_.fetch_add(an.dropsLoop, std::memory_order_relaxed);
+      job.dropsBlackhole_.fetch_add(an.dropsBlackhole, std::memory_order_relaxed);
+      job.dropsTtl_.fetch_add(an.dropsTtl, std::memory_order_relaxed);
+      job.dropsQueue_.fetch_add(an.dropsQueue, std::memory_order_relaxed);
+    }
   }
   job.completed_.fetch_add(1, std::memory_order_relaxed);
 
@@ -343,6 +363,9 @@ void SweepExecutor::runReplica(Job& job, std::size_t item) {
   if (!anyFailed) {
     out.agg = Aggregate::over(job.raw_[cell]);
     out.totals = CellStats::over(job.raw_[cell]);
+    // Seed-order sum, so pooled execution folds bit-identically to a
+    // serial loop over runScenario (anatomyDigest pins the equivalence).
+    for (const RunResult& rr : job.raw_[cell]) out.convergence += rr.anatomy;
     out.snapshots.reserve(job.raw_[cell].size());
     for (std::size_t r = 0; r < job.raw_[cell].size(); ++r) {
       out.snapshots.push_back(SnapshotDigests{cs.startSeed + r,

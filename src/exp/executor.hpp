@@ -16,6 +16,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -46,9 +47,17 @@ struct RetryPolicy {
 };
 
 /// Live progress snapshot of a job, for heartbeat/progress reporting.
+/// The anatomy counters accumulate as replicas complete (successful runs
+/// only), so a long sweep's heartbeat shows convergence episodes and drop
+/// attribution while it runs.
 struct JobProgress {
   std::size_t total = 0;      ///< cells x runs replicas
   std::size_t completed = 0;  ///< replicas finished (run, resumed or failed)
+  std::uint64_t episodes = 0;        ///< convergence episodes so far
+  std::uint64_t dropsLoop = 0;       ///< loop-attributed data drops so far
+  std::uint64_t dropsBlackhole = 0;  ///< black-hole-attributed drops so far
+  std::uint64_t dropsTtl = 0;        ///< plain TTL drops so far
+  std::uint64_t dropsQueue = 0;      ///< queue-overflow drops so far
 };
 
 /// Per-job wiring for durability and resume. Both pointers are borrowed

@@ -67,6 +67,69 @@ std::uint64_t u64At(const JsonValue& o, const char* key) {
 
 }  // namespace
 
+JsonValue anatomySummaryToJson(const obs::AnatomySummary& s) {
+  JsonValue o = JsonValue::makeObject();
+  auto putU = [&o](const char* key, std::uint64_t v) {
+    o.object[key] = JsonValue::makeNumber(static_cast<double>(v));
+  };
+  putU("episodes", s.episodes);
+  putU("triggers", s.triggers);
+  putU("detected_episodes", s.detectedEpisodes);
+  o.object["detection_sec_total"] = JsonValue::makeNumber(s.detectionSecTotal);
+  putU("converged_episodes", s.convergedEpisodes);
+  o.object["convergence_sec_total"] = JsonValue::makeNumber(s.convergenceSecTotal);
+  putU("fib_churn", s.fibChurn);
+  putU("loop_windows", s.loopWindows);
+  o.object["loop_seconds"] = JsonValue::makeNumber(s.loopSeconds);
+  putU("blackhole_windows", s.blackholeWindows);
+  o.object["blackhole_seconds"] = JsonValue::makeNumber(s.blackholeSeconds);
+  putU("drops_loop", s.dropsLoop);
+  putU("drops_blackhole", s.dropsBlackhole);
+  putU("drops_ttl", s.dropsTtl);
+  putU("drops_queue", s.dropsQueue);
+  putU("drops_other", s.dropsOther);
+  putU("delivered", s.delivered);
+  putU("control_messages", s.controlMessages);
+  putU("control_bytes", s.controlBytes);
+  putU("hello_messages", s.helloMessages);
+  putU("hello_bytes", s.helloBytes);
+  putU("dv_triggered", s.dvTriggered);
+  putU("dv_periodic", s.dvPeriodic);
+  putU("mrai_armed", s.mraiArmed);
+  putU("mrai_fired", s.mraiFired);
+  return o;
+}
+
+obs::AnatomySummary anatomySummaryFromJson(const JsonValue& v) {
+  obs::AnatomySummary s;
+  s.episodes = u64At(v, "episodes");
+  s.triggers = u64At(v, "triggers");
+  s.detectedEpisodes = u64At(v, "detected_episodes");
+  s.detectionSecTotal = v.numberAt("detection_sec_total");
+  s.convergedEpisodes = u64At(v, "converged_episodes");
+  s.convergenceSecTotal = v.numberAt("convergence_sec_total");
+  s.fibChurn = u64At(v, "fib_churn");
+  s.loopWindows = u64At(v, "loop_windows");
+  s.loopSeconds = v.numberAt("loop_seconds");
+  s.blackholeWindows = u64At(v, "blackhole_windows");
+  s.blackholeSeconds = v.numberAt("blackhole_seconds");
+  s.dropsLoop = u64At(v, "drops_loop");
+  s.dropsBlackhole = u64At(v, "drops_blackhole");
+  s.dropsTtl = u64At(v, "drops_ttl");
+  s.dropsQueue = u64At(v, "drops_queue");
+  s.dropsOther = u64At(v, "drops_other");
+  s.delivered = u64At(v, "delivered");
+  s.controlMessages = u64At(v, "control_messages");
+  s.controlBytes = u64At(v, "control_bytes");
+  s.helloMessages = u64At(v, "hello_messages");
+  s.helloBytes = u64At(v, "hello_bytes");
+  s.dvTriggered = u64At(v, "dv_triggered");
+  s.dvPeriodic = u64At(v, "dv_periodic");
+  s.mraiArmed = u64At(v, "mrai_armed");
+  s.mraiFired = u64At(v, "mrai_fired");
+  return s;
+}
+
 JsonValue runResultToJson(const RunResult& r) {
   JsonValue o = JsonValue::makeObject();
   o.object["protocol"] = JsonValue::makeNumber(static_cast<int>(r.protocol));
@@ -106,6 +169,7 @@ JsonValue runResultToJson(const RunResult& r) {
   o.object["events_executed"] = JsonValue::makeNumber(static_cast<double>(r.eventsExecuted));
   o.object["fib_digest_before"] = JsonValue::makeString(r.fibDigestBefore);
   o.object["fib_digest_after"] = JsonValue::makeString(r.fibDigestAfter);
+  o.object["anatomy"] = anatomySummaryToJson(r.anatomy);
   return o;
 }
 
@@ -143,6 +207,9 @@ RunResult runResultFromJson(const JsonValue& v) {
   // before them decode with the fields empty.
   if (v.has("fib_digest_before")) r.fibDigestBefore = v.stringAt("fib_digest_before");
   if (v.has("fib_digest_after")) r.fibDigestAfter = v.stringAt("fib_digest_after");
+  // The anatomy block postdates the first journal format; older journals
+  // decode with an all-zero summary.
+  if (v.has("anatomy")) r.anatomy = anatomySummaryFromJson(v.at("anatomy"));
   return r;
 }
 

@@ -47,6 +47,12 @@ using rcsim::crc32Hex;
 [[nodiscard]] JsonValue runResultToJson(const RunResult& r);
 [[nodiscard]] RunResult runResultFromJson(const JsonValue& v);
 
+/// JSON image of a convergence-anatomy rollup (obs/anatomy.hpp), shared by
+/// the journal (resume keeps the convergence block exact) and the artifact
+/// writer's `convergence` block.
+[[nodiscard]] JsonValue anatomySummaryToJson(const obs::AnatomySummary& s);
+[[nodiscard]] obs::AnatomySummary anatomySummaryFromJson(const JsonValue& v);
+
 /// One journaled replica.
 struct JournalRecord {
   std::string experiment;    ///< spec name

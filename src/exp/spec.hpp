@@ -91,6 +91,10 @@ struct CellResult {
   std::vector<ReplicaFailure> failures;  ///< seed order; empty = healthy cell
   std::vector<ReplicaRetry> retries;     ///< seed order; retried-then-successful replicas
   std::vector<SnapshotDigests> snapshots;  ///< seed order; per-replica FIB digests
+  /// Convergence-anatomy rollup summed over replicas in seed order (so
+  /// serial == pooled execution is bit-identical; anatomyDigest pins it).
+  /// All-zero when the cell's runs carried no analyzer.
+  obs::AnatomySummary convergence;
 
   [[nodiscard]] bool failed() const { return !failures.empty(); }
 };

@@ -172,7 +172,7 @@ RunResult runTdown(const ScenarioConfig& cfg) {
   sc.stats().routeLog().setWatermark(cfg.failAt);
   Network& net = sc.network();
   const NodeId victim = sc.receiver();
-  sc.scheduler().scheduleAt(cfg.failAt, [&net, victim] {
+  sc.scheduler().scheduleAt(cfg.failAt, EventKind::Fault, [&net, victim] {
     for (const NodeId nb : net.node(victim).neighbors()) {
       net.findLink(victim, nb)->fail();
     }

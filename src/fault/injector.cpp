@@ -12,7 +12,7 @@ FaultInjector::FaultInjector(Network& net, FaultPlan plan, ProtocolFactory facto
 void FaultInjector::install() {
   auto& sched = net_.scheduler();
   for (const auto& ev : plan_.events) {
-    sched.scheduleAt(ev.at, [this, ev] { apply(ev); });
+    sched.scheduleAt(ev.at, EventKind::Fault, [this, ev] { apply(ev); });
   }
 }
 
@@ -109,13 +109,13 @@ void FaultInjector::flapBurst(const FaultEvent& ev) {
   // someone else already took down (or recovering one independently failed)
   // is a no-op, mirroring the LinkFail/LinkRecover event semantics.
   for (int k = 0; k < ev.count; ++k) {
-    sched.scheduleAfter(Time::seconds(period * k), [this, &l] {
+    sched.scheduleAfter(Time::seconds(period * k), EventKind::Fault, [this, &l] {
       if (l.isUp()) {
         ++linkFailures_;
         l.fail();
       }
     });
-    sched.scheduleAfter(Time::seconds(period * k + period / 2.0), [this, &l] {
+    sched.scheduleAfter(Time::seconds(period * k + period / 2.0), EventKind::Fault, [this, &l] {
       if (!l.isUp()) {
         ++linkRecoveries_;
         l.recover();

@@ -17,6 +17,7 @@ const char* toString(RunStatus status) {
     case RunStatus::Exception: return "exception";
     case RunStatus::Timeout: return "timeout";
     case RunStatus::Nondeterministic: return "nondeterministic";
+    case RunStatus::AnatomyDivergence: return "anatomy-divergence";
   }
   return "?";
 }
@@ -24,7 +25,7 @@ const char* toString(RunStatus status) {
 RunStatus runStatusFromString(const std::string& name) {
   for (const RunStatus s : {RunStatus::Clean, RunStatus::InvariantViolation,
                             RunStatus::Exception, RunStatus::Timeout,
-                            RunStatus::Nondeterministic}) {
+                            RunStatus::Nondeterministic, RunStatus::AnatomyDivergence}) {
     if (name == toString(s)) return s;
   }
   throw std::invalid_argument("unknown run status '" + name + "'");
@@ -34,6 +35,9 @@ RunOutcome runScenarioOnce(const ScenarioConfig& cfg, double wallLimitSec) {
   RunOutcome out;
   ScenarioConfig checked = cfg;
   checked.checkInvariants = true;
+  // The online anatomy analyzer is forced on, like the invariant checker:
+  // every execution cross-checks it against the offline replay below.
+  checked.anatomy = true;
 
   // Construction failures (a mutation produced a config the scenario
   // builder rejects) classify like any other escape — the campaign treats
@@ -48,7 +52,9 @@ RunOutcome runScenarioOnce(const ScenarioConfig& cfg, double wallLimitSec) {
   }
 
   obs::MemoryTraceSink sink;
-  scenario->network().trace().setSink(&sink);
+  // Chain behind the anatomy analyzer: it forwards every event verbatim,
+  // so the recorded trace (and its digest) is what a direct sink would see.
+  scenario->attachTraceSink(&sink);
 
   bool threw = false;
   try {
@@ -78,8 +84,42 @@ RunOutcome runScenarioOnce(const ScenarioConfig& cfg, double wallLimitSec) {
   out.eventsExecuted = scenario->scheduler().executedEvents();
   if (!threw && out.status == RunStatus::Clean) {
     out.resultDigest = runResultDigest(summarizeRun(*scenario));
+    // Cross-check the streaming analyzer against the offline replayer over
+    // the exact events the run just produced. They are independent
+    // implementations of the same reconstruction; any disagreement is a
+    // simulator-observability bug worth banking.
+    if (const auto* anatomy = scenario->convergenceAnalyzer()) {
+      const auto& live = anatomy->report();
+      const obs::ReplayOptions opts{scenario->sender(), scenario->receiver(),
+                                    scenario->network().nodeCount()};
+      std::string field;
+      try {
+        const obs::ReplayResult replay = obs::replayTrace(out.trace, opts);
+        if (live.pathEvents != replay.pathEvents) {
+          field = "pathEvents";
+        } else if (live.loopWindows != replay.loopWindows) {
+          field = "loopWindows";
+        } else if (live.blackholeWindows != replay.blackholeWindows) {
+          field = "blackholeWindows";
+        } else if (live.kindCounts != replay.kindCounts) {
+          field = "kindCounts";
+        } else if (live.delivered != replay.delivered || live.dropped != replay.dropped) {
+          field = "planeCounters";
+        } else if (live.episodes != obs::analyzeTrace(out.trace, opts).episodes) {
+          // Same analyzer over the recorded stream: catches a live-vs-
+          // recorded event mismatch (a sink-chain bug) at episode level.
+          field = "episodes";
+        }
+      } catch (const std::exception&) {
+        field = "replayThrew";
+      }
+      if (!field.empty()) {
+        out.status = RunStatus::AnatomyDivergence;
+        out.detail = field + "\nonline analyzer vs offline replay disagree on " + field;
+      }
+    }
   }
-  scenario->network().trace().setSink(nullptr);
+  scenario->attachTraceSink(nullptr);
   return out;
 }
 
@@ -103,7 +143,8 @@ RunOutcome checkDeterminism(const ScenarioConfig& cfg, double wallLimitSec) {
 
 std::string findingKey(const RunOutcome& outcome) {
   std::string key = toString(outcome.status);
-  if (outcome.status == RunStatus::InvariantViolation) {
+  if (outcome.status == RunStatus::InvariantViolation ||
+      outcome.status == RunStatus::AnatomyDivergence) {
     key += '/';
     key += outcome.detail.substr(0, outcome.detail.find('\n'));
   } else if (outcome.status == RunStatus::Exception) {

@@ -21,6 +21,7 @@ enum class RunStatus {
   Exception,          ///< an uncaught exception other than the two below
   Timeout,            ///< the watchdog killed a wedged/pathological run
   Nondeterministic,   ///< same config, two runs, different digests
+  AnatomyDivergence,  ///< online anatomy analyzer and offline replay disagree
 };
 
 [[nodiscard]] const char* toString(RunStatus status);

@@ -30,7 +30,7 @@ void HelloDetector::start() {
     }
     // Random initial phase so the fleet's hellos do not fire in lockstep.
     const Time phase = Time::seconds(node.rng().uniform(0.0, cfg_.interval.toSeconds()));
-    net_.scheduler().scheduleAfter(phase, [this, n] { sendHellos(n); });
+    net_.scheduler().scheduleAfter(phase, EventKind::Detector, [this, n] { sendHellos(n); });
   }
 }
 
@@ -52,14 +52,14 @@ void HelloDetector::sendHellos(NodeId n) {
   const double spread =
       cfg_.jitter > 0.0 ? node.rng().uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter) : 1.0;
   net_.scheduler().scheduleAfter(Time::seconds(cfg_.interval.toSeconds() * spread),
-                                 [this, n] { sendHellos(n); });
+                                 EventKind::Detector, [this, n] { sendHellos(n); });
 }
 
 void HelloDetector::armDeadCheck(NodeId n, int slot, Time at) {
   auto& adj = adjByNode_[static_cast<std::size_t>(n)][static_cast<std::size_t>(slot)];
   if (adj.checkArmed) return;
   adj.checkArmed = true;
-  net_.scheduler().scheduleAt(at, [this, n, slot] { deadCheck(n, slot); });
+  net_.scheduler().scheduleAt(at, EventKind::Detector, [this, n, slot] { deadCheck(n, slot); });
 }
 
 void HelloDetector::deadCheck(NodeId n, int slot) {

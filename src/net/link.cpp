@@ -46,7 +46,7 @@ void Link::startTransmission(int dir) {
   net_.notifyLinkTransmit(sched.now(), dir == 0 ? a_ : b_, receiverOf(dir), up_);
   // Serialization completes first; then the bits propagate. If the link
   // fails in between, the packet is lost (epoch check).
-  sched.scheduleAfter(txDone, [this, dir, epoch, p = std::move(p)]() mutable {
+  sched.scheduleAfter(txDone, EventKind::LinkDelivery, [this, dir, epoch, p = std::move(p)]() mutable {
     auto& d2 = dirs_[dir];
     d2.transmitting = false;
     if (up_ && epoch == epoch_) {
@@ -63,8 +63,8 @@ void Link::startTransmission(int dir) {
       if (p.kind == PacketKind::Control && ctrlDelay_ > Time::zero()) {
         prop = prop + ctrlDelay_;
       }
-      net_.scheduler().scheduleAfter(prop, [this, to, from, epoch,
-                                            p2 = std::move(p)]() mutable {
+      net_.scheduler().scheduleAfter(prop, EventKind::LinkDelivery,
+                                     [this, to, from, epoch, p2 = std::move(p)]() mutable {
         if (up_ && epoch == epoch_) {
           const bool ctrl = p2.kind == PacketKind::Control;
           // Loss/corruption are decided at arrival, after the wire survived
@@ -123,7 +123,7 @@ void Link::fail() {
   // nodes get is the hellos that stop arriving.
   if (net_.detector() != nullptr) return;
   failedAt_ = sched.now();
-  pendingDetect_ = sched.scheduleAfter(cfg_.detectDelay, [this] {
+  pendingDetect_ = sched.scheduleAfter(cfg_.detectDelay, EventKind::Detector, [this] {
     pendingDetect_ = EventId{};
     if (up_) return;  // recovered before detection fired
     net_.node(a_).handleLinkDown(b_);
@@ -137,7 +137,7 @@ void Link::recover() {
   auto& sched = net_.scheduler();
   net_.notifyLinkStateChange(sched.now(), a_, b_, /*up=*/true);
   if (net_.detector() != nullptr) return;
-  sched.scheduleAfter(cfg_.detectDelay, [this] {
+  sched.scheduleAfter(cfg_.detectDelay, EventKind::Detector, [this] {
     if (!up_) return;
     net_.node(a_).handleLinkUp(b_);
     net_.node(b_).handleLinkUp(a_);
@@ -152,7 +152,7 @@ void Link::setDetectDelay(Time d) {
   if (up_ || !pendingDetect_.valid()) return;
   auto& sched = net_.scheduler();
   sched.cancel(pendingDetect_);
-  pendingDetect_ = sched.scheduleAt(failedAt_ + d, [this] {
+  pendingDetect_ = sched.scheduleAt(failedAt_ + d, EventKind::Detector, [this] {
     pendingDetect_ = EventId{};
     if (up_) return;
     net_.node(a_).handleLinkDown(b_);

@@ -74,7 +74,8 @@ void ReliableSession::onSegment(const std::shared_ptr<const TransportSegment>& s
 
 void ReliableSession::armRtoTimer() {
   if (inFlight_.empty() || rtoTimer_.valid()) return;
-  rtoTimer_ = node_.scheduler().scheduleAfter(currentRto_, [this] { onRtoTimer(); });
+  rtoTimer_ = node_.scheduler().scheduleAfter(currentRto_, EventKind::Transport,
+                                              [this] { onRtoTimer(); });
 }
 
 void ReliableSession::onRtoTimer() {

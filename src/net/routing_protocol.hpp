@@ -54,7 +54,8 @@ class RoutingProtocol {
   template <typename F>
   EventId scheduleGuarded(Scheduler& sched, Time delay, F&& f) {
     return sched.scheduleAfter(
-        delay, [guard = std::weak_ptr<void>(aliveToken_), fn = std::forward<F>(f)]() mutable {
+        delay, EventKind::Protocol,
+        [guard = std::weak_ptr<void>(aliveToken_), fn = std::forward<F>(f)]() mutable {
           if (guard.expired()) return;
           fn();
         });

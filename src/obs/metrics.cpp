@@ -69,6 +69,9 @@ double Histogram::quantile(double q) const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
+      // The last bucket is open-ended — its nominal bound lies *below*
+      // every value in it, so the observed max is the only honest answer.
+      if (i + 1 == kBuckets) return max_;
       // Clamp the bucket bound to the observed extremes so a single-sample
       // histogram reports the sample, not a power of two near it.
       return std::clamp(bucketUpperBound(i), min_, max_);
@@ -99,7 +102,10 @@ JsonValue Histogram::toJson() const {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
       seen += buckets[i];
-      if (seen >= rank) return std::clamp(bucketUpperBound(i), mn, mx);
+      if (seen >= rank) {
+        if (i + 1 == kBuckets) return mx;  // open-ended top bucket
+        return std::clamp(bucketUpperBound(i), mn, mx);
+      }
     }
     return mx;
   };

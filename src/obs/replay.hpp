@@ -43,6 +43,8 @@ struct ReplayWindow {
   bool openAtEnd = false; ///< condition still held at the last path change
 
   [[nodiscard]] double seconds() const { return openAtEnd ? -1.0 : (end - begin).toSeconds(); }
+
+  friend bool operator==(const ReplayWindow&, const ReplayWindow&) = default;
 };
 
 struct ReplayResult {

@@ -160,6 +160,7 @@ class TraceSink {
 class Tracer {
  public:
   static constexpr std::uint32_t kAllCategories = (1u << kTraceCategoryCount) - 1;
+  static constexpr std::uint32_t kAllKinds = (1u << kTraceKindCount) - 1;
 
   /// Install/remove the sink (borrowed, not owned). Null disables tracing.
   void setSink(TraceSink* sink) { sink_ = sink; }
@@ -169,23 +170,34 @@ class Tracer {
   void setCategoryMask(std::uint32_t mask) { mask_ = mask; }
   [[nodiscard]] std::uint32_t categoryMask() const { return mask_; }
 
+  /// Restrict emission to a subset of kinds (default: all), ANDed with the
+  /// category mask. The per-hop data-plane kinds (forward, originate)
+  /// dominate a trace by volume, so a sink that does not consume them —
+  /// the convergence analyzer with nothing recording downstream — narrows
+  /// this and the hot path pays only the masked-branch cost for them.
+  void setKindMask(std::uint32_t mask) { kindMask_ = mask; }
+  [[nodiscard]] std::uint32_t kindMask() const { return kindMask_; }
+
   [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
   [[nodiscard]] bool wants(TraceCategory cat) const {
     return sink_ != nullptr && ((mask_ >> static_cast<unsigned>(cat)) & 1u) != 0;
   }
-  [[nodiscard]] bool wants(TraceKind kind) const { return wants(categoryOf(kind)); }
+  [[nodiscard]] bool wants(TraceKind kind) const {
+    return wants(categoryOf(kind)) && ((kindMask_ >> static_cast<unsigned>(kind)) & 1u) != 0;
+  }
 
   void emit(const TraceEvent& ev) const {
-    if (wants(categoryOf(ev.kind))) sink_->onTraceEvent(ev);
+    if (wants(ev.kind)) sink_->onTraceEvent(ev);
   }
   void emit(Time t, TraceKind kind, NodeId a, NodeId b, std::int64_t x = 0, std::int64_t y = 0,
             std::int64_t z = 0) const {
-    if (wants(categoryOf(kind))) sink_->onTraceEvent(TraceEvent{t, kind, a, b, x, y, z});
+    if (wants(kind)) sink_->onTraceEvent(TraceEvent{t, kind, a, b, x, y, z});
   }
 
  private:
   TraceSink* sink_ = nullptr;
   std::uint32_t mask_ = kAllCategories;
+  std::uint32_t kindMask_ = kAllKinds;
 };
 
 }  // namespace rcsim::obs

@@ -160,8 +160,8 @@ void Bgp::recordFlap(NodeId peerId, NodeId dst) {
   const double waitSec =
       cfg_.rfdHalfLifeSec * std::log2(st.penalty / cfg_.rfdReuseThreshold);
   node_.scheduler().cancel(st.reuseTimer);
-  st.reuseTimer =
-      node_.scheduler().scheduleAfter(Time::seconds(waitSec), [this, peerId, dst] {
+  st.reuseTimer = node_.scheduler().scheduleAfter(Time::seconds(waitSec), EventKind::Protocol,
+                                                  [this, peerId, dst] {
         auto& p = peerAt(peerId);
         auto& s2 = p.damp[dst];
         decayPenalty(s2);
@@ -357,7 +357,7 @@ void Bgp::armMrai(NodeId peerId) {
   const Time delay = Time::seconds(mraiDelay());
   node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
                                peerId, delay.ns(), 0, -1);
-  peer.mraiTimer = node_.scheduler().scheduleAfter(delay, [this, peerId] {
+  peer.mraiTimer = node_.scheduler().scheduleAfter(delay, EventKind::Protocol, [this, peerId] {
     auto& p = peerAt(peerId);
     p.mraiRunning = false;
     p.mraiTimer = EventId{};
@@ -372,7 +372,8 @@ void Bgp::armDestMrai(NodeId peerId, NodeId dst) {
   const Time delay = Time::seconds(mraiDelay());
   node_.network().trace().emit(node_.scheduler().now(), obs::TraceKind::MraiArm, node_.id(),
                                peerId, delay.ns(), 0, dst);
-  peer.destTimers[dst] = node_.scheduler().scheduleAfter(delay, [this, peerId, dst] {
+  peer.destTimers[dst] = node_.scheduler().scheduleAfter(delay, EventKind::Protocol,
+                                                         [this, peerId, dst] {
     auto& p = peerAt(peerId);
     p.destTimers.erase(dst);
     const bool pending = p.destPending.reset(dst);

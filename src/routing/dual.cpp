@@ -173,7 +173,7 @@ void Dual::goActive(NodeId dst) {
   st.outstanding = alive_;  // already sorted
   sendToAll(DualMsgKind::Query, dst, cfg_.maxDistance);
   node_.scheduler().cancel(st.siaTimer);
-  st.siaTimer = node_.scheduler().scheduleAfter(cfg_.siaTimeout, [this, dst] {
+  st.siaTimer = node_.scheduler().scheduleAfter(cfg_.siaTimeout, EventKind::Protocol, [this, dst] {
     if (!active_.test(dst)) return;
     auto& route = activeState_[dst];
     // Stuck-in-active: give up on the laggards, and distrust them — a

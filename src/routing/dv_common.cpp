@@ -45,7 +45,8 @@ void DvProtocolBase::start() {
   scheduleGuarded(sched, Time::seconds(node_.rng().uniform(0.0, 0.1)),
                   [this] { sendFullTables(); });
   const double phase = node_.rng().uniform(0.0, cfg_.periodicInterval.toSeconds());
-  periodicTimer_ = sched.scheduleAfter(Time::seconds(phase), [this] { periodicTick(); });
+  periodicTimer_ = sched.scheduleAfter(Time::seconds(phase), EventKind::Protocol,
+                                       [this] { periodicTick(); });
 }
 
 void DvProtocolBase::periodicTick() {
@@ -59,7 +60,8 @@ void DvProtocolBase::periodicTick() {
   sendFullTables();
   const double jitter = cfg_.periodicJitter.toSeconds();
   const double next = cfg_.periodicInterval.toSeconds() + node_.rng().uniform(-jitter, jitter);
-  periodicTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), [this] { periodicTick(); });
+  periodicTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), EventKind::Protocol,
+                                                   [this] { periodicTick(); });
 }
 
 void DvProtocolBase::checkNeighborAging() {
@@ -180,7 +182,7 @@ void DvProtocolBase::maybeFlushNow() {
     // pending changes behind the damp machinery until the gap opens; any
     // changes arriving meanwhile join the same batch.
     dampRunning_ = true;
-    dampTimer_ = node_.scheduler().scheduleAt(nextTriggerAllowed_, [this] {
+    dampTimer_ = node_.scheduler().scheduleAt(nextTriggerAllowed_, EventKind::Protocol, [this] {
       dampRunning_ = false;
       maybeFlushNow();
     });
@@ -206,7 +208,7 @@ void DvProtocolBase::flushTriggered() {
 void DvProtocolBase::armDampTimer() {
   dampRunning_ = true;
   const double delay = node_.rng().uniform(cfg_.triggerDampMinSec, cfg_.triggerDampMaxSec);
-  dampTimer_ = node_.scheduler().scheduleAfter(Time::seconds(delay), [this] {
+  dampTimer_ = node_.scheduler().scheduleAfter(Time::seconds(delay), EventKind::Protocol, [this] {
     dampRunning_ = false;
     // An update going out here re-arms the damp timer (via maybeFlushNow),
     // so consecutive triggered updates stay spaced out.

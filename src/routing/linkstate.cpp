@@ -33,14 +33,16 @@ void LinkState::start() {
   std::sort(aliveNeighbors_.begin(), aliveNeighbors_.end());
   originateOwnLsa();
   const double phase = node_.rng().uniform(0.0, cfg_.refreshInterval.toSeconds());
-  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(phase), [this] { refreshTick(); });
+  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(phase), EventKind::Protocol,
+                                                  [this] { refreshTick(); });
 }
 
 void LinkState::refreshTick() {
   originateOwnLsa();
   const double jitter = cfg_.refreshJitter.toSeconds();
   const double next = cfg_.refreshInterval.toSeconds() + node_.rng().uniform(-jitter, jitter);
-  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), [this] { refreshTick(); });
+  refreshTimer_ = node_.scheduler().scheduleAfter(Time::seconds(next), EventKind::Protocol,
+                                                  [this] { refreshTick(); });
 }
 
 bool LinkState::aliveContains(NodeId n) const {
@@ -151,7 +153,7 @@ void LinkState::onLinkUp(NodeId neighbor) {
 void LinkState::scheduleSpf() {
   if (spfPending_) return;
   spfPending_ = true;
-  spfTimer_ = node_.scheduler().scheduleAfter(cfg_.spfDelay, [this] {
+  spfTimer_ = node_.scheduler().scheduleAfter(cfg_.spfDelay, EventKind::Protocol, [this] {
     spfPending_ = false;
     runSpf();
   });

@@ -53,6 +53,7 @@ void Scheduler::run(Time horizon) {
     --live_;
     now_ = Time::nanoseconds(static_cast<std::int64_t>(top.atNs));
     ++executed_;
+    ++kindStats_[s.kind].executed;
     // Wall-clock watchdog: a cheap thread-local check every 4096 events, so
     // a replica stuck in an event storm still surfaces as a Timeout.
     if ((executed_ & 0xFFF) == 0) watchdog::poll();

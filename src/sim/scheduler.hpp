@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -11,6 +13,35 @@
 #include "sim/time.hpp"
 
 namespace rcsim {
+
+/// Coarse classification of scheduled events, for per-kind scheduler
+/// profiling (the PDES groundwork: lookahead and partitioning decisions
+/// need to know what the event mix *is*). Call sites tag their schedule*
+/// calls; untagged calls default to Generic. Purely observational — the
+/// kind never affects ordering or execution.
+enum class EventKind : std::uint8_t {
+  Generic = 0,   ///< untagged
+  LinkDelivery,  ///< packet serialization / propagation on a link
+  Protocol,      ///< routing-protocol timers and deferred work
+  Transport,     ///< reliable-session / TCP retransmission timers
+  Traffic,       ///< workload sources (CBR ticks, flow start)
+  Fault,         ///< fault injection, path-targeted failures, repair
+  Detector,      ///< failure detection (hello timers, oracle detect delay)
+};
+inline constexpr int kEventKindCount = 7;
+
+[[nodiscard]] constexpr const char* toString(EventKind kind) {
+  switch (kind) {
+    case EventKind::Generic: return "generic";
+    case EventKind::LinkDelivery: return "link";
+    case EventKind::Protocol: return "protocol";
+    case EventKind::Transport: return "transport";
+    case EventKind::Traffic: return "traffic";
+    case EventKind::Fault: return "fault";
+    case EventKind::Detector: return "detector";
+  }
+  return "?";
+}
 
 /// Type-erased callable with inline storage, sized for the simulator's event
 /// lambdas. Callables up to kInlineBytes are constructed directly inside the
@@ -99,10 +130,22 @@ class Scheduler {
   template <typename F>
     requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
   EventId scheduleAt(Time at, F&& f) {
+    return scheduleAt(at, EventKind::Generic, std::forward<F>(f));
+  }
+
+  /// Tagged variant: identical semantics, plus per-kind accounting (count
+  /// and a power-of-two histogram of the scheduling delay in sim time).
+  template <typename F>
+    requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId scheduleAt(Time at, EventKind kind, F&& f) {
     if (at < now_) at = now_;
     const std::uint32_t slot = acquireSlot();
     Slot& s = slotRef(slot);
     s.cb.emplace(std::forward<F>(f));
+    s.kind = static_cast<std::uint8_t>(kind);
+    KindStats& ks = kindStats_[static_cast<std::size_t>(kind)];
+    ++ks.scheduled;
+    ++ks.delayHisto[delayBucket(at - now_)];
     // The key is unique for the scheduler's lifetime (sequence in the high
     // bits), so a recycled slot can never satisfy a stale handle or an
     // orphaned heap record.
@@ -117,8 +160,14 @@ class Scheduler {
   template <typename F>
     requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
   EventId scheduleAfter(Time delay, F&& f) {
+    return scheduleAfter(delay, EventKind::Generic, std::forward<F>(f));
+  }
+
+  template <typename F>
+    requires(std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId scheduleAfter(Time delay, EventKind kind, F&& f) {
     if (delay < Time::zero()) delay = Time::zero();
-    return scheduleAt(now_ + delay, std::forward<F>(f));
+    return scheduleAt(now_ + delay, kind, std::forward<F>(f));
   }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
@@ -150,6 +199,30 @@ class Scheduler {
   /// Total events cancelled while still pending.
   [[nodiscard]] std::uint64_t cancelledEvents() const { return cancelled_; }
 
+  /// Scheduling-delay buckets: bucket 0 is a zero delay, bucket i >= 1
+  /// covers [2^(i-1), 2^i) nanoseconds of sim time between schedule and
+  /// fire time. Deterministic — sim time only, no wall clock.
+  static constexpr int kDelayBuckets = 64;
+
+  /// Per-kind accounting. `scheduled` and the delay histogram are recorded
+  /// at schedule time, `executed` when the event fires (cancelled events
+  /// are scheduled-but-never-executed).
+  struct KindStats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::array<std::uint64_t, kDelayBuckets> delayHisto{};
+  };
+  [[nodiscard]] const KindStats& kindStats(EventKind kind) const {
+    return kindStats_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] static int delayBucket(Time delay) {
+    const auto ns = static_cast<std::uint64_t>(delay.ns());
+    if (ns == 0) return 0;
+    const int b = std::bit_width(ns);
+    return b < kDelayBuckets ? b : kDelayBuckets - 1;
+  }
+
  private:
   /// Slot index occupies the low bits of a key; the rest is the sequence
   /// number. 16M concurrent events, ~1.1e12 total events per scheduler.
@@ -164,6 +237,7 @@ class Scheduler {
   struct Slot {
     EventCallback cb;
     std::uint64_t key = 0;  ///< Key of the live occupant; 0 when free.
+    std::uint8_t kind = 0;  ///< EventKind of the occupant (profiling only).
   };
 
   struct HeapItem {
@@ -247,6 +321,7 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   bool stopped_ = false;
+  std::array<KindStats, kEventKindCount> kindStats_{};
 };
 
 }  // namespace rcsim

@@ -14,7 +14,7 @@ void CbrSource::install() {
   auto& sched = net_.scheduler();
   const double periodSec = 1.0 / cfg_.packetsPerSecond;
   for (Time t = cfg_.start; t < cfg_.stop; t += Time::seconds(periodSec)) {
-    sched.scheduleAt(t, [this] { emitPacket(); });
+    sched.scheduleAt(t, EventKind::Traffic, [this] { emitPacket(); });
   }
 }
 

@@ -19,7 +19,7 @@ void TcpFlow::install() {
   };
   net_.node(cfg_.dst).addDeliveryHandler(handler);
   net_.node(cfg_.src).addDeliveryHandler(handler);
-  net_.scheduler().scheduleAt(cfg_.start, [this] { startSending(); });
+  net_.scheduler().scheduleAt(cfg_.start, EventKind::Traffic, [this] { startSending(); });
 }
 
 void TcpFlow::startSending() { fillWindow(); }
@@ -98,7 +98,7 @@ void TcpFlow::onPacket(const Packet& p) {
 
 void TcpFlow::armRto() {
   if (sendBase_ == nextSeq_ || rtoTimer_.valid()) return;
-  rtoTimer_ = net_.scheduler().scheduleAfter(cfg_.rto, [this] { onRto(); });
+  rtoTimer_ = net_.scheduler().scheduleAfter(cfg_.rto, EventKind::Transport, [this] { onRto(); });
 }
 
 void TcpFlow::onRto() {

@@ -16,6 +16,7 @@
 #include "core/runner.hpp"
 #include "exp/artifact.hpp"
 #include "exp/executor.hpp"
+#include "exp/journal.hpp"
 #include "exp/registry.hpp"
 #include "exp/spec.hpp"
 #include "sim/watchdog.hpp"
@@ -120,6 +121,13 @@ TEST(SweepExecutor, MatchesSerialRunManyBitForBit) {
     EXPECT_EQ(result.cells[c].totals.sent, totals.sent) << spec.cells[c].id;
     EXPECT_EQ(result.cells[c].totals.delivered, totals.delivered) << spec.cells[c].id;
     EXPECT_EQ(result.cells[c].totals.controlMessages, totals.controlMessages)
+        << spec.cells[c].id;
+    // The convergence-anatomy fold must be seed-ordered too: pooled ==
+    // serial bit for bit, pinned through the same digest machinery.
+    obs::AnatomySummary serialConvergence;
+    for (const RunResult& rr : serial) serialConvergence += rr.anatomy;
+    EXPECT_GT(serialConvergence.episodes, 0u) << spec.cells[c].id;
+    EXPECT_EQ(anatomyDigest(result.cells[c].convergence), anatomyDigest(serialConvergence))
         << spec.cells[c].id;
   }
 }
@@ -319,11 +327,18 @@ TEST(Artifact, CarriesFailureReportAndAggregateDigest) {
   EXPECT_EQ(ok.stringAt("id"), "healthy");
   EXPECT_EQ(ok.object.count("failures"), 0u);
   EXPECT_EQ(ok.stringAt("aggregate_digest"), aggregateDigest(result.cells[0].agg));
+  // Healthy cells publish the convergence-anatomy block with its digest;
+  // the block round-trips through the journal serializer bit-exactly.
+  ASSERT_TRUE(ok.has("convergence"));
+  EXPECT_EQ(ok.stringAt("convergence_digest"), anatomyDigest(result.cells[0].convergence));
+  EXPECT_GT(result.cells[0].convergence.episodes, 0u);
+  EXPECT_EQ(anatomySummaryFromJson(ok.at("convergence")), result.cells[0].convergence);
 
   const JsonValue& bad = parsed.at("cells").array[1];
   EXPECT_EQ(bad.stringAt("id"), "broken");
   EXPECT_EQ(bad.object.count("aggregate"), 0u) << "failed cells must not publish aggregates";
   EXPECT_EQ(bad.object.count("aggregate_digest"), 0u);
+  EXPECT_EQ(bad.object.count("convergence"), 0u);
   const JsonValue& failures = bad.at("failures");
   ASSERT_EQ(failures.array.size(), 2u);
   for (std::size_t i = 0; i < failures.array.size(); ++i) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/options.hpp"
 #include "fuzz/corpus.hpp"
@@ -34,6 +35,18 @@ TEST(FuzzHarness, CleanRunProducesDigests) {
   EXPECT_FALSE(out.trace.empty());
   EXPECT_GT(out.eventsExecuted, 0u);
   EXPECT_EQ(findingKey(out), "clean");
+}
+
+TEST(FuzzHarness, RunStatusNamesRoundTrip) {
+  // The banked-reproducer '# expect:' line stores these names; every
+  // enumerator (including anatomy-divergence) must survive the round trip.
+  for (const RunStatus s :
+       {RunStatus::Clean, RunStatus::InvariantViolation, RunStatus::Exception, RunStatus::Timeout,
+        RunStatus::Nondeterministic, RunStatus::AnatomyDivergence}) {
+    EXPECT_EQ(runStatusFromString(toString(s)), s);
+  }
+  EXPECT_STREQ(toString(RunStatus::AnatomyDivergence), "anatomy-divergence");
+  EXPECT_THROW((void)runStatusFromString("anatomy"), std::invalid_argument);
 }
 
 TEST(FuzzHarness, SameConfigSameDigests) {

@@ -95,6 +95,31 @@ RunResult syntheticResult(std::uint64_t seed) {
   r.meanDelay = {0.01, 0.0123456789012345678, 0.0};
   r.failSec = 100;
   r.eventsExecuted = 123456789;
+  r.anatomy.episodes = 2;
+  r.anatomy.triggers = 3;
+  r.anatomy.detectedEpisodes = 2;
+  r.anatomy.detectionSecTotal = 0.5 + 1.0 / 3.0;
+  r.anatomy.convergedEpisodes = 1;
+  r.anatomy.convergenceSecTotal = 2.25;
+  r.anatomy.fibChurn = 19;
+  r.anatomy.loopWindows = 1;
+  r.anatomy.loopSeconds = 0.75;
+  r.anatomy.blackholeWindows = 2;
+  r.anatomy.blackholeSeconds = 1.0 / 7.0;
+  r.anatomy.dropsLoop = 4;
+  r.anatomy.dropsBlackhole = 6;
+  r.anatomy.dropsTtl = 1;
+  r.anatomy.dropsQueue = 2;
+  r.anatomy.dropsOther = 1;
+  r.anatomy.delivered = 500;
+  r.anatomy.controlMessages = 321;
+  r.anatomy.controlBytes = 65432;
+  r.anatomy.helloMessages = 50;
+  r.anatomy.helloBytes = 800;
+  r.anatomy.dvTriggered = 9;
+  r.anatomy.dvPeriodic = 30;
+  r.anatomy.mraiArmed = 5;
+  r.anatomy.mraiFired = 5;
   return r;
 }
 
@@ -109,6 +134,11 @@ TEST(Journal, RunResultJsonRoundTripsBitExactly) {
   const RunResult back = runResultFromJson(parseJson(dumpJsonLine(runResultToJson(r))));
   EXPECT_EQ(runResultFingerprint(back), runResultFingerprint(r));
   EXPECT_EQ(runResultDigest(back), runResultDigest(r));
+  // The run digest deliberately excludes the anatomy block (the golden
+  // digests predate it), so the convergence rollup needs its own check —
+  // resumed journals must fold the same summaries as a fresh run.
+  EXPECT_EQ(back.anatomy, r.anatomy);
+  EXPECT_EQ(anatomyDigest(back.anatomy), anatomyDigest(r.anatomy));
 }
 
 TEST(Journal, EncodeDecodeLineRoundTrip) {

@@ -142,6 +142,22 @@ TEST(Options, InlineTopologyAndPinnedEndpoints) {
   EXPECT_THROW(applyOption(cfg, "pin.src", "-2"), std::invalid_argument);
 }
 
+TEST(Options, AnatomyToggleRoundTrips) {
+  ScenarioConfig cfg;
+  EXPECT_TRUE(cfg.anatomy);  // profiler is on by default
+  applyOption(cfg, "anatomy", "0");
+  EXPECT_FALSE(cfg.anatomy);
+  applyOption(cfg, "anatomy", "true");
+  EXPECT_TRUE(cfg.anatomy);
+  EXPECT_THROW(applyOption(cfg, "anatomy", "maybe"), std::invalid_argument);
+
+  cfg.anatomy = false;
+  ScenarioConfig rebuilt;
+  for (const auto& opt : describeOptions(cfg)) applyOptionString(rebuilt, opt);
+  EXPECT_FALSE(rebuilt.anatomy);
+  EXPECT_EQ(describeOptions(rebuilt), describeOptions(cfg));
+}
+
 TEST(Options, RandomUniformModeKnobs) {
   ScenarioConfig cfg;
   applyOption(cfg, "topology", "random");

@@ -9,6 +9,10 @@
 #include "core/experiment.hpp"
 #include "core/fingerprint.hpp"
 #include "core/json_lite.hpp"
+#include "core/scenario.hpp"
+#include "obs/anatomy.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace_io.hpp"
 
 namespace rcsim {
 namespace {
@@ -36,6 +40,11 @@ constexpr const char* kGoldenBench = R"json({
     "abilene_sweep": 48.93,
     "mesh100x100_converge": 141000.0
   },
+  "anatomy_overhead": {
+    "events_per_sec_on": 5200000.50,
+    "events_per_sec_off": 5300000.25,
+    "overhead_pct": 1.88
+  },
   "rss_mb": 9.40
 })json";
 
@@ -58,6 +67,12 @@ TEST(PerfGate, GoldenBenchJsonParses) {
     ASSERT_TRUE(topo.has(row)) << row;
     EXPECT_GT(topo.numberAt(row), 0.0) << row;
   }
+  // The anatomy-profiler cost row: on/off events-per-sec plus the derived
+  // percentage the gate holds to an absolute <= 3% budget.
+  const JsonValue& anat = v.at("anatomy_overhead");
+  EXPECT_DOUBLE_EQ(anat.numberAt("events_per_sec_on"), 5200000.50);
+  EXPECT_DOUBLE_EQ(anat.numberAt("events_per_sec_off"), 5300000.25);
+  EXPECT_DOUBLE_EQ(anat.numberAt("overhead_pct"), 1.88);
   EXPECT_DOUBLE_EQ(v.numberAt("rss_mb"), 9.40);
 }
 
@@ -109,9 +124,48 @@ TEST(PerfGate, PooledSchedulerMatchesSeedEngineBitForBit) {
     cfg.protocol = g.protocol;
     cfg.mesh.degree = 4;
     cfg.seed = g.seed;
-    const RunResult r = runScenario(cfg);
+
+    // Traced, analyzer-on run. The pinned digests predate the anatomy
+    // profiler, so matching them with the analyzer chained into the trace
+    // path proves the profiler observes without perturbing.
+    Scenario sc{cfg};
+    obs::MemoryTraceSink sink;
+    sc.attachTraceSink(&sink);
+    sc.run();
+    const RunResult r = summarizeRun(sc);
     EXPECT_EQ(runResultDigest(r), g.digest)
         << toString(g.protocol) << " seed " << g.seed << " diverged from the seed engine";
+
+    // Analyzer off must land on the same digest: anatomy is observe-only.
+    ScenarioConfig off = cfg;
+    off.anatomy = false;
+    EXPECT_EQ(runResultDigest(runScenario(off)), g.digest)
+        << toString(g.protocol) << " seed " << g.seed << " diverged with anatomy off";
+
+    // The online analyzer's reconstruction must agree element-wise with
+    // the offline replay of the recorded stream — the two independent
+    // implementations cross-check each other on every golden scenario.
+    const obs::ConvergenceAnalyzer* live = sc.convergenceAnalyzer();
+    ASSERT_NE(live, nullptr);
+    obs::ReplayOptions opt;
+    opt.src = sc.sender();
+    opt.dst = sc.receiver();
+    opt.nodeCount = sc.network().nodeCount();
+    const obs::ReplayResult replay = replayTrace(sink.events(), opt);
+    const obs::AnatomyReport& on = live->report();
+    EXPECT_EQ(on.pathEvents, replay.pathEvents) << toString(g.protocol) << " seed " << g.seed;
+    EXPECT_EQ(on.loopWindows, replay.loopWindows) << toString(g.protocol) << " seed " << g.seed;
+    EXPECT_EQ(on.blackholeWindows, replay.blackholeWindows)
+        << toString(g.protocol) << " seed " << g.seed;
+    EXPECT_EQ(on.kindCounts, replay.kindCounts) << toString(g.protocol) << " seed " << g.seed;
+    EXPECT_EQ(on.delivered, replay.delivered) << toString(g.protocol) << " seed " << g.seed;
+    EXPECT_EQ(on.dropped, replay.dropped) << toString(g.protocol) << " seed " << g.seed;
+
+    // And the offline analyzer over the same events must reproduce the
+    // live episode list exactly — live-chained and trace-file queries
+    // (rcsim-inspect) are the same computation.
+    const obs::AnatomyReport offline = obs::analyzeTrace(sink.events(), opt);
+    EXPECT_EQ(on.episodes, offline.episodes) << toString(g.protocol) << " seed " << g.seed;
   }
 }
 
@@ -124,6 +178,12 @@ TEST(PerfGate, PooledSchedulerMatchesSeedEngineBitForBit) {
 // This is by far the heaviest test in the suite (~2.5 min) — everything it
 // runs is real convergence work, not slack timeout.
 TEST(PerfGate, LargeMeshScenarioConvergesToPinnedDigest) {
+  // The anatomy profiler is on by default here; the digest was recorded
+  // before it existed, so reproducing it is also the 10k-node proof that
+  // the analyzer-on and analyzer-off engines are bit-identical. (The
+  // element-wise online-vs-replay check for this scale lives in the 20
+  // golden scenarios above — a dense 10k-node shadow FIB replay would
+  // need ~400 MB and an in-memory trace several GB.)
   const RunResult r = runScenario(largeMeshConfig());
   EXPECT_EQ(runResultDigest(r), "78d43b0f0b965e27");
   // The digest already covers these, but assert the headline facts readably:
@@ -132,6 +192,12 @@ TEST(PerfGate, LargeMeshScenarioConvergesToPinnedDigest) {
   EXPECT_EQ(r.data.dropNoRoute, 0u);
   EXPECT_FALSE(r.sawLoop);
   EXPECT_GT(r.routingConvergenceSec, 0.0);
+  // The profiler saw the same run: the one injected failure opened at
+  // least one episode, the reconvergence churned routes, and the control
+  // plane billed its messages.
+  EXPECT_GE(r.anatomy.episodes, 1u);
+  EXPECT_GT(r.anatomy.fibChurn, 0u);
+  EXPECT_GT(r.anatomy.controlMessages, 0u);
 }
 
 TEST(PerfGate, FingerprintIsDeterministicAndSensitive) {

@@ -1,0 +1,393 @@
+// rcsim-inspect — convergence-anatomy queries over recorded traces,
+// experiment artifacts and live scenarios. Where rcsim-trace answers
+// "what happened, event by event", rcsim-inspect answers the paper's
+// question: how did each disruption decompose into detection latency,
+// protocol convergence, transient loops, black-holes and per-cause loss.
+//
+// Modes:
+//   rcsim-inspect --trace=FILE --episodes [--json]
+//       Per-episode phase breakdown + whole-run anatomy summary from a
+//       recorded rcsim-trace-v1 file. --json prints the summary as the
+//       exact JSON object the artifact's per-cell `convergence` block
+//       carries (same serializer), so the two are diffable verbatim.
+//   rcsim-inspect --trace=FILE --timeline [--from=SEC] [--to=SEC]
+//       Human-readable fault timeline: triggers, adjacency transitions,
+//       loop / black-hole windows.
+//   rcsim-inspect --trace=FILE --flows
+//       Per-flow data-plane summary (sent / delivered / drops by cause /
+//       delay) keyed by the Originate events in the trace.
+//   rcsim-inspect [key=value ...] --histo=KIND
+//       Run one scenario and print the scheduler's per-event-kind timing
+//       counters and scheduling-delay histograms (KIND = all | generic |
+//       link | protocol | transport | traffic | fault | detector).
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "core/json_lite.hpp"
+#include "core/options.hpp"
+#include "core/scenario.hpp"
+#include "exp/journal.hpp"
+#include "obs/anatomy.hpp"
+#include "obs/trace_io.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace rcsim;
+
+/// DropReason enumerator count (net/types.hpp declares 7, Corrupted last).
+inline constexpr int kDropReasonCount = static_cast<int>(DropReason::Corrupted) + 1;
+
+void printUsage() {
+  std::printf(
+      "usage: rcsim-inspect --trace=FILE --episodes [--json]\n"
+      "       rcsim-inspect --trace=FILE --timeline [--from=SEC] [--to=SEC]\n"
+      "       rcsim-inspect --trace=FILE --flows\n"
+      "       rcsim-inspect --artifact=FILE --episodes\n"
+      "       rcsim-inspect [key=value ...] --histo=KIND\n"
+      "  KIND = all | generic | link | protocol | transport | traffic | fault | detector\n");
+}
+
+double secOrNeg(Time t, Time start) {
+  return t == Time::infinity() ? -1.0 : (t - start).toSeconds();
+}
+
+void printSummary(const obs::AnatomySummary& s) {
+  std::printf("summary\tepisodes=%" PRIu64 " triggers=%" PRIu64 " detected=%" PRIu64
+              " detection_total=%.6f converged=%" PRIu64 " convergence_total=%.6f fib_churn=%" PRIu64
+              "\n",
+              s.episodes, s.triggers, s.detectedEpisodes, s.detectionSecTotal, s.convergedEpisodes,
+              s.convergenceSecTotal, s.fibChurn);
+  std::printf("summary\tloops=%" PRIu64 "/%.6f blackholes=%" PRIu64 "/%.6f\n", s.loopWindows,
+              s.loopSeconds, s.blackholeWindows, s.blackholeSeconds);
+  std::printf("summary\tdrops loop=%" PRIu64 " blackhole=%" PRIu64 " ttl=%" PRIu64
+              " queue=%" PRIu64 " other=%" PRIu64 " delivered=%" PRIu64 "\n",
+              s.dropsLoop, s.dropsBlackhole, s.dropsTtl, s.dropsQueue, s.dropsOther, s.delivered);
+  std::printf("summary\tcontrol msgs=%" PRIu64 " bytes=%" PRIu64 " hello msgs=%" PRIu64
+              " bytes=%" PRIu64 " dv trig=%" PRIu64 " periodic=%" PRIu64 " mrai armed=%" PRIu64
+              " fired=%" PRIu64 "\n",
+              s.controlMessages, s.controlBytes, s.helloMessages, s.helloBytes, s.dvTriggered,
+              s.dvPeriodic, s.mraiArmed, s.mraiFired);
+}
+
+int runEpisodes(const std::string& path, bool json) {
+  const obs::TraceFile file = obs::readTraceFile(path);
+  if (file.corrupt > 0) {
+    std::fprintf(stderr, "warning: skipped %zu corrupt line(s)\n", file.corrupt);
+  }
+  const obs::ReplayOptions opt = obs::replayOptionsFromMeta(file.meta);
+  const obs::AnatomyReport report = obs::analyzeTrace(file.events, opt);
+  const obs::AnatomySummary summary = report.summary();
+
+  if (json) {
+    std::printf("%s\n", dumpJson(exp::anatomySummaryToJson(summary)).c_str());
+    return 0;
+  }
+
+  std::printf("trace\t%s\tevents=%zu corrupt=%zu digest=%s\n", path.c_str(), file.events.size(),
+              file.corrupt, obs::traceDigest(file.events).c_str());
+  for (std::size_t i = 0; i < report.episodes.size(); ++i) {
+    const auto& ep = report.episodes[i];
+    std::printf("episode\t%zu\tt=%.6f trigger=%s x%d detect=%.6f converge=%.6f routes=%" PRIu64
+                " loops=%d/%.6f%s blackholes=%d/%.6f%s drops loop=%" PRIu64 " blackhole=%" PRIu64
+                " ttl=%" PRIu64 " queue=%" PRIu64 " other=%" PRIu64 " delivered=%" PRIu64
+                " control=%" PRIu64 "/%" PRIu64 " mrai=%" PRIu64 " dv-trig=%" PRIu64 "\n",
+                i + 1, ep.start.toSeconds(), toString(ep.trigger), ep.triggerCount,
+                ep.detectionSec(), ep.convergenceSec(), ep.routeChanges, ep.loopWindows,
+                ep.loopSeconds, ep.loopOpenAtEnd ? "+open" : "", ep.blackholeWindows,
+                ep.blackholeSeconds, ep.blackholeOpenAtEnd ? "+open" : "", ep.dropsLoop,
+                ep.dropsBlackhole, ep.dropsTtl, ep.dropsQueue, ep.dropsOther, ep.delivered,
+                ep.controlMessages, ep.controlBytes, ep.mraiDeferred, ep.dvTriggered);
+  }
+  printSummary(summary);
+
+  // Top control-plane talkers (messages, then bytes as tie-break) so a
+  // chatty node stands out without dumping every row of a large topology.
+  if (!report.perNodeControlMessages.empty()) {
+    std::vector<std::size_t> nodes(report.perNodeControlMessages.size());
+    for (std::size_t n = 0; n < nodes.size(); ++n) nodes[n] = n;
+    std::stable_sort(nodes.begin(), nodes.end(), [&](std::size_t l, std::size_t r) {
+      if (report.perNodeControlMessages[l] != report.perNodeControlMessages[r]) {
+        return report.perNodeControlMessages[l] > report.perNodeControlMessages[r];
+      }
+      return report.perNodeControlBytes[l] > report.perNodeControlBytes[r];
+    });
+    const std::size_t top = std::min<std::size_t>(5, nodes.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const std::size_t n = nodes[i];
+      if (report.perNodeControlMessages[n] == 0) break;
+      std::printf("talker\tnode=%zu msgs=%" PRIu64 " bytes=%" PRIu64 "\n", n,
+                  report.perNodeControlMessages[n], report.perNodeControlBytes[n]);
+    }
+  }
+  return 0;
+}
+
+int runTimeline(const std::string& path, double fromSec, double toSec) {
+  const obs::TraceFile file = obs::readTraceFile(path);
+  if (file.corrupt > 0) {
+    std::fprintf(stderr, "warning: skipped %zu corrupt line(s)\n", file.corrupt);
+  }
+  const Time from = Time::seconds(fromSec);
+  const Time to = Time::seconds(toSec);
+
+  std::printf("trace\t%s\tevents=%zu corrupt=%zu digest=%s\n", path.c_str(), file.events.size(),
+              file.corrupt, obs::traceDigest(file.events).c_str());
+  for (const auto& ev : file.events) {
+    if (ev.t < from || ev.t > to) continue;
+    switch (ev.kind) {
+      case obs::TraceKind::LinkDown:
+        std::printf("%12.6f\ttrigger\tlink (%d,%d) failed\n", ev.t.toSeconds(), ev.a, ev.b);
+        break;
+      case obs::TraceKind::LinkUp:
+        std::printf("%12.6f\ttrigger\tlink (%d,%d) recovered\n", ev.t.toSeconds(), ev.a, ev.b);
+        break;
+      case obs::TraceKind::FaultApply:
+        std::printf("%12.6f\ttrigger\tfault apply target=(%d,%d) kind=%lld\n", ev.t.toSeconds(),
+                    ev.a, ev.b, static_cast<long long>(ev.x));
+        break;
+      case obs::TraceKind::AdjDown:
+        std::printf("%12.6f\tdetect\tnode=%d lost neighbor=%d%s\n", ev.t.toSeconds(), ev.a, ev.b,
+                    ev.x != 0 ? " (false positive)" : "");
+        break;
+      case obs::TraceKind::AdjUp:
+        std::printf("%12.6f\tdetect\tnode=%d regained neighbor=%d\n", ev.t.toSeconds(), ev.a,
+                    ev.b);
+        break;
+      default: break;
+    }
+  }
+
+  const obs::AnatomyReport report =
+      obs::analyzeTrace(file.events, obs::replayOptionsFromMeta(file.meta));
+  for (std::size_t i = 0; i < report.episodes.size(); ++i) {
+    const auto& ep = report.episodes[i];
+    if (ep.start < from || ep.start > to) continue;
+    std::printf("%12.6f\tepisode\t#%zu %s x%d detect+%.6f first-route+%.6f last-route+%.6f\n",
+                ep.start.toSeconds(), i + 1, toString(ep.trigger), ep.triggerCount,
+                ep.detectionSec(), secOrNeg(ep.firstRouteChangeAt, ep.start),
+                secOrNeg(ep.lastRouteChangeAt, ep.start));
+  }
+  auto windows = [&](const char* label, const std::vector<obs::ReplayWindow>& ws) {
+    for (const auto& w : ws) {
+      if (w.begin > to || (!w.openAtEnd && w.end < from)) continue;
+      if (w.openAtEnd) {
+        std::printf("window\t%s\t%.6f -> (open at end of trace)\n", label, w.begin.toSeconds());
+      } else {
+        std::printf("window\t%s\t%.6f -> %.6f (%.6f s)\n", label, w.begin.toSeconds(),
+                    w.end.toSeconds(), w.seconds());
+      }
+    }
+  };
+  windows("loop", report.loopWindows);
+  windows("blackhole", report.blackholeWindows);
+  return 0;
+}
+
+int runFlows(const std::string& path) {
+  const obs::TraceFile file = obs::readTraceFile(path);
+  if (file.corrupt > 0) {
+    std::fprintf(stderr, "warning: skipped %zu corrupt line(s)\n", file.corrupt);
+  }
+  struct FlowStats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::array<std::uint64_t, kDropReasonCount> drops{};
+    double delaySum = 0.0;
+    double delayMax = 0.0;
+    std::uint64_t hops = 0;
+  };
+  // Originate carries (src, dst, pktid); Deliver/Drop carry only the pktid,
+  // so the flow key is recovered through this map. Control packets never
+  // emit Originate, which keeps the report data-plane only.
+  std::map<std::pair<NodeId, NodeId>, FlowStats> flows;
+  std::map<std::int64_t, std::pair<NodeId, NodeId>> pktFlow;
+  for (const auto& ev : file.events) {
+    switch (ev.kind) {
+      case obs::TraceKind::Originate: {
+        const auto key = std::make_pair(ev.a, ev.b);
+        pktFlow[ev.x] = key;
+        ++flows[key].sent;
+        break;
+      }
+      case obs::TraceKind::Deliver: {
+        const auto it = pktFlow.find(ev.x);
+        if (it == pktFlow.end()) break;
+        FlowStats& fs = flows[it->second];
+        ++fs.delivered;
+        const double delay = (ev.t - Time::nanoseconds(ev.y)).toSeconds();
+        fs.delaySum += delay;
+        fs.delayMax = std::max(fs.delayMax, delay);
+        fs.hops += static_cast<std::uint64_t>(ev.z);
+        pktFlow.erase(it);
+        break;
+      }
+      case obs::TraceKind::Drop: {
+        if (ev.z != 1) break;  // control drops have no flow
+        const auto it = pktFlow.find(ev.x);
+        if (it == pktFlow.end()) break;
+        FlowStats& fs = flows[it->second];
+        if (ev.y >= 0 && ev.y < kDropReasonCount) ++fs.drops[static_cast<std::size_t>(ev.y)];
+        pktFlow.erase(it);
+        break;
+      }
+      default: break;
+    }
+  }
+  std::printf("trace\t%s\tflows=%zu\n", path.c_str(), flows.size());
+  for (const auto& [key, fs] : flows) {
+    std::printf("flow\t%d->%d\tsent=%" PRIu64 " delivered=%" PRIu64, key.first, key.second,
+                fs.sent, fs.delivered);
+    for (int r = 0; r < kDropReasonCount; ++r) {
+      if (fs.drops[static_cast<std::size_t>(r)] == 0) continue;
+      std::printf(" drop[%s]=%" PRIu64, toString(static_cast<DropReason>(r)),
+                  fs.drops[static_cast<std::size_t>(r)]);
+    }
+    if (fs.delivered > 0) {
+      std::printf(" mean_delay=%.6f max_delay=%.6f mean_hops=%.2f",
+                  fs.delaySum / static_cast<double>(fs.delivered), fs.delayMax,
+                  static_cast<double>(fs.hops) / static_cast<double>(fs.delivered));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int runArtifact(const std::string& path) {
+  std::string text;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    char buf[65536];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  const JsonValue doc = parseJson(text);
+  std::printf("artifact\t%s\texperiment=%s cells=%zu\n", path.c_str(),
+              doc.stringAt("experiment").c_str(), doc.at("cells").array.size());
+  for (const auto& cell : doc.at("cells").array) {
+    if (!cell.has("convergence")) {
+      std::printf("cell\t%s\t(no convergence block)\n", cell.stringAt("id").c_str());
+      continue;
+    }
+    const obs::AnatomySummary s = exp::anatomySummaryFromJson(cell.at("convergence"));
+    std::printf("cell\t%s\tdigest=%s\n", cell.stringAt("id").c_str(),
+                cell.stringAt("convergence_digest").c_str());
+    printSummary(s);
+  }
+  return 0;
+}
+
+int runHisto(const ScenarioConfig& cfg, const std::string& kindArg) {
+  int wanted = -1;  // -1 = all
+  if (kindArg != "all") {
+    for (int k = 0; k < kEventKindCount; ++k) {
+      if (kindArg == toString(static_cast<EventKind>(k))) wanted = k;
+    }
+    if (wanted < 0) {
+      std::fprintf(stderr, "error: unknown event kind '%s'\n", kindArg.c_str());
+      return 2;
+    }
+  }
+
+  Scenario sc{cfg};
+  sc.run();
+  const auto& sched = sc.network().scheduler();
+  for (int k = 0; k < kEventKindCount; ++k) {
+    if (wanted >= 0 && k != wanted) continue;
+    const auto kind = static_cast<EventKind>(k);
+    const auto& ks = sched.kindStats(kind);
+    if (wanted < 0 && ks.scheduled == 0) continue;
+    std::printf("histo\t%s\tscheduled=%" PRIu64 " executed=%" PRIu64 "\n", toString(kind),
+                ks.scheduled, ks.executed);
+    for (int b = 0; b < Scheduler::kDelayBuckets; ++b) {
+      const std::uint64_t count = ks.delayHisto[static_cast<std::size_t>(b)];
+      if (count == 0) continue;
+      // Bucket 0 is a zero scheduling delay; bucket b >= 1 covers
+      // [2^(b-1), 2^b) nanoseconds of sim time (Scheduler::delayBucket).
+      if (b == 0) {
+        std::printf("hbin\t%s\t0ns\t%" PRIu64 "\n", toString(kind), count);
+      } else {
+        std::printf("hbin\t%s\t[2^%d,2^%d)ns\t%" PRIu64 "\n", toString(kind), b - 1, b, count);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rcsim;
+
+  ScenarioConfig cfg;
+  std::string tracePath;
+  std::string artifactPath;
+  std::string histoKind;
+  double fromSec = 0.0;
+  double toSec = 1e18;
+  bool episodes = false;
+  bool timeline = false;
+  bool flows = false;
+  bool json = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-h" || arg == "--help") {
+        printUsage();
+        return 0;
+      }
+      if (arg.rfind("--trace=", 0) == 0) {
+        tracePath = arg.substr(8);
+        if (tracePath.empty()) throw std::runtime_error("--trace needs a file path");
+      } else if (arg.rfind("--artifact=", 0) == 0) {
+        artifactPath = arg.substr(11);
+        if (artifactPath.empty()) throw std::runtime_error("--artifact needs a file path");
+      } else if (arg.rfind("--histo=", 0) == 0) {
+        histoKind = arg.substr(8);
+        if (histoKind.empty()) throw std::runtime_error("--histo needs an event kind");
+      } else if (arg.rfind("--from=", 0) == 0) {
+        fromSec = cli::parseFiniteDouble(arg.substr(7), "--from");
+      } else if (arg.rfind("--to=", 0) == 0) {
+        toSec = cli::parseFiniteDouble(arg.substr(5), "--to");
+      } else if (arg == "--episodes") {
+        episodes = true;
+      } else if (arg == "--timeline") {
+        timeline = true;
+      } else if (arg == "--flows") {
+        flows = true;
+      } else if (arg == "--json") {
+        json = true;
+      } else {
+        applyOptionString(cfg, arg);
+      }
+    }
+
+    if (!histoKind.empty()) return runHisto(cfg, histoKind);
+    if (!artifactPath.empty()) return runArtifact(artifactPath);
+    if (!tracePath.empty()) {
+      if (timeline) return runTimeline(tracePath, fromSec, toSec);
+      if (flows) return runFlows(tracePath);
+      if (episodes) return runEpisodes(tracePath, json);
+      throw std::runtime_error("--trace needs one of --episodes, --timeline, --flows");
+    }
+    printUsage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -119,7 +119,9 @@ int runReplay(const std::string& path, double fromSec, double toSec) {
 int runSelftest(const ScenarioConfig& cfg) {
   Scenario sc{cfg};
   obs::MemoryTraceSink sink;
-  sc.network().trace().setSink(&sink);
+  // Chain behind the scenario's online ConvergenceAnalyzer (when enabled)
+  // so the selftest also proves the analyzer forwards the stream verbatim.
+  sc.attachTraceSink(&sink);
   sc.run();
 
   obs::ReplayOptions opt;
@@ -145,6 +147,19 @@ int runSelftest(const ScenarioConfig& cfg) {
     if (a.t != b.t || a.path != b.path || a.loop != b.loop || a.blackhole != b.blackhole) {
       std::fprintf(stderr, "selftest: FAIL — path event %zu diverges at t=%.9f\n", i,
                    a.t.toSeconds());
+      return 1;
+    }
+  }
+  // Third implementation of the same reconstruction: the streaming
+  // ConvergenceAnalyzer that watched the run live must agree with the
+  // offline replay element-wise (the fuzzer enforces this on random
+  // scenarios; the selftest pins it on the canonical ones).
+  if (const auto* anatomy = sc.convergenceAnalyzer()) {
+    const auto& online = anatomy->report();
+    if (online.pathEvents != r.pathEvents || online.loopWindows != r.loopWindows ||
+        online.blackholeWindows != r.blackholeWindows || online.kindCounts != r.kindCounts ||
+        online.delivered != r.delivered || online.dropped != r.dropped) {
+      std::fprintf(stderr, "selftest: FAIL — online analyzer diverges from offline replay\n");
       return 1;
     }
   }
@@ -209,9 +224,12 @@ int main(int argc, char** argv) {
     if (!recordPath.empty()) {
       Scenario sc{cfg};
       obs::FileTraceSink sink{recordPath, traceMeta(sc, cfg)};
-      sc.network().trace().setSink(&sink);
+      // Chained behind the online analyzer (when enabled): the recorded
+      // stream is verbatim either way, and rcsim-inspect --episodes on the
+      // file reproduces the analyzer's numbers from the same events.
+      sc.attachTraceSink(&sink);
       sc.run();
-      sc.network().trace().setSink(nullptr);
+      sc.attachTraceSink(nullptr);
       sink.close();
       std::printf("recorded %llu events to %s\n",
                   static_cast<unsigned long long>(sink.eventsWritten()), recordPath.c_str());
